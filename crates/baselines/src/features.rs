@@ -1,0 +1,149 @@
+//! Shared featurization for the learned baselines.
+//!
+//! Per §9.1.2: learning models take the same feature extraction as CardNet on
+//! edit and Jaccard distance, and the *original* vectors on Hamming and
+//! Euclidean distance (TL-KDE is the exception — it consumes original records
+//! directly).
+
+use cardest_data::{Dataset, DistanceKind, Record, Workload};
+use cardest_fx::{build_extractor, FeatureExtractor};
+use cardest_nn::Matrix;
+
+/// Maps a record to the baseline input vector.
+pub enum BaselineFeaturizer {
+    /// Raw binary vector as f32 (HM datasets).
+    RawBits { dim: usize },
+    /// Raw real vector (EU datasets).
+    RawVec { dim: usize },
+    /// CardNet's feature extraction (ED and JC datasets).
+    Extracted(Box<dyn FeatureExtractor>),
+}
+
+impl BaselineFeaturizer {
+    /// Chooses the paper's input encoding for the dataset's distance.
+    pub fn from_dataset(dataset: &Dataset, seed: u64) -> Self {
+        match dataset.kind {
+            DistanceKind::Hamming => BaselineFeaturizer::RawBits {
+                dim: dataset.records.first().map_or(0, |r| r.as_bits().len()),
+            },
+            DistanceKind::Euclidean => BaselineFeaturizer::RawVec {
+                dim: dataset.records.first().map_or(0, |r| r.as_vec().len()),
+            },
+            DistanceKind::Edit | DistanceKind::Jaccard => {
+                BaselineFeaturizer::Extracted(build_extractor(dataset, 16, seed))
+            }
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        match self {
+            BaselineFeaturizer::RawBits { dim } | BaselineFeaturizer::RawVec { dim } => *dim,
+            BaselineFeaturizer::Extracted(fx) => fx.dim(),
+        }
+    }
+
+    /// Writes the feature vector of `record` into `out` (length = `dim()`).
+    pub fn featurize(&self, record: &Record, out: &mut [f32]) {
+        match self {
+            BaselineFeaturizer::RawBits { .. } => record.as_bits().write_f32(out),
+            BaselineFeaturizer::RawVec { .. } => out.copy_from_slice(record.as_vec()),
+            BaselineFeaturizer::Extracted(fx) => fx.extract(record).write_f32(out),
+        }
+    }
+
+    pub fn featurize_vec(&self, record: &Record) -> Vec<f32> {
+        let mut out = vec![0.0; self.dim()];
+        self.featurize(record, &mut out);
+        out
+    }
+}
+
+/// Flat regression dataset: `x = [features ; θ/θ_max]`, `y = cardinality`.
+/// The common shape consumed by the GBT and DNN-family baselines.
+pub struct RegressionData {
+    /// `n × (dim+1)`.
+    pub x: Matrix,
+    /// `n × 1` raw cardinalities.
+    pub y: Matrix,
+    pub feat_dim: usize,
+    pub theta_max: f64,
+}
+
+impl RegressionData {
+    /// Flattens a labelled workload into per-(query, θ) training rows.
+    pub fn from_workload(
+        workload: &Workload,
+        featurizer: &BaselineFeaturizer,
+        theta_max: f64,
+    ) -> Self {
+        let dim = featurizer.dim();
+        let n = workload.len() * workload.thresholds.len();
+        let mut x = Matrix::zeros(n, dim + 1);
+        let mut y = Matrix::zeros(n, 1);
+        let mut row = 0;
+        for lq in &workload.queries {
+            let feats = featurizer.featurize_vec(&lq.query);
+            for (&theta, &c) in workload.thresholds.iter().zip(&lq.cards) {
+                let r = x.row_mut(row);
+                r[..dim].copy_from_slice(&feats);
+                r[dim] = (theta / theta_max.max(1e-12)) as f32;
+                y.set(row, 0, c as f32);
+                row += 1;
+            }
+        }
+        RegressionData { x, y, feat_dim: dim, theta_max }
+    }
+
+    /// One inference row for `(query, θ)`.
+    pub fn query_row(
+        featurizer: &BaselineFeaturizer,
+        query: &Record,
+        theta: f64,
+        theta_max: f64,
+    ) -> Matrix {
+        let dim = featurizer.dim();
+        let mut x = Matrix::zeros(1, dim + 1);
+        featurizer.featurize(query, x.row_mut(0)[..dim].as_mut());
+        x.set(0, dim, (theta / theta_max.max(1e-12)) as f32);
+        x
+    }
+
+    pub fn n_examples(&self) -> usize {
+        self.x.rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{default_suite, SynthConfig};
+
+    #[test]
+    fn featurizer_matches_paper_encoding_choices() {
+        for ds in default_suite(40, 5) {
+            let f = BaselineFeaturizer::from_dataset(&ds, 1);
+            match ds.kind {
+                DistanceKind::Hamming => assert!(matches!(f, BaselineFeaturizer::RawBits { .. })),
+                DistanceKind::Euclidean => assert!(matches!(f, BaselineFeaturizer::RawVec { .. })),
+                _ => assert!(matches!(f, BaselineFeaturizer::Extracted(_))),
+            }
+            let v = f.featurize_vec(&ds.records[0]);
+            assert_eq!(v.len(), f.dim());
+        }
+    }
+
+    #[test]
+    fn regression_rows_cover_grid() {
+        let ds = cardest_data::synth::hm_imagenet(SynthConfig::new(60, 2));
+        let wl = Workload::sample_from(&ds, 0.2, 6, 3);
+        let f = BaselineFeaturizer::from_dataset(&ds, 1);
+        let data = RegressionData::from_workload(&wl, &f, ds.theta_max);
+        assert_eq!(data.n_examples(), wl.len() * wl.thresholds.len());
+        assert_eq!(data.x.cols(), f.dim() + 1);
+        // θ column is normalized into [0, 1].
+        for r in 0..data.n_examples() {
+            let t = data.x.get(r, f.dim());
+            assert!((0.0..=1.0).contains(&t));
+        }
+    }
+}

@@ -1,0 +1,438 @@
+//! `TL-XGB` / `TL-LGBM`: gradient-boosted regression trees, from scratch.
+//!
+//! The two libraries the paper uses differ chiefly in how trees grow:
+//! XGBoost expands level by level (depth-wise) while LightGBM always splits
+//! the leaf with the best gain (leaf-wise / best-first). Both policies are
+//! implemented here over the same histogram-split CART core, regressing
+//! `ln(1 + c)` on `[features ; θ]` with squared loss (so each boosting round
+//! fits residuals).
+//!
+//! The θ feature carries a monotone constraint, XGBoost-style: splits on θ
+//! whose left child would out-predict the right are rejected, and child
+//! value bounds propagate down the tree — this is what makes the paper's
+//! TL-XGB/TL-LGBM monotonic rows monotone.
+
+use crate::features::{BaselineFeaturizer, RegressionData};
+use cardest_core::CardinalityEstimator;
+use cardest_data::{Record, Workload};
+use cardest_nn::Matrix;
+
+/// Tree-growth policy: the XGBoost/LightGBM distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GrowthPolicy {
+    /// Level-by-level to `max_depth` (XGBoost flavour).
+    DepthWise,
+    /// Best-gain-first to `max_leaves` (LightGBM flavour).
+    LeafWise,
+}
+
+/// GBT hyperparameters.
+#[derive(Clone, Debug)]
+pub struct GbtOptions {
+    pub n_trees: usize,
+    pub max_depth: usize,
+    pub max_leaves: usize,
+    pub learning_rate: f64,
+    pub min_samples_leaf: usize,
+    /// Histogram bins per feature.
+    pub n_bins: usize,
+    pub policy: GrowthPolicy,
+}
+
+impl Default for GbtOptions {
+    fn default() -> Self {
+        GbtOptions {
+            n_trees: 24,
+            max_depth: 6,
+            max_leaves: 31,
+            learning_rate: 0.3,
+            min_samples_leaf: 4,
+            n_bins: 32,
+            policy: GrowthPolicy::DepthWise,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+impl Tree {
+    fn predict(&self, x: &[f32]) -> f64 {
+        let mut at = 0usize;
+        loop {
+            match &self.nodes[at] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    at = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+/// A candidate split under evaluation.
+struct SplitCandidate {
+    gain: f64,
+    feature: usize,
+    threshold: f32,
+    left_value: f64,
+    right_value: f64,
+    left_rows: Vec<u32>,
+    right_rows: Vec<u32>,
+}
+
+/// A leaf awaiting expansion during tree growth.
+struct OpenLeaf {
+    node: usize,
+    rows: Vec<u32>,
+    depth: usize,
+    /// Monotone bounds inherited from θ-splits above.
+    lo: f64,
+    hi: f64,
+}
+
+/// The gradient-boosted ensemble.
+pub struct TlGbt {
+    trees: Vec<Tree>,
+    base: f64,
+    options: GbtOptions,
+    featurizer: BaselineFeaturizer,
+    theta_max: f64,
+    /// Index of the (monotone) θ feature.
+    theta_feature: usize,
+}
+
+impl TlGbt {
+    /// Trains on a labelled workload.
+    pub fn train(
+        workload: &Workload,
+        featurizer: BaselineFeaturizer,
+        theta_max: f64,
+        options: GbtOptions,
+    ) -> Self {
+        let data = RegressionData::from_workload(workload, &featurizer, theta_max);
+        let n = data.n_examples();
+        let theta_feature = data.feat_dim;
+        // Log-space targets tame the output range, as the paper's MSLE does.
+        let targets: Vec<f64> = (0..n).map(|r| f64::from(1.0 + data.y.get(r, 0)).ln()).collect();
+        let base = targets.iter().sum::<f64>() / n.max(1) as f64;
+        let mut preds = vec![base; n];
+        let mut trees = Vec::with_capacity(options.n_trees);
+        for _ in 0..options.n_trees {
+            let residuals: Vec<f64> =
+                targets.iter().zip(&preds).map(|(&t, &p)| t - p).collect();
+            let tree = grow_tree(&data.x, &residuals, &options, theta_feature);
+            for (r, p) in preds.iter_mut().enumerate() {
+                *p += options.learning_rate * tree.predict(data.x.row(r));
+            }
+            trees.push(tree);
+        }
+        TlGbt { trees, base, options, featurizer, theta_max, theta_feature }
+    }
+
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    fn predict_row(&self, x: &[f32]) -> f64 {
+        let log = self.base
+            + self
+                .trees
+                .iter()
+                .map(|t| self.options.learning_rate * t.predict(x))
+                .sum::<f64>();
+        (log.exp() - 1.0).max(0.0)
+    }
+}
+
+impl CardinalityEstimator for TlGbt {
+    fn estimate(&self, query: &Record, theta: f64) -> f64 {
+        let x = RegressionData::query_row(&self.featurizer, query, theta, self.theta_max);
+        self.predict_row(x.row(0))
+    }
+
+    fn name(&self) -> String {
+        match self.options.policy {
+            GrowthPolicy::DepthWise => "TL-XGB".into(),
+            GrowthPolicy::LeafWise => "TL-LGBM".into(),
+        }
+    }
+
+    fn size_bytes(&self) -> usize {
+        // feature(4) + threshold(4) + children(8) or value(8) per node.
+        self.trees.iter().map(|t| t.nodes.len() * 16).sum()
+    }
+
+    fn is_monotonic(&self) -> bool {
+        true // θ-splits are constrained; other features ignore θ
+    }
+}
+
+/// Grows a single regression tree on the residuals.
+fn grow_tree(x: &Matrix, residuals: &[f64], options: &GbtOptions, theta_feature: usize) -> Tree {
+    let n = x.rows();
+    let all_rows: Vec<u32> = (0..n as u32).collect();
+    let root_value = mean(residuals, &all_rows);
+    let mut tree = Tree { nodes: vec![Node::Leaf { value: root_value }] };
+    let mut open = vec![OpenLeaf {
+        node: 0,
+        rows: all_rows,
+        depth: 0,
+        lo: f64::NEG_INFINITY,
+        hi: f64::INFINITY,
+    }];
+    let mut n_leaves = 1usize;
+
+    while let Some(leaf_idx) = pick_leaf(&mut open, &tree, x, residuals, options, theta_feature) {
+        let leaf = open.swap_remove(leaf_idx);
+        let Some(split) = best_split(x, residuals, &leaf, options, theta_feature) else {
+            continue;
+        };
+        let (lv, rv) = clamp_children(split.left_value, split.right_value, leaf.lo, leaf.hi);
+        let left = tree.nodes.len();
+        tree.nodes.push(Node::Leaf { value: lv });
+        let right = tree.nodes.len();
+        tree.nodes.push(Node::Leaf { value: rv });
+        tree.nodes[leaf.node] = Node::Split {
+            feature: split.feature,
+            threshold: split.threshold,
+            left,
+            right,
+        };
+        n_leaves += 1;
+        if n_leaves >= options.max_leaves {
+            break;
+        }
+        // Monotone bound propagation: under a θ-split, the left subtree may
+        // not exceed the split midpoint and the right may not fall below it.
+        let (l_lo, l_hi, r_lo, r_hi) = if split.feature == theta_feature {
+            let mid = (lv + rv) / 2.0;
+            (leaf.lo, mid.min(leaf.hi), mid.max(leaf.lo), leaf.hi)
+        } else {
+            (leaf.lo, leaf.hi, leaf.lo, leaf.hi)
+        };
+        if leaf.depth + 1 < options.max_depth {
+            open.push(OpenLeaf { node: left, rows: split.left_rows, depth: leaf.depth + 1, lo: l_lo, hi: l_hi });
+            open.push(OpenLeaf { node: right, rows: split.right_rows, depth: leaf.depth + 1, lo: r_lo, hi: r_hi });
+        }
+    }
+    tree
+}
+
+/// Depth-wise: FIFO (level order). Leaf-wise: the open leaf with the best
+/// achievable gain.
+fn pick_leaf(
+    open: &mut Vec<OpenLeaf>,
+    _tree: &Tree,
+    x: &Matrix,
+    residuals: &[f64],
+    options: &GbtOptions,
+    theta_feature: usize,
+) -> Option<usize> {
+    if open.is_empty() {
+        return None;
+    }
+    match options.policy {
+        GrowthPolicy::DepthWise => Some(0),
+        GrowthPolicy::LeafWise => {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, leaf) in open.iter().enumerate() {
+                let gain = best_split(x, residuals, leaf, options, theta_feature)
+                    .map_or(f64::NEG_INFINITY, |s| s.gain);
+                if best.map_or(true, |(_, g)| gain > g) {
+                    best = Some((i, gain));
+                }
+            }
+            best.and_then(|(i, g)| (g > f64::NEG_INFINITY).then_some(i))
+        }
+    }
+}
+
+fn mean(residuals: &[f64], rows: &[u32]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|&r| residuals[r as usize]).sum::<f64>() / rows.len() as f64
+}
+
+/// Histogram split search over all features; returns the best variance-
+/// reduction split honoring the θ monotone constraint.
+fn best_split(
+    x: &Matrix,
+    residuals: &[f64],
+    leaf: &OpenLeaf,
+    options: &GbtOptions,
+    theta_feature: usize,
+) -> Option<SplitCandidate> {
+    let rows = &leaf.rows;
+    if rows.len() < 2 * options.min_samples_leaf {
+        return None;
+    }
+    let total_sum: f64 = rows.iter().map(|&r| residuals[r as usize]).sum();
+    let n = rows.len() as f64;
+    let mut best: Option<SplitCandidate> = None;
+
+    for feature in 0..x.cols() {
+        // Histogram bounds for this feature over the leaf's rows.
+        let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+        for &r in rows {
+            let v = x.get(r as usize, feature);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo >= hi {
+            continue; // constant feature in this leaf
+        }
+        let n_bins = options.n_bins;
+        let width = (hi - lo) / n_bins as f32;
+        let mut bin_sum = vec![0.0f64; n_bins];
+        let mut bin_count = vec![0u32; n_bins];
+        for &r in rows {
+            let v = x.get(r as usize, feature);
+            let b = (((v - lo) / width) as usize).min(n_bins - 1);
+            bin_sum[b] += residuals[r as usize];
+            bin_count[b] += 1;
+        }
+        let mut left_sum = 0.0f64;
+        let mut left_count = 0u32;
+        for b in 0..n_bins - 1 {
+            left_sum += bin_sum[b];
+            left_count += bin_count[b];
+            let right_count = rows.len() as u32 - left_count;
+            if (left_count as usize) < options.min_samples_leaf
+                || (right_count as usize) < options.min_samples_leaf
+            {
+                continue;
+            }
+            let right_sum = total_sum - left_sum;
+            let lv = left_sum / f64::from(left_count);
+            let rv = right_sum / f64::from(right_count);
+            if feature == theta_feature && lv > rv {
+                continue; // monotone constraint: higher θ must not predict less
+            }
+            // Variance-reduction gain (squared loss): Σl²/nl + Σr²/nr − Σ²/n.
+            let gain = left_sum * left_sum / f64::from(left_count)
+                + right_sum * right_sum / f64::from(right_count)
+                - total_sum * total_sum / n;
+            if best.as_ref().map_or(true, |b| gain > b.gain) && gain > 1e-12 {
+                let threshold = lo + width * (b + 1) as f32;
+                let (mut lrows, mut rrows) = (Vec::new(), Vec::new());
+                for &r in rows {
+                    if x.get(r as usize, feature) <= threshold {
+                        lrows.push(r);
+                    } else {
+                        rrows.push(r);
+                    }
+                }
+                best = Some(SplitCandidate {
+                    gain,
+                    feature,
+                    threshold,
+                    left_value: lv,
+                    right_value: rv,
+                    left_rows: lrows,
+                    right_rows: rrows,
+                });
+            }
+        }
+    }
+    best
+}
+
+/// Clamps child predictions into the leaf's inherited monotone bounds.
+fn clamp_children(lv: f64, rv: f64, lo: f64, hi: f64) -> (f64, f64) {
+    (lv.clamp(lo, hi), rv.clamp(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::metrics;
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+
+    fn setup() -> (cardest_data::Dataset, Workload, Workload) {
+        let ds = hm_imagenet(SynthConfig::new(400, 7));
+        let wl = Workload::sample_from(&ds, 0.3, 10, 2);
+        let split = wl.split(3);
+        (ds, split.train, split.test)
+    }
+
+    fn train(policy: GrowthPolicy) -> (TlGbt, cardest_data::Dataset, Workload) {
+        let (ds, train_wl, test_wl) = setup();
+        let f = BaselineFeaturizer::from_dataset(&ds, 1);
+        let opts = GbtOptions { policy, n_trees: 16, ..Default::default() };
+        (TlGbt::train(&train_wl, f, ds.theta_max, opts), ds, test_wl)
+    }
+
+    #[test]
+    fn gbt_beats_constant_prediction() {
+        for policy in [GrowthPolicy::DepthWise, GrowthPolicy::LeafWise] {
+            let (gbt, _, test_wl) = train(policy);
+            let mut actual = Vec::new();
+            let mut pred = Vec::new();
+            let mut mean_pred = Vec::new();
+            let mean_card: f64 = test_wl
+                .triples()
+                .map(|(_, _, c)| f64::from(c))
+                .sum::<f64>()
+                / (test_wl.len() * test_wl.thresholds.len()) as f64;
+            for lq in &test_wl.queries {
+                for (&theta, &c) in test_wl.thresholds.iter().zip(&lq.cards) {
+                    actual.push(f64::from(c));
+                    pred.push(gbt.estimate(&lq.query, theta));
+                    mean_pred.push(mean_card);
+                }
+            }
+            let gbt_msle = metrics::msle(&actual, &pred);
+            let const_msle = metrics::msle(&actual, &mean_pred);
+            assert!(
+                gbt_msle < const_msle,
+                "{policy:?}: GBT ({gbt_msle:.3}) no better than constant ({const_msle:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn gbt_is_monotone_in_theta() {
+        for policy in [GrowthPolicy::DepthWise, GrowthPolicy::LeafWise] {
+            let (gbt, ds, _) = train(policy);
+            for qi in [0usize, 50, 150] {
+                let q = &ds.records[qi];
+                let mut prev = -1.0;
+                for i in 0..=20 {
+                    let c = gbt.estimate(q, f64::from(i));
+                    assert!(
+                        c >= prev - 1e-9,
+                        "{policy:?} query {qi}: estimate dropped at θ={i}: {c} < {prev}"
+                    );
+                    prev = c;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_policies() {
+        let (xgb, _, _) = train(GrowthPolicy::DepthWise);
+        let (lgbm, _, _) = train(GrowthPolicy::LeafWise);
+        assert_eq!(xgb.name(), "TL-XGB");
+        assert_eq!(lgbm.name(), "TL-LGBM");
+        assert!(xgb.size_bytes() > 0);
+        assert!(xgb.n_trees() == 16);
+    }
+}

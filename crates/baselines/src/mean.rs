@@ -1,0 +1,85 @@
+//! The naive `Mean` estimator of §9.11: the same cardinality for every query
+//! at a given threshold — the average over an offline random workload,
+//! quantized per threshold bucket.
+
+use cardest_core::CardinalityEstimator;
+use cardest_data::{Record, Workload};
+
+/// Per-threshold-bucket mean cardinality.
+pub struct MeanEstimator {
+    /// Bucket means indexed by quantized threshold.
+    means: Vec<f64>,
+    theta_max: f64,
+}
+
+impl MeanEstimator {
+    /// Quantizes `[0, θ_max]` into `buckets` cells and averages the training
+    /// labels per cell (empty cells inherit their left neighbour).
+    pub fn build(workload: &Workload, theta_max: f64, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        let mut sums = vec![0.0f64; buckets + 1];
+        let mut counts = vec![0usize; buckets + 1];
+        for (_, theta, c) in workload.triples() {
+            let b = Self::bucket_of(theta, theta_max, buckets);
+            sums[b] += f64::from(c);
+            counts[b] += 1;
+        }
+        let mut means = vec![0.0f64; buckets + 1];
+        let mut prev = 0.0;
+        for (i, mean) in means.iter_mut().enumerate() {
+            *mean = if counts[i] > 0 { sums[i] / counts[i] as f64 } else { prev };
+            prev = *mean;
+        }
+        MeanEstimator { means, theta_max }
+    }
+
+    fn bucket_of(theta: f64, theta_max: f64, buckets: usize) -> usize {
+        if theta_max <= 0.0 {
+            return 0;
+        }
+        (((theta / theta_max).clamp(0.0, 1.0)) * buckets as f64).floor() as usize
+    }
+}
+
+impl CardinalityEstimator for MeanEstimator {
+    fn estimate(&self, _query: &Record, theta: f64) -> f64 {
+        self.means[Self::bucket_of(theta, self.theta_max, self.means.len() - 1)]
+    }
+
+    fn name(&self) -> String {
+        "Mean".into()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.means.len() * 8
+    }
+
+    fn is_monotonic(&self) -> bool {
+        false // bucket means need not increase, though they usually do
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+
+    #[test]
+    fn mean_ignores_the_query() {
+        let ds = hm_imagenet(SynthConfig::new(100, 1));
+        let wl = Workload::sample_from(&ds, 0.3, 8, 2);
+        let est = MeanEstimator::build(&wl, ds.theta_max, 16);
+        let a = est.estimate(&ds.records[0], 10.0);
+        let b = est.estimate(&ds.records[50], 10.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mean_tracks_workload_average() {
+        let ds = hm_imagenet(SynthConfig::new(100, 2));
+        let wl = Workload::sample_from(&ds, 0.5, 8, 3);
+        let est = MeanEstimator::build(&wl, ds.theta_max, 8);
+        // At θ = θ_max every ball is large; at θ = 0 nearly singleton.
+        assert!(est.estimate(&ds.records[0], ds.theta_max) > est.estimate(&ds.records[0], 0.0));
+    }
+}

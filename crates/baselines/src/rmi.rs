@@ -1,0 +1,168 @@
+//! `DL-RMI`: a two-stage recursive model (Kraska et al.'s recursive-model
+//! index, adapted from index lookup to cardinality regression as in the
+//! paper's evaluation).
+//!
+//! Stage 1 predicts the log-cardinality of `[features ; θ]` and routes the
+//! example to one of `M` stage-2 experts by quantizing its prediction over
+//! the training output range; each expert is then trained only on the
+//! examples routed to it. The paper observes RMI is the runner-up to CardNet
+//! but "tends to mispredict the cardinalities closest to region boundaries".
+
+use crate::dnn::{fit_msle_mlp, DnnOptions};
+use crate::features::{BaselineFeaturizer, RegressionData};
+use cardest_core::CardinalityEstimator;
+use cardest_data::{Record, Workload};
+use cardest_nn::layers::Mlp;
+use cardest_nn::{Matrix, ParamStore};
+
+/// RMI hyperparameters.
+#[derive(Clone, Debug)]
+pub struct RmiOptions {
+    pub n_experts: usize,
+    pub stage1_hidden: Vec<usize>,
+    pub stage2_hidden: Vec<usize>,
+    pub dnn: DnnOptions,
+}
+
+impl Default for RmiOptions {
+    fn default() -> Self {
+        RmiOptions {
+            n_experts: 4,
+            stage1_hidden: vec![64, 32],
+            stage2_hidden: vec![48, 32],
+            dnn: DnnOptions::default(),
+        }
+    }
+}
+
+/// The two-stage model.
+pub struct DlRmi {
+    stage1: (Mlp, ParamStore),
+    experts: Vec<(Mlp, ParamStore)>,
+    /// Log-cardinality routing range observed on training data.
+    route_lo: f64,
+    route_hi: f64,
+    featurizer: BaselineFeaturizer,
+    theta_max: f64,
+}
+
+impl DlRmi {
+    pub fn train(
+        workload: &Workload,
+        featurizer: BaselineFeaturizer,
+        theta_max: f64,
+        opts: RmiOptions,
+    ) -> Self {
+        let data = RegressionData::from_workload(workload, &featurizer, theta_max);
+        let s1_opts = DnnOptions { seed: opts.dnn.seed + 100, ..opts.dnn.clone() };
+        let stage1 = fit_msle_mlp(&data.x, &data.y, &opts.stage1_hidden, &s1_opts, "rmi.s1");
+
+        // Routing range from stage-1 predictions on the training data.
+        let mut preds = Vec::with_capacity(data.n_examples());
+        for r in 0..data.n_examples() {
+            let row = Matrix::from_vec(1, data.x.cols(), data.x.row(r).to_vec());
+            let p = f64::from(stage1.0.infer(&stage1.1, &row).get(0, 0));
+            preds.push((1.0 + p.max(0.0)).ln());
+        }
+        let route_lo = preds.iter().copied().fold(f64::INFINITY, f64::min);
+        let route_hi = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(route_lo + 1e-9);
+
+        // Route training rows to experts and fit each on its share.
+        let m = opts.n_experts.max(1);
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); m];
+        for (r, &p) in preds.iter().enumerate() {
+            buckets[route(p, route_lo, route_hi, m)].push(r);
+        }
+        let experts = buckets
+            .into_iter()
+            .enumerate()
+            .map(|(k, rows)| {
+                if rows.is_empty() {
+                    // Empty bucket: fall back to a clone of stage 1's data.
+                    return fit_msle_mlp(
+                        &data.x,
+                        &data.y,
+                        &opts.stage2_hidden,
+                        &DnnOptions { epochs: 2, ..opts.dnn.clone() },
+                        &format!("rmi.s2.{k}"),
+                    );
+                }
+                let x = data.x.gather_rows(&rows);
+                let y = data.y.gather_rows(&rows);
+                let s2_opts = DnnOptions { seed: opts.dnn.seed + 200 + k as u64, ..opts.dnn.clone() };
+                fit_msle_mlp(&x, &y, &opts.stage2_hidden, &s2_opts, &format!("rmi.s2.{k}"))
+            })
+            .collect();
+        DlRmi { stage1, experts, route_lo, route_hi, featurizer, theta_max }
+    }
+
+    fn route_of(&self, x: &Matrix) -> usize {
+        let p = f64::from(self.stage1.0.infer(&self.stage1.1, x).get(0, 0));
+        route((1.0 + p.max(0.0)).ln(), self.route_lo, self.route_hi, self.experts.len())
+    }
+}
+
+fn route(log_pred: f64, lo: f64, hi: f64, m: usize) -> usize {
+    let frac = ((log_pred - lo) / (hi - lo)).clamp(0.0, 1.0);
+    ((frac * m as f64).floor() as usize).min(m - 1)
+}
+
+impl CardinalityEstimator for DlRmi {
+    fn estimate(&self, query: &Record, theta: f64) -> f64 {
+        let x = RegressionData::query_row(&self.featurizer, query, theta, self.theta_max);
+        let (mlp, store) = &self.experts[self.route_of(&x)];
+        f64::from(mlp.infer(store, &x).get(0, 0))
+    }
+
+    fn name(&self) -> String {
+        "DL-RMI".into()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.stage1.1.size_bytes()
+            + self.experts.iter().map(|(_, s)| s.size_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::metrics;
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+
+    #[test]
+    fn rmi_routes_and_learns() {
+        let ds = hm_imagenet(SynthConfig::new(250, 23));
+        let wl = Workload::sample_from(&ds, 0.4, 8, 2);
+        let split = wl.split(3);
+        let f = BaselineFeaturizer::from_dataset(&ds, 1);
+        let opts = RmiOptions {
+            n_experts: 3,
+            dnn: DnnOptions { epochs: 10, ..Default::default() },
+            ..Default::default()
+        };
+        let rmi = DlRmi::train(&split.train, f, ds.theta_max, opts);
+        assert_eq!(rmi.experts.len(), 3);
+
+        let mut actual = Vec::new();
+        let mut pred = Vec::new();
+        for lq in &split.test.queries {
+            for (&theta, &c) in split.test.thresholds.iter().zip(&lq.cards) {
+                actual.push(f64::from(c));
+                pred.push(rmi.estimate(&lq.query, theta));
+            }
+        }
+        let msle = metrics::msle(&actual, &pred);
+        assert!(msle < 9.0, "RMI failed to learn: MSLE {msle}");
+    }
+
+    #[test]
+    fn routing_is_exhaustive_and_in_range() {
+        for p in [-5.0, 0.0, 2.5, 99.0] {
+            let r = route(p, 0.0, 5.0, 4);
+            assert!(r < 4);
+        }
+        assert_eq!(route(0.0, 0.0, 5.0, 4), 0);
+        assert_eq!(route(5.0, 0.0, 5.0, 4), 3);
+    }
+}

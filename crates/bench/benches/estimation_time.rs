@@ -1,0 +1,70 @@
+//! Criterion micro-benchmarks of per-query estimation latency (the Table 6
+//! measurement at statistical rigor): CardNet vs CardNet-A vs the cheap
+//! baselines vs running the real selection.
+
+use cardest_bench::zoo::{cardnet_config, trainer_options};
+use cardest_bench::{Bundle, Scale};
+use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
+use cardest_core::train::train_cardnet;
+use cardest_baselines::{BaselineFeaturizer, DbUs, DlDnn, TlKde};
+use cardest_baselines::dnn::DnnOptions;
+use cardest_fx::build_extractor;
+use cardest_select::build_selector;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_estimation(c: &mut Criterion) {
+    // A small fixed bundle keeps bench setup fast and deterministic.
+    let mut scale = Scale::quick();
+    scale.n_records = 800;
+    scale.epochs = 8;
+    scale.vae_epochs = 3;
+    let b = Bundle::default_four(&scale).remove(0); // HM-ImageNet stand-in
+    let query = b.split.test.queries[0].query.clone();
+    let theta = b.dataset.theta_max * 0.6;
+
+    let fx = build_extractor(&b.dataset, scale.tau_max, 1);
+    let cfg = cardnet_config(fx.dim(), fx.tau_max() + 1, false);
+    let (t, _) = train_cardnet(fx.as_ref(), &b.split.train, &b.split.valid, cfg, trainer_options(&scale));
+    let cardnet = CardNetEstimator::from_trainer(fx, t);
+
+    let fx_a = build_extractor(&b.dataset, scale.tau_max, 1);
+    let cfg_a = cardnet_config(fx_a.dim(), fx_a.tau_max() + 1, true);
+    let (ta, _) =
+        train_cardnet(fx_a.as_ref(), &b.split.train, &b.split.valid, cfg_a, trainer_options(&scale));
+    let cardnet_a = CardNetEstimator::from_trainer(fx_a, ta);
+
+    let db_us = DbUs::build(&b.dataset, 0.05, 2);
+    let kde = TlKde::build(&b.dataset, 0.05, 3);
+    let dnn = DlDnn::train(
+        &b.split.train,
+        BaselineFeaturizer::from_dataset(&b.dataset, 2),
+        b.dataset.theta_max,
+        DnnOptions { epochs: 4, ..Default::default() },
+    );
+    let selector = build_selector(&b.dataset);
+
+    let mut g = c.benchmark_group("estimation_time");
+    g.bench_function("CardNet", |bench| {
+        bench.iter(|| black_box(cardnet.estimate(black_box(&query), black_box(theta))))
+    });
+    g.bench_function("CardNet-A", |bench| {
+        bench.iter(|| black_box(cardnet_a.estimate(black_box(&query), black_box(theta))))
+    });
+    g.bench_function("DB-US", |bench| {
+        bench.iter(|| black_box(db_us.estimate(black_box(&query), black_box(theta))))
+    });
+    g.bench_function("TL-KDE", |bench| {
+        bench.iter(|| black_box(kde.estimate(black_box(&query), black_box(theta))))
+    });
+    g.bench_function("DL-DNN", |bench| {
+        bench.iter(|| black_box(dnn.estimate(black_box(&query), black_box(theta))))
+    });
+    g.bench_function("SimSelect", |bench| {
+        bench.iter(|| black_box(selector.count(black_box(&query), black_box(theta))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

@@ -1,0 +1,177 @@
+//! `cardest` command line: generate datasets, train estimators, and estimate
+//! cardinalities from the shell — the downstream-user workflow.
+//!
+//! ```text
+//! cardest_cli gen      --kind hm --n 2000 --seed 7 --out data.jsonl
+//! cardest_cli train    --data data.jsonl --model model.json [--accelerated]
+//! cardest_cli estimate --data data.jsonl --model model.json --query 42 --theta 8
+//! cardest_cli stats    --data data.jsonl
+//! ```
+//!
+//! (Argument parsing is hand-rolled: the workspace's dependency policy has no
+//! CLI-parser crate, and four subcommands do not justify one.)
+
+use cardest_core::estimator::CardinalityEstimator;
+use cardest_core::model::CardNetConfig;
+use cardest_core::snapshot::Snapshot;
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_core::CardNetEstimator;
+use cardest_data::synth::{self, SynthConfig};
+use cardest_data::{io as dio, Workload};
+use cardest_fx::build_extractor;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "train" => cmd_train(&flags),
+        "estimate" => cmd_estimate(&flags),
+        "stats" => cmd_stats(&flags),
+        _ => {
+            eprintln!("unknown command `{cmd}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  cardest_cli gen      --kind <hm|ed|jc|eu> --n <records> [--seed <u64>] --out <file>
+  cardest_cli train    --data <file> --model <file> [--accelerated] [--epochs <n>] [--tau-max <n>]
+  cardest_cli estimate --data <file> --model <file> --query <record-index> --theta <f64>
+  cardest_cli stats    --data <file>";
+
+type Flags = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Flags)> {
+    let mut it = args.iter();
+    let cmd = it.next()?.clone();
+    let mut flags = HashMap::new();
+    let mut key: Option<String> = None;
+    for a in it {
+        if let Some(stripped) = a.strip_prefix("--") {
+            // Bare flags (e.g. --accelerated) read as "true".
+            if let Some(k) = key.take() {
+                flags.insert(k, "true".to_string());
+            }
+            key = Some(stripped.to_string());
+        } else if let Some(k) = key.take() {
+            flags.insert(k, a.clone());
+        } else {
+            return None; // positional arguments are not part of the grammar
+        }
+    }
+    if let Some(k) = key.take() {
+        flags.insert(k, "true".to_string());
+    }
+    Some((cmd, flags))
+}
+
+fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}\n{USAGE}"))
+}
+
+fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn cmd_gen(flags: &Flags) -> Result<(), String> {
+    let kind = required(flags, "kind")?;
+    let n: usize = parsed(flags, "n", 2000)?;
+    let seed: u64 = parsed(flags, "seed", 42)?;
+    let out = PathBuf::from(required(flags, "out")?);
+    let cfg = SynthConfig::new(n, seed);
+    let ds = match kind {
+        "hm" => synth::hm_imagenet(cfg),
+        "ed" => synth::ed_aminer(cfg),
+        "jc" => synth::jc_bms(cfg),
+        "eu" => synth::eu_glove(cfg, 48),
+        other => return Err(format!("unknown --kind `{other}` (hm|ed|jc|eu)")),
+    };
+    dio::save_jsonl(&ds, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} ({} records, {}) to {}", ds.name, ds.len(), ds.kind.name(), out.display());
+    Ok(())
+}
+
+fn cmd_train(flags: &Flags) -> Result<(), String> {
+    let ds = dio::load_jsonl(Path::new(required(flags, "data")?)).map_err(|e| e.to_string())?;
+    let model_path = PathBuf::from(required(flags, "model")?);
+    let accelerated = flags.contains_key("accelerated");
+    let epochs: usize = parsed(flags, "epochs", 56)?;
+    let tau_max: usize = parsed(flags, "tau-max", 16)?;
+
+    let wl = Workload::sample_from(&ds, 0.10, 12, 7);
+    let split = wl.split(13);
+    let fx = build_extractor(&ds, tau_max, 1);
+    let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+    if accelerated {
+        cfg = cfg.accelerated();
+    }
+    let opts = TrainerOptions { epochs, ..TrainerOptions::default() };
+    let (trainer, report) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+    println!(
+        "trained {} in {:.1}s ({} epochs, val MSLE {:.3})",
+        if accelerated { "CardNet-A" } else { "CardNet" },
+        report.train_seconds,
+        report.epochs_run,
+        report.best_val_msle
+    );
+    Snapshot::from_trainer(&trainer, fx.name())
+        .save(&model_path)
+        .map_err(|e| e.to_string())?;
+    println!("snapshot saved to {}", model_path.display());
+    Ok(())
+}
+
+fn cmd_estimate(flags: &Flags) -> Result<(), String> {
+    let ds = dio::load_jsonl(Path::new(required(flags, "data")?)).map_err(|e| e.to_string())?;
+    let snap = Snapshot::load(Path::new(required(flags, "model")?)).map_err(|e| e.to_string())?;
+    let query_idx: usize = parsed(flags, "query", 0)?;
+    let theta: f64 = required(flags, "theta")?.parse().map_err(|_| "--theta: not a number")?;
+    if query_idx >= ds.len() {
+        return Err(format!("--query {query_idx} out of range (dataset has {})", ds.len()));
+    }
+    // Rebuild the extractor the snapshot names; seeds are deterministic.
+    let fx = build_extractor(&ds, snap.model.config.n_out - 1, 1);
+    if fx.name() != snap.extractor {
+        return Err(format!(
+            "snapshot was trained behind extractor `{}`, dataset implies `{}`",
+            snap.extractor,
+            fx.name()
+        ));
+    }
+    let trainer = cardest_core::train::Trainer::from_parts(snap.model, snap.params);
+    let est = CardNetEstimator::from_trainer(fx, trainer);
+    let query = &ds.records[query_idx];
+    let estimate = est.estimate(query, theta);
+    let actual = ds.cardinality_scan(query, theta);
+    println!("query #{query_idx}, θ = {theta}: estimated {estimate:.1}, actual {actual}");
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let ds = dio::load_jsonl(Path::new(required(flags, "data")?)).map_err(|e| e.to_string())?;
+    println!("name:      {}", ds.name);
+    println!("distance:  {}", ds.kind.name());
+    println!("records:   {}", ds.len());
+    println!("l_max:     {}", ds.max_width());
+    println!("l_avg:     {:.2}", ds.avg_width());
+    println!("theta_max: {}", ds.theta_max);
+    Ok(())
+}

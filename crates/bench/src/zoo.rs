@@ -1,0 +1,185 @@
+//! The model zoo: trains any of the paper's estimators on any bundle.
+
+use crate::Scale;
+use cardest_baselines::dln::DlnOptions;
+use cardest_baselines::dnn::DnnOptions;
+use cardest_baselines::gbt::GbtOptions;
+use cardest_baselines::moe::MoeOptions;
+use cardest_baselines::rmi::RmiOptions;
+use cardest_baselines::{
+    build_db_se, BaselineFeaturizer, DbUs, DlDln, DlDnn, DlDnnSTau, DlMoe, DlRmi, GrowthPolicy,
+    MeanEstimator, TlGbt, TlKde,
+};
+use cardest_core::model::{CardNetConfig, EncoderKind};
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_core::{CardNetEstimator, CardinalityEstimator};
+use cardest_data::{Dataset, Workload};
+use cardest_fx::build_extractor;
+
+/// Every estimator row the paper's tables report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    DbSe,
+    DbUs,
+    TlXgb,
+    TlLgbm,
+    TlKde,
+    DlDln,
+    DlMoe,
+    DlRmi,
+    DlDnn,
+    DlDnnSTau,
+    CardNet,
+    CardNetA,
+}
+
+impl ModelKind {
+    /// Table 3's full roster.
+    pub fn all() -> &'static [ModelKind] {
+        &[
+            ModelKind::DbSe,
+            ModelKind::DbUs,
+            ModelKind::TlXgb,
+            ModelKind::TlLgbm,
+            ModelKind::TlKde,
+            ModelKind::DlDln,
+            ModelKind::DlMoe,
+            ModelKind::DlRmi,
+            ModelKind::DlDnn,
+            ModelKind::DlDnnSTau,
+            ModelKind::CardNet,
+            ModelKind::CardNetA,
+        ]
+    }
+
+    /// The comparison subset used by the threshold/figure sweeps (§9.2:
+    /// "the more accurate or monotonic models out of each category").
+    pub fn figure_subset() -> &'static [ModelKind] {
+        &[
+            ModelKind::CardNet,
+            ModelKind::CardNetA,
+            ModelKind::TlXgb,
+            ModelKind::DlRmi,
+            ModelKind::DlMoe,
+            ModelKind::DbUs,
+            ModelKind::DlDln,
+        ]
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ModelKind::DbSe => "DB-SE",
+            ModelKind::DbUs => "DB-US",
+            ModelKind::TlXgb => "TL-XGB",
+            ModelKind::TlLgbm => "TL-LGBM",
+            ModelKind::TlKde => "TL-KDE",
+            ModelKind::DlDln => "DL-DLN",
+            ModelKind::DlMoe => "DL-MoE",
+            ModelKind::DlRmi => "DL-RMI",
+            ModelKind::DlDnn => "DL-DNN",
+            ModelKind::DlDnnSTau => "DL-DNNsT",
+            ModelKind::CardNet => "CardNet",
+            ModelKind::CardNetA => "CardNet-A",
+        }
+    }
+}
+
+/// A trained estimator plus its training cost (Table 10).
+pub struct TrainedModel {
+    pub kind: ModelKind,
+    pub estimator: Box<dyn CardinalityEstimator>,
+    pub train_secs: f64,
+}
+
+/// CardNet hyperparameters scaled to the harness.
+pub fn cardnet_config(input_dim: usize, n_out: usize, accelerated: bool) -> CardNetConfig {
+    let mut cfg = CardNetConfig::new(input_dim, n_out);
+    if accelerated {
+        cfg.encoder = EncoderKind::Accelerated;
+    }
+    cfg
+}
+
+pub fn trainer_options(scale: &Scale) -> TrainerOptions {
+    TrainerOptions {
+        epochs: scale.epochs,
+        vae_epochs: scale.vae_epochs,
+        learning_rate: 3e-3,
+        validate_every: 4,
+        patience: 5,
+        seed: scale.seed ^ 0xCA4D,
+        ..TrainerOptions::default()
+    }
+}
+
+/// Trains one model on a bundle's training/validation split.
+pub fn train_model(
+    kind: ModelKind,
+    dataset: &Dataset,
+    train_wl: &Workload,
+    valid_wl: &Workload,
+    scale: &Scale,
+) -> TrainedModel {
+    let t0 = std::time::Instant::now();
+    let fx_seed = scale.seed ^ 0xF0;
+    let estimator: Box<dyn CardinalityEstimator> = match kind {
+        ModelKind::DbSe => build_db_se(dataset, fx_seed),
+        ModelKind::DbUs => Box::new(DbUs::build(dataset, 0.05, fx_seed)),
+        ModelKind::TlXgb | ModelKind::TlLgbm => {
+            let policy = if kind == ModelKind::TlXgb {
+                GrowthPolicy::DepthWise
+            } else {
+                GrowthPolicy::LeafWise
+            };
+            let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
+            let opts = GbtOptions { policy, n_trees: scale.gbt_trees, ..GbtOptions::default() };
+            Box::new(TlGbt::train(train_wl, featurizer, dataset.theta_max, opts))
+        }
+        ModelKind::TlKde => Box::new(TlKde::build(dataset, 0.05, fx_seed)),
+        ModelKind::DlDln => {
+            let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
+            let opts = DlnOptions { epochs: scale.epochs, seed: scale.seed, ..DlnOptions::default() };
+            Box::new(DlDln::train(train_wl, featurizer, dataset.theta_max, opts))
+        }
+        ModelKind::DlMoe => {
+            let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
+            let opts = MoeOptions { epochs: scale.epochs, seed: scale.seed, ..MoeOptions::default() };
+            Box::new(DlMoe::train(train_wl, featurizer, dataset.theta_max, opts))
+        }
+        ModelKind::DlRmi => {
+            let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
+            let opts = RmiOptions {
+                dnn: DnnOptions { epochs: scale.epochs / 2, seed: scale.seed, ..DnnOptions::default() },
+                ..RmiOptions::default()
+            };
+            Box::new(DlRmi::train(train_wl, featurizer, dataset.theta_max, opts))
+        }
+        ModelKind::DlDnn => {
+            let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
+            let opts = DnnOptions { epochs: scale.epochs, seed: scale.seed, ..DnnOptions::default() };
+            Box::new(DlDnn::train(train_wl, featurizer, dataset.theta_max, opts))
+        }
+        ModelKind::DlDnnSTau => {
+            let fx = build_extractor(dataset, scale.tau_max, fx_seed);
+            let opts = DnnOptions {
+                epochs: (scale.epochs / 2).max(4),
+                seed: scale.seed,
+                ..DnnOptions::default()
+            };
+            Box::new(DlDnnSTau::train(train_wl, fx, opts))
+        }
+        ModelKind::CardNet | ModelKind::CardNetA => {
+            let fx = build_extractor(dataset, scale.tau_max, fx_seed);
+            let cfg = cardnet_config(fx.dim(), fx.tau_max() + 1, kind == ModelKind::CardNetA);
+            let opts = trainer_options(scale);
+            let (trainer, _) = train_cardnet(fx.as_ref(), train_wl, valid_wl, cfg, opts);
+            Box::new(CardNetEstimator::from_trainer(fx, trainer))
+        }
+    };
+    TrainedModel { kind, estimator, train_secs: t0.elapsed().as_secs_f64() }
+}
+
+/// Builds the `Mean` estimator of §9.11 (not part of Table 3's roster).
+pub fn mean_estimator(train_wl: &Workload, theta_max: f64) -> MeanEstimator {
+    MeanEstimator::build(train_wl, theta_max, 64)
+}

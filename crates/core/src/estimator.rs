@@ -1,0 +1,199 @@
+//! The estimator interface shared by CardNet and every baseline, plus the
+//! trained-CardNet wrapper.
+
+use crate::model::CardNetModel;
+use crate::train::Trainer;
+use cardest_fx::FeatureExtractor;
+use cardest_nn::{Matrix, ParamStore};
+use cardest_data::Record;
+
+/// A cardinality estimator for similarity selection (Problem 1 of the paper):
+/// `estimate(x, θ) ≈ |{ y ∈ D : f(x, y) ≤ θ }|`.
+pub trait CardinalityEstimator: Send + Sync {
+    /// The estimated cardinality (non-negative; not necessarily integral).
+    fn estimate(&self, query: &Record, theta: f64) -> f64;
+
+    /// Display name matching the paper's tables (e.g. `CardNet-A`, `DB-US`).
+    fn name(&self) -> String;
+
+    /// Serialized parameter footprint in bytes (Table 9's "model size").
+    fn size_bytes(&self) -> usize;
+
+    /// Whether the estimator guarantees monotonicity w.r.t. the threshold.
+    fn is_monotonic(&self) -> bool {
+        false
+    }
+}
+
+/// A trained CardNet (or CardNet-A): feature extractor + regression model.
+pub struct CardNetEstimator {
+    fx: Box<dyn FeatureExtractor>,
+    model: CardNetModel,
+    store: ParamStore,
+    accelerated: bool,
+}
+
+impl CardNetEstimator {
+    /// Wraps the products of [`crate::train::train_cardnet`].
+    pub fn from_trainer(fx: Box<dyn FeatureExtractor>, trainer: Trainer) -> Self {
+        let accelerated =
+            trainer.model.config.encoder == crate::model::EncoderKind::Accelerated;
+        CardNetEstimator { fx, model: trainer.model, store: trainer.store, accelerated }
+    }
+
+    pub fn model(&self) -> &CardNetModel {
+        &self.model
+    }
+
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    pub fn extractor(&self) -> &dyn FeatureExtractor {
+        self.fx.as_ref()
+    }
+
+    /// Per-distance estimates `ĉ_0 … ĉ_τ` for a query (diagnostics and the
+    /// GPH case study's per-distance costing).
+    pub fn estimate_per_distance(&self, query: &Record, theta: f64) -> Vec<f32> {
+        let tau = self.fx.map_threshold(theta);
+        let x = self.query_matrix(query);
+        self.model.infer_dist(&self.store, &x, tau)
+    }
+
+    fn query_matrix(&self, query: &Record) -> Matrix {
+        let bits = self.fx.extract(query);
+        Matrix::from_vec(1, bits.len(), bits.to_f32())
+    }
+}
+
+/// A borrowed view over a trainer's current model: lets update loops (§8)
+/// evaluate mid-stream without consuming the trainer.
+pub struct CardNetView<'a> {
+    fx: &'a dyn FeatureExtractor,
+    trainer: &'a Trainer,
+}
+
+impl CardNetEstimator {
+    /// Borrows a trainer as an estimator.
+    pub fn from_trainer_ref<'a>(fx: &'a dyn FeatureExtractor, trainer: &'a Trainer) -> CardNetView<'a> {
+        CardNetView { fx, trainer }
+    }
+}
+
+impl CardinalityEstimator for CardNetView<'_> {
+    fn estimate(&self, query: &Record, theta: f64) -> f64 {
+        let tau = self.fx.map_threshold(theta);
+        let bits = self.fx.extract(query);
+        let x = Matrix::from_vec(1, bits.len(), bits.to_f32());
+        self.trainer.model.infer_sum(&self.trainer.store, &x, tau)
+    }
+
+    fn name(&self) -> String {
+        "CardNet(view)".into()
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.trainer.store.size_bytes()
+    }
+
+    fn is_monotonic(&self) -> bool {
+        self.trainer.model.config.incremental
+    }
+}
+
+impl CardinalityEstimator for CardNetEstimator {
+    fn estimate(&self, query: &Record, theta: f64) -> f64 {
+        let tau = self.fx.map_threshold(theta);
+        let x = self.query_matrix(query);
+        self.model.infer_sum(&self.store, &x, tau)
+    }
+
+    fn name(&self) -> String {
+        if self.accelerated { "CardNet-A".into() } else { "CardNet".into() }
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.store.size_bytes()
+    }
+
+    fn is_monotonic(&self) -> bool {
+        // Deterministic inference + non-negative decoders + monotone h_thr:
+        // Lemmas 1 and 2. The −incremental ablation predicts cumulative
+        // values directly and forfeits the guarantee.
+        self.model.config.incremental
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{CardNetConfig, EncoderKind};
+    use crate::train::{train_cardnet, TrainerOptions};
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+    use cardest_data::Workload;
+    use cardest_fx::build_extractor;
+    use proptest::prelude::*;
+
+    fn trained(accelerated: bool) -> (CardNetEstimator, cardest_data::Dataset) {
+        let ds = hm_imagenet(SynthConfig::new(250, 77));
+        let fx = build_extractor(&ds, 20, 1);
+        let wl = Workload::sample_from(&ds, 0.4, 10, 2);
+        let split = wl.split(3);
+        let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+        cfg.phi_hidden = vec![32, 24];
+        cfg.z_dim = 16;
+        cfg.vae_hidden = vec![32];
+        cfg.vae_latent = 8;
+        if accelerated {
+            cfg.encoder = EncoderKind::Accelerated;
+        }
+        let mut opts = TrainerOptions::quick();
+        opts.epochs = 10;
+        opts.vae_epochs = 3;
+        let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+        (CardNetEstimator::from_trainer(fx, trainer), ds)
+    }
+
+    #[test]
+    fn estimator_reports_identity() {
+        let (est, _) = trained(false);
+        assert_eq!(est.name(), "CardNet");
+        assert!(est.is_monotonic());
+        assert!(est.size_bytes() > 0);
+        let (est_a, _) = trained(true);
+        assert_eq!(est_a.name(), "CardNet-A");
+    }
+
+    #[test]
+    fn estimates_are_deterministic() {
+        let (est, ds) = trained(false);
+        let q = &ds.records[0];
+        assert_eq!(est.estimate(q, 10.0), est.estimate(q, 10.0));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn estimates_are_monotone_in_theta(qi in 0usize..250) {
+            let (est, ds) = trained(true);
+            let q = &ds.records[qi % ds.len()];
+            let mut prev = 0.0;
+            for step in 0..=20 {
+                let theta = ds.theta_max * f64::from(step) / 20.0;
+                let c = est.estimate(q, theta);
+                prop_assert!(c >= prev - 1e-9, "θ={theta}: {c} < {prev}");
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn per_distance_sums_to_estimate() {
+        let (est, ds) = trained(false);
+        let q = &ds.records[5];
+        let per = est.estimate_per_distance(q, 12.0);
+        let total: f64 = per.iter().map(|&v| f64::from(v)).sum();
+        assert!((total - est.estimate(q, 12.0)).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,193 @@
+//! Workload → training tensors.
+//!
+//! Converts a labelled [`Workload`] through a [`FeatureExtractor`] into the
+//! matrices the trainer consumes:
+//!
+//! * `x` — one row per query: the binary representation as `f32`;
+//! * `cum` — cumulative cardinality targets at every `τ ∈ [0, τ_max]`;
+//! * `dist` — per-distance targets `c_i = cum(i) − cum(i−1)` (§3.3's
+//!   incremental decomposition, exact because labels are full curves);
+//! * `p_tau` — the empirical threshold distribution `P(τ)` of Eq. 2,
+//!   estimated by pushing the validation grid through `h_thr` (§6.2).
+
+use cardest_data::Workload;
+use cardest_fx::FeatureExtractor;
+use cardest_nn::Matrix;
+
+/// The tensor form of a labelled workload.
+#[derive(Clone, Debug)]
+pub struct TrainTensors {
+    /// `n × d` binary representations.
+    pub x: Matrix,
+    /// `n × (τ_max+1)` cumulative targets.
+    pub cum: Matrix,
+    /// `n × (τ_max+1)` per-distance targets.
+    pub dist: Matrix,
+    /// Number of decoders (`τ_max + 1`).
+    pub n_out: usize,
+}
+
+impl TrainTensors {
+    pub fn n_examples(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Gathers a batch by row indices.
+    pub fn batch(&self, idx: &[usize]) -> TrainTensors {
+        TrainTensors {
+            x: self.x.gather_rows(idx),
+            cum: self.cum.gather_rows(idx),
+            dist: self.dist.gather_rows(idx),
+            n_out: self.n_out,
+        }
+    }
+}
+
+/// Maps a cardinality curve over the threshold grid to cumulative targets per
+/// τ. Multiple grid thresholds can map to one τ; the *largest* admissible
+/// threshold defines the bucket's cumulative count, and τ values the grid
+/// never hits inherit the previous bucket (carry-forward), making the
+/// per-distance increments well-defined and non-negative.
+pub fn cumulative_per_tau(
+    fx: &dyn FeatureExtractor,
+    thresholds: &[f64],
+    cards: &[u32],
+    n_out: usize,
+) -> Vec<f32> {
+    let mut cum = vec![f32::NAN; n_out];
+    for (&theta, &c) in thresholds.iter().zip(cards) {
+        let tau = fx.map_threshold(theta).min(n_out - 1);
+        // Later (larger) thresholds overwrite: grid ascends, so the last
+        // write per bucket is the largest θ mapping to it.
+        cum[tau] = c as f32;
+    }
+    let mut prev = 0.0f32;
+    for slot in &mut cum {
+        if slot.is_nan() {
+            *slot = prev;
+        } else {
+            // Guard the invariant against any non-monotone labels.
+            *slot = slot.max(prev);
+        }
+        prev = *slot;
+    }
+    cum
+}
+
+/// Builds the tensors for a workload.
+pub fn prepare_tensors(workload: &Workload, fx: &dyn FeatureExtractor) -> TrainTensors {
+    let n = workload.len();
+    let d = fx.dim();
+    let n_out = fx.tau_max() + 1;
+    let mut x = Matrix::zeros(n, d);
+    let mut cum = Matrix::zeros(n, n_out);
+    let mut dist = Matrix::zeros(n, n_out);
+    for (r, lq) in workload.queries.iter().enumerate() {
+        fx.extract(&lq.query).write_f32(x.row_mut(r));
+        let c = cumulative_per_tau(fx, &workload.thresholds, &lq.cards, n_out);
+        let crow = cum.row_mut(r);
+        crow.copy_from_slice(&c);
+        let drow = dist.row_mut(r);
+        drow[0] = c[0];
+        for i in 1..n_out {
+            drow[i] = c[i] - c[i - 1];
+        }
+    }
+    TrainTensors { x, cum, dist, n_out }
+}
+
+/// Empirical `P(τ)` over a workload's threshold grid (Eq. 2's expectation
+/// weights). Uniform thresholds in `[0, θ_max]` are *not* uniform in τ for
+/// non-linear transforms (e.g. Euclidean, §4.4), which this corrects.
+pub fn tau_distribution(fx: &dyn FeatureExtractor, thresholds: &[f64], n_out: usize) -> Vec<f32> {
+    let mut p = vec![0.0f32; n_out];
+    for &theta in thresholds {
+        p[fx.map_threshold(theta).min(n_out - 1)] += 1.0;
+    }
+    let total: f32 = p.iter().sum();
+    if total > 0.0 {
+        p.iter_mut().for_each(|v| *v /= total);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+    use cardest_fx::build_extractor;
+
+    fn setup() -> (cardest_data::Dataset, Box<dyn FeatureExtractor>, Workload) {
+        let ds = hm_imagenet(SynthConfig::new(150, 2));
+        let fx = build_extractor(&ds, 20, 5);
+        let wl = Workload::sample_from(&ds, 0.2, 10, 3);
+        (ds, fx, wl)
+    }
+
+    #[test]
+    fn tensors_have_consistent_shapes() {
+        let (_, fx, wl) = setup();
+        let t = prepare_tensors(&wl, fx.as_ref());
+        assert_eq!(t.x.rows(), wl.len());
+        assert_eq!(t.x.cols(), fx.dim());
+        assert_eq!(t.cum.cols(), fx.tau_max() + 1);
+        assert_eq!(t.dist.shape(), t.cum.shape());
+    }
+
+    #[test]
+    fn dist_rows_sum_to_final_cumulative() {
+        let (_, fx, wl) = setup();
+        let t = prepare_tensors(&wl, fx.as_ref());
+        for r in 0..t.n_examples() {
+            let sum: f32 = t.dist.row(r).iter().sum();
+            let last = *t.cum.row(r).last().expect("non-empty row");
+            assert!((sum - last).abs() < 1e-3, "row {r}: {sum} vs {last}");
+        }
+    }
+
+    #[test]
+    fn cumulative_targets_are_monotone_and_dist_nonnegative() {
+        let (_, fx, wl) = setup();
+        let t = prepare_tensors(&wl, fx.as_ref());
+        for r in 0..t.n_examples() {
+            let row = t.cum.row(r);
+            assert!(row.windows(2).all(|w| w[0] <= w[1]), "row {r} not monotone: {row:?}");
+            assert!(t.dist.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn cumulative_per_tau_carries_forward() {
+        let (_, fx, _) = setup();
+        // A sparse grid that skips τ values.
+        let thresholds = [0.0, 10.0, 20.0];
+        let cards = [1, 7, 30];
+        let c = cumulative_per_tau(fx.as_ref(), &thresholds, &cards, fx.tau_max() + 1);
+        assert_eq!(c[0], 1.0);
+        assert_eq!(*c.last().expect("non-empty"), 30.0);
+        assert!(c.windows(2).all(|w| w[0] <= w[1]));
+        // Buckets between hits repeat the previous value.
+        let tau_mid = fx.map_threshold(10.0);
+        assert_eq!(c[tau_mid - 1], 1.0, "carry-forward failed: {c:?}");
+    }
+
+    #[test]
+    fn tau_distribution_sums_to_one() {
+        let (ds, fx, wl) = setup();
+        let p = tau_distribution(fx.as_ref(), &wl.thresholds, fx.tau_max() + 1);
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        // θ = 0 maps to τ = 0, so bucket 0 is always populated.
+        assert!(p[0] > 0.0, "{}", ds.name);
+    }
+
+    #[test]
+    fn batch_gathers_rows() {
+        let (_, fx, wl) = setup();
+        let t = prepare_tensors(&wl, fx.as_ref());
+        let b = t.batch(&[2, 0]);
+        assert_eq!(b.n_examples(), 2);
+        assert_eq!(b.x.row(0), t.x.row(2));
+        assert_eq!(b.cum.row(1), t.cum.row(0));
+    }
+}

@@ -1,0 +1,156 @@
+//! Incremental learning for dataset updates (§8 of the paper).
+//!
+//! When records are inserted or deleted: first the *validation* labels are
+//! refreshed against the updated dataset and the model's validation error is
+//! re-measured; only if it degraded are the *training* labels refreshed and
+//! training resumed **from the current weights over the entire training set**
+//! (full data prevents catastrophic forgetting; the original queries are kept
+//! and only their labels change).
+
+use crate::features::prepare_tensors;
+use crate::train::{TrainReport, Trainer};
+use cardest_data::{Dataset, Workload};
+use cardest_fx::FeatureExtractor;
+
+/// Outcome of one update-handling pass.
+#[derive(Clone, Debug)]
+pub struct UpdateOutcome {
+    /// Validation MSLE before any retraining (on refreshed labels).
+    pub val_before: f64,
+    /// Validation MSLE afterwards (same as before if no retraining ran).
+    pub val_after: f64,
+    /// Whether incremental training was triggered.
+    pub retrained: bool,
+    pub report: Option<TrainReport>,
+}
+
+/// Manages a trained model's lifecycle under dataset updates.
+pub struct IncrementalLearner {
+    pub trainer: Trainer,
+    pub train_wl: Workload,
+    pub valid_wl: Workload,
+    /// Validation MSLE observed right after the last (re)training.
+    baseline_val: f64,
+    /// Relative degradation that triggers retraining (default 5%).
+    pub tolerance: f64,
+    /// Epoch budget per incremental pass.
+    pub max_epochs: usize,
+}
+
+impl IncrementalLearner {
+    pub fn new(trainer: Trainer, train_wl: Workload, valid_wl: Workload, fx: &dyn FeatureExtractor) -> Self {
+        let valid = prepare_tensors(&valid_wl, fx);
+        let baseline_val = trainer.validation_msle(&valid);
+        IncrementalLearner {
+            trainer,
+            train_wl,
+            valid_wl,
+            baseline_val,
+            tolerance: 0.05,
+            max_epochs: 10,
+        }
+    }
+
+    /// Handles one batch of updates: `dataset` is the *already updated*
+    /// collection. Implements the §8 monitor-then-retrain protocol.
+    pub fn on_update(&mut self, dataset: &Dataset, fx: &dyn FeatureExtractor) -> UpdateOutcome {
+        // 1. Refresh validation labels and measure the error.
+        self.valid_wl.relabel(dataset);
+        let valid = prepare_tensors(&self.valid_wl, fx);
+        let val_before = self.trainer.validation_msle(&valid);
+
+        // 2. Retrain only if the error increased beyond tolerance.
+        if val_before <= self.baseline_val * (1.0 + self.tolerance) {
+            return UpdateOutcome { val_before, val_after: val_before, retrained: false, report: None };
+        }
+
+        // 3. Refresh training labels (same queries, new labels) and resume
+        //    from the current parameters over the full training set.
+        self.train_wl.relabel(dataset);
+        let train = prepare_tensors(&self.train_wl, fx);
+        let report = self.trainer.fit_incremental(&train, &valid, self.max_epochs, 3);
+        let val_after = self.trainer.validation_msle(&valid);
+        self.baseline_val = val_after;
+        UpdateOutcome { val_before, val_after, retrained: true, report: Some(report) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CardNetConfig;
+    use crate::train::{train_cardnet, TrainerOptions};
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+    use cardest_data::{BitVec, Record};
+    use cardest_fx::build_extractor;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn small_updates_do_not_trigger_retraining() {
+        let mut ds = hm_imagenet(SynthConfig::new(300, 55));
+        let fx = build_extractor(&ds, 20, 1);
+        let wl = Workload::sample_from(&ds, 0.3, 8, 2);
+        let split = wl.split(3);
+        let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+        cfg.phi_hidden = vec![32, 24];
+        cfg.z_dim = 16;
+        cfg.vae_hidden = vec![32];
+        cfg.vae_latent = 8;
+        let mut opts = TrainerOptions::quick();
+        opts.epochs = 8;
+        opts.vae_epochs = 3;
+        let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+        let mut learner =
+            IncrementalLearner::new(trainer, split.train.clone(), split.valid.clone(), fx.as_ref());
+
+        // Insert two near-duplicates of existing records: a negligible shift.
+        let a = ds.records[0].clone();
+        ds.records.push(a.clone());
+        ds.records.push(a);
+        let outcome = learner.on_update(&ds, fx.as_ref());
+        assert!(!outcome.retrained, "tiny update should not retrain");
+        assert_eq!(outcome.val_before, outcome.val_after);
+    }
+
+    #[test]
+    fn large_updates_trigger_retraining_and_recover() {
+        let mut ds = hm_imagenet(SynthConfig::new(250, 66));
+        let fx = build_extractor(&ds, 20, 1);
+        let wl = Workload::sample_from(&ds, 0.4, 8, 2);
+        let split = wl.split(3);
+        let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+        cfg.phi_hidden = vec![32, 24];
+        cfg.z_dim = 16;
+        cfg.vae_hidden = vec![32];
+        cfg.vae_latent = 8;
+        let mut opts = TrainerOptions::quick();
+        opts.epochs = 8;
+        opts.vae_epochs = 3;
+        let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+        let mut learner =
+            IncrementalLearner::new(trainer, split.train.clone(), split.valid.clone(), fx.as_ref());
+        learner.tolerance = 0.01;
+        learner.max_epochs = 5;
+
+        // Double the dataset with near-copies of existing records (≤ 3 bits
+        // flipped): every query ball roughly doubles its cardinality.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        for i in 0..250 {
+            let mut bits: BitVec = ds.records[i].as_bits().clone();
+            for _ in 0..3 {
+                bits.flip(rng.gen_range(0..bits.len()));
+            }
+            ds.records.push(Record::Bits(bits));
+        }
+        let outcome = learner.on_update(&ds, fx.as_ref());
+        assert!(outcome.retrained, "drastic update must retrain");
+        let report = outcome.report.expect("report present when retrained");
+        assert!(report.epochs_run >= 1);
+        assert!(
+            outcome.val_after <= outcome.val_before,
+            "incremental learning failed to help: {} -> {}",
+            outcome.val_before,
+            outcome.val_after
+        );
+    }
+}

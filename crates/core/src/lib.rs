@@ -1,0 +1,32 @@
+//! **CardNet / CardNet-A** — the paper's contribution: monotonic deep
+//! cardinality estimation of similarity selection.
+//!
+//! The estimator is `ĉ = g ∘ h`: feature extraction `h` (the `cardest-fx`
+//! crate) maps any record + threshold into a Hamming space, and the
+//! regression `g` (this crate) predicts the cardinality as the sum of
+//! per-distance decoders `g(x, τ) = Σ_{i=0..τ} g_i(x)` (§3.3, Eq. 1).
+//! Because every `g_i` is deterministic and non-negative (ReLU decoder over a
+//! deterministic encoder), the estimate is monotonically increasing in the
+//! threshold — Lemmas 1 and 2.
+//!
+//! Modules:
+//! * [`estimator`] — the [`CardinalityEstimator`] trait every method in the
+//!   workspace implements, plus the trained CardNet wrapper;
+//! * [`features`] — workload → training tensors (per-distance targets, `P(τ)`);
+//! * [`model`] — the encoder Ψ (VAE ⊕ distance embeddings ⊕ shared Φ),
+//!   decoders, and the accelerated Φ′ of §7;
+//! * [`train`] — MSLE + dynamic per-distance loss (Eq. 2–3), validation-driven
+//!   ω updates, VAE pre-training, snapshots;
+//! * [`incremental`] — incremental learning for dataset updates (§8).
+
+pub mod estimator;
+pub mod features;
+pub mod incremental;
+pub mod model;
+pub mod snapshot;
+pub mod train;
+
+pub use estimator::{CardNetEstimator, CardinalityEstimator};
+pub use features::{prepare_tensors, TrainTensors};
+pub use model::{CardNetConfig, CardNetModel, EncoderKind};
+pub use train::{train_cardnet, TrainReport, Trainer, TrainerOptions};

@@ -1,0 +1,130 @@
+//! Model persistence: serialize a trained CardNet (architecture + weights +
+//! the extractor's configuration hash) to JSON and load it back.
+//!
+//! JSON keeps snapshots human-inspectable and diff-able; the weight payload
+//! dominates either way and `bytes`-backed compaction is a one-liner on top
+//! (`Snapshot::to_bytes`).
+
+use crate::model::CardNetModel;
+use crate::train::Trainer;
+use bytes_shim::to_compact;
+use cardest_nn::ParamStore;
+use serde::{Deserialize, Serialize};
+
+/// A self-contained trained-model snapshot.
+#[derive(Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    pub model: CardNetModel,
+    pub params: ParamStore,
+    /// Name of the feature extractor this model was trained behind.
+    pub extractor: String,
+}
+
+impl Snapshot {
+    pub const VERSION: u32 = 1;
+
+    pub fn from_trainer(trainer: &Trainer, extractor: &str) -> Snapshot {
+        Snapshot {
+            version: Self::VERSION,
+            model: trainer.model.clone(),
+            params: trainer.store.clone(),
+            extractor: extractor.to_string(),
+        }
+    }
+
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    pub fn from_json(json: &str) -> serde_json::Result<Snapshot> {
+        let snap: Snapshot = serde_json::from_str(json)?;
+        Ok(snap)
+    }
+
+    /// Compact binary form (JSON bytes in a `bytes::Bytes`, ready for
+    /// transport or mmap-style sharing).
+    pub fn to_bytes(&self) -> serde_json::Result<bytes::Bytes> {
+        Ok(to_compact(self.to_json()?))
+    }
+
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let json = self.to_json().map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    pub fn load(path: &std::path::Path) -> std::io::Result<Snapshot> {
+        let json = std::fs::read_to_string(path)?;
+        Snapshot::from_json(&json).map_err(std::io::Error::other)
+    }
+}
+
+mod bytes_shim {
+    pub fn to_compact(json: String) -> bytes::Bytes {
+        bytes::Bytes::from(json.into_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CardNetConfig;
+    use crate::train::{train_cardnet, TrainerOptions};
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+    use cardest_data::Workload;
+    use cardest_fx::build_extractor;
+    use cardest_nn::Matrix;
+
+    #[test]
+    fn snapshot_roundtrip_preserves_predictions() {
+        let ds = hm_imagenet(SynthConfig::new(200, 61));
+        let fx = build_extractor(&ds, 12, 1);
+        let split = Workload::sample_from(&ds, 0.3, 8, 2).split(3);
+        let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+        cfg.phi_hidden = vec![24, 16];
+        cfg.z_dim = 12;
+        cfg.vae_hidden = vec![24];
+        cfg.vae_latent = 6;
+        let opts = TrainerOptions { epochs: 4, vae_epochs: 2, ..TrainerOptions::quick() };
+        let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+
+        let snap = Snapshot::from_trainer(&trainer, fx.name());
+        let json = snap.to_json().expect("serialize");
+        let back = Snapshot::from_json(&json).expect("deserialize");
+        assert_eq!(back.version, Snapshot::VERSION);
+        assert_eq!(back.extractor, fx.name());
+
+        // Predictions through the restored weights must match exactly.
+        let bits = fx.extract(&ds.records[0]);
+        let x = Matrix::from_vec(1, bits.len(), bits.to_f32());
+        for tau in [0usize, 4, 8] {
+            let a = trainer.model.infer_sum(&trainer.store, &x, tau);
+            let b = back.model.infer_sum(&back.params, &x, tau);
+            assert!((a - b).abs() < 1e-9, "τ={tau}: {a} vs {b}");
+        }
+        assert!(snap.to_bytes().expect("bytes").len() > 100);
+    }
+
+    #[test]
+    fn snapshot_file_roundtrip() {
+        let ds = hm_imagenet(SynthConfig::new(100, 62));
+        let fx = build_extractor(&ds, 8, 1);
+        let split = Workload::sample_from(&ds, 0.3, 6, 2).split(3);
+        let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+        cfg.phi_hidden = vec![16];
+        cfg.z_dim = 8;
+        cfg = cfg.without_vae();
+        let opts = TrainerOptions { epochs: 2, vae_epochs: 0, ..TrainerOptions::quick() };
+        let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+        let snap = Snapshot::from_trainer(&trainer, fx.name());
+
+        let dir = std::env::temp_dir().join("cardest_snapshot_test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("model.json");
+        snap.save(&path).expect("save");
+        let loaded = Snapshot::load(&path).expect("load");
+        assert_eq!(loaded.params.num_scalars(), trainer.store.num_scalars());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,270 @@
+//! Bit-packed binary vectors with fast Hamming distance.
+//!
+//! This is the common interchange type of the whole system: feature
+//! extraction maps every record into a [`BitVec`], and the regression model
+//! consumes it (§3.1 of the paper poses `x ∈ {0,1}^d` as the interface
+//! between the two components).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width binary vector packed into `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        for i in 0..self.len.min(64) {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > 64 {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BitVec {
+    /// All-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        BitVec { len, words: vec![0; len.div_ceil(64)] }
+    }
+
+    /// Builds from an iterator of bools, in index order.
+    pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
+        let mut words = Vec::new();
+        let mut len = 0;
+        for bit in bits {
+            if len % 64 == 0 {
+                words.push(0u64);
+            }
+            if bit {
+                *words.last_mut().expect("word pushed above") |= 1u64 << (len % 64);
+            }
+            len += 1;
+        }
+        BitVec { len, words }
+    }
+
+    /// Builds a `len`-bit vector from the low bits of `value` (bit 0 first).
+    pub fn from_u64(value: u64, len: usize) -> Self {
+        assert!(len <= 64);
+        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        BitVec { len, words: vec![value & mask] }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Raw words (low bit = index 0 of each word).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let (w, b) = (i / 64, i % 64);
+        if v {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Flips bit `i`.
+    pub fn flip(&mut self, i: usize) {
+        let (w, b) = (i / 64, i % 64);
+        self.words[w] ^= 1u64 << b;
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance via XOR + popcount — the hot path of the whole
+    /// system (both the oracle and feature space live here).
+    #[inline]
+    pub fn hamming(&self, other: &BitVec) -> u32 {
+        debug_assert_eq!(self.len, other.len, "hamming on unequal widths");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Hamming distance, but stops early once it exceeds `bound`.
+    /// Selection queries with a threshold use this to skip hopeless records.
+    #[inline]
+    pub fn hamming_within(&self, other: &BitVec, bound: u32) -> Option<u32> {
+        let mut total = 0;
+        for (a, b) in self.words.iter().zip(&other.words) {
+            total += (a ^ b).count_ones();
+            if total > bound {
+                return None;
+            }
+        }
+        Some(total)
+    }
+
+    /// Extracts bits `[start, start+width)` as a `u64` (width ≤ 64). Used by
+    /// the GPH part-split in the query-optimizer case study.
+    pub fn extract_word(&self, start: usize, width: usize) -> u64 {
+        assert!(width <= 64 && start + width <= self.len);
+        let mut out = 0u64;
+        for i in 0..width {
+            if self.get(start + i) {
+                out |= 1u64 << i;
+            }
+        }
+        out
+    }
+
+    /// Expands into an `f32` slice (`0.0` / `1.0`), the NN input encoding.
+    pub fn write_f32(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len);
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = f32::from(u8::from(self.get(i)));
+        }
+    }
+
+    /// Convenience `Vec<f32>` form of [`BitVec::write_f32`].
+    pub fn to_f32(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len];
+        self.write_f32(&mut out);
+        out
+    }
+
+    /// Concatenates two bit vectors.
+    pub fn concat(&self, other: &BitVec) -> BitVec {
+        let mut out = BitVec::zeros(self.len + other.len);
+        for i in 0..self.len {
+            if self.get(i) {
+                out.set(i, true);
+            }
+        }
+        for i in 0..other.len {
+            if other.get(i) {
+                out.set(self.len + i, true);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_bits_roundtrip() {
+        let bits = [true, false, true, true, false, false, true];
+        let bv = BitVec::from_bits(bits.iter().copied());
+        assert_eq!(bv.len(), 7);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(bv.get(i), b);
+        }
+        assert_eq!(bv.count_ones(), 4);
+    }
+
+    #[test]
+    fn hamming_simple() {
+        let a = BitVec::from_u64(0b1010, 4);
+        let b = BitVec::from_u64(0b0110, 4);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn hamming_spans_word_boundary() {
+        let mut a = BitVec::zeros(130);
+        let mut b = BitVec::zeros(130);
+        a.set(0, true);
+        a.set(64, true);
+        a.set(129, true);
+        b.set(129, true);
+        assert_eq!(a.hamming(&b), 2);
+    }
+
+    #[test]
+    fn hamming_within_early_exit() {
+        let a = BitVec::from_u64(0xFF, 8);
+        let b = BitVec::from_u64(0x00, 8);
+        assert_eq!(a.hamming_within(&b, 7), None);
+        assert_eq!(a.hamming_within(&b, 8), Some(8));
+    }
+
+    #[test]
+    fn extract_word_matches_bits() {
+        let bv = BitVec::from_bits([true, false, true, true, false, true].iter().copied());
+        assert_eq!(bv.extract_word(0, 3), 0b101);
+        assert_eq!(bv.extract_word(2, 4), 0b1011);
+    }
+
+    #[test]
+    fn to_f32_encodes_bits() {
+        let bv = BitVec::from_u64(0b101, 3);
+        assert_eq!(bv.to_f32(), vec![1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn concat_preserves_both_parts() {
+        let a = BitVec::from_u64(0b11, 2);
+        let b = BitVec::from_u64(0b01, 3);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.to_f32(), vec![1.0, 1.0, 1.0, 0.0, 0.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn hamming_is_a_metric(a in prop::collection::vec(any::<bool>(), 1..200),
+                               b_flips in prop::collection::vec(any::<prop::sample::Index>(), 0..16),
+                               c_flips in prop::collection::vec(any::<prop::sample::Index>(), 0..16)) {
+            let av = BitVec::from_bits(a.iter().copied());
+            let mut bv = av.clone();
+            for f in &b_flips { bv.flip(f.index(a.len())); }
+            let mut cv = av.clone();
+            for f in &c_flips { cv.flip(f.index(a.len())); }
+
+            // symmetry
+            prop_assert_eq!(av.hamming(&bv), bv.hamming(&av));
+            // identity
+            prop_assert_eq!(av.hamming(&av), 0);
+            // triangle inequality
+            prop_assert!(av.hamming(&cv) <= av.hamming(&bv) + bv.hamming(&cv));
+        }
+
+        #[test]
+        fn hamming_within_agrees_with_hamming(bits_a in prop::collection::vec(any::<bool>(), 1..128),
+                                              bits_b in prop::collection::vec(any::<bool>(), 1..128),
+                                              bound in 0u32..64) {
+            let n = bits_a.len().min(bits_b.len());
+            let a = BitVec::from_bits(bits_a[..n].iter().copied());
+            let b = BitVec::from_bits(bits_b[..n].iter().copied());
+            let exact = a.hamming(&b);
+            match a.hamming_within(&b, bound) {
+                Some(d) => { prop_assert_eq!(d, exact); prop_assert!(d <= bound); }
+                None => prop_assert!(exact > bound),
+            }
+        }
+    }
+}

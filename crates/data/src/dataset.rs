@@ -1,0 +1,119 @@
+//! A dataset `D` plus its distance function and supported threshold range
+//! (`θ_max`, §2.1) — the unit every estimator is built against.
+
+use crate::dist::{Distance, DistanceKind};
+use crate::record::Record;
+
+/// A named collection of records with a distance function and `θ_max`.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub name: String,
+    pub kind: DistanceKind,
+    pub records: Vec<Record>,
+    /// The maximum threshold the estimators must support.
+    pub theta_max: f64,
+}
+
+impl Dataset {
+    pub fn new(
+        name: impl Into<String>,
+        kind: DistanceKind,
+        records: Vec<Record>,
+        theta_max: f64,
+    ) -> Self {
+        Dataset { name: name.into(), kind, records, theta_max }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn distance(&self) -> Distance {
+        Distance::new(self.kind)
+    }
+
+    /// Exact cardinality `|{ y ∈ D : f(x, y) ≤ θ }|` by linear scan — the
+    /// reference the indexes and estimators are validated against.
+    pub fn cardinality_scan(&self, query: &Record, theta: f64) -> usize {
+        let d = self.distance();
+        self.records
+            .iter()
+            .filter(|y| d.eval_within(query, y, theta).is_some())
+            .count()
+    }
+
+    /// Cardinality at every integer distance `0..=max_d` (a histogram of
+    /// distances after flooring). Used to derive per-distance training
+    /// targets (`c_i` of §3.3) in one pass over the data.
+    pub fn distance_histogram(&self, query: &Record, max_d: f64, buckets: usize) -> Vec<usize> {
+        let d = self.distance();
+        let mut hist = vec![0usize; buckets + 1];
+        for y in &self.records {
+            if let Some(dist) = d.eval_within(query, y, max_d) {
+                let b = if max_d > 0.0 {
+                    ((dist / max_d) * buckets as f64).floor() as usize
+                } else {
+                    0
+                };
+                hist[b.min(buckets)] += 1;
+            }
+        }
+        hist
+    }
+
+    /// Maximum record width in the dataset (string length, set size, dims).
+    pub fn max_width(&self) -> usize {
+        self.records.iter().map(Record::width).max().unwrap_or(0)
+    }
+
+    /// Average record width.
+    pub fn avg_width(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().map(Record::width).sum::<usize>() as f64 / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+
+    fn tiny_hamming() -> Dataset {
+        let records = (0u64..16).map(|v| Record::Bits(BitVec::from_u64(v, 4))).collect();
+        Dataset::new("tiny", DistanceKind::Hamming, records, 4.0)
+    }
+
+    #[test]
+    fn cardinality_scan_counts_within_threshold() {
+        let ds = tiny_hamming();
+        let q = Record::Bits(BitVec::from_u64(0, 4));
+        // Hamming balls around 0000 in {0,1}^4: C(4,0..k) cumulative.
+        assert_eq!(ds.cardinality_scan(&q, 0.0), 1);
+        assert_eq!(ds.cardinality_scan(&q, 1.0), 5);
+        assert_eq!(ds.cardinality_scan(&q, 2.0), 11);
+        assert_eq!(ds.cardinality_scan(&q, 4.0), 16);
+    }
+
+    #[test]
+    fn histogram_sums_to_ball_size() {
+        let ds = tiny_hamming();
+        let q = Record::Bits(BitVec::from_u64(0, 4));
+        let hist = ds.distance_histogram(&q, 4.0, 4);
+        assert_eq!(hist.iter().sum::<usize>(), 16);
+        assert_eq!(hist[0], 1); // distance 0
+        assert_eq!(hist[1], 4); // distance 1
+    }
+
+    #[test]
+    fn widths_reported() {
+        let ds = tiny_hamming();
+        assert_eq!(ds.max_width(), 4);
+        assert_eq!(ds.avg_width(), 4.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The four distance functions of the paper's evaluation (§9.1.1):
+//! Hamming, Levenshtein edit distance, Jaccard distance, and Euclidean
+//! distance — each with a threshold-bounded fast path used by the exact
+//! selection algorithms.
+
+use crate::record::Record;
+use serde::{Deserialize, Serialize};
+
+/// Which distance function a dataset uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistanceKind {
+    /// Hamming distance on binary vectors (integer-valued).
+    Hamming,
+    /// Levenshtein edit distance on strings (integer-valued).
+    Edit,
+    /// Jaccard *distance* `1 − |x∩y|/|x∪y|` on sets (real-valued in [0,1]).
+    Jaccard,
+    /// Euclidean (L2) distance on real vectors.
+    Euclidean,
+}
+
+impl DistanceKind {
+    /// True if the function only takes integer values.
+    pub fn is_integer_valued(self) -> bool {
+        matches!(self, DistanceKind::Hamming | DistanceKind::Edit)
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            DistanceKind::Hamming => "HM",
+            DistanceKind::Edit => "ED",
+            DistanceKind::Jaccard => "JC",
+            DistanceKind::Euclidean => "EU",
+        }
+    }
+}
+
+/// A distance function `f : O × O → ℝ` (§2.1).
+#[derive(Clone, Copy, Debug)]
+pub struct Distance {
+    pub kind: DistanceKind,
+}
+
+impl Distance {
+    pub fn new(kind: DistanceKind) -> Self {
+        Distance { kind }
+    }
+
+    /// Evaluates the distance; panics if the record types do not match the
+    /// kind (a programming error, not a data error).
+    pub fn eval(&self, x: &Record, y: &Record) -> f64 {
+        match self.kind {
+            DistanceKind::Hamming => f64::from(x.as_bits().hamming(y.as_bits())),
+            DistanceKind::Edit => levenshtein(x.as_str(), y.as_str()) as f64,
+            DistanceKind::Jaccard => jaccard_distance(x.as_set(), y.as_set()),
+            DistanceKind::Euclidean => euclidean(x.as_vec(), y.as_vec()),
+        }
+    }
+
+    /// `Some(d)` iff `d = f(x, y) ≤ θ`; may exit early otherwise.
+    pub fn eval_within(&self, x: &Record, y: &Record, theta: f64) -> Option<f64> {
+        match self.kind {
+            DistanceKind::Hamming => x
+                .as_bits()
+                .hamming_within(y.as_bits(), theta.floor() as u32)
+                .map(f64::from),
+            DistanceKind::Edit => {
+                levenshtein_within(x.as_str(), y.as_str(), theta.floor() as usize).map(|d| d as f64)
+            }
+            DistanceKind::Jaccard => {
+                let d = jaccard_distance(x.as_set(), y.as_set());
+                (d <= theta).then_some(d)
+            }
+            DistanceKind::Euclidean => euclidean_within(x.as_vec(), y.as_vec(), theta),
+        }
+    }
+}
+
+/// Full Levenshtein distance with the classic two-row DP.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Banded (Ukkonen) Levenshtein: `Some(d)` iff `d ≤ k`. Runs in `O(k·|a|)`.
+pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
+    let (a, b) = (a.as_bytes(), b.as_bytes());
+    let (n, m) = (a.len(), b.len());
+    if n.abs_diff(m) > k {
+        return None; // length filter
+    }
+    if n == 0 {
+        return (m <= k).then_some(m);
+    }
+    if m == 0 {
+        return (n <= k).then_some(n);
+    }
+    const BIG: usize = usize::MAX / 2;
+    // DP over a band of width 2k+1 around the diagonal.
+    let mut prev = vec![BIG; m + 1];
+    let mut cur = vec![BIG; m + 1];
+    for (j, p) in prev.iter_mut().enumerate().take(k.min(m) + 1) {
+        *p = j;
+    }
+    for i in 1..=n {
+        let lo = i.saturating_sub(k).max(1);
+        let hi = (i + k).min(m);
+        if lo > hi {
+            return None;
+        }
+        cur[lo - 1] = if lo == 1 { i } else { BIG };
+        let mut row_min = cur[lo - 1];
+        for j in lo..=hi {
+            let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
+            let del = if prev[j] == BIG { BIG } else { prev[j] + 1 };
+            let ins = if cur[j - 1] == BIG { BIG } else { cur[j - 1] + 1 };
+            cur[j] = sub.min(del).min(ins);
+            row_min = row_min.min(cur[j]);
+        }
+        if hi < m {
+            cur[hi + 1] = BIG; // seal the band edge for the next row
+        }
+        if row_min > k {
+            return None; // the whole band exceeded k; distance must too
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    (prev[m] <= k).then_some(prev[m])
+}
+
+/// Jaccard *distance* on sorted, deduplicated slices.
+pub fn jaccard_distance(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    1.0 - inter as f64 / union as f64
+}
+
+/// Size of the intersection of two sorted slices (merge scan).
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut count) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Euclidean distance.
+pub fn euclidean(a: &[f32], b: &[f32]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = f64::from(x) - f64::from(y);
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// Euclidean distance with early exit once the partial sum exceeds `theta²`.
+pub fn euclidean_within(a: &[f32], b: &[f32], theta: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let bound = theta * theta;
+    let mut acc = 0.0f64;
+    // Check the bound every 16 dims: often enough to prune, rarely enough to
+    // keep the inner loop vectorizable.
+    for (ca, cb) in a.chunks(16).zip(b.chunks(16)) {
+        for (&x, &y) in ca.iter().zip(cb) {
+            let d = f64::from(x) - f64::from(y);
+            acc += d * d;
+        }
+        if acc > bound {
+            return None;
+        }
+    }
+    (acc <= bound).then(|| acc.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+    }
+
+    #[test]
+    fn banded_levenshtein_agrees_when_within() {
+        let cases = [("kitten", "sitting"), ("abcdef", "azced"), ("a", "b"), ("", "")];
+        for (a, b) in cases {
+            let full = levenshtein(a, b);
+            for k in 0..=8 {
+                let banded = levenshtein_within(a, b, k);
+                if full <= k {
+                    assert_eq!(banded, Some(full), "a={a}, b={b}, k={k}");
+                } else {
+                    assert_eq!(banded, None, "a={a}, b={b}, k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        assert!((jaccard_distance(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard_distance(&[1, 2], &[1, 2]), 0.0);
+        assert_eq!(jaccard_distance(&[1], &[2]), 1.0);
+        assert_eq!(jaccard_distance(&[], &[]), 0.0);
+        assert_eq!(jaccard_distance(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn euclidean_known_values() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-9);
+        assert_eq!(euclidean(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn euclidean_within_prunes() {
+        let a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        b[0] = 10.0;
+        assert_eq!(euclidean_within(&a, &b, 5.0), None);
+        assert!(euclidean_within(&a, &b, 10.0).is_some());
+    }
+
+    #[test]
+    fn distance_dispatch_matches_kernels() {
+        let d = Distance::new(DistanceKind::Hamming);
+        let x = Record::Bits(BitVec::from_u64(0b1100, 4));
+        let y = Record::Bits(BitVec::from_u64(0b1010, 4));
+        assert_eq!(d.eval(&x, &y), 2.0);
+        assert_eq!(d.eval_within(&x, &y, 1.0), None);
+        assert_eq!(d.eval_within(&x, &y, 2.0), Some(2.0));
+
+        let d = Distance::new(DistanceKind::Jaccard);
+        let x = Record::set_from(vec![1, 2, 3]);
+        let y = Record::set_from(vec![2, 3, 4]);
+        assert_eq!(d.eval(&x, &y), 0.5);
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_is_a_metric(a in "[a-c]{0,12}", b in "[a-c]{0,12}", c in "[a-c]{0,12}") {
+            let ab = levenshtein(&a, &b);
+            let ba = levenshtein(&b, &a);
+            prop_assert_eq!(ab, ba);
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+            prop_assert!(levenshtein(&a, &c) <= ab + levenshtein(&b, &c));
+            // bounded by the longer string
+            prop_assert!(ab <= a.len().max(b.len()));
+            prop_assert!(ab >= a.len().abs_diff(b.len()));
+        }
+
+        #[test]
+        fn banded_matches_full_dp(a in "[a-d]{0,20}", b in "[a-d]{0,20}", k in 0usize..12) {
+            let full = levenshtein(&a, &b);
+            match levenshtein_within(&a, &b, k) {
+                Some(d) => prop_assert_eq!(d, full),
+                None => prop_assert!(full > k),
+            }
+        }
+
+        #[test]
+        fn jaccard_in_unit_interval_and_symmetric(
+            a in prop::collection::btree_set(0u32..50, 0..20),
+            b in prop::collection::btree_set(0u32..50, 0..20),
+        ) {
+            let av: Vec<u32> = a.into_iter().collect();
+            let bv: Vec<u32> = b.into_iter().collect();
+            let d = jaccard_distance(&av, &bv);
+            prop_assert!((0.0..=1.0).contains(&d));
+            prop_assert_eq!(d, jaccard_distance(&bv, &av));
+            prop_assert_eq!(jaccard_distance(&av, &av), 0.0);
+        }
+
+        #[test]
+        fn euclidean_within_agrees(a in prop::collection::vec(-10.0f32..10.0, 1..40),
+                                   b_offsets in prop::collection::vec(-10.0f32..10.0, 1..40),
+                                   theta in 0.0f64..30.0) {
+            let n = a.len().min(b_offsets.len());
+            let b: Vec<f32> = a[..n].iter().zip(&b_offsets[..n]).map(|(x, o)| x + o).collect();
+            let exact = euclidean(&a[..n], &b);
+            match euclidean_within(&a[..n], &b, theta) {
+                Some(d) => { prop_assert!((d - exact).abs() < 1e-6); prop_assert!(d <= theta); }
+                None => prop_assert!(exact > theta),
+            }
+        }
+    }
+}

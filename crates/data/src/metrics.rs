@@ -1,0 +1,143 @@
+//! Accuracy metrics of §2.1 and §9.2: MSE, MAPE, and the mean q-error.
+
+/// Mean squared error `1/n Σ (c_i − ĉ_i)²`.
+pub fn mse(actual: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(actual.len(), estimated.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual
+        .iter()
+        .zip(estimated)
+        .map(|(&c, &e)| (c - e) * (c - e))
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Mean absolute percentage error `1/n Σ |c_i − ĉ_i| / c_i`, in percent.
+///
+/// Zero-cardinality queries are evaluated against `max(c, 1)` — the common
+/// convention, since the paper's workloads always include the query itself
+/// (queries are sampled from the dataset, so `c ≥ 1`).
+pub fn mape(actual: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(actual.len(), estimated.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    100.0
+        * actual
+            .iter()
+            .zip(estimated)
+            .map(|(&c, &e)| (c - e).abs() / c.max(1.0))
+            .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Mean q-error `1/n Σ max(c/ĉ, ĉ/c)` (§9.2), the symmetric version of MAPE.
+/// Both sides are clamped to ≥ 1 so zero estimates stay finite.
+pub fn mean_q_error(actual: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(actual.len(), estimated.len());
+    if actual.is_empty() {
+        return 1.0;
+    }
+    actual
+        .iter()
+        .zip(estimated)
+        .map(|(&c, &e)| {
+            let c = c.max(1.0);
+            let e = e.max(1.0);
+            (c / e).max(e / c)
+        })
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// Mean squared logarithmic error — the training/validation criterion (§6.2).
+pub fn msle(actual: &[f64], estimated: &[f64]) -> f64 {
+    assert_eq!(actual.len(), estimated.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    actual
+        .iter()
+        .zip(estimated)
+        .map(|(&c, &e)| {
+            let d = (1.0 + c.max(0.0)).ln() - (1.0 + e.max(0.0)).ln();
+            d * d
+        })
+        .sum::<f64>()
+        / actual.len() as f64
+}
+
+/// All four metrics at once — what every experiment table reports.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Accuracy {
+    pub mse: f64,
+    pub mape: f64,
+    pub mean_q_error: f64,
+    pub msle: f64,
+}
+
+impl Accuracy {
+    pub fn compute(actual: &[f64], estimated: &[f64]) -> Accuracy {
+        Accuracy {
+            mse: mse(actual, estimated),
+            mape: mape(actual, estimated),
+            mean_q_error: mean_q_error(actual, estimated),
+            msle: msle(actual, estimated),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_estimates_have_zero_error() {
+        let c = [1.0, 10.0, 100.0];
+        assert_eq!(mse(&c, &c), 0.0);
+        assert_eq!(mape(&c, &c), 0.0);
+        assert_eq!(mean_q_error(&c, &c), 1.0);
+        assert_eq!(msle(&c, &c), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let actual = [10.0, 20.0];
+        let est = [5.0, 40.0];
+        assert_eq!(mse(&actual, &est), (25.0 + 400.0) / 2.0);
+        assert!((mape(&actual, &est) - 75.0).abs() < 1e-9); // (50% + 100%) / 2
+        assert_eq!(mean_q_error(&actual, &est), 2.0); // both off by 2x
+    }
+
+    #[test]
+    fn q_error_is_symmetric_between_over_and_under() {
+        assert_eq!(mean_q_error(&[10.0], &[20.0]), mean_q_error(&[10.0], &[5.0]));
+    }
+
+    #[test]
+    fn zero_actual_is_safe() {
+        assert!(mape(&[0.0], &[3.0]).is_finite());
+        assert!(mean_q_error(&[0.0], &[0.0]).is_finite());
+    }
+
+    proptest! {
+        #[test]
+        fn q_error_at_least_one(actual in prop::collection::vec(0.0f64..1e6, 1..50),
+                                est in prop::collection::vec(0.0f64..1e6, 1..50)) {
+            let n = actual.len().min(est.len());
+            let q = mean_q_error(&actual[..n], &est[..n]);
+            prop_assert!(q >= 1.0 - 1e-12);
+        }
+
+        #[test]
+        fn mse_is_nonnegative(actual in prop::collection::vec(0.0f64..1e6, 1..50),
+                              est in prop::collection::vec(0.0f64..1e6, 1..50)) {
+            let n = actual.len().min(est.len());
+            prop_assert!(mse(&actual[..n], &est[..n]) >= 0.0);
+            prop_assert!(msle(&actual[..n], &est[..n]) >= 0.0);
+        }
+    }
+}

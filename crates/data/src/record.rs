@@ -1,0 +1,108 @@
+//! Record types: the universe `O` of the problem definition (§2.1).
+
+use crate::bitvec::BitVec;
+use serde::{Deserialize, Serialize};
+
+/// A record from one of the four data domains the paper evaluates.
+///
+/// Set elements are kept sorted and deduplicated, which the Jaccard kernels
+/// rely on (merge-style intersection).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Record {
+    /// A binary vector (Hamming distance domain).
+    Bits(BitVec),
+    /// A string (edit-distance domain); bytes, ASCII in our generators.
+    Str(String),
+    /// A sorted set of token ids (Jaccard domain).
+    Set(Vec<u32>),
+    /// A real-valued vector (Euclidean domain).
+    Vec(Vec<f32>),
+}
+
+impl Record {
+    /// Normalizes a token list into the sorted/deduped set representation.
+    pub fn set_from(mut tokens: Vec<u32>) -> Record {
+        tokens.sort_unstable();
+        tokens.dedup();
+        Record::Set(tokens)
+    }
+
+    pub fn as_bits(&self) -> &BitVec {
+        match self {
+            Record::Bits(b) => b,
+            other => panic!("expected Bits record, got {}", other.kind_name()),
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        match self {
+            Record::Str(s) => s,
+            other => panic!("expected Str record, got {}", other.kind_name()),
+        }
+    }
+
+    pub fn as_set(&self) -> &[u32] {
+        match self {
+            Record::Set(s) => s,
+            other => panic!("expected Set record, got {}", other.kind_name()),
+        }
+    }
+
+    pub fn as_vec(&self) -> &[f32] {
+        match self {
+            Record::Vec(v) => v,
+            other => panic!("expected Vec record, got {}", other.kind_name()),
+        }
+    }
+
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Record::Bits(_) => "Bits",
+            Record::Str(_) => "Str",
+            Record::Set(_) => "Set",
+            Record::Vec(_) => "Vec",
+        }
+    }
+
+    /// A crude size measure: bits, chars, elements, or dimensions.
+    pub fn width(&self) -> usize {
+        match self {
+            Record::Bits(b) => b.len(),
+            Record::Str(s) => s.len(),
+            Record::Set(s) => s.len(),
+            Record::Vec(v) => v.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_from_sorts_and_dedups() {
+        let r = Record::set_from(vec![5, 1, 5, 3]);
+        assert_eq!(r.as_set(), &[1, 3, 5]);
+    }
+
+    #[test]
+    fn accessors_return_inner_values() {
+        assert_eq!(Record::Str("ab".into()).as_str(), "ab");
+        assert_eq!(Record::Vec(vec![1.0]).as_vec(), &[1.0]);
+        assert_eq!(Record::Bits(BitVec::from_u64(0b1, 1)).as_bits().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Bits")]
+    fn wrong_accessor_panics_with_kind() {
+        Record::Str("x".into()).as_bits();
+    }
+
+    #[test]
+    fn width_reflects_domain_size() {
+        assert_eq!(Record::Str("abc".into()).width(), 3);
+        assert_eq!(Record::Set(vec![1, 2]).width(), 2);
+        assert_eq!(Record::Vec(vec![0.0; 7]).width(), 7);
+        assert_eq!(Record::Bits(BitVec::zeros(9)).width(), 9);
+    }
+}

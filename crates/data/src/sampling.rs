@@ -1,0 +1,324 @@
+//! Workload-construction policies (§9.12) and out-of-dataset query
+//! generation (§9.10).
+//!
+//! The paper studies three sampling policies — *single uniform sample*,
+//! *multiple uniform samples*, and *single skewed sample* (uniform over
+//! k-medoids clusters, then uniform within the chosen cluster) — plus
+//! adversarial out-of-dataset queries selected as the 2,000 random records
+//! farthest from the cluster medoids.
+
+use crate::dataset::Dataset;
+use crate::dist::DistanceKind;
+use crate::record::Record;
+use crate::synth::apply_typos;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A k-medoids-style clustering: greedy k-center seeding (farthest-first
+/// traversal) followed by assignment. Exact PAM is quadratic per swap and
+/// unnecessary here — the clustering only drives sampling skew.
+pub struct Clustering {
+    /// Indices of the medoid records in the dataset.
+    pub medoids: Vec<usize>,
+    /// `assignment[i]` = cluster of record `i`.
+    pub assignment: Vec<usize>,
+}
+
+impl Clustering {
+    pub fn cluster(dataset: &Dataset, k: usize, seed: u64) -> Clustering {
+        assert!(k >= 1 && k <= dataset.len());
+        let d = dataset.distance();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut medoids = vec![rng.gen_range(0..dataset.len())];
+        let mut dist_to_nearest: Vec<f64> = dataset
+            .records
+            .iter()
+            .map(|r| d.eval(&dataset.records[medoids[0]], r))
+            .collect();
+        while medoids.len() < k {
+            // Farthest-first: the next medoid is the record farthest from all
+            // current medoids.
+            let (next, _) = dist_to_nearest
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite distances"))
+                .expect("non-empty dataset");
+            medoids.push(next);
+            for (i, r) in dataset.records.iter().enumerate() {
+                let nd = d.eval(&dataset.records[next], r);
+                if nd < dist_to_nearest[i] {
+                    dist_to_nearest[i] = nd;
+                }
+            }
+        }
+        let assignment = dataset
+            .records
+            .iter()
+            .map(|r| {
+                medoids
+                    .iter()
+                    .enumerate()
+                    .map(|(ci, &m)| (ci, d.eval(&dataset.records[m], r)))
+                    .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+                    .map(|(ci, _)| ci)
+                    .expect("at least one medoid")
+            })
+            .collect();
+        Clustering { medoids, assignment }
+    }
+
+    /// Records per cluster, as reported in Table 13.
+    pub fn cluster_sizes(&self, k: usize) -> Vec<usize> {
+        let mut sizes = vec![0usize; k];
+        for &c in &self.assignment {
+            sizes[c] += 1;
+        }
+        sizes
+    }
+}
+
+/// How the query workload is drawn from the dataset (§9.12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingPolicy {
+    /// One uniform sample — the default everywhere else in the paper.
+    SingleUniform,
+    /// The union of `k` independent uniform samples (same total size).
+    MultipleUniform { samples: usize },
+    /// Uniformly pick a cluster, then a record within it: small clusters are
+    /// over-represented, skewing the workload.
+    SingleSkewed { clusters: usize },
+}
+
+/// Draws `n` query records from the dataset under the given policy.
+pub fn draw_queries(
+    dataset: &Dataset,
+    n: usize,
+    policy: SamplingPolicy,
+    seed: u64,
+) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match policy {
+        SamplingPolicy::SingleUniform => {
+            let mut idx: Vec<usize> = (0..dataset.len()).collect();
+            idx.shuffle(&mut rng);
+            idx.truncate(n.min(dataset.len()));
+            idx.into_iter().map(|i| dataset.records[i].clone()).collect()
+        }
+        SamplingPolicy::MultipleUniform { samples } => {
+            let per = n.div_ceil(samples.max(1));
+            let mut out = Vec::with_capacity(n);
+            for s in 0..samples {
+                let mut idx: Vec<usize> = (0..dataset.len()).collect();
+                let mut sub_rng = StdRng::seed_from_u64(seed.wrapping_add(1 + s as u64));
+                idx.shuffle(&mut sub_rng);
+                out.extend(idx.into_iter().take(per).map(|i| dataset.records[i].clone()));
+            }
+            out.truncate(n);
+            out
+        }
+        SamplingPolicy::SingleSkewed { clusters } => {
+            let clustering = Clustering::cluster(dataset, clusters, seed);
+            let mut by_cluster: Vec<Vec<usize>> = vec![Vec::new(); clusters];
+            for (i, &c) in clustering.assignment.iter().enumerate() {
+                by_cluster[c].push(i);
+            }
+            by_cluster.retain(|c| !c.is_empty());
+            (0..n)
+                .map(|_| {
+                    let c = &by_cluster[rng.gen_range(0..by_cluster.len())];
+                    dataset.records[c[rng.gen_range(0..c.len())]].clone()
+                })
+                .collect()
+        }
+    }
+}
+
+/// Generates out-of-dataset queries per §9.10: draw `candidates` random
+/// records of the right domain, reject any that appear in the dataset, and
+/// keep the `keep` with the largest sum of squared distances to the medoids.
+pub fn out_of_dataset_queries(
+    dataset: &Dataset,
+    clustering: &Clustering,
+    candidates: usize,
+    keep: usize,
+    seed: u64,
+) -> Vec<Record> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let d = dataset.distance();
+    let mut pool: Vec<(f64, Record)> = Vec::with_capacity(candidates);
+    while pool.len() < candidates {
+        let q = random_record(dataset, &mut rng);
+        if dataset.records.contains(&q) {
+            continue;
+        }
+        let score: f64 = clustering
+            .medoids
+            .iter()
+            .map(|&m| {
+                let dist = d.eval(&dataset.records[m], &q);
+                dist * dist
+            })
+            .sum();
+        pool.push((score, q));
+    }
+    pool.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite scores"));
+    pool.truncate(keep);
+    pool.into_iter().map(|(_, q)| q).collect()
+}
+
+/// A uniformly random record of the dataset's domain, following the paper's
+/// recipes: uniform bits; a perturbed out-of-pool string; a uniform-length
+/// set over the observed token universe; `q[i] ~ U[-1, 1]` vectors.
+fn random_record(dataset: &Dataset, rng: &mut StdRng) -> Record {
+    match dataset.kind {
+        DistanceKind::Hamming => {
+            let dim = dataset.records[0].as_bits().len();
+            Record::Bits(crate::bitvec::BitVec::from_bits((0..dim).map(|_| rng.gen_bool(0.5))))
+        }
+        DistanceKind::Edit => {
+            // The paper takes names from a disjoint corpus; we synthesize a
+            // string far from the pool by heavy mutation of a random record.
+            let base = dataset.records[rng.gen_range(0..dataset.len())].as_str();
+            Record::Str(apply_typos(rng, base, base.len() / 2 + 3))
+        }
+        DistanceKind::Jaccard => {
+            let universe: u32 = dataset
+                .records
+                .iter()
+                .flat_map(|r| r.as_set().iter().copied())
+                .max()
+                .unwrap_or(1)
+                + 1;
+            let (lmin, lmax) = dataset
+                .records
+                .iter()
+                .map(|r| r.as_set().len())
+                .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+            let len = rng.gen_range(lmin.max(1)..=lmax.max(1));
+            let tokens: Vec<u32> = (0..len).map(|_| rng.gen_range(0..universe)).collect();
+            Record::set_from(tokens)
+        }
+        DistanceKind::Euclidean => {
+            let dim = dataset.records[0].as_vec().len();
+            Record::Vec((0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        }
+    }
+}
+
+/// Long-tail grouping (§9.9): buckets query indices by actual cardinality,
+/// one bucket per `group_width`, with everything above `groups·width` in the
+/// last bucket. Returns `group -> query indices`.
+pub fn cardinality_groups(
+    cards: &[f64],
+    group_width: f64,
+    groups: usize,
+) -> Vec<Vec<usize>> {
+    let mut out = vec![Vec::new(); groups];
+    for (i, &c) in cards.iter().enumerate() {
+        let g = ((c / group_width).floor() as usize).min(groups - 1);
+        out[g].push(i);
+    }
+    out
+}
+
+/// Zipf re-export convenience used by tests in other crates.
+pub fn zipf(n: usize, exponent: f64) -> Zipf {
+    Zipf::new(n, exponent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{hm_imagenet, SynthConfig};
+
+    fn ds() -> Dataset {
+        hm_imagenet(SynthConfig::new(300, 11))
+    }
+
+    #[test]
+    fn clustering_assigns_every_record() {
+        let ds = ds();
+        let cl = Clustering::cluster(&ds, 4, 1);
+        assert_eq!(cl.assignment.len(), ds.len());
+        assert_eq!(cl.medoids.len(), 4);
+        let sizes = cl.cluster_sizes(4);
+        assert_eq!(sizes.iter().sum::<usize>(), ds.len());
+        // Medoids belong to their own cluster.
+        for (ci, &m) in cl.medoids.iter().enumerate() {
+            assert_eq!(cl.assignment[m], ci, "medoid {m} not in its own cluster");
+        }
+    }
+
+    #[test]
+    fn policies_draw_requested_counts() {
+        let ds = ds();
+        for policy in [
+            SamplingPolicy::SingleUniform,
+            SamplingPolicy::MultipleUniform { samples: 5 },
+            SamplingPolicy::SingleSkewed { clusters: 4 },
+        ] {
+            let qs = draw_queries(&ds, 50, policy, 7);
+            assert_eq!(qs.len(), 50, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn skewed_sampling_overweights_small_clusters() {
+        let ds = ds();
+        let k = 4;
+        let cl = Clustering::cluster(&ds, k, 3);
+        let sizes = cl.cluster_sizes(k);
+        let smallest = sizes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .expect("clusters exist");
+        // Under skewed sampling every cluster is hit ~uniformly, so the
+        // smallest cluster's share of queries should exceed its share of data.
+        let qs = draw_queries(&ds, 400, SamplingPolicy::SingleSkewed { clusters: k }, 5);
+        let d = ds.distance();
+        let mut hits = 0usize;
+        for q in &qs {
+            let best = cl
+                .medoids
+                .iter()
+                .enumerate()
+                .map(|(ci, &m)| (ci, d.eval(&ds.records[m], q)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .map(|(ci, _)| ci)
+                .expect("medoids");
+            if best == smallest {
+                hits += 1;
+            }
+        }
+        let query_share = hits as f64 / 400.0;
+        let data_share = sizes[smallest] as f64 / ds.len() as f64;
+        assert!(
+            query_share > data_share,
+            "skew missing: query share {query_share:.3} <= data share {data_share:.3}"
+        );
+    }
+
+    #[test]
+    fn ood_queries_are_not_dataset_members() {
+        let ds = ds();
+        let cl = Clustering::cluster(&ds, 3, 2);
+        let qs = out_of_dataset_queries(&ds, &cl, 40, 10, 13);
+        assert_eq!(qs.len(), 10);
+        for q in &qs {
+            assert!(!ds.records.contains(q));
+        }
+    }
+
+    #[test]
+    fn cardinality_groups_partition_queries() {
+        let cards = [0.5, 1.2, 3.7, 10.0];
+        let groups = cardinality_groups(&cards, 1.0, 3);
+        assert_eq!(groups[0], vec![0]);
+        assert_eq!(groups[1], vec![1]);
+        assert_eq!(groups[2], vec![2, 3]); // overflow lands in last bucket
+    }
+}

@@ -1,0 +1,425 @@
+//! Seeded synthetic corpora standing in for the paper's datasets (Table 2).
+//!
+//! Every generator preserves the structural property that makes its paper
+//! counterpart interesting for cardinality estimation (DESIGN.md §2.5):
+//! clustered binary codes yield the heavy-tailed cardinality curves of
+//! Figure 1; name-like strings produce many near-duplicates; baskets have
+//! Zipfian tokens; embeddings live in a Gaussian mixture on the unit sphere.
+//! Sizes are configurable so `quick` experiment runs finish in seconds.
+
+use crate::bitvec::BitVec;
+use crate::dataset::Dataset;
+use crate::dist::DistanceKind;
+use crate::record::Record;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One standard-normal sample (Box–Muller; mirrors `cardest_nn::rng::normal`
+/// without a cross-crate dependency).
+fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Parameters shared by all generators.
+#[derive(Clone, Copy, Debug)]
+pub struct SynthConfig {
+    pub n_records: usize,
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    pub fn new(n_records: usize, seed: u64) -> Self {
+        SynthConfig { n_records, seed }
+    }
+}
+
+/// `HM-ImageNet` stand-in: 64-bit learned-hash-style codes.
+///
+/// HashNet codes cluster by image class; we mimic that with `k` centroids and
+/// independent per-bit flip noise, which reproduces the "flat then surging"
+/// cardinality curves of Figure 1(a).
+pub fn hm_imagenet(cfg: SynthConfig) -> Dataset {
+    clustered_bits("HM-ImageNet", cfg, 64, 24, 0.08, 20.0)
+}
+
+/// `HM-PubChem` stand-in: longer, sparse fingerprint-like codes. Real
+/// fingerprints are sparse with correlated substructure bits; we use sparse
+/// cluster centroids plus asymmetric flip noise that keeps density low.
+pub fn hm_pubchem(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let dim = 192;
+    let k = 12;
+    let centroids: Vec<BitVec> = (0..k)
+        .map(|_| BitVec::from_bits((0..dim).map(|_| rng.gen_bool(0.12))))
+        .collect();
+    let records = (0..cfg.n_records)
+        .map(|_| {
+            let c = &centroids[rng.gen_range(0..k)];
+            let mut bits = c.clone();
+            for i in 0..dim {
+                // Sparse data: bits turn on rarely, off more readily.
+                let p = if bits.get(i) { 0.10 } else { 0.02 };
+                if rng.gen_bool(p) {
+                    bits.flip(i);
+                }
+            }
+            Record::Bits(bits)
+        })
+        .collect();
+    Dataset::new("HM-PubChem", DistanceKind::Hamming, records, 30.0)
+}
+
+fn clustered_bits(
+    name: &str,
+    cfg: SynthConfig,
+    dim: usize,
+    k: usize,
+    flip_p: f64,
+    theta_max: f64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let centroids: Vec<BitVec> = (0..k)
+        .map(|_| BitVec::from_bits((0..dim).map(|_| rng.gen_bool(0.5))))
+        .collect();
+    // Cluster sizes follow a Zipf so some codes are common, some rare — the
+    // long tail the paper highlights in Figure 1(b).
+    let cluster_pick = Zipf::new(k, 0.9);
+    let records = (0..cfg.n_records)
+        .map(|_| {
+            let c = &centroids[cluster_pick.sample(&mut rng)];
+            let mut bits = c.clone();
+            for i in 0..dim {
+                if rng.gen_bool(flip_p) {
+                    bits.flip(i);
+                }
+            }
+            Record::Bits(bits)
+        })
+        .collect();
+    Dataset::new(name, DistanceKind::Hamming, records, theta_max)
+}
+
+/// High-dimensional Hamming stand-in for `HM-GIST2048` (Figure 6 sweeps).
+pub fn hm_highdim(cfg: SynthConfig, dim: usize, theta_max: f64) -> Dataset {
+    clustered_bits("HM-HighDim", cfg, dim, 16, 0.05, theta_max)
+}
+
+const SYLLABLES: &[&str] = &[
+    "an", "bel", "chen", "dra", "el", "fan", "gar", "hu", "in", "jo", "ka", "li", "mo", "na",
+    "or", "pe", "qi", "ra", "sa", "tu", "ver", "wang", "xu", "yan", "zhou",
+];
+
+/// A synthetic person name: 2–4 syllables, capitalized, optional second word.
+fn synth_name(rng: &mut impl Rng) -> String {
+    let word = |rng: &mut dyn rand::RngCore| {
+        let parts = rng.gen_range(1..=2) + 1;
+        let mut s = String::new();
+        for _ in 0..parts {
+            s.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+        }
+        let mut chars = s.chars();
+        let first = chars.next().expect("non-empty word").to_ascii_uppercase();
+        std::iter::once(first).chain(chars).collect::<String>()
+    };
+    let given = word(rng);
+    let family = word(rng);
+    format!("{given} {family}")
+}
+
+/// Applies `k` random character edits (insert/delete/substitute) to a string.
+pub fn apply_typos(rng: &mut impl Rng, s: &str, k: usize) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    for _ in 0..k {
+        if chars.is_empty() {
+            chars.push(rng.gen_range(b'a'..=b'z') as char);
+            continue;
+        }
+        let pos = rng.gen_range(0..chars.len());
+        match rng.gen_range(0..3) {
+            0 => chars[pos] = rng.gen_range(b'a'..=b'z') as char,
+            1 => chars.insert(pos, rng.gen_range(b'a'..=b'z') as char),
+            _ => {
+                chars.remove(pos);
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// `ED-AMiner` stand-in: author names with a typo channel. A base pool of
+/// names is reused with 0–3 edits so near-duplicates abound, matching an
+/// author-name corpus.
+pub fn ed_aminer(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let pool: Vec<String> = (0..(cfg.n_records / 8).max(8)).map(|_| synth_name(&mut rng)).collect();
+    let records = (0..cfg.n_records)
+        .map(|_| {
+            let base = &pool[rng.gen_range(0..pool.len())];
+            let typos = rng.gen_range(0..=3);
+            Record::Str(apply_typos(&mut rng, base, typos))
+        })
+        .collect();
+    Dataset::new("ED-AMiner", DistanceKind::Edit, records, 8.0)
+}
+
+const KEYWORDS: &[&str] = &[
+    "learning", "deep", "query", "index", "graph", "neural", "database", "search", "join",
+    "estimation", "cardinality", "similarity", "hashing", "distributed", "stream", "optimal",
+    "efficient", "scalable", "adaptive", "robust",
+];
+
+/// `ED-DBLP` stand-in: publication-title-like strings (3–6 keywords).
+pub fn ed_dblp(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_templates = (cfg.n_records / 6).max(4);
+    let templates: Vec<String> = (0..n_templates)
+        .map(|_| {
+            let k = rng.gen_range(3..=6);
+            (0..k)
+                .map(|_| KEYWORDS[rng.gen_range(0..KEYWORDS.len())])
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let records = (0..cfg.n_records)
+        .map(|_| {
+            let base = &templates[rng.gen_range(0..templates.len())];
+            let typos = rng.gen_range(0..=5);
+            Record::Str(apply_typos(&mut rng, base, typos))
+        })
+        .collect();
+    Dataset::new("ED-DBLP", DistanceKind::Edit, records, 12.0)
+}
+
+/// `JC-BMS` stand-in: small Zipfian baskets (click data).
+pub fn jc_bms(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let vocab = 400;
+    let zipf = Zipf::new(vocab, 1.1);
+    let records = (0..cfg.n_records)
+        .map(|_| {
+            let len = rng.gen_range(2..=14);
+            let tokens: Vec<u32> = (0..len).map(|_| zipf.sample(&mut rng) as u32).collect();
+            Record::set_from(tokens)
+        })
+        .collect();
+    Dataset::new("JC-BMS", DistanceKind::Jaccard, records, 0.4)
+}
+
+/// `JC-DBLPq3` stand-in: 3-gram sets of synthetic titles (large sets).
+pub fn jc_dblpq3(cfg: SynthConfig) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n_templates = (cfg.n_records / 6).max(4);
+    let templates: Vec<String> = (0..n_templates)
+        .map(|_| {
+            let k = rng.gen_range(4..=8);
+            (0..k)
+                .map(|_| KEYWORDS[rng.gen_range(0..KEYWORDS.len())])
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect();
+    let records = (0..cfg.n_records)
+        .map(|_| {
+            let base = &templates[rng.gen_range(0..templates.len())];
+            let typos = rng.gen_range(0..=4);
+            let s = apply_typos(&mut rng, base, typos);
+            Record::set_from(qgrams(&s, 3))
+        })
+        .collect();
+    Dataset::new("JC-DBLPq3", DistanceKind::Jaccard, records, 0.4)
+}
+
+/// Hashes the positional `q`-grams of `s` into token ids.
+pub fn qgrams(s: &str, q: usize) -> Vec<u32> {
+    let bytes = s.as_bytes();
+    if bytes.len() < q {
+        return vec![fnv1a(bytes)];
+    }
+    bytes.windows(q).map(fnv1a).collect()
+}
+
+/// FNV-1a over a byte slice, folded to 32 bits — a stable, dependency-free
+/// token hash for q-grams.
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// Gaussian-mixture unit vectors: `EU-Glove300` / `EU-Glove50` stand-ins.
+/// Word embeddings cluster by topic; after normalization the mixture lives on
+/// the sphere, so thresholds in [0, √2] are meaningful, as in the paper
+/// (θ_max = 0.8 on normalized GloVe).
+pub fn eu_glove(cfg: SynthConfig, dim: usize) -> Dataset {
+    let name = format!("EU-Glove{dim}");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let k = 16;
+    let centroids: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| normal(&mut rng)).collect())
+        .collect();
+    let pick = Zipf::new(k, 0.8);
+    let records = (0..cfg.n_records)
+        .map(|_| {
+            let c = &centroids[pick.sample(&mut rng)];
+            let mut v: Vec<f64> = c.iter().map(|&x| x + 0.35 * normal(&mut rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            v.iter_mut().for_each(|x| *x /= norm);
+            Record::Vec(v.into_iter().map(|x| x as f32).collect())
+        })
+        .collect();
+    Dataset::new(name, DistanceKind::Euclidean, records, 0.8)
+}
+
+/// A multi-attribute entity corpus for the conjunctive-query case study
+/// (§9.11.1 / Table 11): each entity has `n_attrs` embedding attributes that
+/// correlate through a shared entity cluster, mimicking Sentence-BERT
+/// attribute embeddings of the same record.
+pub struct EntityTable {
+    pub name: String,
+    /// `attrs[a][i]` = attribute `a` of entity `i` (unit vector).
+    pub attrs: Vec<Vec<Vec<f32>>>,
+    pub n_entities: usize,
+}
+
+pub fn entity_table(cfg: SynthConfig, n_attrs: usize, dim: usize) -> EntityTable {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let k = 12;
+    // Per-attribute, per-cluster centroids: attributes of the same entity
+    // share the cluster id, which correlates their selectivities.
+    let centroids: Vec<Vec<Vec<f64>>> = (0..n_attrs)
+        .map(|_| (0..k).map(|_| (0..dim).map(|_| normal(&mut rng)).collect()).collect())
+        .collect();
+    let pick = Zipf::new(k, 0.7);
+    let mut attrs: Vec<Vec<Vec<f32>>> = vec![Vec::with_capacity(cfg.n_records); n_attrs];
+    for _ in 0..cfg.n_records {
+        let cluster = pick.sample(&mut rng);
+        for (a, per_attr) in attrs.iter_mut().enumerate() {
+            let c = &centroids[a][cluster];
+            let mut v: Vec<f64> = c.iter().map(|&x| x + 0.4 * normal(&mut rng)).collect();
+            let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-9);
+            v.iter_mut().for_each(|x| *x /= norm);
+            per_attr.push(v.into_iter().map(|x| x as f32).collect());
+        }
+    }
+    EntityTable { name: format!("Entities{n_attrs}x{dim}"), attrs, n_entities: cfg.n_records }
+}
+
+/// The eight Table 2 stand-ins, in paper order. `n` is per-dataset record
+/// count; string/set corpora are cheaper so they use `n` as given, the two
+/// Euclidean ones are built at lower dimension than the paper for CPU time.
+pub fn default_suite(n: usize, seed: u64) -> Vec<Dataset> {
+    vec![
+        hm_imagenet(SynthConfig::new(n, seed)),
+        hm_pubchem(SynthConfig::new(n, seed + 1)),
+        ed_aminer(SynthConfig::new(n, seed + 2)),
+        ed_dblp(SynthConfig::new(n, seed + 3)),
+        jc_bms(SynthConfig::new(n, seed + 4)),
+        jc_dblpq3(SynthConfig::new(n, seed + 5)),
+        eu_glove(SynthConfig::new(n, seed + 6), 48),
+        eu_glove(SynthConfig::new(n, seed + 7), 24),
+    ]
+}
+
+/// The four "default" datasets (boldface in Table 2) most experiments use.
+pub fn default_four(n: usize, seed: u64) -> Vec<Dataset> {
+    vec![
+        hm_imagenet(SynthConfig::new(n, seed)),
+        ed_aminer(SynthConfig::new(n, seed + 2)),
+        jc_bms(SynthConfig::new(n, seed + 4)),
+        eu_glove(SynthConfig::new(n, seed + 6), 48),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = hm_imagenet(SynthConfig::new(50, 9));
+        let b = hm_imagenet(SynthConfig::new(50, 9));
+        assert_eq!(a.records, b.records);
+        let c = hm_imagenet(SynthConfig::new(50, 10));
+        assert_ne!(a.records, c.records);
+    }
+
+    #[test]
+    fn hm_imagenet_shape() {
+        let ds = hm_imagenet(SynthConfig::new(100, 1));
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.kind, DistanceKind::Hamming);
+        assert!(ds.records.iter().all(|r| r.as_bits().len() == 64));
+    }
+
+    #[test]
+    fn pubchem_is_sparse() {
+        let ds = hm_pubchem(SynthConfig::new(200, 2));
+        let avg_density: f64 = ds
+            .records
+            .iter()
+            .map(|r| f64::from(r.as_bits().count_ones()) / r.as_bits().len() as f64)
+            .sum::<f64>()
+            / ds.len() as f64;
+        assert!(avg_density < 0.3, "fingerprints too dense: {avg_density}");
+    }
+
+    #[test]
+    fn ed_corpora_have_near_duplicates() {
+        let ds = ed_aminer(SynthConfig::new(200, 3));
+        assert!(ds.records.iter().all(|r| !r.as_str().is_empty()));
+        // With a pooled generator some pair must be within distance 3.
+        let q = ds.records[0].clone();
+        let close = ds.cardinality_scan(&q, 3.0);
+        assert!(close >= 1);
+    }
+
+    #[test]
+    fn jc_sets_are_sorted_unique() {
+        let ds = jc_bms(SynthConfig::new(100, 4));
+        for r in &ds.records {
+            let s = r.as_set();
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "set not strictly sorted: {s:?}");
+        }
+    }
+
+    #[test]
+    fn glove_vectors_are_unit_norm() {
+        let ds = eu_glove(SynthConfig::new(50, 5), 32);
+        for r in &ds.records {
+            let n: f32 = r.as_vec().iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-3, "norm {n}");
+        }
+    }
+
+    #[test]
+    fn qgrams_window_count() {
+        assert_eq!(qgrams("abcd", 3).len(), 2);
+        assert_eq!(qgrams("ab", 3).len(), 1); // short strings hash whole
+    }
+
+    #[test]
+    fn entity_table_attrs_align() {
+        let t = entity_table(SynthConfig::new(30, 6), 3, 16);
+        assert_eq!(t.attrs.len(), 3);
+        assert!(t.attrs.iter().all(|a| a.len() == 30));
+        assert!(t.attrs[0][0].len() == 16);
+    }
+
+    #[test]
+    fn default_suite_covers_all_kinds() {
+        let suite = default_suite(20, 7);
+        assert_eq!(suite.len(), 8);
+        let kinds: Vec<_> = suite.iter().map(|d| d.kind).collect();
+        assert!(kinds.contains(&DistanceKind::Hamming));
+        assert!(kinds.contains(&DistanceKind::Edit));
+        assert!(kinds.contains(&DistanceKind::Jaccard));
+        assert!(kinds.contains(&DistanceKind::Euclidean));
+    }
+}

@@ -1,0 +1,238 @@
+//! Query workloads and labelled training examples (§6.1 of the paper).
+//!
+//! The paper samples 10% of the dataset as the query workload `Q`, splits it
+//! 80:10:10 into training/validation/testing, generates a uniform grid of
+//! thresholds `S ⊂ [0, θ_max]`, and labels every `(query, θ)` pair with the
+//! exact cardinality.
+
+use crate::dataset::Dataset;
+use crate::record::Record;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A labelled example: one query with its cardinality at every grid threshold.
+///
+/// Storing the whole cardinality curve (rather than one `(θ, c)` pair) lets
+/// the trainer derive the per-distance targets `c_i` of incremental
+/// prediction exactly (DESIGN.md §2.3).
+#[derive(Clone, Debug)]
+pub struct LabelledQuery {
+    pub query: Record,
+    /// `cards[j]` = cardinality at `thresholds[j]`.
+    pub cards: Vec<u32>,
+}
+
+/// A workload: queries plus the shared threshold grid.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The uniform threshold grid `S` (ascending, includes θ_max).
+    pub thresholds: Vec<f64>,
+    pub queries: Vec<LabelledQuery>,
+}
+
+/// Train/validation/test split of a workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSplit {
+    pub train: Workload,
+    pub valid: Workload,
+    pub test: Workload,
+}
+
+impl Workload {
+    /// Builds a uniform threshold grid of `n_thresholds` values in
+    /// `(0, θ_max]` plus the zero threshold.
+    pub fn uniform_grid(theta_max: f64, n_thresholds: usize) -> Vec<f64> {
+        assert!(n_thresholds >= 1);
+        (0..=n_thresholds)
+            .map(|i| theta_max * i as f64 / n_thresholds as f64)
+            .collect()
+    }
+
+    /// Labels `queries` against `dataset` over `thresholds` by exact scan.
+    /// One scan per query computes the whole cardinality curve.
+    pub fn label(dataset: &Dataset, queries: Vec<Record>, thresholds: Vec<f64>) -> Workload {
+        assert!(!thresholds.is_empty());
+        assert!(thresholds.windows(2).all(|w| w[0] <= w[1]), "thresholds must ascend");
+        let d = dataset.distance();
+        let theta_max = *thresholds.last().expect("non-empty grid");
+        let labelled = queries
+            .into_iter()
+            .map(|query| {
+                let mut cards = vec![0u32; thresholds.len()];
+                for y in &dataset.records {
+                    if let Some(dist) = d.eval_within(&query, y, theta_max) {
+                        // First grid index whose threshold admits this record.
+                        let idx = thresholds.partition_point(|&t| t < dist);
+                        if idx < cards.len() {
+                            cards[idx] += 1;
+                        }
+                    }
+                }
+                // Prefix-sum into cumulative cardinalities.
+                for j in 1..cards.len() {
+                    cards[j] += cards[j - 1];
+                }
+                LabelledQuery { query, cards }
+            })
+            .collect();
+        Workload { thresholds, queries: labelled }
+    }
+
+    /// The paper's workload construction: uniformly sample `fraction` of the
+    /// dataset as queries, label them on a uniform grid.
+    pub fn sample_from(
+        dataset: &Dataset,
+        fraction: f64,
+        n_thresholds: usize,
+        seed: u64,
+    ) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = ((dataset.len() as f64 * fraction).round() as usize).clamp(1, dataset.len());
+        let mut idx: Vec<usize> = (0..dataset.len()).collect();
+        idx.shuffle(&mut rng);
+        idx.truncate(n);
+        let queries = idx.into_iter().map(|i| dataset.records[i].clone()).collect();
+        let grid = Self::uniform_grid(dataset.theta_max, n_thresholds);
+        Self::label(dataset, queries, grid)
+    }
+
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Splits 80:10:10 (paper §6.1) after a seeded shuffle.
+    pub fn split(mut self, seed: u64) -> WorkloadSplit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        self.queries.shuffle(&mut rng);
+        let n = self.queries.len();
+        let n_train = n * 8 / 10;
+        let n_valid = n / 10;
+        let test_qs = self.queries.split_off(n_train + n_valid);
+        let valid_qs = self.queries.split_off(n_train);
+        let thresholds = self.thresholds;
+        WorkloadSplit {
+            train: Workload { thresholds: thresholds.clone(), queries: self.queries },
+            valid: Workload { thresholds: thresholds.clone(), queries: valid_qs },
+            test: Workload { thresholds, queries: test_qs },
+        }
+    }
+
+    /// Keeps the first `fraction` of the queries (Figure 7's training-size
+    /// sweep).
+    pub fn truncate_fraction(&self, fraction: f64) -> Workload {
+        let keep = ((self.queries.len() as f64 * fraction).round() as usize)
+            .clamp(1, self.queries.len());
+        Workload {
+            thresholds: self.thresholds.clone(),
+            queries: self.queries[..keep].to_vec(),
+        }
+    }
+
+    /// Flattens into `(query_index, θ, c)` triples — the shape most baseline
+    /// estimators train on.
+    pub fn triples(&self) -> impl Iterator<Item = (usize, f64, u32)> + '_ {
+        self.queries.iter().enumerate().flat_map(move |(qi, lq)| {
+            self.thresholds
+                .iter()
+                .zip(&lq.cards)
+                .map(move |(&t, &c)| (qi, t, c))
+        })
+    }
+
+    /// Re-labels every query against an updated dataset (the §8 update path:
+    /// "we always keep the original queries and only update their labels").
+    pub fn relabel(&mut self, dataset: &Dataset) {
+        let fresh = Workload::label(
+            dataset,
+            self.queries.iter().map(|q| q.query.clone()).collect(),
+            self.thresholds.clone(),
+        );
+        self.queries = fresh.queries;
+    }
+
+    /// A random threshold from the grid (test-time sampling helper).
+    pub fn random_threshold(&self, rng: &mut impl Rng) -> f64 {
+        self.thresholds[rng.gen_range(0..self.thresholds.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::BitVec;
+    use crate::dist::DistanceKind;
+
+    fn tiny() -> Dataset {
+        let records = (0u64..32).map(|v| Record::Bits(BitVec::from_u64(v, 5))).collect();
+        Dataset::new("tiny", DistanceKind::Hamming, records, 5.0)
+    }
+
+    #[test]
+    fn labels_match_scan() {
+        let ds = tiny();
+        let q = Record::Bits(BitVec::from_u64(0, 5));
+        let wl = Workload::label(&ds, vec![q.clone()], Workload::uniform_grid(5.0, 5));
+        for (j, &t) in wl.thresholds.iter().enumerate() {
+            assert_eq!(
+                wl.queries[0].cards[j] as usize,
+                ds.cardinality_scan(&q, t),
+                "threshold {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_are_monotone_in_threshold() {
+        let ds = tiny();
+        let wl = Workload::sample_from(&ds, 0.5, 5, 3);
+        for lq in &wl.queries {
+            assert!(lq.cards.windows(2).all(|w| w[0] <= w[1]), "cards {:?}", lq.cards);
+        }
+    }
+
+    #[test]
+    fn split_is_80_10_10() {
+        let ds = tiny();
+        let wl = Workload::sample_from(&ds, 1.0, 4, 3);
+        let split = wl.split(1);
+        assert_eq!(split.train.len(), 25); // 32*8/10
+        assert_eq!(split.valid.len(), 3);
+        assert_eq!(split.test.len(), 4);
+        assert_eq!(split.train.thresholds, split.test.thresholds);
+    }
+
+    #[test]
+    fn relabel_tracks_dataset_changes() {
+        let mut ds = tiny();
+        let q = Record::Bits(BitVec::from_u64(0, 5));
+        let mut wl = Workload::label(&ds, vec![q.clone()], Workload::uniform_grid(5.0, 5));
+        let before = wl.queries[0].cards.clone();
+        // Delete everything except the query itself.
+        ds.records.retain(|r| r.as_bits().hamming(q.as_bits()) == 0);
+        wl.relabel(&ds);
+        assert!(wl.queries[0].cards.iter().all(|&c| c == 1));
+        assert_ne!(before, wl.queries[0].cards);
+    }
+
+    #[test]
+    fn triples_enumerate_grid() {
+        let ds = tiny();
+        let wl = Workload::sample_from(&ds, 0.25, 4, 9);
+        let triples: Vec<_> = wl.triples().collect();
+        assert_eq!(triples.len(), wl.len() * wl.thresholds.len());
+    }
+
+    #[test]
+    fn truncate_fraction_keeps_prefix() {
+        let ds = tiny();
+        let wl = Workload::sample_from(&ds, 1.0, 4, 5);
+        let half = wl.truncate_fraction(0.5);
+        assert_eq!(half.len(), 16);
+        assert_eq!(half.queries[0].cards, wl.queries[0].cards);
+    }
+}

@@ -1,0 +1,83 @@
+//! Zipf-distributed sampling, used by the set-domain generators
+//! (basket datasets have strongly skewed token frequencies).
+
+use rand::Rng;
+
+/// A Zipf(`s`) distribution over `{0, 1, …, n−1}` sampled by inverse-CDF
+/// lookup over the precomputed cumulative weights.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution; `exponent` ≥ 0 (0 = uniform).
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draws one rank (0 = most frequent).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        // partition_point returns the count of elements < u, i.e. the first
+        // index with cdf[i] >= u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    pub fn support_size(&self) -> usize {
+        self.cdf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_is_skewed_toward_small_ranks() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50]);
+        // rank 0 should dominate clearly at s=1.2
+        assert!(counts[0] as f64 / 20_000.0 > 0.15);
+    }
+
+    #[test]
+    fn exponent_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 20_000.0;
+            assert!((frac - 0.1).abs() < 0.03, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_support() {
+        let z = Zipf::new(5, 2.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 5);
+        }
+    }
+}

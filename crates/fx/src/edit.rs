@@ -1,0 +1,162 @@
+//! §4.2 — Edit distance: the positional bounding encoding.
+//!
+//! Each character at position `i` sets bits `i−s … i+s` of its character
+//! group, so that a single edit operation (insert/delete/substitute) changes
+//! at most `4s + 2` bits. The encoded Hamming distance is therefore bounded
+//! by `(4s + 2)·f(x, y)` — the "bounding" flavour of feature extraction.
+//!
+//! Two CPU-budget deviations from the paper, both configurable:
+//! the smear radius `s` defaults to `min(τ_max, 3)` instead of `τ_max`
+//! (keeps `d` small; the bound above holds for any `s ≥ 1`), and the
+//! alphabet is folded into `n_groups` buckets instead of one group per
+//! character (substitutions within a bucket flip 0 bits, which only
+//! *tightens* the bound).
+
+use crate::traits::{proportional_tau, FeatureExtractor};
+use cardest_data::{BitVec, Dataset, Record};
+
+/// Positional character-group encoder for strings.
+pub struct EditPositionalExtractor {
+    /// Max string length covered; longer strings are truncated.
+    l_max: usize,
+    /// Smear radius `s`.
+    smear: usize,
+    /// Alphabet buckets.
+    n_groups: usize,
+    theta_max: f64,
+    tau_max: usize,
+}
+
+impl EditPositionalExtractor {
+    pub fn new(l_max: usize, smear: usize, n_groups: usize, theta_max: f64, tau_max: usize) -> Self {
+        assert!(n_groups > 0 && l_max > 0);
+        EditPositionalExtractor { l_max, smear, n_groups, theta_max, tau_max }
+    }
+
+    /// Sizes the encoder from a dataset: `l_max` from the corpus, default
+    /// smear and 12 alphabet groups.
+    pub fn from_dataset(dataset: &Dataset, tau_max: usize) -> Self {
+        let l_max = dataset.max_width().max(1);
+        let smear = tau_max.min(3).max(1);
+        EditPositionalExtractor::new(l_max, smear, 12, dataset.theta_max, tau_max)
+    }
+
+    fn group_of(&self, byte: u8) -> usize {
+        // Letter-aware folding keeps similar characters apart; everything
+        // else (digits, spaces) hashes onto the same ring.
+        (byte as usize).wrapping_mul(31) % self.n_groups
+    }
+
+    /// Width of one group's positional strip.
+    fn strip(&self) -> usize {
+        self.l_max + 2 * self.smear
+    }
+}
+
+impl FeatureExtractor for EditPositionalExtractor {
+    fn dim(&self) -> usize {
+        self.strip() * self.n_groups
+    }
+
+    fn tau_max(&self) -> usize {
+        if self.theta_max <= self.tau_max as f64 {
+            self.theta_max.floor() as usize
+        } else {
+            self.tau_max
+        }
+    }
+
+    fn extract(&self, record: &Record) -> BitVec {
+        let s = record.as_str().as_bytes();
+        let strip = self.strip();
+        let mut out = BitVec::zeros(self.dim());
+        for (i, &byte) in s.iter().take(self.l_max).enumerate() {
+            let g = self.group_of(byte);
+            let base = g * strip;
+            // Position i smears across [i, i + 2s] inside the strip, which is
+            // the paper's [i − s, i + s] shifted so indices stay non-negative.
+            for j in i..=i + 2 * self.smear {
+                out.set(base + j, true);
+            }
+        }
+        out
+    }
+
+    fn map_threshold(&self, theta: f64) -> usize {
+        // Integer-valued distance: same transform as Hamming (§4.2).
+        let theta = theta.clamp(0.0, self.theta_max);
+        if self.theta_max <= self.tau_max as f64 {
+            theta.floor() as usize
+        } else {
+            proportional_tau(theta, self.theta_max, self.tau_max)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "edit-positional"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::dist::levenshtein;
+    use cardest_data::synth::{ed_aminer, SynthConfig};
+    use proptest::prelude::*;
+
+    fn fx() -> EditPositionalExtractor {
+        EditPositionalExtractor::new(20, 2, 12, 8.0, 8)
+    }
+
+    #[test]
+    fn identical_strings_have_zero_encoded_distance() {
+        let fx = fx();
+        let a = fx.extract(&Record::Str("hello".into()));
+        let b = fx.extract(&Record::Str("hello".into()));
+        assert_eq!(a.hamming(&b), 0);
+    }
+
+    #[test]
+    fn single_substitution_changes_bounded_bits() {
+        let fx = fx();
+        let a = fx.extract(&Record::Str("hello".into()));
+        let b = fx.extract(&Record::Str("hallo".into()));
+        // One substitution: clears one smeared strip segment, sets another.
+        assert!(a.hamming(&b) <= (4 * 2 + 2));
+        assert!(a.hamming(&b) > 0);
+    }
+
+    #[test]
+    fn from_dataset_sizes_to_corpus() {
+        let ds = ed_aminer(SynthConfig::new(100, 1));
+        let fx = EditPositionalExtractor::from_dataset(&ds, 8);
+        assert_eq!(fx.dim(), (ds.max_width() + 2 * fx.smear) * 12);
+        let bv = fx.extract(&ds.records[0]);
+        assert_eq!(bv.len(), fx.dim());
+    }
+
+    proptest! {
+        #[test]
+        fn encoded_distance_respects_edit_bound(a in "[a-f]{1,12}", b in "[a-f]{1,12}") {
+            let fx = fx();
+            let ed = levenshtein(&a, &b);
+            let ha = fx.extract(&Record::Str(a));
+            let hb = fx.extract(&Record::Str(b));
+            let bound = ed * (4 * fx.smear + 2);
+            prop_assert!(
+                (ha.hamming(&hb) as usize) <= bound,
+                "H = {} > bound {} for ed = {}",
+                ha.hamming(&hb), bound, ed
+            );
+        }
+
+        #[test]
+        fn threshold_transform_is_monotone(thetas in prop::collection::vec(0.0f64..8.0, 2..20)) {
+            let fx = fx();
+            let mut sorted = thetas;
+            sorted.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+            let taus: Vec<usize> = sorted.iter().map(|&t| fx.map_threshold(t)).collect();
+            prop_assert!(taus.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! §4.1 — Hamming distance: the identity extraction.
+//!
+//! Binary vectors are fed to the model unchanged; the threshold is used
+//! directly as `τ` when `θ_max ≤ τ_max`, otherwise mapped proportionally
+//! (`τ = ⌊τ_max · θ/θ_max⌋`).
+
+use crate::traits::{proportional_tau, FeatureExtractor};
+use cardest_data::{BitVec, Record};
+
+/// Identity extractor for binary-vector data.
+pub struct HammingIdentityExtractor {
+    dim: usize,
+    theta_max: f64,
+    tau_max: usize,
+}
+
+impl HammingIdentityExtractor {
+    pub fn new(dim: usize, theta_max: f64, tau_max: usize) -> Self {
+        HammingIdentityExtractor { dim, theta_max, tau_max }
+    }
+
+    /// The effective τ ceiling: when `θ_max ≤ τ_max` only `θ_max + 1`
+    /// decoders are useful (§4: "θ_max is not necessarily mapped to τ_max").
+    pub fn effective_tau_max(&self) -> usize {
+        if self.theta_max <= self.tau_max as f64 {
+            self.theta_max.floor() as usize
+        } else {
+            self.tau_max
+        }
+    }
+}
+
+impl FeatureExtractor for HammingIdentityExtractor {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn tau_max(&self) -> usize {
+        self.effective_tau_max()
+    }
+
+    fn extract(&self, record: &Record) -> BitVec {
+        record.as_bits().clone()
+    }
+
+    fn map_threshold(&self, theta: f64) -> usize {
+        let theta = theta.clamp(0.0, self.theta_max);
+        if self.theta_max <= self.tau_max as f64 {
+            theta.floor() as usize
+        } else {
+            proportional_tau(theta, self.theta_max, self.tau_max)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "hamming-identity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_extraction_preserves_bits() {
+        let fx = HammingIdentityExtractor::new(8, 4.0, 16);
+        let r = Record::Bits(BitVec::from_u64(0b1011_0010, 8));
+        assert_eq!(fx.extract(&r), *r.as_bits());
+    }
+
+    #[test]
+    fn small_theta_max_uses_threshold_directly() {
+        let fx = HammingIdentityExtractor::new(8, 6.0, 16);
+        assert_eq!(fx.tau_max(), 6);
+        for theta in 0..=6 {
+            assert_eq!(fx.map_threshold(f64::from(theta)), theta as usize);
+        }
+    }
+
+    #[test]
+    fn large_theta_max_maps_proportionally() {
+        let fx = HammingIdentityExtractor::new(128, 64.0, 16);
+        assert_eq!(fx.tau_max(), 16);
+        assert_eq!(fx.map_threshold(0.0), 0);
+        assert_eq!(fx.map_threshold(64.0), 16);
+        assert_eq!(fx.map_threshold(32.0), 8);
+    }
+
+    #[test]
+    fn thresholds_beyond_theta_max_are_clamped() {
+        let fx = HammingIdentityExtractor::new(8, 6.0, 16);
+        assert_eq!(fx.map_threshold(100.0), 6);
+    }
+}

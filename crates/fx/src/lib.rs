@@ -1,0 +1,24 @@
+//! Feature extraction: the `h(x, θ) → (x ∈ {0,1}^d, τ ∈ ℤ≥0)` half of the
+//! paper's framework (§3.2, §4).
+//!
+//! Each extractor maps records of one domain into a Hamming space whose
+//! distances exactly or approximately capture the original distance function
+//! (equivalency / LSH / bounding, §4), and monotonically maps the query
+//! threshold `θ ∈ [0, θ_max]` to an integer `τ ∈ [0, τ_max]`. Monotonicity of
+//! the threshold transform is the `h` half of Lemma 1's precondition for the
+//! end-to-end monotonicity guarantee, and is property-tested for every
+//! extractor.
+
+pub mod edit;
+pub mod hamming;
+pub mod minhash;
+pub mod naive;
+pub mod pstable;
+pub mod traits;
+
+pub use edit::EditPositionalExtractor;
+pub use hamming::HammingIdentityExtractor;
+pub use minhash::BBitMinHashExtractor;
+pub use naive::naive_extractor;
+pub use pstable::PStableExtractor;
+pub use traits::{build_extractor, FeatureExtractor};

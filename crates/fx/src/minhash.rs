@@ -1,0 +1,154 @@
+//! §4.3 — Jaccard distance: b-bit minwise hashing (LSH).
+//!
+//! `k` hash-based permutations of the token universe; for each, the last `b`
+//! bits of the minimum hashed element are one-hot encoded into `2^b` bits,
+//! giving `d = k·2^b` total. Two sets agree on a permutation's minimum with
+//! probability `1 − J_dist(x, y)`, so the expected encoded Hamming distance
+//! is proportional to the Jaccard distance, and the threshold transform is
+//! the proportional map `τ = ⌊τ_max · θ/θ_max⌋`.
+
+use crate::traits::{proportional_tau, FeatureExtractor};
+use cardest_data::{BitVec, Record};
+
+/// b-bit minwise hashing extractor for sets.
+pub struct BBitMinHashExtractor {
+    theta_max: f64,
+    tau_max: usize,
+    /// Number of permutations `k`.
+    k: usize,
+    /// Bits kept per permutation.
+    b: u32,
+    /// Per-permutation hash seeds (the "permutation" is ordering by hash).
+    seeds: Vec<u64>,
+}
+
+impl BBitMinHashExtractor {
+    pub fn new(theta_max: f64, tau_max: usize, k: usize, b: u32, seed: u64) -> Self {
+        assert!(b >= 1 && b <= 16, "b-bit minhash needs 1 ≤ b ≤ 16");
+        // SplitMix64 over the master seed generates independent seeds.
+        let mut state = seed;
+        let seeds = (0..k)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                splitmix64(state)
+            })
+            .collect();
+        BBitMinHashExtractor { theta_max, tau_max, k, b, seeds }
+    }
+
+    /// Minimum hash value of the set under permutation `p`.
+    fn min_hash(&self, set: &[u32], p: usize) -> u64 {
+        let seed = self.seeds[p];
+        set.iter()
+            .map(|&tok| splitmix64(seed ^ (u64::from(tok).wrapping_mul(0xA24B_AED4_963E_E407))))
+            .min()
+            .unwrap_or(seed) // empty set: a fixed, seed-dependent sentinel
+    }
+}
+
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FeatureExtractor for BBitMinHashExtractor {
+    fn dim(&self) -> usize {
+        self.k * (1usize << self.b)
+    }
+
+    fn tau_max(&self) -> usize {
+        self.tau_max
+    }
+
+    fn extract(&self, record: &Record) -> BitVec {
+        let set = record.as_set();
+        let width = 1usize << self.b;
+        let mask = (width - 1) as u64;
+        let mut out = BitVec::zeros(self.dim());
+        for p in 0..self.k {
+            let low = (self.min_hash(set, p) & mask) as usize;
+            out.set(p * width + low, true);
+        }
+        out
+    }
+
+    fn map_threshold(&self, theta: f64) -> usize {
+        proportional_tau(theta.clamp(0.0, self.theta_max), self.theta_max, self.tau_max)
+    }
+
+    fn name(&self) -> &'static str {
+        "bbit-minhash"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::dist::jaccard_distance;
+    use rand::{Rng, SeedableRng};
+
+    fn fx(k: usize) -> BBitMinHashExtractor {
+        BBitMinHashExtractor::new(0.4, 16, k, 2, 42)
+    }
+
+    #[test]
+    fn one_hot_per_permutation() {
+        let fx = fx(32);
+        let bv = fx.extract(&Record::set_from(vec![1, 5, 9]));
+        assert_eq!(bv.len(), 32 * 4);
+        assert_eq!(bv.count_ones(), 32, "exactly one bit per permutation");
+    }
+
+    #[test]
+    fn identical_sets_collide_fully() {
+        let fx = fx(16);
+        let a = fx.extract(&Record::set_from(vec![3, 7, 8]));
+        let b = fx.extract(&Record::set_from(vec![3, 7, 8]));
+        assert_eq!(a.hamming(&b), 0);
+    }
+
+    #[test]
+    fn expected_distance_tracks_jaccard() {
+        // With many permutations, the fraction of disagreeing permutations
+        // concentrates around the Jaccard distance.
+        let fx = fx(512);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..6 {
+            let a: Vec<u32> = (0..30).map(|_| rng.gen_range(0..200)).collect();
+            let b: Vec<u32> = a
+                .iter()
+                .map(|&t| if rng.gen_bool(0.3) { rng.gen_range(0..200) } else { t })
+                .collect();
+            let (ra, rb) = (Record::set_from(a), Record::set_from(b));
+            let jd = jaccard_distance(ra.as_set(), rb.as_set());
+            let (ha, hb) = (fx.extract(&ra), fx.extract(&rb));
+            // Each disagreeing permutation flips 2 bits of the one-hot pair,
+            // but b-bit truncation collides 1/2^b of disagreements.
+            let disagree = f64::from(ha.hamming(&hb)) / 2.0 / 512.0;
+            let expected = jd * (1.0 - 0.25); // b = 2 → collision prob 1/4
+            assert!(
+                (disagree - expected).abs() < 0.12,
+                "observed {disagree:.3}, expected ≈{expected:.3} (J = {jd:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_sets_are_handled() {
+        let fx = fx(8);
+        let e = fx.extract(&Record::set_from(vec![]));
+        assert_eq!(e.count_ones(), 8);
+        // Deterministic for repeated extraction.
+        assert_eq!(e, fx.extract(&Record::set_from(vec![])));
+    }
+
+    #[test]
+    fn threshold_transform_covers_range() {
+        let fx = fx(8);
+        assert_eq!(fx.map_threshold(0.0), 0);
+        assert_eq!(fx.map_threshold(0.4), 16);
+        assert_eq!(fx.map_threshold(0.2), 8);
+    }
+}

@@ -1,0 +1,140 @@
+//! Naive feature encodings for the Table 7 "−feature-extraction" ablation.
+//!
+//! The paper replaces its extractors with weaker encoders (a character
+//! BiLSTM for strings, deep sets for sets, raw vectors for Euclidean) to
+//! measure how much the Hamming-semantic extraction contributes. These
+//! stand-ins share the key property of those replacements: they ignore the
+//! distance semantics (no positional smearing, no LSH collision structure)
+//! while still being valid binary encodings.
+
+use crate::traits::{proportional_tau, FeatureExtractor};
+use cardest_data::{BitVec, Dataset, DistanceKind, Record};
+
+/// Builds the naive encoder for a dataset (Hamming data stays raw — the
+/// paper does not ablate feature extraction there).
+pub fn naive_extractor(dataset: &Dataset, tau_max: usize, seed: u64) -> Box<dyn FeatureExtractor> {
+    match dataset.kind {
+        DistanceKind::Hamming => crate::build_extractor(dataset, tau_max, seed),
+        DistanceKind::Edit => Box::new(NaiveExtractor {
+            kind: NaiveKind::CharBag,
+            dim: 128,
+            theta_max: dataset.theta_max,
+            tau_max,
+        }),
+        DistanceKind::Jaccard => Box::new(NaiveExtractor {
+            kind: NaiveKind::TokenHash,
+            dim: 128,
+            theta_max: dataset.theta_max,
+            tau_max,
+        }),
+        DistanceKind::Euclidean => {
+            let dim = dataset.records.first().map_or(1, |r| r.as_vec().len());
+            Box::new(NaiveExtractor {
+                kind: NaiveKind::SignBits,
+                dim,
+                theta_max: dataset.theta_max,
+                tau_max,
+            })
+        }
+    }
+}
+
+enum NaiveKind {
+    /// Presence bits of characters (strings) — positions discarded.
+    CharBag,
+    /// Feature-hashed token presence (sets) — collision-lossy.
+    TokenHash,
+    /// Sign bits of the raw vector (Euclidean) — magnitudes discarded.
+    SignBits,
+}
+
+struct NaiveExtractor {
+    kind: NaiveKind,
+    dim: usize,
+    theta_max: f64,
+    tau_max: usize,
+}
+
+impl FeatureExtractor for NaiveExtractor {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn tau_max(&self) -> usize {
+        if self.theta_max <= self.tau_max as f64
+            && matches!(self.kind, NaiveKind::CharBag)
+        {
+            self.theta_max.floor() as usize
+        } else {
+            self.tau_max
+        }
+    }
+
+    fn extract(&self, record: &Record) -> BitVec {
+        let mut out = BitVec::zeros(self.dim);
+        match self.kind {
+            NaiveKind::CharBag => {
+                for &b in record.as_str().as_bytes() {
+                    out.set((b as usize).wrapping_mul(37) % self.dim, true);
+                }
+            }
+            NaiveKind::TokenHash => {
+                for &t in record.as_set() {
+                    out.set((t as usize).wrapping_mul(2_654_435_761) % self.dim, true);
+                }
+            }
+            NaiveKind::SignBits => {
+                for (i, &v) in record.as_vec().iter().enumerate().take(self.dim) {
+                    if v > 0.0 {
+                        out.set(i, true);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn map_threshold(&self, theta: f64) -> usize {
+        let theta = theta.clamp(0.0, self.theta_max);
+        if matches!(self.kind, NaiveKind::CharBag) && self.theta_max <= self.tau_max as f64 {
+            theta.floor() as usize
+        } else {
+            proportional_tau(theta, self.theta_max, self.tau_max)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{default_suite, SynthConfig};
+
+    #[test]
+    fn naive_extractors_build_for_every_kind() {
+        for ds in default_suite(40, 9) {
+            let fx = naive_extractor(&ds, 12, 3);
+            let bv = fx.extract(&ds.records[0]);
+            assert_eq!(bv.len(), fx.dim());
+            // Still monotone in θ — the ablation only weakens the encoding.
+            let mut prev = 0;
+            for i in 0..=20 {
+                let tau = fx.map_threshold(ds.theta_max * f64::from(i) / 20.0);
+                assert!(tau >= prev);
+                prev = tau;
+            }
+        }
+    }
+
+    #[test]
+    fn char_bag_discards_positions() {
+        let ds = cardest_data::synth::ed_aminer(SynthConfig::new(30, 1));
+        let fx = naive_extractor(&ds, 8, 1);
+        let a = fx.extract(&Record::Str("abc".into()));
+        let b = fx.extract(&Record::Str("cba".into()));
+        assert_eq!(a, b, "bag encoding must be permutation-invariant");
+    }
+}

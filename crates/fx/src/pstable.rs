@@ -1,0 +1,236 @@
+//! §4.4 — Euclidean distance: LSH from p-stable (Gaussian) projections.
+//!
+//! Each hash is `h_{a,b}(x) = ⌊(a·x + b) / r⌋` with `a ~ N(0, I)` and
+//! `b ~ U[0, r]`. Hash values are clamped to the range observed on the
+//! dataset and one-hot encoded, giving `d = k·(v + 1)` bits. Two records at
+//! distance θ collide with probability `ε(θ)` (the p-stable collision
+//! formula), so the expected encoded Hamming distance is `(1 − ε(θ))·2k·…`
+//! — proportional to `1 − ε(θ)` — and the threshold transform is
+//! `τ = ⌊τ_max · (1 − ε(θ)) / (1 − ε(θ_max))⌋`.
+
+use crate::traits::FeatureExtractor;
+use cardest_data::{BitVec, Dataset, Record};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// p-stable LSH extractor for real-valued vectors.
+pub struct PStableExtractor {
+    /// Projection vectors, one per hash function.
+    a: Vec<Vec<f32>>,
+    /// Offsets `b ∈ [0, r]`.
+    b: Vec<f32>,
+    /// Bucket width `r`.
+    r: f64,
+    /// Hash-value clamp range `[v_min, v_max]` observed at build time.
+    v_min: i64,
+    v_max: i64,
+    theta_max: f64,
+    tau_max: usize,
+}
+
+fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (max error ≈ 1.5e-7, far below what the transform needs).
+fn norm_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// The p-stable collision probability `ε(θ)` for bucket width `r`
+/// (Datar et al., SoCG 2004).
+pub fn collision_probability(theta: f64, r: f64) -> f64 {
+    if theta <= 0.0 {
+        return 1.0;
+    }
+    let c = r / theta;
+    1.0 - 2.0 * norm_cdf(-c)
+        - 2.0 / ((std::f64::consts::TAU).sqrt() * c) * (1.0 - (-c * c / 2.0).exp())
+}
+
+impl PStableExtractor {
+    /// Draws `k` hash functions and calibrates the hash-value range on the
+    /// dataset (sampling up to 512 records).
+    pub fn from_dataset(dataset: &Dataset, tau_max: usize, seed: u64) -> Self {
+        let dim = dataset.records.first().map_or(1, |rec| rec.as_vec().len());
+        // r ≈ θ_max works well for unit-norm data: collisions stay informative
+        // across the threshold range. The paper uses 256–512 hash functions;
+        // 64 balances LSH variance against CPU training cost at this scale.
+        let r = dataset.theta_max.max(1e-6);
+        let k = 64;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<Vec<f32>> = (0..k)
+            .map(|_| (0..dim).map(|_| normal(&mut rng) as f32).collect())
+            .collect();
+        let b: Vec<f32> = (0..k).map(|_| rng.gen_range(0.0..r) as f32).collect();
+        let mut fx = PStableExtractor {
+            a,
+            b,
+            r,
+            v_min: 0,
+            v_max: 0,
+            theta_max: dataset.theta_max,
+            tau_max,
+        };
+        // Calibrate the clamp range.
+        let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+        for rec in dataset.records.iter().take(512) {
+            for h in 0..k {
+                let v = fx.raw_hash(rec.as_vec(), h);
+                lo = lo.min(v);
+                hi = hi.max(v);
+            }
+        }
+        if lo > hi {
+            (lo, hi) = (0, 0);
+        }
+        // One bucket of slack each side for queries outside the sample range.
+        fx.v_min = lo - 1;
+        fx.v_max = hi + 1;
+        fx
+    }
+
+    fn raw_hash(&self, x: &[f32], h: usize) -> i64 {
+        let dot: f64 = self.a[h].iter().zip(x).map(|(&a, &v)| f64::from(a) * f64::from(v)).sum();
+        ((dot + f64::from(self.b[h])) / self.r).floor() as i64
+    }
+
+    fn buckets(&self) -> usize {
+        (self.v_max - self.v_min + 1) as usize
+    }
+
+    pub fn num_hashes(&self) -> usize {
+        self.a.len()
+    }
+}
+
+impl FeatureExtractor for PStableExtractor {
+    fn dim(&self) -> usize {
+        self.num_hashes() * self.buckets()
+    }
+
+    fn tau_max(&self) -> usize {
+        self.tau_max
+    }
+
+    fn extract(&self, record: &Record) -> BitVec {
+        let x = record.as_vec();
+        let buckets = self.buckets();
+        let mut out = BitVec::zeros(self.dim());
+        for h in 0..self.num_hashes() {
+            let v = self.raw_hash(x, h).clamp(self.v_min, self.v_max);
+            let slot = (v - self.v_min) as usize;
+            out.set(h * buckets + slot, true);
+        }
+        out
+    }
+
+    fn map_threshold(&self, theta: f64) -> usize {
+        let theta = theta.clamp(0.0, self.theta_max);
+        let denom = 1.0 - collision_probability(self.theta_max, self.r);
+        if denom <= 0.0 {
+            return 0;
+        }
+        let frac = ((1.0 - collision_probability(theta, self.r)) / denom).clamp(0.0, 1.0);
+        ((self.tau_max as f64) * frac).floor() as usize
+    }
+
+    fn name(&self) -> &'static str {
+        "pstable-lsh"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{eu_glove, SynthConfig};
+
+    #[test]
+    fn erf_matches_known_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-5);
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((norm_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn collision_probability_is_decreasing_in_theta() {
+        let r = 0.8;
+        let mut prev = collision_probability(0.0, r);
+        assert!((prev - 1.0).abs() < 1e-12);
+        for i in 1..=40 {
+            let p = collision_probability(f64::from(i) * 0.05, r);
+            assert!(p <= prev + 1e-12, "ε increased at θ={}", f64::from(i) * 0.05);
+            assert!((0.0..=1.0).contains(&p));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn extraction_is_one_hot_per_hash() {
+        let ds = eu_glove(SynthConfig::new(100, 3), 16);
+        let fx = PStableExtractor::from_dataset(&ds, 16, 9);
+        let bv = fx.extract(&ds.records[0]);
+        assert_eq!(bv.count_ones() as usize, fx.num_hashes());
+    }
+
+    #[test]
+    fn closer_pairs_have_smaller_encoded_distance_on_average() {
+        let ds = eu_glove(SynthConfig::new(400, 4), 16);
+        let fx = PStableExtractor::from_dataset(&ds, 16, 10);
+        let d = ds.distance();
+        let q = &ds.records[0];
+        let hq = fx.extract(q);
+        // Bucket pairs by original distance; encoded distance must trend up.
+        let mut close = Vec::new();
+        let mut far = Vec::new();
+        for rec in ds.records.iter().skip(1) {
+            let dist = d.eval(q, rec);
+            let h = f64::from(hq.hamming(&fx.extract(rec)));
+            if dist < 0.4 {
+                close.push(h);
+            } else if dist > 0.9 {
+                far.push(h);
+            }
+        }
+        assert!(!close.is_empty() && !far.is_empty(), "need both buckets");
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&close) < mean(&far),
+            "LSH failed to order distances: close {} vs far {}",
+            mean(&close),
+            mean(&far)
+        );
+    }
+
+    #[test]
+    fn threshold_transform_is_monotone_and_spans_range() {
+        let ds = eu_glove(SynthConfig::new(50, 5), 8);
+        let fx = PStableExtractor::from_dataset(&ds, 20, 11);
+        assert_eq!(fx.map_threshold(0.0), 0);
+        assert_eq!(fx.map_threshold(ds.theta_max), 20);
+        let mut prev = 0;
+        for i in 0..=40 {
+            let tau = fx.map_threshold(ds.theta_max * f64::from(i) / 40.0);
+            assert!(tau >= prev);
+            prev = tau;
+        }
+    }
+}

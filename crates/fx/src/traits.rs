@@ -1,0 +1,98 @@
+//! The [`FeatureExtractor`] trait and the per-domain dispatcher.
+
+use crate::edit::EditPositionalExtractor;
+use crate::hamming::HammingIdentityExtractor;
+use crate::minhash::BBitMinHashExtractor;
+use crate::pstable::PStableExtractor;
+use cardest_data::{BitVec, Dataset, DistanceKind, Record};
+
+/// Maps records and thresholds into the model's Hamming interface
+/// (`h = (h_rec, h_thr)` of §3.2).
+pub trait FeatureExtractor: Send + Sync {
+    /// Output dimensionality `d` of the binary representation.
+    fn dim(&self) -> usize;
+
+    /// Largest transformed threshold (inclusive); the model builds
+    /// `tau_max() + 1` decoders.
+    fn tau_max(&self) -> usize;
+
+    /// `h_rec`: record → `d`-dimensional binary vector.
+    fn extract(&self, record: &Record) -> BitVec;
+
+    /// `h_thr`: θ → τ. Must be monotonically non-decreasing (Lemma 1).
+    fn map_threshold(&self, theta: f64) -> usize;
+
+    /// A short label for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the paper's case-study extractor for the dataset's distance
+/// function (§4.1–§4.4). `tau_max` controls the decoder count; the LSH
+/// extractors draw their hash functions from `seed`.
+pub fn build_extractor(
+    dataset: &Dataset,
+    tau_max: usize,
+    seed: u64,
+) -> Box<dyn FeatureExtractor> {
+    match dataset.kind {
+        DistanceKind::Hamming => {
+            let dim = dataset.records.first().map_or(0, |r| r.as_bits().len());
+            Box::new(HammingIdentityExtractor::new(dim, dataset.theta_max, tau_max))
+        }
+        DistanceKind::Edit => Box::new(EditPositionalExtractor::from_dataset(dataset, tau_max)),
+        DistanceKind::Jaccard => {
+            Box::new(BBitMinHashExtractor::new(dataset.theta_max, tau_max, 64, 2, seed))
+        }
+        DistanceKind::Euclidean => Box::new(PStableExtractor::from_dataset(dataset, tau_max, seed)),
+    }
+}
+
+/// Shared helper: the proportional transform `τ = ⌊τ_max · θ/θ_max⌋`,
+/// clamped into range (used by §4.1, §4.2, §4.3).
+pub(crate) fn proportional_tau(theta: f64, theta_max: f64, tau_max: usize) -> usize {
+    if theta_max <= 0.0 {
+        return 0;
+    }
+    let frac = (theta / theta_max).clamp(0.0, 1.0);
+    ((tau_max as f64) * frac).floor() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{default_suite, SynthConfig};
+
+    #[test]
+    fn dispatcher_builds_for_every_kind() {
+        for ds in default_suite(60, 3) {
+            let fx = build_extractor(&ds, 16, 7);
+            assert!(fx.dim() > 0, "{}", ds.name);
+            let bv = fx.extract(&ds.records[0]);
+            assert_eq!(bv.len(), fx.dim(), "{}", ds.name);
+            assert_eq!(fx.map_threshold(0.0), 0, "{}", ds.name);
+            assert!(fx.map_threshold(ds.theta_max) <= fx.tau_max(), "{}", ds.name);
+        }
+    }
+
+    #[test]
+    fn threshold_transforms_are_monotone_for_every_kind() {
+        for ds in default_suite(60, 4) {
+            let fx = build_extractor(&ds, 12, 9);
+            let mut prev = 0usize;
+            for i in 0..=100 {
+                let theta = ds.theta_max * f64::from(i) / 100.0;
+                let tau = fx.map_threshold(theta);
+                assert!(tau >= prev, "{}: τ decreased at θ={theta}", ds.name);
+                prev = tau;
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_tau_boundaries() {
+        assert_eq!(proportional_tau(0.0, 10.0, 8), 0);
+        assert_eq!(proportional_tau(10.0, 10.0, 8), 8);
+        assert_eq!(proportional_tau(5.0, 10.0, 8), 4);
+        assert_eq!(proportional_tau(20.0, 10.0, 8), 8); // clamped
+    }
+}

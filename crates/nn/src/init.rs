@@ -1,0 +1,47 @@
+//! Weight initialization schemes.
+
+use crate::matrix::Matrix;
+use crate::rng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization — balanced forward/backward variance,
+/// the default for tanh/sigmoid layers.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-limit..limit))
+}
+
+/// He/Kaiming normal initialization — preserves variance through ReLU layers.
+pub fn he_normal(r: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let std = (2.0 / fan_in as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| std * rng::normal(r))
+}
+
+/// Standard-normal initialization, used for the distance-embedding matrix `E`
+/// (§5.2.2 of the paper: "E is initialized randomly, following standard normal
+/// distribution").
+pub fn std_normal(r: &mut impl Rng, rows: usize, cols: usize) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng::normal(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut r = rng::seeded(1);
+        let w = xavier_uniform(&mut r, 100, 100);
+        let limit = (6.0_f32 / 200.0).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn he_normal_variance_scales_with_fan_in() {
+        let mut r = rng::seeded(2);
+        let w = he_normal(&mut r, 512, 64);
+        let var = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
+        let expect = 2.0 / 512.0;
+        assert!((var - expect).abs() < expect, "var {var}, expected ~{expect}");
+    }
+}

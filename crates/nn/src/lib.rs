@@ -1,0 +1,35 @@
+//! Minimal deep-learning substrate for the `cardest` workspace.
+//!
+//! The paper trains its models in TensorFlow and copies the weights into a C++
+//! runtime for estimation. This crate replaces both halves with a single pure
+//! Rust engine:
+//!
+//! * [`matrix::Matrix`] — contiguous row-major `f32` matrices with the handful
+//!   of BLAS-like kernels the models need,
+//! * [`tape::Tape`] — a dynamic reverse-mode autodiff tape over matrices,
+//! * [`params::ParamStore`] — named trainable parameters plus their gradients,
+//! * [`optim`] — Adam and SGD,
+//! * [`layers`] — `Dense` layers and `Mlp` stacks built on the tape,
+//! * [`vae`] — the variational auto-encoder of §5.2.1 of the paper,
+//! * [`loss`] — MSLE and the other losses used by the estimators.
+//!
+//! The engine is deliberately small: models in this workspace are a few
+//! hundred kilobytes of parameters, so clarity and determinism (seeded RNG,
+//! reproducible iteration order) win over raw throughput.
+
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod matrix;
+pub mod optim;
+pub mod params;
+pub mod rng;
+pub mod tape;
+pub mod vae;
+
+pub use layers::{Activation, Dense, Mlp};
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+pub use tape::{Tape, Var};
+pub use vae::{Vae, VaeConfig};

@@ -1,0 +1,193 @@
+//! Optimizers: Adam (the workhorse) and plain SGD.
+
+use crate::matrix::Matrix;
+use crate::params::ParamStore;
+use serde::{Deserialize, Serialize};
+
+/// A first-order optimizer over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update from the currently accumulated gradients, then
+    /// clears them.
+    fn step(&mut self, store: &mut ParamStore);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    fn ensure_state(&mut self, store: &ParamStore) {
+        while self.m.len() < store.len() {
+            let idx = self.m.len();
+            let id = store.ids().nth(idx).expect("id in range");
+            let (r, c) = store.value(id).shape();
+            self.m.push(Matrix::zeros(r, c));
+            self.v.push(Matrix::zeros(r, c));
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.ensure_state(store);
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let (b1, b2, eps, lr) = (self.beta1, self.beta2, self.eps, self.lr);
+        for (idx, id) in store.ids().enumerate().collect::<Vec<_>>() {
+            let m = &mut self.m[idx];
+            let v = &mut self.v[idx];
+            store.update(id, |value, grad| {
+                let vals = value.as_mut_slice();
+                for i in 0..vals.len() {
+                    let g = grad.as_slice()[i];
+                    if !g.is_finite() {
+                        continue; // skip poisoned gradients rather than corrupting moments
+                    }
+                    let mi = b1 * m.as_slice()[i] + (1.0 - b1) * g;
+                    let vi = b2 * v.as_slice()[i] + (1.0 - b2) * g * g;
+                    m.as_mut_slice()[i] = mi;
+                    v.as_mut_slice()[i] = vi;
+                    let m_hat = mi / bc1;
+                    let v_hat = vi / bc2;
+                    vals[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+        }
+        store.zero_grads();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Plain stochastic gradient descent, optionally with momentum.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        while self.velocity.len() < store.len() {
+            let idx = self.velocity.len();
+            let id = store.ids().nth(idx).expect("id in range");
+            let (r, c) = store.value(id).shape();
+            self.velocity.push(Matrix::zeros(r, c));
+        }
+        let (lr, mu) = (self.lr, self.momentum);
+        for (idx, id) in store.ids().enumerate().collect::<Vec<_>>() {
+            let vel = &mut self.velocity[idx];
+            store.update(id, |value, grad| {
+                let vals = value.as_mut_slice();
+                for i in 0..vals.len() {
+                    let g = grad.as_slice()[i];
+                    if !g.is_finite() {
+                        continue;
+                    }
+                    let v = mu * vel.as_slice()[i] - lr * g;
+                    vel.as_mut_slice()[i] = v;
+                    vals[i] += v;
+                }
+            });
+        }
+        store.zero_grads();
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizing (w - 3)^2 should converge to w = 3 with both optimizers.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(1, 1, 0.0));
+        for _ in 0..600 {
+            let mut t = Tape::new();
+            let wv = t.param(&store, w);
+            let shifted = t.add_scalar(wv, -3.0);
+            let sq = t.square(shifted);
+            let l = t.sum_all(sq);
+            t.backward(l, &mut store);
+            opt.step(&mut store);
+        }
+        store.value(w).get(0, 0)
+    }
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        let w = converges(&mut Adam::new(0.05));
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_minimizes_quadratic() {
+        let w = converges(&mut Sgd::with_momentum(0.05, 0.9));
+        assert!((w - 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(1, 1, 1.0));
+        store.accumulate_grad(w, &Matrix::full(1, 1, 1.0));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut store);
+        assert_eq!(store.grad(w).get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn nonfinite_gradients_are_skipped() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::full(1, 1, 1.0));
+        store.accumulate_grad(w, &Matrix::full(1, 1, f32::NAN));
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store);
+        assert_eq!(store.value(w).get(0, 0), 1.0, "NaN grad must not move the weight");
+    }
+}

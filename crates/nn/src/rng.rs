@@ -1,0 +1,58 @@
+//! Seeded random-number helpers.
+//!
+//! `rand` is the only randomness dependency in the workspace; the couple of
+//! distributions the models need (standard normal via Box–Muller, Zipf in the
+//! data crate) are implemented on top of it so every experiment is
+//! reproducible from a single `u64` seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates the workspace-standard RNG from a seed.
+pub fn seeded(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// One standard-normal sample via the Box–Muller transform.
+pub fn normal(rng: &mut impl Rng) -> f32 {
+    // Draw u1 from (0, 1] so the log is finite.
+    let u1: f32 = 1.0 - rng.gen::<f32>();
+    let u2: f32 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// Fills a buffer with `N(mean, std)` samples.
+pub fn fill_normal(rng: &mut impl Rng, buf: &mut [f32], mean: f32, std: f32) {
+    for v in buf {
+        *v = mean + std * normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = seeded(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn seeded_is_deterministic() {
+        let a: Vec<f32> = {
+            let mut r = seeded(42);
+            (0..8).map(|_| normal(&mut r)).collect()
+        };
+        let b: Vec<f32> = {
+            let mut r = seeded(42);
+            (0..8).map(|_| normal(&mut r)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

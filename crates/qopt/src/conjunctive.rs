@@ -1,0 +1,258 @@
+//! Conjunctive similarity queries over multi-attribute entities (§9.11.1).
+//!
+//! A query is a conjunction of Euclidean-distance predicates, one per
+//! attribute (the paper's blocking-rule workloads over Sentence-BERT
+//! embeddings). Execution: pick one predicate, fetch its matches by index
+//! lookup (VP-tree range query), then check the remaining predicates on the
+//! fly. The planner's job is to pick the predicate with the smallest
+//! cardinality; its input is a cardinality estimator per attribute.
+
+use cardest_core::CardinalityEstimator;
+use cardest_data::synth::EntityTable;
+use cardest_data::{Dataset, DistanceKind, Record};
+use cardest_select::euclid::VpTree;
+
+/// The indexed multi-attribute table.
+pub struct ConjunctiveTable {
+    /// One single-attribute dataset per attribute (aligned entity ids).
+    pub attrs: Vec<Dataset>,
+    indexes: Vec<VpTree>,
+    n_entities: usize,
+}
+
+/// A conjunction of per-attribute `(query vector, θ)` predicates.
+#[derive(Clone, Debug)]
+pub struct ConjunctiveQuery {
+    pub preds: Vec<(Vec<f32>, f64)>,
+}
+
+/// What executing one plan cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecutionStats {
+    /// Matching entity count.
+    pub matches: usize,
+    /// Distance evaluations spent in the index lookup.
+    pub index_evals: usize,
+    /// Distance evaluations spent verifying the other predicates.
+    pub verify_evals: usize,
+}
+
+impl ExecutionStats {
+    /// Total work — the plan-quality measure (machine-independent stand-in
+    /// for wall time; Figures 11 use wall time, which we also report in the
+    /// bench harness).
+    pub fn total_evals(&self) -> usize {
+        self.index_evals + self.verify_evals
+    }
+}
+
+impl ConjunctiveTable {
+    /// Builds per-attribute datasets + VP-trees from an [`EntityTable`].
+    pub fn build(table: &EntityTable, theta_max: f64, seed: u64) -> Self {
+        let attrs: Vec<Dataset> = table
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(a, vecs)| {
+                Dataset::new(
+                    format!("{}-attr{a}", table.name),
+                    DistanceKind::Euclidean,
+                    vecs.iter().map(|v| Record::Vec(v.clone())).collect(),
+                    theta_max,
+                )
+            })
+            .collect();
+        let indexes = attrs.iter().enumerate().map(|(a, ds)| VpTree::build(ds, seed + a as u64)).collect();
+        ConjunctiveTable { indexes, n_entities: table.n_entities, attrs }
+    }
+
+    pub fn n_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn n_entities(&self) -> usize {
+        self.n_entities
+    }
+
+    /// Executes the plan that index-scans attribute `lead` and verifies the
+    /// remaining predicates on the fly.
+    pub fn execute(&self, query: &ConjunctiveQuery, lead: usize) -> ExecutionStats {
+        assert_eq!(query.preds.len(), self.n_attrs(), "predicate arity mismatch");
+        let (qv, theta) = &query.preds[lead];
+        let qrec = Record::Vec(qv.clone());
+        let (candidates, index_evals) = {
+            let mut out = Vec::new();
+            let (_, evals) = self.indexes[lead].count_with_evals(&self.attrs[lead], &qrec, *theta);
+            out.extend(self.indexes[lead].select(&self.attrs[lead], &qrec, *theta));
+            (out, evals)
+        };
+        let mut verify_evals = 0usize;
+        let mut matches = 0usize;
+        'candidate: for &id in &candidates {
+            for (a, (qv, theta)) in query.preds.iter().enumerate() {
+                if a == lead {
+                    continue;
+                }
+                verify_evals += 1;
+                let y = self.attrs[a].records[id as usize].as_vec();
+                if cardest_data::dist::euclidean_within(qv, y, *theta).is_none() {
+                    continue 'candidate;
+                }
+            }
+            matches += 1;
+        }
+        ExecutionStats { matches, index_evals, verify_evals }
+    }
+
+    /// Exact matching entities, for correctness checks.
+    pub fn exact_matches(&self, query: &ConjunctiveQuery) -> usize {
+        let mut count = 0usize;
+        'entity: for id in 0..self.n_entities {
+            for (a, (qv, theta)) in query.preds.iter().enumerate() {
+                let y = self.attrs[a].records[id].as_vec();
+                if cardest_data::dist::euclidean_within(qv, y, *theta).is_none() {
+                    continue 'entity;
+                }
+            }
+            count += 1;
+        }
+        count
+    }
+
+    /// The attribute whose plan is actually cheapest (oracle used to score
+    /// planning precision, Figure 12).
+    pub fn best_plan(&self, query: &ConjunctiveQuery) -> usize {
+        (0..self.n_attrs())
+            .map(|a| (a, self.execute(query, a).total_evals()))
+            .min_by_key(|&(_, cost)| cost)
+            .map(|(a, _)| a)
+            .expect("at least one attribute")
+    }
+}
+
+/// Picks the lead predicate by per-attribute cardinality estimates.
+pub struct Planner<'a> {
+    /// One estimator per attribute.
+    pub estimators: Vec<&'a dyn CardinalityEstimator>,
+}
+
+impl Planner<'_> {
+    /// The chosen lead attribute: smallest estimated cardinality.
+    pub fn choose(&self, query: &ConjunctiveQuery) -> usize {
+        query
+            .preds
+            .iter()
+            .enumerate()
+            .map(|(a, (qv, theta))| {
+                let est = self.estimators[a].estimate(&Record::Vec(qv.clone()), *theta);
+                (a, est)
+            })
+            .min_by(|x, y| x.1.partial_cmp(&y.1).expect("finite estimates"))
+            .map(|(a, _)| a)
+            .expect("at least one predicate")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{entity_table, SynthConfig};
+    use rand::{Rng, SeedableRng};
+
+    fn table() -> ConjunctiveTable {
+        let t = entity_table(SynthConfig::new(200, 31), 3, 12);
+        ConjunctiveTable::build(&t, 0.8, 1)
+    }
+
+    fn queries(table: &ConjunctiveTable, n: usize, seed: u64) -> Vec<ConjunctiveQuery> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let id = rng.gen_range(0..table.n_entities());
+                let preds = (0..table.n_attrs())
+                    .map(|a| {
+                        let v = table.attrs[a].records[id].as_vec().to_vec();
+                        // Thresholds U[0.2, 0.5] as in Table 11.
+                        (v, rng.gen_range(0.2..0.5))
+                    })
+                    .collect();
+                ConjunctiveQuery { preds }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_plan_finds_the_same_matches() {
+        let t = table();
+        for q in queries(&t, 5, 2) {
+            let exact = t.exact_matches(&q);
+            for lead in 0..t.n_attrs() {
+                let stats = t.execute(&q, lead);
+                assert_eq!(stats.matches, exact, "plan {lead} wrong");
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_planner_matches_best_plan_often() {
+        // A planner backed by exact per-attribute counts should pick the
+        // cheapest plan most of the time (smallest cardinality ≈ cheapest,
+        // §9.11.1 notes it is not always identical).
+        struct Oracle<'a> {
+            ds: &'a Dataset,
+        }
+        impl cardest_core::CardinalityEstimator for Oracle<'_> {
+            fn estimate(&self, q: &Record, theta: f64) -> f64 {
+                self.ds.cardinality_scan(q, theta) as f64
+            }
+            fn name(&self) -> String {
+                "Exact".into()
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        let t = table();
+        let oracles: Vec<Oracle> = t.attrs.iter().map(|ds| Oracle { ds }).collect();
+        let planner = Planner {
+            estimators: oracles
+                .iter()
+                .map(|o| o as &dyn cardest_core::CardinalityEstimator)
+                .collect(),
+        };
+        let qs = queries(&t, 20, 3);
+        let hits = qs
+            .iter()
+            .filter(|q| {
+                let chosen = planner.choose(q);
+                let best = t.best_plan(q);
+                chosen == best
+                    || t.execute(q, chosen).total_evals()
+                        <= (t.execute(q, best).total_evals() as f64 * 1.3) as usize
+            })
+            .count();
+        assert!(hits >= 15, "oracle planning too imprecise: {hits}/20");
+    }
+
+    #[test]
+    fn planner_picks_smallest_estimate() {
+        struct Fixed(f64);
+        impl cardest_core::CardinalityEstimator for Fixed {
+            fn estimate(&self, _: &Record, _: f64) -> f64 {
+                self.0
+            }
+            fn name(&self) -> String {
+                "Fixed".into()
+            }
+            fn size_bytes(&self) -> usize {
+                0
+            }
+        }
+        let (a, b, c) = (Fixed(50.0), Fixed(3.0), Fixed(10.0));
+        let planner = Planner { estimators: vec![&a, &b, &c] };
+        let q = ConjunctiveQuery {
+            preds: vec![(vec![0.0; 4], 0.3), (vec![0.0; 4], 0.3), (vec![0.0; 4], 0.3)],
+        };
+        assert_eq!(planner.choose(&q), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Edit-distance selection: length partitioning + positional q-gram count
+//! filtering, with banded-DP verification.
+//!
+//! The classic filter-and-verify pipeline: the length filter removes records
+//! whose length differs from the query by more than `θ`; the count filter
+//! removes records sharing too few q-grams (an edit operation destroys at
+//! most `q` of the `|s| − q + 1` q-grams, so survivors must share at least
+//! `max(|x|, |y|) − q + 1 − θ·q`); survivors are verified with the
+//! `O(θ·|s|)` banded DP.
+
+use cardest_data::dist::levenshtein_within;
+use cardest_data::{Dataset, Record};
+use std::collections::HashMap;
+
+const Q: usize = 2;
+
+/// Exact edit-distance selection index.
+pub struct EditIndex {
+    /// Record ids grouped by string length.
+    by_length: HashMap<usize, Vec<u32>>,
+    /// q-gram -> sorted record ids containing it (set semantics).
+    inverted: HashMap<[u8; Q], Vec<u32>>,
+    /// Distinct q-grams per record (for the count-filter bound).
+    gram_counts: Vec<usize>,
+    max_len: usize,
+}
+
+fn grams(s: &str) -> Vec<[u8; Q]> {
+    let b = s.as_bytes();
+    if b.len() < Q {
+        // Pad short strings so they still carry one signature gram.
+        let mut g = [0u8; Q];
+        for (i, &c) in b.iter().enumerate() {
+            g[i] = c;
+        }
+        return vec![g];
+    }
+    let mut out: Vec<[u8; Q]> = b
+        .windows(Q)
+        .map(|w| {
+            let mut g = [0u8; Q];
+            g.copy_from_slice(w);
+            g
+        })
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl EditIndex {
+    pub fn build(dataset: &Dataset) -> Self {
+        let mut by_length: HashMap<usize, Vec<u32>> = HashMap::new();
+        let mut inverted: HashMap<[u8; Q], Vec<u32>> = HashMap::new();
+        let mut gram_counts = Vec::with_capacity(dataset.len());
+        let mut max_len = 0;
+        for (id, r) in dataset.records.iter().enumerate() {
+            let s = r.as_str();
+            max_len = max_len.max(s.len());
+            by_length.entry(s.len()).or_default().push(id as u32);
+            let gs = grams(s);
+            gram_counts.push(gs.len());
+            for g in gs {
+                inverted.entry(g).or_default().push(id as u32);
+            }
+        }
+        EditIndex { by_length, inverted, gram_counts, max_len }
+    }
+
+    /// Exact selection, sorted ids.
+    pub fn select(&self, dataset: &Dataset, query: &Record, theta: f64) -> Vec<u32> {
+        let k = theta.floor().max(0.0) as usize;
+        let q = query.as_str();
+        let qgrams = grams(q);
+
+        // Count shared q-grams per candidate via the inverted lists.
+        let mut shared: HashMap<u32, usize> = HashMap::new();
+        for g in &qgrams {
+            if let Some(ids) = self.inverted.get(g) {
+                for &id in ids {
+                    *shared.entry(id).or_insert(0) += 1;
+                }
+            }
+        }
+
+        let mut out = Vec::new();
+        let lo = q.len().saturating_sub(k);
+        let hi = (q.len() + k).min(self.max_len);
+        for len in lo..=hi {
+            let Some(ids) = self.by_length.get(&len) else { continue };
+            for &id in ids {
+                let y = dataset.records[id as usize].as_str();
+                // Count filter on *distinct* q-grams: each edit destroys at
+                // most q distinct grams of the larger string.
+                let need = self.gram_counts[id as usize]
+                    .max(qgrams.len())
+                    .saturating_sub(k * Q);
+                let have = shared.get(&id).copied().unwrap_or(0);
+                if have < need {
+                    continue;
+                }
+                if levenshtein_within(q, y, k).is_some() {
+                    out.push(id);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanSelector;
+    use cardest_data::synth::{ed_aminer, ed_dblp, SynthConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn grams_dedup_and_pad() {
+        assert_eq!(grams("aaa").len(), 1); // "aa" repeated
+        assert_eq!(grams("ab").len(), 1);
+        assert_eq!(grams("a").len(), 1); // padded
+        assert_eq!(grams("abc").len(), 2);
+    }
+
+    #[test]
+    fn index_matches_scan_on_names() {
+        let ds = ed_aminer(SynthConfig::new(300, 5));
+        let idx = EditIndex::build(&ds);
+        let scan = ScanSelector::new(&ds);
+        for qi in [0usize, 42, 120] {
+            let q = ds.records[qi].clone();
+            for theta in [0.0, 1.0, 3.0, 6.0, 8.0] {
+                assert_eq!(
+                    idx.select(&ds, &q, theta),
+                    scan.select(&q, theta),
+                    "query {qi} ({}), θ={theta}",
+                    q.as_str()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_scan_on_titles() {
+        let ds = ed_dblp(SynthConfig::new(200, 6));
+        let idx = EditIndex::build(&ds);
+        let scan = ScanSelector::new(&ds);
+        let q = ds.records[7].clone();
+        for theta in [0.0, 4.0, 12.0] {
+            assert_eq!(idx.select(&ds, &q, theta), scan.select(&q, theta));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn index_always_agrees_with_scan(seed in 0u64..300, theta in 0u32..8) {
+            let ds = ed_aminer(SynthConfig::new(100, seed));
+            let idx = EditIndex::build(&ds);
+            let scan = ScanSelector::new(&ds);
+            let q = ds.records[(seed % 100) as usize].clone();
+            prop_assert_eq!(idx.select(&ds, &q, f64::from(theta)), scan.select(&q, f64::from(theta)));
+        }
+    }
+}

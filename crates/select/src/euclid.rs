@@ -1,0 +1,180 @@
+//! Euclidean range search with a vantage-point tree.
+//!
+//! The paper uses a cover tree [34] for the conjunctive-query case study; a
+//! VP-tree offers the same triangle-inequality pruning with a simpler
+//! structure (DESIGN.md §2.4 documents the substitution). Exactness is
+//! property-tested against the linear scan.
+
+use cardest_data::dist::euclidean;
+use cardest_data::{Dataset, Record};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Node {
+    /// Record id of the vantage point.
+    vantage: u32,
+    /// Median distance from the vantage point to its subtree's records.
+    radius: f64,
+    inside: Option<Box<Node>>,
+    outside: Option<Box<Node>>,
+}
+
+/// Exact vantage-point tree over the vector records of a dataset.
+pub struct VpTree {
+    root: Option<Box<Node>>,
+}
+
+impl VpTree {
+    pub fn build(dataset: &Dataset, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ids: Vec<u32> = (0..dataset.len() as u32).collect();
+        let root = Self::build_node(dataset, &mut ids, &mut rng);
+        VpTree { root }
+    }
+
+    fn build_node(dataset: &Dataset, ids: &mut [u32], rng: &mut StdRng) -> Option<Box<Node>> {
+        if ids.is_empty() {
+            return None;
+        }
+        // Random vantage point, swapped to the front.
+        let pick = rng.gen_range(0..ids.len());
+        ids.swap(0, pick);
+        let vantage = ids[0];
+        let rest = &mut ids[1..];
+        if rest.is_empty() {
+            return Some(Box::new(Node { vantage, radius: 0.0, inside: None, outside: None }));
+        }
+        let vp = dataset.records[vantage as usize].as_vec();
+        // Median split by distance to the vantage point.
+        let mut dists: Vec<(f64, u32)> = rest
+            .iter()
+            .map(|&id| (euclidean(vp, dataset.records[id as usize].as_vec()), id))
+            .collect();
+        let mid = dists.len() / 2;
+        dists.select_nth_unstable_by(mid, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let radius = dists[mid].0;
+        for (slot, (_, id)) in rest.iter_mut().zip(&dists) {
+            *slot = *id;
+        }
+        let (inside_ids, outside_ids) = rest.split_at_mut(mid);
+        let inside = Self::build_node(dataset, inside_ids, rng);
+        let outside = Self::build_node(dataset, outside_ids, rng);
+        Some(Box::new(Node { vantage, radius, inside, outside }))
+    }
+
+    /// Ids of all records within `theta` of `query`, sorted.
+    pub fn select(&self, dataset: &Dataset, query: &Record, theta: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            Self::search(dataset, root, query.as_vec(), theta, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of distance evaluations a range query makes (profiling helper
+    /// used by the optimizer case study's cost accounting).
+    pub fn count_with_evals(&self, dataset: &Dataset, query: &Record, theta: f64) -> (usize, usize) {
+        let mut out = Vec::new();
+        let mut evals = 0usize;
+        if let Some(root) = &self.root {
+            Self::search_counting(dataset, root, query.as_vec(), theta, &mut out, &mut evals);
+        }
+        (out.len(), evals)
+    }
+
+    fn search(dataset: &Dataset, node: &Node, q: &[f32], theta: f64, out: &mut Vec<u32>) {
+        let d = euclidean(q, dataset.records[node.vantage as usize].as_vec());
+        if d <= theta {
+            out.push(node.vantage);
+        }
+        // Triangle inequality: the inside ball can contain matches only if
+        // d − θ ≤ radius; the outside shell only if d + θ ≥ radius.
+        if let Some(inside) = &node.inside {
+            if d - theta <= node.radius {
+                Self::search(dataset, inside, q, theta, out);
+            }
+        }
+        if let Some(outside) = &node.outside {
+            if d + theta >= node.radius {
+                Self::search(dataset, outside, q, theta, out);
+            }
+        }
+    }
+
+    fn search_counting(
+        dataset: &Dataset,
+        node: &Node,
+        q: &[f32],
+        theta: f64,
+        out: &mut Vec<u32>,
+        evals: &mut usize,
+    ) {
+        *evals += 1;
+        let d = euclidean(q, dataset.records[node.vantage as usize].as_vec());
+        if d <= theta {
+            out.push(node.vantage);
+        }
+        if let Some(inside) = &node.inside {
+            if d - theta <= node.radius {
+                Self::search_counting(dataset, inside, q, theta, out, evals);
+            }
+        }
+        if let Some(outside) = &node.outside {
+            if d + theta >= node.radius {
+                Self::search_counting(dataset, outside, q, theta, out, evals);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanSelector;
+    use cardest_data::synth::{eu_glove, SynthConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn tree_matches_scan() {
+        let ds = eu_glove(SynthConfig::new(300, 9), 16);
+        let tree = VpTree::build(&ds, 1);
+        let scan = ScanSelector::new(&ds);
+        for qi in [0usize, 100, 299] {
+            let q = ds.records[qi].clone();
+            for theta in [0.0, 0.2, 0.5, 0.8] {
+                assert_eq!(
+                    tree.select(&ds, &q, theta),
+                    scan.select(&q, theta),
+                    "query {qi}, θ={theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_evaluations() {
+        let ds = eu_glove(SynthConfig::new(1000, 10), 16);
+        let tree = VpTree::build(&ds, 2);
+        let q = ds.records[5].clone();
+        let (_, evals) = tree.count_with_evals(&ds, &q, 0.2);
+        assert!(
+            evals < ds.len(),
+            "no pruning happened: {evals} evals for {} records",
+            ds.len()
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn tree_always_agrees_with_scan(seed in 0u64..200, theta_pct in 0u32..=80) {
+            let theta = f64::from(theta_pct) / 100.0;
+            let ds = eu_glove(SynthConfig::new(150, seed), 8);
+            let tree = VpTree::build(&ds, seed);
+            let scan = ScanSelector::new(&ds);
+            let q = ds.records[(seed % 150) as usize].clone();
+            prop_assert_eq!(tree.select(&ds, &q, theta), scan.select(&q, theta));
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Hamming-distance selection via the pigeonhole multi-index — the family of
+//! algorithms behind GPH [Qin et al., ICDE 2018], which the paper uses both
+//! as the exact oracle and in the §9.11.2 case study.
+//!
+//! The vector is split into `m` disjoint parts. By the general pigeonhole
+//! principle, if `H(x, y) ≤ θ` then for any allocation `τ_1 + … + τ_m ≥
+//! θ − m + 1` (with `τ_i ≥ 0`) at least one part `i` has `H(x_i, y_i) ≤ τ_i`.
+//! Each part keeps a hash map from part value to record ids; a query probes
+//! each part either by enumerating the Hamming ball of radius `τ_i` around
+//! its own part value (when that ball is small) or by scanning the distinct
+//! part values, then verifies every candidate against the full vector.
+
+use cardest_data::{Dataset, Record};
+use std::collections::HashMap;
+
+/// One part of the multi-index.
+struct Part {
+    /// Bit offset of this part inside the full vector.
+    start: usize,
+    /// Width in bits (≤ 64).
+    width: usize,
+    /// part value -> record ids.
+    postings: HashMap<u64, Vec<u32>>,
+}
+
+/// Exact pigeonhole multi-index for Hamming selection.
+pub struct HammingIndex {
+    parts: Vec<Part>,
+    dim: usize,
+    n_records: usize,
+}
+
+impl HammingIndex {
+    /// Builds the index with `m` parts (clamped to `[1, dim]`).
+    pub fn build(dataset: &Dataset, m: usize) -> Self {
+        let dim = dataset.records.first().map_or(0, |r| r.as_bits().len());
+        let m = m.clamp(1, dim.max(1)).min(64.max(1));
+        let mut parts: Vec<Part> = (0..m)
+            .map(|i| {
+                let start = i * dim / m;
+                let end = (i + 1) * dim / m;
+                Part { start, width: (end - start).min(64), postings: HashMap::new() }
+            })
+            .collect();
+        for (id, r) in dataset.records.iter().enumerate() {
+            let bits = r.as_bits();
+            for p in &mut parts {
+                let key = bits.extract_word(p.start, p.width);
+                p.postings.entry(key).or_default().push(id as u32);
+            }
+        }
+        HammingIndex { parts, dim, n_records: dataset.len() }
+    }
+
+    /// Default part count used by the oracle: wide enough parts that postings
+    /// lists stay selective, matching GPH's 32-bit part recommendation.
+    pub fn default_parts(dim: usize) -> usize {
+        (dim / 16).clamp(1, 8)
+    }
+
+    /// Even threshold allocation satisfying `Σ τ_i ≥ θ − m + 1`.
+    pub fn even_allocation(&self, theta: u32) -> Vec<u32> {
+        let m = self.parts.len() as u32;
+        let need = (theta + 1).saturating_sub(m); // Σ τ_i must reach this
+        let base = need / m;
+        let extra = need % m;
+        (0..m).map(|i| base + u32::from(i < extra)).collect()
+    }
+
+    /// Exact selection: ids of records within `theta` of `query`, sorted.
+    pub fn select(&self, dataset: &Dataset, query: &Record, theta: f64) -> Vec<u32> {
+        let theta_int = theta.floor().max(0.0) as u32;
+        let allocation = self.even_allocation(theta_int);
+        self.select_with_allocation(dataset, query, theta_int, &allocation)
+    }
+
+    /// Selection under an explicit per-part threshold allocation (the GPH
+    /// optimizer case study supplies DP-optimized allocations here).
+    pub fn select_with_allocation(
+        &self,
+        dataset: &Dataset,
+        query: &Record,
+        theta: u32,
+        allocation: &[u32],
+    ) -> Vec<u32> {
+        assert_eq!(allocation.len(), self.parts.len(), "allocation arity mismatch");
+        let qbits = query.as_bits();
+        assert_eq!(qbits.len(), self.dim, "query dimensionality mismatch");
+        let mut seen = vec![false; self.n_records];
+        let mut out = Vec::new();
+        for (p, &tau) in self.parts.iter().zip(allocation) {
+            let qkey = qbits.extract_word(p.start, p.width);
+            self.probe_part(p, qkey, tau, &mut |id| {
+                let idx = id as usize;
+                if !seen[idx] {
+                    seen[idx] = true;
+                    let y = dataset.records[idx].as_bits();
+                    if qbits.hamming_within(y, theta).is_some() {
+                        out.push(id);
+                    }
+                }
+            });
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Number of candidate ids a `(part, τ)` probe would touch — the cost the
+    /// GPH optimizer estimates (exact version used by the `Exact` oracle).
+    pub fn part_candidates(&self, part: usize, qkey: u64, tau: u32) -> usize {
+        let mut count = 0;
+        self.probe_part(&self.parts[part], qkey, tau, &mut |_| count += 1);
+        count
+    }
+
+    /// Part count.
+    pub fn num_parts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// `(start, width)` of a part.
+    pub fn part_span(&self, part: usize) -> (usize, usize) {
+        (self.parts[part].start, self.parts[part].width)
+    }
+
+    /// Visits every record id whose part value lies within Hamming distance
+    /// `tau` of `qkey`. Chooses ball enumeration vs. distinct-key scan by
+    /// estimated cost.
+    fn probe_part(&self, p: &Part, qkey: u64, tau: u32, visit: &mut dyn FnMut(u32)) {
+        let ball = ball_size(p.width as u32, tau);
+        if ball <= p.postings.len() as u64 * 2 {
+            // Enumerate the Hamming ball around the query's part value.
+            enumerate_ball(qkey, p.width as u32, tau, &mut |key| {
+                if let Some(ids) = p.postings.get(&key) {
+                    for &id in ids {
+                        visit(id);
+                    }
+                }
+            });
+        } else {
+            // Dense ball: scanning the distinct part values is cheaper.
+            for (&key, ids) in &p.postings {
+                if (key ^ qkey).count_ones() <= tau {
+                    for &id in ids {
+                        visit(id);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Σ_{i≤tau} C(width, i)`, saturating.
+fn ball_size(width: u32, tau: u32) -> u64 {
+    let mut total: u64 = 0;
+    let mut c: u64 = 1; // C(width, 0)
+    for i in 0..=tau.min(width) {
+        total = total.saturating_add(c);
+        // C(width, i+1) = C(width, i) * (width - i) / (i + 1)
+        c = c.saturating_mul(u64::from(width - i)) / u64::from(i + 1);
+        if total > 1 << 40 {
+            return u64::MAX; // effectively "too big to enumerate"
+        }
+    }
+    total
+}
+
+/// Enumerates all `width`-bit values within Hamming distance `tau` of `base`.
+fn enumerate_ball(base: u64, width: u32, tau: u32, visit: &mut impl FnMut(u64)) {
+    visit(base);
+    if tau == 0 {
+        return;
+    }
+    // Iteratively flip combinations of up to tau bit positions.
+    let mut positions: Vec<u32> = Vec::with_capacity(tau as usize);
+    fn rec(
+        base: u64,
+        width: u32,
+        remaining: u32,
+        from: u32,
+        positions: &mut Vec<u32>,
+        visit: &mut impl FnMut(u64),
+    ) {
+        for p in from..width {
+            positions.push(p);
+            let mut v = base;
+            for &q in positions.iter() {
+                v ^= 1u64 << q;
+            }
+            visit(v);
+            if remaining > 1 {
+                rec(base, width, remaining - 1, p + 1, positions, visit);
+            }
+            positions.pop();
+        }
+    }
+    rec(base, width, tau, 0, &mut positions, visit);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanSelector;
+    use cardest_data::synth::{hm_imagenet, hm_pubchem, SynthConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn ball_size_small_cases() {
+        assert_eq!(ball_size(4, 0), 1);
+        assert_eq!(ball_size(4, 1), 5);
+        assert_eq!(ball_size(4, 2), 11);
+        assert_eq!(ball_size(4, 4), 16);
+    }
+
+    #[test]
+    fn enumerate_ball_visits_exactly_the_ball() {
+        let mut seen = Vec::new();
+        enumerate_ball(0b1010, 4, 2, &mut |v| seen.push(v));
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len() as u64, ball_size(4, 2));
+        for v in seen {
+            assert!((v ^ 0b1010u64).count_ones() <= 2);
+        }
+    }
+
+    #[test]
+    fn even_allocation_satisfies_pigeonhole() {
+        let ds = hm_imagenet(SynthConfig::new(50, 1));
+        let idx = HammingIndex::build(&ds, 4);
+        for theta in 0..=20u32 {
+            let alloc = idx.even_allocation(theta);
+            let total: u32 = alloc.iter().sum();
+            assert!(
+                total + 4 >= theta + 1,
+                "allocation {alloc:?} violates pigeonhole at θ={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn index_matches_scan_on_imagenet() {
+        let ds = hm_imagenet(SynthConfig::new(400, 3));
+        let idx = HammingIndex::build(&ds, 4);
+        let scan = ScanSelector::new(&ds);
+        for qi in [0usize, 17, 101] {
+            let q = ds.records[qi].clone();
+            for theta in [0.0, 3.0, 8.0, 16.0, 20.0] {
+                assert_eq!(
+                    idx.select(&ds, &q, theta),
+                    scan.select(&q, theta),
+                    "query {qi}, θ={theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_scan_on_long_vectors() {
+        let ds = hm_pubchem(SynthConfig::new(200, 4));
+        let idx = HammingIndex::build(&ds, 6);
+        let scan = ScanSelector::new(&ds);
+        let q = ds.records[9].clone();
+        for theta in [0.0, 10.0, 30.0] {
+            assert_eq!(idx.select(&ds, &q, theta), scan.select(&q, theta));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn index_always_agrees_with_scan(seed in 0u64..500, theta in 0u32..18, m in 1usize..6) {
+            let ds = hm_imagenet(SynthConfig::new(120, seed));
+            let idx = HammingIndex::build(&ds, m);
+            let scan = ScanSelector::new(&ds);
+            let q = ds.records[(seed % 120) as usize].clone();
+            prop_assert_eq!(idx.select(&ds, &q, f64::from(theta)), scan.select(&q, f64::from(theta)));
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Jaccard selection via the prefix-filter inverted index (AllPairs/PPJoin
+//! family): exact set-similarity selection with size filtering.
+//!
+//! For a similarity threshold `t = 1 − θ`, records are tokenized in a global
+//! rare-first order; if `J(x, y) ≥ t` then the first
+//! `|x| − ⌈t·|x|⌉ + 1` tokens of `x` must intersect the indexed prefix of
+//! `y`. Candidates from the probed prefix lists are size-filtered
+//! (`t·|x| ≤ |y| ≤ |x|/t`) and verified exactly.
+
+use cardest_data::dist::jaccard_distance;
+use cardest_data::{Dataset, Record};
+use std::collections::HashMap;
+
+/// Exact prefix-filter index for Jaccard selection.
+pub struct JaccardIndex {
+    /// token -> record ids whose *prefix* (at the build threshold) contains it.
+    prefix_lists: HashMap<u32, Vec<u32>>,
+    /// Global token order: rank[token] = frequency rank (rare = small).
+    rank: HashMap<u32, u32>,
+    /// Records re-tokenized in rank order (ranks, ascending). Retained for
+    /// future positional filters (PPJoin-style); verification reads the
+    /// dataset's original sets.
+    #[allow(dead_code)]
+    ranked: Vec<Vec<u32>>,
+    /// Minimum similarity the index was built for (supports θ ≤ θ_max).
+    t_min: f64,
+}
+
+impl JaccardIndex {
+    /// Builds the index supporting any query threshold `θ ≤ theta_max`
+    /// (similarity `t ≥ 1 − theta_max`).
+    pub fn build(dataset: &Dataset, theta_max: f64) -> Self {
+        let t_min = (1.0 - theta_max).max(1e-9);
+        // Global frequency-based ordering (rare tokens first) maximizes
+        // prefix selectivity.
+        let mut freq: HashMap<u32, u32> = HashMap::new();
+        for r in &dataset.records {
+            for &tok in r.as_set() {
+                *freq.entry(tok).or_insert(0) += 1;
+            }
+        }
+        let mut tokens: Vec<(u32, u32)> = freq.iter().map(|(&t, &f)| (t, f)).collect();
+        tokens.sort_by_key(|&(t, f)| (f, t));
+        let rank: HashMap<u32, u32> =
+            tokens.iter().enumerate().map(|(i, &(t, _))| (t, i as u32)).collect();
+
+        let mut prefix_lists: HashMap<u32, Vec<u32>> = HashMap::new();
+        let mut ranked = Vec::with_capacity(dataset.len());
+        for (id, r) in dataset.records.iter().enumerate() {
+            let mut rs: Vec<u32> = r.as_set().iter().map(|t| rank[t]).collect();
+            rs.sort_unstable();
+            let p = prefix_len(rs.len(), t_min);
+            for &tok in &rs[..p.min(rs.len())] {
+                prefix_lists.entry(tok).or_default().push(id as u32);
+            }
+            ranked.push(rs);
+        }
+        JaccardIndex { prefix_lists, rank, ranked, t_min }
+    }
+
+    /// Exact selection, sorted ids. `theta` must be ≤ the build-time maximum.
+    pub fn select(&self, dataset: &Dataset, query: &Record, theta: f64) -> Vec<u32> {
+        let t = (1.0 - theta).max(self.t_min);
+        let mut q_ranked: Vec<u32> = query
+            .as_set()
+            .iter()
+            .filter_map(|tok| self.rank.get(tok).copied())
+            .collect();
+        q_ranked.sort_unstable();
+        let unseen = query.as_set().len() - q_ranked.len(); // tokens absent from D
+
+        let qn = query.as_set().len();
+        let mut out = Vec::new();
+        if qn == 0 {
+            // Empty query: matches exactly the records with J-distance ≤ θ,
+            // which for an empty set means only empty records (distance 0).
+            for (id, r) in dataset.records.iter().enumerate() {
+                if jaccard_distance(query.as_set(), r.as_set()) <= theta {
+                    out.push(id as u32);
+                }
+            }
+            return out;
+        }
+
+        // Probe prefix length uses the *query* threshold t (longer prefix than
+        // the indexed one is unnecessary; the indexed prefix was built for the
+        // loosest threshold we support).
+        let p = prefix_len(qn, t) + unseen;
+        let mut candidate_flags: HashMap<u32, ()> = HashMap::new();
+        for &tok in q_ranked.iter().take(p.min(q_ranked.len())) {
+            if let Some(ids) = self.prefix_lists.get(&tok) {
+                for &id in ids {
+                    candidate_flags.entry(id).or_insert(());
+                }
+            }
+        }
+
+        let (lo, hi) = size_bounds(qn, t);
+        let mut candidates: Vec<u32> = candidate_flags.into_keys().collect();
+        candidates.sort_unstable();
+        for id in candidates {
+            let y = dataset.records[id as usize].as_set();
+            if y.len() < lo || y.len() > hi {
+                continue;
+            }
+            if jaccard_distance(query.as_set(), y) <= theta {
+                out.push(id);
+            }
+        }
+        out
+    }
+}
+
+/// Prefix length `|x| − ⌈t·|x|⌉ + 1` (clamped into `[1, |x|]`).
+fn prefix_len(set_len: usize, t: f64) -> usize {
+    if set_len == 0 {
+        return 0;
+    }
+    let keep = (t * set_len as f64).ceil() as usize;
+    (set_len + 1 - keep.min(set_len)).clamp(1, set_len)
+}
+
+/// Size filter: `J(x,y) ≥ t ⇒ t·|x| ≤ |y| ≤ |x|/t`.
+fn size_bounds(qn: usize, t: f64) -> (usize, usize) {
+    let lo = (t * qn as f64).ceil() as usize;
+    let hi = (qn as f64 / t).floor() as usize;
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::ScanSelector;
+    use cardest_data::synth::{jc_bms, jc_dblpq3, SynthConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn prefix_len_known_values() {
+        // |x| = 10, t = 0.8 -> keep 8, prefix 3.
+        assert_eq!(prefix_len(10, 0.8), 3);
+        assert_eq!(prefix_len(1, 0.5), 1);
+        assert_eq!(prefix_len(0, 0.5), 0);
+    }
+
+    #[test]
+    fn size_bounds_bracket_matches() {
+        let (lo, hi) = size_bounds(10, 0.5);
+        assert_eq!((lo, hi), (5, 20));
+    }
+
+    #[test]
+    fn index_matches_scan_on_baskets() {
+        let ds = jc_bms(SynthConfig::new(400, 7));
+        let idx = JaccardIndex::build(&ds, 0.4);
+        let scan = ScanSelector::new(&ds);
+        for qi in [0usize, 55, 203] {
+            let q = ds.records[qi].clone();
+            for theta in [0.0, 0.1, 0.25, 0.4] {
+                assert_eq!(
+                    idx.select(&ds, &q, theta),
+                    scan.select(&q, theta),
+                    "query {qi}, θ={theta}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn index_matches_scan_on_qgram_sets() {
+        let ds = jc_dblpq3(SynthConfig::new(150, 8));
+        let idx = JaccardIndex::build(&ds, 0.4);
+        let scan = ScanSelector::new(&ds);
+        let q = ds.records[11].clone();
+        for theta in [0.0, 0.2, 0.4] {
+            assert_eq!(idx.select(&ds, &q, theta), scan.select(&q, theta));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn index_always_agrees_with_scan(seed in 0u64..300, theta_pct in 0u32..=40) {
+            let theta = f64::from(theta_pct) / 100.0;
+            let ds = jc_bms(SynthConfig::new(120, seed));
+            let idx = JaccardIndex::build(&ds, 0.4);
+            let scan = ScanSelector::new(&ds);
+            let q = ds.records[(seed % 120) as usize].clone();
+            prop_assert_eq!(idx.select(&ds, &q, theta), scan.select(&q, theta));
+        }
+    }
+}

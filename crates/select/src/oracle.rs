@@ -1,0 +1,124 @@
+//! A unified selector over the per-distance indexes, plus parallel workload
+//! labelling (training-data preparation, §6.1).
+
+use crate::edit::EditIndex;
+use crate::euclid::VpTree;
+use crate::hamming::HammingIndex;
+use crate::jaccard::JaccardIndex;
+use cardest_data::workload::LabelledQuery;
+use cardest_data::{Dataset, DistanceKind, Record, Workload};
+
+/// An exact similarity-selection algorithm bound to a dataset.
+pub enum Selector<'a> {
+    Hamming { dataset: &'a Dataset, index: HammingIndex },
+    Edit { dataset: &'a Dataset, index: EditIndex },
+    Jaccard { dataset: &'a Dataset, index: JaccardIndex },
+    Euclidean { dataset: &'a Dataset, index: VpTree },
+}
+
+/// Builds the appropriate index for the dataset's distance function.
+pub fn build_selector(dataset: &Dataset) -> Selector<'_> {
+    match dataset.kind {
+        DistanceKind::Hamming => {
+            let dim = dataset.records.first().map_or(1, |r| r.as_bits().len());
+            Selector::Hamming {
+                dataset,
+                index: HammingIndex::build(dataset, HammingIndex::default_parts(dim)),
+            }
+        }
+        DistanceKind::Edit => Selector::Edit { dataset, index: EditIndex::build(dataset) },
+        DistanceKind::Jaccard => Selector::Jaccard {
+            dataset,
+            index: JaccardIndex::build(dataset, dataset.theta_max),
+        },
+        DistanceKind::Euclidean => {
+            Selector::Euclidean { dataset, index: VpTree::build(dataset, 0xCAFE) }
+        }
+    }
+}
+
+impl Selector<'_> {
+    /// Ids of all records within `theta` of `query`, sorted.
+    pub fn select(&self, query: &Record, theta: f64) -> Vec<u32> {
+        match self {
+            Selector::Hamming { dataset, index } => index.select(dataset, query, theta),
+            Selector::Edit { dataset, index } => index.select(dataset, query, theta),
+            Selector::Jaccard { dataset, index } => index.select(dataset, query, theta),
+            Selector::Euclidean { dataset, index } => index.select(dataset, query, theta),
+        }
+    }
+
+    /// Exact cardinality of the selection.
+    pub fn count(&self, query: &Record, theta: f64) -> usize {
+        self.select(query, theta).len()
+    }
+}
+
+/// Labels a query workload in parallel with `crossbeam` scoped threads:
+/// each worker scans a chunk of queries against the dataset. This is the
+/// training-data preparation path; it must agree exactly with
+/// [`Workload::label`].
+pub fn parallel_label(
+    dataset: &Dataset,
+    queries: Vec<Record>,
+    thresholds: Vec<f64>,
+    n_threads: usize,
+) -> Workload {
+    let n_threads = n_threads.max(1);
+    if queries.len() < 2 * n_threads {
+        return Workload::label(dataset, queries, thresholds);
+    }
+    let chunk = queries.len().div_ceil(n_threads);
+    let chunks: Vec<Vec<Record>> = queries.chunks(chunk).map(<[Record]>::to_vec).collect();
+    let mut results: Vec<Vec<LabelledQuery>> = Vec::with_capacity(chunks.len());
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|qs| {
+                let thr = thresholds.clone();
+                scope.spawn(move |_| Workload::label(dataset, qs, thr).queries)
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("labelling worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    Workload { thresholds, queries: results.into_iter().flatten().collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{default_suite, SynthConfig};
+
+    #[test]
+    fn selector_dispatch_is_exact_for_all_kinds() {
+        for ds in default_suite(120, 21) {
+            let sel = build_selector(&ds);
+            let q = ds.records[3].clone();
+            for frac in [0.0, 0.5, 1.0] {
+                let theta = ds.theta_max * frac;
+                assert_eq!(
+                    sel.count(&q, theta),
+                    ds.cardinality_scan(&q, theta),
+                    "{} θ={theta}",
+                    ds.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_label_matches_sequential() {
+        let ds = cardest_data::synth::hm_imagenet(SynthConfig::new(200, 33));
+        let queries: Vec<Record> = ds.records[..40].to_vec();
+        let grid = Workload::uniform_grid(ds.theta_max, 8);
+        let seq = Workload::label(&ds, queries.clone(), grid.clone());
+        let par = parallel_label(&ds, queries, grid, 4);
+        assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.queries.iter().zip(&par.queries) {
+            assert_eq!(a.cards, b.cards);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Brute-force selection by linear scan — the correctness reference for every
+//! index, and a perfectly reasonable algorithm at small `n`.
+
+use cardest_data::{Dataset, Record};
+
+/// Linear-scan selector with threshold-bounded distance evaluation.
+pub struct ScanSelector<'a> {
+    dataset: &'a Dataset,
+}
+
+impl<'a> ScanSelector<'a> {
+    pub fn new(dataset: &'a Dataset) -> Self {
+        ScanSelector { dataset }
+    }
+
+    /// Ids of all records within `theta` of `query`.
+    pub fn select(&self, query: &Record, theta: f64) -> Vec<u32> {
+        let d = self.dataset.distance();
+        self.dataset
+            .records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, y)| d.eval_within(query, y, theta).map(|_| i as u32))
+            .collect()
+    }
+
+    /// `|select(query, theta)|` without materializing ids.
+    pub fn count(&self, query: &Record, theta: f64) -> usize {
+        let d = self.dataset.distance();
+        self.dataset
+            .records
+            .iter()
+            .filter(|y| d.eval_within(query, y, theta).is_some())
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cardest_data::synth::{hm_imagenet, SynthConfig};
+
+    #[test]
+    fn scan_matches_dataset_cardinality() {
+        let ds = hm_imagenet(SynthConfig::new(200, 1));
+        let scan = ScanSelector::new(&ds);
+        let q = ds.records[0].clone();
+        for theta in [0.0, 4.0, 12.0, 20.0] {
+            assert_eq!(scan.count(&q, theta), ds.cardinality_scan(&q, theta));
+            assert_eq!(scan.select(&q, theta).len(), scan.count(&q, theta));
+        }
+    }
+
+    #[test]
+    fn select_ids_are_sorted_and_valid() {
+        let ds = hm_imagenet(SynthConfig::new(100, 2));
+        let scan = ScanSelector::new(&ds);
+        let ids = scan.select(&ds.records[3].clone(), 10.0);
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        assert!(ids.iter().all(|&i| (i as usize) < ds.len()));
+        assert!(ids.contains(&3), "query itself must match at any threshold");
+    }
+}

@@ -1,0 +1,59 @@
+//! Quickstart: train a monotonic cardinality estimator on a Hamming-code
+//! dataset and query it.
+//!
+//! ```text
+//! cargo run --release -p cardest-core --example quickstart
+//! ```
+
+use cardest_core::estimator::CardinalityEstimator;
+use cardest_core::model::CardNetConfig;
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_core::CardNetEstimator;
+use cardest_data::synth::{hm_imagenet, SynthConfig};
+use cardest_data::Workload;
+use cardest_fx::build_extractor;
+
+fn main() {
+    // 1. A dataset: 64-bit binary codes under Hamming distance, θ_max = 20.
+    //    (Replace with your own `Dataset` of Bits/Str/Set/Vec records.)
+    let dataset = hm_imagenet(SynthConfig::new(2000, 42));
+    println!("dataset: {} ({} records, θ_max = {})", dataset.name, dataset.len(), dataset.theta_max);
+
+    // 2. A labelled workload: sample 10% of the records as queries, label
+    //    them with the exact oracle over a uniform threshold grid (§6.1).
+    let workload = Workload::sample_from(&dataset, 0.10, 12, 7);
+    let split = workload.split(13);
+    println!(
+        "workload: {} train / {} valid / {} test queries × {} thresholds",
+        split.train.len(),
+        split.valid.len(),
+        split.test.len(),
+        split.train.thresholds.len()
+    );
+
+    // 3. Feature extraction (§4) + the accelerated CardNet-A model (§7).
+    let fx = build_extractor(&dataset, 20, 1);
+    let config = CardNetConfig::new(fx.dim(), fx.tau_max() + 1).accelerated();
+    let options = TrainerOptions::quick();
+    let (trainer, report) = train_cardnet(fx.as_ref(), &split.train, &split.valid, config, options);
+    println!(
+        "trained in {:.1}s ({} epochs, best val MSLE {:.3})",
+        report.train_seconds, report.epochs_run, report.best_val_msle
+    );
+    let estimator = CardNetEstimator::from_trainer(fx, trainer);
+
+    // 4. Estimate — monotone in θ by construction (Lemmas 1–2).
+    let query = &dataset.records[0];
+    println!("\n{:>10} {:>12} {:>10}", "θ", "estimated", "actual");
+    for theta in (0..=20).step_by(4) {
+        let est = estimator.estimate(query, f64::from(theta));
+        let actual = dataset.cardinality_scan(query, f64::from(theta));
+        println!("{theta:>10} {est:>12.1} {actual:>10}");
+    }
+    println!(
+        "\nmodel: {} ({} KiB, monotonic = {})",
+        estimator.name(),
+        estimator.size_bytes() / 1024,
+        estimator.is_monotonic()
+    );
+}

@@ -1,0 +1,96 @@
+//! Cross-crate monotonicity guarantees (Lemmas 1–2): the trained CardNet
+//! estimators — and every baseline claiming monotonicity — must produce
+//! non-decreasing estimates as the threshold grows, on every data domain.
+
+use cardest_baselines::{build_db_se, DbUs, TlKde};
+use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
+use cardest_core::model::{CardNetConfig, EncoderKind};
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_data::synth::default_four;
+use cardest_data::{Dataset, Workload};
+use cardest_fx::build_extractor;
+use proptest::prelude::*;
+
+fn check_monotone(est: &dyn CardinalityEstimator, ds: &Dataset, queries: usize) {
+    for qi in (0..ds.len()).step_by((ds.len() / queries).max(1)) {
+        let q = &ds.records[qi];
+        let mut prev = -1e-9;
+        for step in 0..=24 {
+            let theta = ds.theta_max * f64::from(step) / 24.0;
+            let c = est.estimate(q, theta);
+            assert!(
+                c >= prev - 1e-6,
+                "{} on {}: estimate dropped at θ={theta}: {c} < {prev} (query {qi})",
+                est.name(),
+                ds.name
+            );
+            prev = c;
+        }
+    }
+}
+
+#[test]
+fn trained_cardnet_is_monotone_on_every_domain() {
+    for ds in default_four(500, 7_777) {
+        let wl = Workload::sample_from(&ds, 0.2, 8, 5);
+        let split = wl.split(6);
+        for encoder in [EncoderKind::Shared, EncoderKind::Accelerated] {
+            let fx = build_extractor(&ds, 12, 3);
+            let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+            cfg.encoder = encoder;
+            cfg.phi_hidden = vec![32, 24];
+            cfg.z_dim = 16;
+            cfg.vae_hidden = vec![32];
+            cfg.vae_latent = 8;
+            let opts = TrainerOptions { epochs: 6, vae_epochs: 2, ..TrainerOptions::quick() };
+            let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+            let est = CardNetEstimator::from_trainer(fx, trainer);
+            assert!(est.is_monotonic());
+            check_monotone(&est, &ds, 12);
+        }
+    }
+}
+
+#[test]
+fn monotonic_baselines_keep_their_promise() {
+    for ds in default_four(400, 8_888) {
+        let db_se = build_db_se(&ds, 1);
+        let db_us = DbUs::build(&ds, 0.1, 2);
+        let kde = TlKde::build(&ds, 0.1, 3);
+        for est in [&*db_se, &db_us as &dyn CardinalityEstimator, &kde] {
+            if est.is_monotonic() {
+                check_monotone(est, &ds, 8);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// The untrained model is already monotone — the guarantee is structural,
+    /// not learned.
+    #[test]
+    fn untrained_cardnet_is_monotone(seed in 0u64..1000, accelerated: bool) {
+        let ds = cardest_data::synth::hm_imagenet(cardest_data::synth::SynthConfig::new(50, seed));
+        let fx = build_extractor(&ds, 16, seed);
+        let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+        if accelerated {
+            cfg.encoder = EncoderKind::Accelerated;
+        }
+        cfg.phi_hidden = vec![16];
+        cfg.z_dim = 8;
+        cfg.vae_hidden = vec![16];
+        cfg.vae_latent = 4;
+        let mut store = cardest_nn::ParamStore::new();
+        let mut rng = cardest_nn::rng::seeded(seed);
+        let model = cardest_core::model::CardNetModel::new(&mut store, &mut rng, cfg);
+        let bits = fx.extract(&ds.records[0]);
+        let x = cardest_nn::Matrix::from_vec(1, bits.len(), bits.to_f32());
+        let mut prev = 0.0;
+        for tau in 0..=fx.tau_max() {
+            let est = model.infer_sum(&store, &x, tau);
+            prop_assert!(est >= prev - 1e-9, "τ={tau}: {est} < {prev}");
+            prev = est;
+        }
+    }
+}

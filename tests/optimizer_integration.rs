@@ -1,0 +1,115 @@
+//! Cross-crate optimizer integration: plans stay correct regardless of the
+//! estimator quality, and better estimates never make GPH incomplete.
+
+use cardest_core::CardinalityEstimator;
+use cardest_data::synth::{entity_table, hm_imagenet, SynthConfig};
+use cardest_data::{BitVec, Record, Workload};
+use cardest_qopt::conjunctive::{ConjunctiveQuery, ConjunctiveTable, Planner};
+use cardest_qopt::gph::{allocate_thresholds, EstimatorPartCost, ExactPartCost, GphProcessor};
+use cardest_select::ScanSelector;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn conjunctive_plans_agree_on_matches_for_any_estimator() {
+    // An intentionally terrible estimator must still yield correct results —
+    // only performance may differ.
+    struct Awful;
+    impl CardinalityEstimator for Awful {
+        fn estimate(&self, _: &Record, theta: f64) -> f64 {
+            1e6 - theta // anti-correlated with selectivity
+        }
+        fn name(&self) -> String {
+            "Awful".into()
+        }
+        fn size_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    let src = entity_table(SynthConfig::new(300, 3), 3, 12);
+    let table = ConjunctiveTable::build(&src, 0.8, 1);
+    let awful = [Awful, Awful, Awful];
+    let planner = Planner {
+        estimators: awful.iter().map(|a| a as &dyn CardinalityEstimator).collect(),
+    };
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    for _ in 0..10 {
+        let id = rng.gen_range(0..table.n_entities());
+        let q = ConjunctiveQuery {
+            preds: (0..3)
+                .map(|a| (table.attrs[a].records[id].as_vec().to_vec(), rng.gen_range(0.2..0.5)))
+                .collect(),
+        };
+        let lead = planner.choose(&q);
+        assert_eq!(table.execute(&q, lead).matches, table.exact_matches(&q));
+    }
+}
+
+#[test]
+fn gph_is_complete_under_learned_cost_models() {
+    let ds = hm_imagenet(SynthConfig::new(400, 9));
+    let proc = GphProcessor::build(&ds, 2);
+    let scan = ScanSelector::new(&ds);
+
+    // Cost model backed by the mean estimator per part (deliberately coarse).
+    let parts = proc.part_datasets(&ds);
+    let per_part: Vec<Box<dyn CardinalityEstimator>> = parts
+        .iter()
+        .map(|pds| -> Box<dyn CardinalityEstimator> {
+            let wl = Workload::sample_from(pds, 0.05, 6, 3);
+            Box::new(cardest_baselines::MeanEstimator::build(&wl, pds.theta_max, 16))
+        })
+        .collect();
+    let coarse = EstimatorPartCost { per_part, label: "Mean".into() };
+    let exact = ExactPartCost { index: &proc.index };
+
+    for qi in [0usize, 123, 321] {
+        let q = &ds.records[qi];
+        for theta in [4u32, 10, 16] {
+            let truth = scan.select(q, f64::from(theta));
+            assert_eq!(proc.process(&ds, q, theta, &coarse).results, truth);
+            assert_eq!(proc.process(&ds, q, theta, &exact).results, truth);
+        }
+    }
+}
+
+#[test]
+fn gph_allocations_always_satisfy_the_pigeonhole_budget() {
+    let ds = hm_imagenet(SynthConfig::new(200, 10));
+    let proc = GphProcessor::build(&ds, 4);
+    let exact = ExactPartCost { index: &proc.index };
+    for qi in 0..8 {
+        let parts = proc.query_parts(&ds.records[qi]);
+        for theta in 0..=20u32 {
+            let alloc = allocate_thresholds(&exact, &parts, theta);
+            let total: u32 = alloc.iter().sum();
+            let budget = (theta + 1).saturating_sub(parts.len() as u32);
+            assert_eq!(total, budget, "query {qi} θ={theta}");
+        }
+    }
+}
+
+#[test]
+fn gph_exact_cost_never_expands_more_candidates_than_even_split() {
+    let ds = hm_imagenet(SynthConfig::new(300, 11));
+    let proc = GphProcessor::build(&ds, 2);
+    let exact = ExactPartCost { index: &proc.index };
+    let mut dp_total = 0usize;
+    let mut even_total = 0usize;
+    for qi in (0..300).step_by(37) {
+        let q = &ds.records[qi];
+        let parts = proc.query_parts(q);
+        let theta = 12u32;
+        let dp = allocate_thresholds(&exact, &parts, theta);
+        let even = proc.index.even_allocation(theta);
+        for (p, qp) in parts.iter().enumerate() {
+            let key = qp.extract_word(0, qp.len());
+            dp_total += proc.index.part_candidates(p, key, dp[p]);
+            even_total += proc.index.part_candidates(p, key, even[p]);
+        }
+    }
+    assert!(dp_total <= even_total, "DP allocation did more work: {dp_total} > {even_total}");
+    // Sanity: the helper used above really splits the query.
+    let parts = proc.query_parts(&ds.records[0]);
+    assert_eq!(parts.iter().map(BitVec::len).sum::<usize>(), 64);
+}

@@ -1,0 +1,61 @@
+//! Cross-crate exactness: every selection index agrees with the brute-force
+//! scan on every domain, and workload labels equal oracle counts.
+
+use cardest_data::synth::default_suite;
+use cardest_data::Workload;
+use cardest_select::{build_selector, ScanSelector};
+use proptest::prelude::*;
+
+#[test]
+fn indexes_agree_with_scan_across_the_suite() {
+    for ds in default_suite(250, 4_242) {
+        let sel = build_selector(&ds);
+        let scan = ScanSelector::new(&ds);
+        for qi in [0usize, 97, 201] {
+            let q = ds.records[qi % ds.len()].clone();
+            for frac in [0.0, 0.3, 0.7, 1.0] {
+                let theta = ds.theta_max * frac;
+                assert_eq!(
+                    sel.select(&q, theta),
+                    scan.select(&q, theta),
+                    "{} query {qi} θ={theta}",
+                    ds.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn workload_labels_match_oracle_counts() {
+    for ds in default_suite(200, 5_151) {
+        let wl = Workload::sample_from(&ds, 0.1, 6, 9);
+        let sel = build_selector(&ds);
+        for lq in wl.queries.iter().take(5) {
+            for (&theta, &c) in wl.thresholds.iter().zip(&lq.cards) {
+                assert_eq!(
+                    c as usize,
+                    sel.count(&lq.query, theta),
+                    "{} label mismatch at θ={theta}",
+                    ds.name
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn labels_are_cumulative_curves(seed in 0u64..500) {
+        let ds = cardest_data::synth::jc_bms(cardest_data::synth::SynthConfig::new(150, seed));
+        let wl = Workload::sample_from(&ds, 0.2, 8, seed);
+        for lq in &wl.queries {
+            // Monotone and bounded by the dataset size.
+            prop_assert!(lq.cards.windows(2).all(|w| w[0] <= w[1]));
+            prop_assert!(*lq.cards.last().expect("non-empty") as usize <= ds.len());
+            // The query is sampled from the dataset, so it matches itself.
+            prop_assert!(lq.cards[0] >= 1);
+        }
+    }
+}

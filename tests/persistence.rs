@@ -1,0 +1,62 @@
+//! Cross-crate persistence flow: dataset JSONL round-trip + model snapshot
+//! round-trip must preserve estimates exactly — the CLI's train/estimate
+//! contract.
+
+use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
+use cardest_core::model::CardNetConfig;
+use cardest_core::snapshot::Snapshot;
+use cardest_core::train::{train_cardnet, Trainer, TrainerOptions};
+use cardest_data::io::{load_jsonl, save_jsonl};
+use cardest_data::synth::{hm_imagenet, SynthConfig};
+use cardest_data::Workload;
+use cardest_fx::build_extractor;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("cardest_persistence_tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    dir.join(name)
+}
+
+#[test]
+fn dataset_and_model_roundtrip_preserves_estimates() {
+    let ds = hm_imagenet(SynthConfig::new(300, 91));
+
+    // Dataset through disk.
+    let ds_path = tmp("flow_ds.jsonl");
+    save_jsonl(&ds, &ds_path).expect("save dataset");
+    let ds2 = load_jsonl(&ds_path).expect("load dataset");
+    assert_eq!(ds.records, ds2.records);
+
+    // Train on the loaded copy.
+    let split = Workload::sample_from(&ds2, 0.2, 8, 3).split(4);
+    let fx = build_extractor(&ds2, 10, 1);
+    let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1).accelerated();
+    cfg.phi_hidden = vec![24, 16];
+    cfg.z_dim = 12;
+    cfg.vae_hidden = vec![24];
+    cfg.vae_latent = 6;
+    let opts = TrainerOptions { epochs: 6, vae_epochs: 2, ..TrainerOptions::quick() };
+    let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+
+    // Model through disk.
+    let model_path = tmp("flow_model.json");
+    Snapshot::from_trainer(&trainer, fx.name()).save(&model_path).expect("save model");
+    let snap = Snapshot::load(&model_path).expect("load model");
+    assert_eq!(snap.extractor, fx.name());
+
+    // The restored estimator must agree bit-for-bit with the live one.
+    let fx2 = build_extractor(&ds2, 10, 1);
+    let live = CardNetEstimator::from_trainer(fx, trainer);
+    let restored = CardNetEstimator::from_trainer(fx2, Trainer::from_parts(snap.model, snap.params));
+    for qi in [0usize, 50, 150] {
+        let q = &ds2.records[qi];
+        for theta in [0.0, 5.0, 10.0, 20.0] {
+            let a = live.estimate(q, theta);
+            let b = restored.estimate(q, theta);
+            assert!((a - b).abs() < 1e-9, "query {qi} θ={theta}: {a} vs {b}");
+        }
+    }
+
+    std::fs::remove_file(&ds_path).ok();
+    std::fs::remove_file(&model_path).ok();
+}
