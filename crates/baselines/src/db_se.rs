@@ -3,12 +3,12 @@
 //! structure per domain; DESIGN.md §2.4 records each substitution:
 //!
 //! * Hamming — a dimension-group histogram with a distance-distribution
-//!   convolution, the structure of the GPH histogram estimator [63];
+//!   convolution, the structure of the GPH histogram estimator \[63\];
 //! * Edit / Jaccard — pivot (anchor) distance histograms chosen by
 //!   farthest-first traversal, standing in for the q-gram/semi-lattice
 //!   structures [36, 46] (same auxiliary-structure behaviour: cheap, coarse,
 //!   degrades on large thresholds);
-//! * Euclidean — LSH-bucket sampling with local density extrapolation [76].
+//! * Euclidean — LSH-bucket sampling with local density extrapolation \[76\].
 
 use cardest_core::CardinalityEstimator;
 use cardest_data::{Dataset, Distance, DistanceKind, Record};
@@ -33,7 +33,7 @@ pub fn build_db_se(dataset: &Dataset, seed: u64) -> Box<dyn CardinalityEstimator
 
 /// Bits are split into groups of ≤ 8; each group keeps exact frequencies of
 /// its 2^w patterns. Assuming independence across groups (the histogram
-/// assumption of [63]), the distribution of the total Hamming distance to a
+/// assumption of \[63\]), the distribution of the total Hamming distance to a
 /// query is the convolution of per-group distance distributions, and
 /// `ĉ(x, θ) = |D| · P(dist ≤ θ)`.
 pub struct GroupHistogram {
@@ -55,15 +55,25 @@ impl GroupHistogram {
         let width = 8usize;
         let mut groups: Vec<Group> = (0..dim)
             .step_by(width)
-            .map(|start| Group { start, width: width.min(dim - start), counts: HashMap::new() })
+            .map(|start| Group {
+                start,
+                width: width.min(dim - start),
+                counts: HashMap::new(),
+            })
             .collect();
         for r in &dataset.records {
             let bits = r.as_bits();
             for g in &mut groups {
-                *g.counts.entry(bits.extract_word(g.start, g.width)).or_insert(0) += 1;
+                *g.counts
+                    .entry(bits.extract_word(g.start, g.width))
+                    .or_insert(0) += 1;
             }
         }
-        GroupHistogram { groups, n_records: dataset.len(), dim }
+        GroupHistogram {
+            groups,
+            n_records: dataset.len(),
+            dim,
+        }
     }
 }
 
@@ -164,7 +174,10 @@ impl PivotHistogram {
             .fold(0.0f64, f64::max)
             .max(dataset.theta_max);
         let bucket_width = (max_seen / buckets as f64).max(1e-9);
-        let pivots: Vec<Record> = pivot_ids.iter().map(|&i| dataset.records[i].clone()).collect();
+        let pivots: Vec<Record> = pivot_ids
+            .iter()
+            .map(|&i| dataset.records[i].clone())
+            .collect();
         let mut hist = vec![vec![0u32; buckets + 1]; pivots.len()];
         for r in &dataset.records {
             for (p, pivot) in pivots.iter().enumerate() {
@@ -173,7 +186,12 @@ impl PivotHistogram {
                 hist[p][b] += 1;
             }
         }
-        PivotHistogram { pivots, hist, bucket_width, distance }
+        PivotHistogram {
+            pivots,
+            hist,
+            bucket_width,
+            distance,
+        }
     }
 }
 
@@ -194,7 +212,10 @@ impl CardinalityEstimator for PivotHistogram {
         let hi = dq + theta;
         let b_lo = (lo / self.bucket_width).floor() as usize;
         let b_hi = ((hi / self.bucket_width).floor() as usize).min(self.hist[p].len() - 1);
-        let band: f64 = self.hist[p][b_lo..=b_hi].iter().map(|&c| f64::from(c)).sum();
+        let band: f64 = self.hist[p][b_lo..=b_hi]
+            .iter()
+            .map(|&c| f64::from(c))
+            .sum();
         let band_width = (hi - lo).max(self.bucket_width);
         let fraction = (2.0 * theta / band_width).clamp(0.0, 1.0);
         // Guarantee monotone growth: the band plus fraction both widen with θ.
@@ -259,7 +280,9 @@ impl LshBucketSampling {
         let projections: Vec<Vec<f32>> = (0..n_hashes)
             .map(|_| (0..dim).map(|_| normal(&mut rng) as f32).collect())
             .collect();
-        let offsets: Vec<f32> = (0..n_hashes).map(|_| rng.gen_range(0.0..r) as f32).collect();
+        let offsets: Vec<f32> = (0..n_hashes)
+            .map(|_| rng.gen_range(0.0..r) as f32)
+            .collect();
         let mut me = LshBucketSampling {
             table: HashMap::new(),
             projections,
@@ -286,8 +309,11 @@ impl LshBucketSampling {
     fn key_of(&self, x: &[f32]) -> u64 {
         let mut key = 0u64;
         for (proj, &off) in self.projections.iter().zip(&self.offsets) {
-            let dot: f64 =
-                proj.iter().zip(x).map(|(&a, &v)| f64::from(a) * f64::from(v)).sum::<f64>();
+            let dot: f64 = proj
+                .iter()
+                .zip(x)
+                .map(|(&a, &v)| f64::from(a) * f64::from(v))
+                .sum::<f64>();
             let h = ((dot + f64::from(off)) / self.r).floor() as i64;
             key = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (h as u64);
         }
@@ -298,7 +324,11 @@ impl LshBucketSampling {
 impl CardinalityEstimator for LshBucketSampling {
     fn estimate(&self, query: &Record, theta: f64) -> f64 {
         let key = self.key_of(query.as_vec());
-        let bucket = self.table.get(&key).filter(|b| b.len() >= 4).unwrap_or(&self.fallback);
+        let bucket = self
+            .table
+            .get(&key)
+            .filter(|b| b.len() >= 4)
+            .unwrap_or(&self.fallback);
         if bucket.is_empty() {
             return 0.0;
         }

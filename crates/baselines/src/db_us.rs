@@ -25,8 +25,15 @@ impl DbUs {
         let mut idx: Vec<usize> = (0..dataset.len()).collect();
         idx.shuffle(&mut rng);
         idx.truncate(n);
-        let sample = idx.into_iter().map(|i| dataset.records[i].clone()).collect();
-        DbUs { sample, distance: dataset.distance(), scale: dataset.len() as f64 / n as f64 }
+        let sample = idx
+            .into_iter()
+            .map(|i| dataset.records[i].clone())
+            .collect();
+        DbUs {
+            sample,
+            distance: dataset.distance(),
+            scale: dataset.len() as f64 / n as f64,
+        }
     }
 
     pub fn sample_size(&self) -> usize {
@@ -89,7 +96,10 @@ mod tests {
         let q = &ds.records[0];
         let truth = ds.cardinality_scan(q, 12.0) as f64;
         let approx = est.estimate(q, 12.0);
-        assert!((approx - truth).abs() / truth.max(1.0) < 0.8, "{approx} vs {truth}");
+        assert!(
+            (approx - truth).abs() / truth.max(1.0) < 0.8,
+            "{approx} vs {truth}"
+        );
     }
 
     #[test]

@@ -119,14 +119,21 @@ impl DlDln {
         let dims: Vec<usize> = opts.hidden.iter().copied().chain([1usize]).collect();
         for (i, &out) in dims.iter().enumerate() {
             let w_free = (free_in > 0).then(|| {
-                store.register(format!("dln.{i}.wf"), init::he_normal(&mut rng, free_in, out))
+                store.register(
+                    format!("dln.{i}.wf"),
+                    init::he_normal(&mut rng, free_in, out),
+                )
             });
             // Raw weights start slightly negative so softplus yields small
             // positives (≈ gentle initial slopes).
             let raw = init::he_normal(&mut rng, mono_in, out).map(|v| v.abs() * 0.5 - 1.0);
             let w_mono_raw = store.register(format!("dln.{i}.wm"), raw);
             let b = store.register(format!("dln.{i}.b"), Matrix::zeros(1, out));
-            layers.push(MonotoneLayer { w_free, w_mono_raw, b });
+            layers.push(MonotoneLayer {
+                w_free,
+                w_mono_raw,
+                b,
+            });
             // After layer 1 all activations sit on monotone paths.
             mono_in = out;
             free_in = 0;
@@ -156,7 +163,12 @@ impl DlDln {
                 opt.step(&mut store);
             }
         }
-        DlDln { layers, store, featurizer, theta_max }
+        DlDln {
+            layers,
+            store,
+            featurizer,
+            theta_max,
+        }
     }
 
     fn infer(&self, x: &Matrix, feat_dim: usize) -> f64 {
@@ -200,8 +212,15 @@ mod tests {
         let wl = Workload::sample_from(&ds, 0.4, 8, 2);
         let split = wl.split(3);
         let f = BaselineFeaturizer::from_dataset(&ds, 1);
-        let opts = DlnOptions { epochs: 15, ..Default::default() };
-        (DlDln::train(&split.train, f, ds.theta_max, opts), ds, split.test)
+        let opts = DlnOptions {
+            epochs: 15,
+            ..Default::default()
+        };
+        (
+            DlDln::train(&split.train, f, ds.theta_max, opts),
+            ds,
+            split.test,
+        )
     }
 
     #[test]

@@ -101,7 +101,12 @@ impl DlDnn {
     ) -> Self {
         let data = RegressionData::from_workload(workload, &featurizer, theta_max);
         let (mlp, store) = fit_msle_mlp(&data.x, &data.y, &opts.hidden, &opts, "dldnn");
-        DlDnn { mlp, store, featurizer, theta_max }
+        DlDnn {
+            mlp,
+            store,
+            featurizer,
+            theta_max,
+        }
     }
 }
 
@@ -160,7 +165,13 @@ impl DlDnnSTau {
                 seed: opts.seed + tau as u64,
                 ..opts.clone()
             };
-            models.push(fit_msle_mlp(&x, &y, &sub_opts.hidden.clone(), &sub_opts, "dnnstau"));
+            models.push(fit_msle_mlp(
+                &x,
+                &y,
+                &sub_opts.hidden.clone(),
+                &sub_opts,
+                "dnnstau",
+            ));
         }
         DlDnnSTau { models, fx }
     }
@@ -214,7 +225,11 @@ mod tests {
     fn dnn_learns_something() {
         let (ds, train_wl, test_wl) = setup();
         let f = BaselineFeaturizer::from_dataset(&ds, 1);
-        let opts = DnnOptions { epochs: 15, hidden: vec![48, 32], ..Default::default() };
+        let opts = DnnOptions {
+            epochs: 15,
+            hidden: vec![48, 32],
+            ..Default::default()
+        };
         let dnn = DlDnn::train(&train_wl, f, ds.theta_max, opts);
         let msle = eval(&dnn, &test_wl);
         // The mean cardinality spans orders of magnitude; a trained model
@@ -228,7 +243,10 @@ mod tests {
         let (ds, train_wl, test_wl) = setup();
         let fx = build_extractor(&ds, 10, 1);
         let n_models = fx.tau_max() + 1;
-        let opts = DnnOptions { epochs: 8, ..Default::default() };
+        let opts = DnnOptions {
+            epochs: 8,
+            ..Default::default()
+        };
         let est = DlDnnSTau::train(&train_wl, fx, opts);
         assert_eq!(est.models.len(), n_models);
         let msle = eval(&est, &test_wl);
@@ -239,7 +257,11 @@ mod tests {
             &train_wl,
             f,
             ds.theta_max,
-            DnnOptions { epochs: 2, hidden: vec![48, 32], ..Default::default() },
+            DnnOptions {
+                epochs: 2,
+                hidden: vec![48, 32],
+                ..Default::default()
+            },
         );
         assert!(est.size_bytes() > dnn.size_bytes());
     }

@@ -91,7 +91,12 @@ impl RegressionData {
                 row += 1;
             }
         }
-        RegressionData { x, y, feat_dim: dim, theta_max }
+        RegressionData {
+            x,
+            y,
+            feat_dim: dim,
+            theta_max,
+        }
     }
 
     /// One inference row for `(query, θ)`.

@@ -77,8 +77,17 @@ impl Tree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
-                    at = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -113,8 +122,6 @@ pub struct TlGbt {
     options: GbtOptions,
     featurizer: BaselineFeaturizer,
     theta_max: f64,
-    /// Index of the (monotone) θ feature.
-    theta_feature: usize,
 }
 
 impl TlGbt {
@@ -129,20 +136,27 @@ impl TlGbt {
         let n = data.n_examples();
         let theta_feature = data.feat_dim;
         // Log-space targets tame the output range, as the paper's MSLE does.
-        let targets: Vec<f64> = (0..n).map(|r| f64::from(1.0 + data.y.get(r, 0)).ln()).collect();
+        let targets: Vec<f64> = (0..n)
+            .map(|r| f64::from(1.0 + data.y.get(r, 0)).ln())
+            .collect();
         let base = targets.iter().sum::<f64>() / n.max(1) as f64;
         let mut preds = vec![base; n];
         let mut trees = Vec::with_capacity(options.n_trees);
         for _ in 0..options.n_trees {
-            let residuals: Vec<f64> =
-                targets.iter().zip(&preds).map(|(&t, &p)| t - p).collect();
+            let residuals: Vec<f64> = targets.iter().zip(&preds).map(|(&t, &p)| t - p).collect();
             let tree = grow_tree(&data.x, &residuals, &options, theta_feature);
             for (r, p) in preds.iter_mut().enumerate() {
                 *p += options.learning_rate * tree.predict(data.x.row(r));
             }
             trees.push(tree);
         }
-        TlGbt { trees, base, options, featurizer, theta_max, theta_feature }
+        TlGbt {
+            trees,
+            base,
+            options,
+            featurizer,
+            theta_max,
+        }
     }
 
     pub fn n_trees(&self) -> usize {
@@ -188,7 +202,9 @@ fn grow_tree(x: &Matrix, residuals: &[f64], options: &GbtOptions, theta_feature:
     let n = x.rows();
     let all_rows: Vec<u32> = (0..n as u32).collect();
     let root_value = mean(residuals, &all_rows);
-    let mut tree = Tree { nodes: vec![Node::Leaf { value: root_value }] };
+    let mut tree = Tree {
+        nodes: vec![Node::Leaf { value: root_value }],
+    };
     let mut open = vec![OpenLeaf {
         node: 0,
         rows: all_rows,
@@ -227,8 +243,20 @@ fn grow_tree(x: &Matrix, residuals: &[f64], options: &GbtOptions, theta_feature:
             (leaf.lo, leaf.hi, leaf.lo, leaf.hi)
         };
         if leaf.depth + 1 < options.max_depth {
-            open.push(OpenLeaf { node: left, rows: split.left_rows, depth: leaf.depth + 1, lo: l_lo, hi: l_hi });
-            open.push(OpenLeaf { node: right, rows: split.right_rows, depth: leaf.depth + 1, lo: r_lo, hi: r_hi });
+            open.push(OpenLeaf {
+                node: left,
+                rows: split.left_rows,
+                depth: leaf.depth + 1,
+                lo: l_lo,
+                hi: l_hi,
+            });
+            open.push(OpenLeaf {
+                node: right,
+                rows: split.right_rows,
+                depth: leaf.depth + 1,
+                lo: r_lo,
+                hi: r_hi,
+            });
         }
     }
     tree
@@ -375,7 +403,11 @@ mod tests {
     fn train(policy: GrowthPolicy) -> (TlGbt, cardest_data::Dataset, Workload) {
         let (ds, train_wl, test_wl) = setup();
         let f = BaselineFeaturizer::from_dataset(&ds, 1);
-        let opts = GbtOptions { policy, n_trees: 16, ..Default::default() };
+        let opts = GbtOptions {
+            policy,
+            n_trees: 16,
+            ..Default::default()
+        };
         (TlGbt::train(&train_wl, f, ds.theta_max, opts), ds, test_wl)
     }
 
@@ -386,10 +418,7 @@ mod tests {
             let mut actual = Vec::new();
             let mut pred = Vec::new();
             let mut mean_pred = Vec::new();
-            let mean_card: f64 = test_wl
-                .triples()
-                .map(|(_, _, c)| f64::from(c))
-                .sum::<f64>()
+            let mean_card: f64 = test_wl.triples().map(|(_, _, c)| f64::from(c)).sum::<f64>()
                 / (test_wl.len() * test_wl.thresholds.len()) as f64;
             for lq in &test_wl.queries {
                 for (&theta, &c) in test_wl.thresholds.iter().zip(&lq.cards) {

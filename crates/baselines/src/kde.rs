@@ -59,7 +59,12 @@ impl TlKde {
             dists.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / dists.len().max(1) as f64;
         let bandwidth = (var.sqrt() * (n as f64).powf(-0.2)).max(dataset.theta_max / 100.0);
 
-        TlKde { sample, distance, scale: dataset.len() as f64 / n as f64, bandwidth }
+        TlKde {
+            sample,
+            distance,
+            scale: dataset.len() as f64 / n as f64,
+            bandwidth,
+        }
     }
 
     pub fn bandwidth(&self) -> f64 {

@@ -27,7 +27,11 @@ impl MeanEstimator {
         let mut means = vec![0.0f64; buckets + 1];
         let mut prev = 0.0;
         for (i, mean) in means.iter_mut().enumerate() {
-            *mean = if counts[i] > 0 { sums[i] / counts[i] as f64 } else { prev };
+            *mean = if counts[i] > 0 {
+                sums[i] / counts[i] as f64
+            } else {
+                prev
+            };
             prev = *mean;
         }
         MeanEstimator { means, theta_max }

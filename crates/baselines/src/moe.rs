@@ -102,7 +102,13 @@ impl DlMoe {
                 opt.step(&mut store);
             }
         }
-        DlMoe { experts, gate, store, featurizer, theta_max }
+        DlMoe {
+            experts,
+            gate,
+            store,
+            featurizer,
+            theta_max,
+        }
     }
 
     /// Mixture forward pass: `Σ_k softmax(G(x))_k · E_k(x)`.
@@ -163,7 +169,11 @@ mod tests {
         let wl = Workload::sample_from(&ds, 0.4, 8, 2);
         let split = wl.split(3);
         let f = BaselineFeaturizer::from_dataset(&ds, 1);
-        let opts = MoeOptions { epochs: 15, n_experts: 3, ..Default::default() };
+        let opts = MoeOptions {
+            epochs: 15,
+            n_experts: 3,
+            ..Default::default()
+        };
         let moe = DlMoe::train(&split.train, f, ds.theta_max, opts);
 
         let mut actual = Vec::new();
@@ -185,7 +195,11 @@ mod tests {
         let ds = hm_imagenet(SynthConfig::new(100, 20));
         let wl = Workload::sample_from(&ds, 0.3, 6, 2);
         let f = BaselineFeaturizer::from_dataset(&ds, 1);
-        let opts = MoeOptions { epochs: 3, n_experts: 4, ..Default::default() };
+        let opts = MoeOptions {
+            epochs: 3,
+            n_experts: 4,
+            ..Default::default()
+        };
         let moe = DlMoe::train(&wl, f, ds.theta_max, opts);
         let x = RegressionData::query_row(&moe.featurizer, &ds.records[0], 5.0, ds.theta_max);
         let logits = moe.gate.infer(&moe.store, &x);

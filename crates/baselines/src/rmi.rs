@@ -54,7 +54,10 @@ impl DlRmi {
         opts: RmiOptions,
     ) -> Self {
         let data = RegressionData::from_workload(workload, &featurizer, theta_max);
-        let s1_opts = DnnOptions { seed: opts.dnn.seed + 100, ..opts.dnn.clone() };
+        let s1_opts = DnnOptions {
+            seed: opts.dnn.seed + 100,
+            ..opts.dnn.clone()
+        };
         let stage1 = fit_msle_mlp(&data.x, &data.y, &opts.stage1_hidden, &s1_opts, "rmi.s1");
 
         // Routing range from stage-1 predictions on the training data.
@@ -65,7 +68,11 @@ impl DlRmi {
             preds.push((1.0 + p.max(0.0)).ln());
         }
         let route_lo = preds.iter().copied().fold(f64::INFINITY, f64::min);
-        let route_hi = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(route_lo + 1e-9);
+        let route_hi = preds
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(route_lo + 1e-9);
 
         // Route training rows to experts and fit each on its share.
         let m = opts.n_experts.max(1);
@@ -83,22 +90,46 @@ impl DlRmi {
                         &data.x,
                         &data.y,
                         &opts.stage2_hidden,
-                        &DnnOptions { epochs: 2, ..opts.dnn.clone() },
+                        &DnnOptions {
+                            epochs: 2,
+                            ..opts.dnn.clone()
+                        },
                         &format!("rmi.s2.{k}"),
                     );
                 }
                 let x = data.x.gather_rows(&rows);
                 let y = data.y.gather_rows(&rows);
-                let s2_opts = DnnOptions { seed: opts.dnn.seed + 200 + k as u64, ..opts.dnn.clone() };
-                fit_msle_mlp(&x, &y, &opts.stage2_hidden, &s2_opts, &format!("rmi.s2.{k}"))
+                let s2_opts = DnnOptions {
+                    seed: opts.dnn.seed + 200 + k as u64,
+                    ..opts.dnn.clone()
+                };
+                fit_msle_mlp(
+                    &x,
+                    &y,
+                    &opts.stage2_hidden,
+                    &s2_opts,
+                    &format!("rmi.s2.{k}"),
+                )
             })
             .collect();
-        DlRmi { stage1, experts, route_lo, route_hi, featurizer, theta_max }
+        DlRmi {
+            stage1,
+            experts,
+            route_lo,
+            route_hi,
+            featurizer,
+            theta_max,
+        }
     }
 
     fn route_of(&self, x: &Matrix) -> usize {
         let p = f64::from(self.stage1.0.infer(&self.stage1.1, x).get(0, 0));
-        route((1.0 + p.max(0.0)).ln(), self.route_lo, self.route_hi, self.experts.len())
+        route(
+            (1.0 + p.max(0.0)).ln(),
+            self.route_lo,
+            self.route_hi,
+            self.experts.len(),
+        )
     }
 }
 
@@ -120,7 +151,11 @@ impl CardinalityEstimator for DlRmi {
 
     fn size_bytes(&self) -> usize {
         self.stage1.1.size_bytes()
-            + self.experts.iter().map(|(_, s)| s.size_bytes()).sum::<usize>()
+            + self
+                .experts
+                .iter()
+                .map(|(_, s)| s.size_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -138,7 +173,10 @@ mod tests {
         let f = BaselineFeaturizer::from_dataset(&ds, 1);
         let opts = RmiOptions {
             n_experts: 3,
-            dnn: DnnOptions { epochs: 10, ..Default::default() },
+            dnn: DnnOptions {
+                epochs: 10,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let rmi = DlRmi::train(&split.train, f, ds.theta_max, opts);

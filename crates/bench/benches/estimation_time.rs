@@ -2,12 +2,12 @@
 //! measurement at statistical rigor): CardNet vs CardNet-A vs the cheap
 //! baselines vs running the real selection.
 
+use cardest_baselines::dnn::DnnOptions;
+use cardest_baselines::{BaselineFeaturizer, DbUs, DlDnn, TlKde};
 use cardest_bench::zoo::{cardnet_config, trainer_options};
 use cardest_bench::{Bundle, Scale};
 use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
 use cardest_core::train::train_cardnet;
-use cardest_baselines::{BaselineFeaturizer, DbUs, DlDnn, TlKde};
-use cardest_baselines::dnn::DnnOptions;
 use cardest_fx::build_extractor;
 use cardest_select::build_selector;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -25,13 +25,24 @@ fn bench_estimation(c: &mut Criterion) {
 
     let fx = build_extractor(&b.dataset, scale.tau_max, 1);
     let cfg = cardnet_config(fx.dim(), fx.tau_max() + 1, false);
-    let (t, _) = train_cardnet(fx.as_ref(), &b.split.train, &b.split.valid, cfg, trainer_options(&scale));
+    let (t, _) = train_cardnet(
+        fx.as_ref(),
+        &b.split.train,
+        &b.split.valid,
+        cfg,
+        trainer_options(&scale),
+    );
     let cardnet = CardNetEstimator::from_trainer(fx, t);
 
     let fx_a = build_extractor(&b.dataset, scale.tau_max, 1);
     let cfg_a = cardnet_config(fx_a.dim(), fx_a.tau_max() + 1, true);
-    let (ta, _) =
-        train_cardnet(fx_a.as_ref(), &b.split.train, &b.split.valid, cfg_a, trainer_options(&scale));
+    let (ta, _) = train_cardnet(
+        fx_a.as_ref(),
+        &b.split.train,
+        &b.split.valid,
+        cfg_a,
+        trainer_options(&scale),
+    );
     let cardnet_a = CardNetEstimator::from_trainer(fx_a, ta);
 
     let db_us = DbUs::build(&b.dataset, 0.05, 2);
@@ -40,7 +51,10 @@ fn bench_estimation(c: &mut Criterion) {
         &b.split.train,
         BaselineFeaturizer::from_dataset(&b.dataset, 2),
         b.dataset.theta_max,
-        DnnOptions { epochs: 4, ..Default::default() },
+        DnnOptions {
+            epochs: 4,
+            ..Default::default()
+        },
     );
     let selector = build_selector(&b.dataset);
 

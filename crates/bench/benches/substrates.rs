@@ -20,7 +20,9 @@ fn bench_distances(c: &mut Criterion) {
     let (v1, v2) = (eu.records[0].as_vec(), eu.records[1].as_vec());
 
     let mut g = c.benchmark_group("distance_kernels");
-    g.bench_function("hamming_64b", |bench| bench.iter(|| black_box(a.hamming(black_box(b)))));
+    g.bench_function("hamming_64b", |bench| {
+        bench.iter(|| black_box(a.hamming(black_box(b))))
+    });
     g.bench_function("levenshtein_banded_k4", |bench| {
         bench.iter(|| black_box(dist::levenshtein_within(black_box(s1), black_box(s2), 4)))
     });
@@ -35,7 +37,10 @@ fn bench_distances(c: &mut Criterion) {
 
 fn bench_selection(c: &mut Criterion) {
     let mut g = c.benchmark_group("exact_selection");
-    for ds in [hm_imagenet(SynthConfig::new(2000, 5)), jc_bms(SynthConfig::new(2000, 6))] {
+    for ds in [
+        hm_imagenet(SynthConfig::new(2000, 5)),
+        jc_bms(SynthConfig::new(2000, 6)),
+    ] {
         let sel = build_selector(&ds);
         let q = ds.records[0].clone();
         let theta = ds.theta_max * 0.5;
@@ -72,5 +77,11 @@ fn bench_nn(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_distances, bench_selection, bench_feature_extraction, bench_nn);
+criterion_group!(
+    benches,
+    bench_distances,
+    bench_selection,
+    bench_feature_extraction,
+    bench_nn
+);
 criterion_main!(benches);

@@ -81,13 +81,18 @@ fn parse(args: &[String]) -> Option<(String, Flags)> {
 }
 
 fn required<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
-    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}\n{USAGE}"))
+    flags
+        .get(name)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{name}\n{USAGE}"))
 }
 
 fn parsed<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
     match flags.get(name) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{name}: cannot parse `{v}`")),
     }
 }
 
@@ -105,7 +110,13 @@ fn cmd_gen(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown --kind `{other}` (hm|ed|jc|eu)")),
     };
     dio::save_jsonl(&ds, &out).map_err(|e| e.to_string())?;
-    println!("wrote {} ({} records, {}) to {}", ds.name, ds.len(), ds.kind.name(), out.display());
+    println!(
+        "wrote {} ({} records, {}) to {}",
+        ds.name,
+        ds.len(),
+        ds.kind.name(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -123,7 +134,10 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     if accelerated {
         cfg = cfg.accelerated();
     }
-    let opts = TrainerOptions { epochs, ..TrainerOptions::default() };
+    let opts = TrainerOptions {
+        epochs,
+        ..TrainerOptions::default()
+    };
     let (trainer, report) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
     println!(
         "trained {} in {:.1}s ({} epochs, val MSLE {:.3})",
@@ -143,9 +157,14 @@ fn cmd_estimate(flags: &Flags) -> Result<(), String> {
     let ds = dio::load_jsonl(Path::new(required(flags, "data")?)).map_err(|e| e.to_string())?;
     let snap = Snapshot::load(Path::new(required(flags, "model")?)).map_err(|e| e.to_string())?;
     let query_idx: usize = parsed(flags, "query", 0)?;
-    let theta: f64 = required(flags, "theta")?.parse().map_err(|_| "--theta: not a number")?;
+    let theta: f64 = required(flags, "theta")?
+        .parse()
+        .map_err(|_| "--theta: not a number")?;
     if query_idx >= ds.len() {
-        return Err(format!("--query {query_idx} out of range (dataset has {})", ds.len()));
+        return Err(format!(
+            "--query {query_idx} out of range (dataset has {})",
+            ds.len()
+        ));
     }
     // Rebuild the extractor the snapshot names; seeds are deterministic.
     let fx = build_extractor(&ds, snap.model.config.n_out - 1, 1);

@@ -38,15 +38,24 @@ fn main() {
 
     print_header("Table 3: MSE", &names);
     for (kind, accs) in &rows {
-        print_row(kind.label(), &accs.iter().map(|a| a.mse).collect::<Vec<_>>());
+        print_row(
+            kind.label(),
+            &accs.iter().map(|a| a.mse).collect::<Vec<_>>(),
+        );
     }
     print_header("Table 4: MAPE (%)", &names);
     for (kind, accs) in &rows {
-        print_row(kind.label(), &accs.iter().map(|a| a.mape).collect::<Vec<_>>());
+        print_row(
+            kind.label(),
+            &accs.iter().map(|a| a.mape).collect::<Vec<_>>(),
+        );
     }
     print_header("Table 5: mean q-error", &names);
     for (kind, accs) in &rows {
-        print_row(kind.label(), &accs.iter().map(|a| a.mean_q_error).collect::<Vec<_>>());
+        print_row(
+            kind.label(),
+            &accs.iter().map(|a| a.mean_q_error).collect::<Vec<_>>(),
+        );
     }
 
     // The headline check of the paper: CardNet{-A} should win on (nearly)
@@ -67,6 +76,13 @@ fn main() {
                 .fold(f64::INFINITY, f64::min)
         })
         .collect();
-    let wins = card_best.iter().zip(&other_best).filter(|(c, o)| c <= o).count();
-    println!("\nCardNet{{-A}} best-q-error wins: {wins}/{} datasets", names.len());
+    let wins = card_best
+        .iter()
+        .zip(&other_best)
+        .filter(|(c, o)| c <= o)
+        .count();
+    println!(
+        "\nCardNet{{-A}} best-q-error wins: {wins}/{} datasets",
+        names.len()
+    );
 }

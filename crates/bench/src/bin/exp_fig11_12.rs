@@ -5,14 +5,14 @@
 //! into estimation + execution) and planning precision — the fraction of
 //! queries where the chosen plan is the actually-cheapest one.
 
-use cardest_bench::zoo::{cardnet_config, trainer_options, ModelKind};
-use cardest_bench::Scale;
-use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
-use cardest_core::train::train_cardnet;
 use cardest_baselines::dnn::DnnOptions;
 use cardest_baselines::gbt::GbtOptions;
 use cardest_baselines::rmi::RmiOptions;
 use cardest_baselines::{BaselineFeaturizer, DbUs, DlRmi, GrowthPolicy, MeanEstimator, TlGbt};
+use cardest_bench::zoo::{cardnet_config, trainer_options};
+use cardest_bench::Scale;
+use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
+use cardest_core::train::train_cardnet;
 use cardest_data::synth::{entity_table, SynthConfig};
 use cardest_data::{Record, Workload};
 use cardest_fx::build_extractor;
@@ -41,7 +41,10 @@ impl CardinalityEstimator for Exact<'_> {
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("# exp_fig11_12 (Figures 11 & 12), scale = {}", scale.label());
+    eprintln!(
+        "# exp_fig11_12 (Figures 11 & 12), scale = {}",
+        scale.label()
+    );
     let n_entities = scale.n_records.min(3000);
     let table_src = entity_table(SynthConfig::new(n_entities, scale.seed + 40), 3, 24);
     let table = ConjunctiveTable::build(&table_src, 0.8, scale.seed);
@@ -62,7 +65,10 @@ fn main() {
             ConjunctiveQuery {
                 preds: (0..table.n_attrs())
                     .map(|a| {
-                        (table.attrs[a].records[id].as_vec().to_vec(), rng.gen_range(0.2..0.5))
+                        (
+                            table.attrs[a].records[id].as_vec().to_vec(),
+                            rng.gen_range(0.2..0.5),
+                        )
                     })
                     .collect(),
             }
@@ -74,7 +80,10 @@ fn main() {
 
     // Estimator roster per attribute.
     let kinds = ["Exact", "CardNet-A", "DL-RMI", "TL-XGB", "DB-US", "Mean"];
-    println!("\n## Figures 11–12 — conjunctive optimizer ({} entities, 3 attrs)", n_entities);
+    println!(
+        "\n## Figures 11–12 — conjunctive optimizer ({} entities, 3 attrs)",
+        n_entities
+    );
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>10}",
         "Estimator", "est time (s)", "exec time (s)", "total (s)", "precision"
@@ -103,7 +112,10 @@ fn main() {
                     "DL-RMI" => {
                         let f = BaselineFeaturizer::from_dataset(ds, scale.seed);
                         let opts = RmiOptions {
-                            dnn: DnnOptions { epochs: scale.epochs / 2, ..Default::default() },
+                            dnn: DnnOptions {
+                                epochs: scale.epochs / 2,
+                                ..Default::default()
+                            },
                             ..Default::default()
                         };
                         Box::new(DlRmi::train(&split.train, f, ds.theta_max, opts))
@@ -122,7 +134,9 @@ fn main() {
                 }
             })
             .collect();
-        let planner = Planner { estimators: per_attr.iter().map(AsRef::as_ref).collect() };
+        let planner = Planner {
+            estimators: per_attr.iter().map(AsRef::as_ref).collect(),
+        };
 
         let mut est_secs = 0.0f64;
         let mut exec_secs = 0.0f64;

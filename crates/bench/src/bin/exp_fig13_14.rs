@@ -5,12 +5,12 @@
 //! lookup + verification. Figure 14 fixes θ and sweeps the histogram's size
 //! to show CardNet-A beating even a large histogram.
 
+use cardest_baselines::db_se::GroupHistogram;
+use cardest_baselines::MeanEstimator;
 use cardest_bench::zoo::{cardnet_config, trainer_options};
 use cardest_bench::Scale;
 use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
 use cardest_core::train::train_cardnet;
-use cardest_baselines::db_se::GroupHistogram;
-use cardest_baselines::MeanEstimator;
 use cardest_data::synth::{hm_imagenet, SynthConfig};
 use cardest_data::{Dataset, Workload};
 use cardest_fx::build_extractor;
@@ -35,12 +35,18 @@ fn estimator_cost(
             build(pds, &split)
         })
         .collect();
-    EstimatorPartCost { per_part, label: label.into() }
+    EstimatorPartCost {
+        per_part,
+        label: label.into(),
+    }
 }
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("# exp_fig13_14 (Figures 13 & 14), scale = {}", scale.label());
+    eprintln!(
+        "# exp_fig13_14 (Figures 13 & 14), scale = {}",
+        scale.label()
+    );
     let ds = hm_imagenet(SynthConfig::new(scale.n_records.min(4000), scale.seed + 50));
     // Four parts leave the allocator real freedom (2 parts have a near-empty
     // DP budget, so every cost model would pick the same allocation).
@@ -57,7 +63,13 @@ fn main() {
     let cardnet = estimator_cost(&part_datasets, &scale, "CardNet-A", |pds, split| {
         let fx = build_extractor(pds, scale.tau_max, scale.seed ^ 0xF0);
         let cfg = cardnet_config(fx.dim(), fx.tau_max() + 1, true);
-        let (t, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, trainer_options(&scale));
+        let (t, _) = train_cardnet(
+            fx.as_ref(),
+            &split.train,
+            &split.valid,
+            cfg,
+            trainer_options(&scale),
+        );
         Box::new(CardNetEstimator::from_trainer(fx, t))
     });
     let models: Vec<&dyn PartCostModel> = vec![&exact, &cardnet, &hist, &mean];
@@ -65,7 +77,10 @@ fn main() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(scale.seed ^ 0x1313);
     let mut qidx: Vec<usize> = (0..ds.len()).collect();
     qidx.shuffle(&mut rng);
-    let queries: Vec<_> = qidx[..200.min(ds.len())].iter().map(|&i| ds.records[i].clone()).collect();
+    let queries: Vec<_> = qidx[..200.min(ds.len())]
+        .iter()
+        .map(|&i| ds.records[i].clone())
+        .collect();
 
     println!("\n## Figure 13 — GPH total processing time (s per 200 queries)");
     println!(
@@ -97,7 +112,10 @@ fn main() {
 
     // Figure 14: θ fixed at 50% of max; histogram size sweep via group width.
     println!("\n## Figure 14 — histogram size vs time (θ=10), CardNet-A as reference");
-    println!("{:<24} {:>12} {:>12}", "Cost model", "size (B)", "total (s)");
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "Cost model", "size (B)", "total (s)"
+    );
     let theta = 10u32;
     let run_total = |model: &dyn PartCostModel| -> f64 {
         queries
@@ -108,8 +126,28 @@ fn main() {
             })
             .sum()
     };
-    println!("{:<24} {:>12} {:>12.4}", "CardNet-A", cardnet.size_bytes(), run_total(&cardnet));
-    println!("{:<24} {:>12} {:>12.4}", "Histogram(8-bit groups)", hist.size_bytes(), run_total(&hist));
-    println!("{:<24} {:>12} {:>12.4}", "Mean", mean.size_bytes(), run_total(&mean));
-    println!("{:<24} {:>12} {:>12.4}", "Exact(oracle)", 0, run_total(&exact));
+    println!(
+        "{:<24} {:>12} {:>12.4}",
+        "CardNet-A",
+        cardnet.size_bytes(),
+        run_total(&cardnet)
+    );
+    println!(
+        "{:<24} {:>12} {:>12.4}",
+        "Histogram(8-bit groups)",
+        hist.size_bytes(),
+        run_total(&hist)
+    );
+    println!(
+        "{:<24} {:>12} {:>12.4}",
+        "Mean",
+        mean.size_bytes(),
+        run_total(&mean)
+    );
+    println!(
+        "{:<24} {:>12} {:>12.4}",
+        "Exact(oracle)",
+        0,
+        run_total(&exact)
+    );
 }

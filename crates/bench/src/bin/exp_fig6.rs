@@ -15,7 +15,11 @@ fn main() {
     let scale = Scale::from_env();
     eprintln!("# exp_fig6 (Figure 6 / Table 8), scale = {}", scale.label());
     let datasets = vec![
-        hm_highdim(SynthConfig::new(scale.n_records, scale.seed + 20), 256, 64.0),
+        hm_highdim(
+            SynthConfig::new(scale.n_records, scale.seed + 20),
+            256,
+            64.0,
+        ),
         ed_dblp(SynthConfig::new(scale.n_records, scale.seed + 21)),
         jc_dblpq3(SynthConfig::new(scale.n_records, scale.seed + 22)),
     ];
@@ -23,13 +27,21 @@ fn main() {
         let name = ds.name.clone();
         let b = Bundle::prepare(ds, &scale);
         println!("\n## Figure 6 — {name} (CardNet-A accuracy vs decoder count)");
-        println!("{:<10} {:>12} {:>12} {:>10}", "Decoders", "MSE", "MAPE(%)", "q-error");
+        println!(
+            "{:<10} {:>12} {:>12} {:>10}",
+            "Decoders", "MSE", "MAPE(%)", "q-error"
+        );
         for tau_max in [4usize, 8, 16, 24, 32] {
             let fx = build_extractor(&b.dataset, tau_max, scale.seed ^ 0xF0);
             let cfg = cardnet_config(fx.dim(), fx.tau_max() + 1, true);
             let n_dec = fx.tau_max() + 1;
-            let (trainer, _) =
-                train_cardnet(fx.as_ref(), &b.split.train, &b.split.valid, cfg, trainer_options(&scale));
+            let (trainer, _) = train_cardnet(
+                fx.as_ref(),
+                &b.split.train,
+                &b.split.valid,
+                cfg,
+                trainer_options(&scale),
+            );
             let est = CardNetEstimator::from_trainer(fx, trainer);
             let acc = evaluate(&est, &b.split.test);
             println!(

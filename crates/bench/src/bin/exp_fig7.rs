@@ -19,7 +19,10 @@ fn main() {
         ModelKind::DlMoe,
     ];
     for b in Bundle::default_four(&scale) {
-        let cols: Vec<String> = fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect();
+        let cols: Vec<String> = fractions
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect();
         print_header(&format!("Figure 7 MSE — {}", b.dataset.name), &cols);
         for &kind in &subset {
             let row: Vec<f64> = fractions

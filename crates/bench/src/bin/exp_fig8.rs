@@ -10,7 +10,7 @@ use cardest_bench::{Bundle, Scale};
 use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
 use cardest_core::incremental::IncrementalLearner;
 use cardest_core::train::train_cardnet;
-use cardest_data::{Dataset, Record, Workload};
+use cardest_data::{Dataset, Record};
 use cardest_fx::build_extractor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -48,7 +48,12 @@ impl CardinalityEstimator for PlusSample<'_> {
     }
 }
 
-fn apply_ops(ds: &mut Dataset, rng: &mut StdRng, added: &mut Vec<Record>, removed: &mut Vec<Record>) {
+fn apply_ops(
+    ds: &mut Dataset,
+    rng: &mut StdRng,
+    added: &mut Vec<Record>,
+    removed: &mut Vec<Record>,
+) {
     // One operation: insert or delete 5 records.
     if rng.gen_bool(0.5) {
         for _ in 0..5 {
@@ -81,8 +86,13 @@ fn main() {
         let mut ds = b.dataset.clone();
         let fx = build_extractor(&ds, scale.tau_max, scale.seed ^ 0xF0);
         let cfg = cardnet_config(fx.dim(), fx.tau_max() + 1, true);
-        let (trainer, _) =
-            train_cardnet(fx.as_ref(), &b.split.train, &b.split.valid, cfg.clone(), trainer_options(&scale));
+        let (trainer, _) = train_cardnet(
+            fx.as_ref(),
+            &b.split.train,
+            &b.split.valid,
+            cfg.clone(),
+            trainer_options(&scale),
+        );
         // IncLearn path owns a trainer; +Sample keeps a frozen clone.
         let fx2 = build_extractor(&ds, scale.tau_max, scale.seed ^ 0xF0);
         let (frozen_trainer, _) = train_cardnet(
@@ -93,8 +103,12 @@ fn main() {
             trainer_options(&scale),
         );
         let frozen = CardNetEstimator::from_trainer(fx2, frozen_trainer);
-        let mut learner =
-            IncrementalLearner::new(trainer, b.split.train.clone(), b.split.valid.clone(), fx.as_ref());
+        let mut learner = IncrementalLearner::new(
+            trainer,
+            b.split.train.clone(),
+            b.split.valid.clone(),
+            fx.as_ref(),
+        );
 
         let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xD0);
         let mut added = Vec::new();
@@ -103,7 +117,10 @@ fn main() {
         let mut retrain_secs = 0.0f64;
 
         println!("\n## Figure 8 — {} (MSE over the update stream)", ds.name);
-        println!("{:<8} {:>12} {:>12} {:>12}", "Ops", "IncLearn", "Retrain", "+Sample");
+        println!(
+            "{:<8} {:>12} {:>12} {:>12}",
+            "Ops", "IncLearn", "Retrain", "+Sample"
+        );
         for op in 0..=n_ops {
             if op > 0 {
                 apply_ops(&mut ds, &mut rng, &mut added, &mut removed);

@@ -55,7 +55,10 @@ fn main() {
         let cols: Vec<String> = (0..4)
             .map(|g| format!("[{:.0},{:.0})", g as f64 * width, (g + 1) as f64 * width))
             .collect();
-        print_header(&format!("Figure 9 MSE by cardinality group — {}", b.dataset.name), &cols);
+        print_header(
+            &format!("Figure 9 MSE by cardinality group — {}", b.dataset.name),
+            &cols,
+        );
         for m in &models {
             let (actual, pred) = per_query_pairs(m.estimator.as_ref(), &b.split.test);
             print_row(m.kind.label(), &grouped_mse(&actual, &pred, width, 4));
@@ -69,7 +72,13 @@ fn main() {
         let ood_wl = Workload::label(&b.dataset, ood, b.split.test.thresholds.clone());
         let ood_width = group_width(&ood_wl);
         let ood_cols: Vec<String> = (0..4)
-            .map(|g| format!("[{:.0},{:.0})", g as f64 * ood_width, (g + 1) as f64 * ood_width))
+            .map(|g| {
+                format!(
+                    "[{:.0},{:.0})",
+                    g as f64 * ood_width,
+                    (g + 1) as f64 * ood_width
+                )
+            })
             .collect();
         print_header(
             &format!("Figure 10 MSE, out-of-dataset queries — {}", b.dataset.name),

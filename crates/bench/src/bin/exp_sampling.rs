@@ -29,7 +29,12 @@ fn main() {
     eprintln!("# exp_sampling (Tables 13-16), scale = {}", scale.label());
     let bundles = Bundle::default_four(&scale);
     let names: Vec<String> = bundles.iter().map(|b| b.dataset.name.clone()).collect();
-    let subset = [ModelKind::CardNetA, ModelKind::DlRmi, ModelKind::TlXgb, ModelKind::DbUs];
+    let subset = [
+        ModelKind::CardNetA,
+        ModelKind::DlRmi,
+        ModelKind::TlXgb,
+        ModelKind::DbUs,
+    ];
     let k = 8usize;
 
     // Table 13: cluster sizes.
@@ -51,7 +56,10 @@ fn main() {
 
     // The three policy combinations.
     let combos: [(&str, SamplingPolicy); 3] = [
-        ("Table 14: train single-uniform, test multi-uniform", SamplingPolicy::SingleUniform),
+        (
+            "Table 14: train single-uniform, test multi-uniform",
+            SamplingPolicy::SingleUniform,
+        ),
         (
             "Table 15: train multi-uniform, test multi-uniform",
             SamplingPolicy::MultipleUniform { samples: 5 },
@@ -67,7 +75,8 @@ fn main() {
             let mut cells = Vec::new();
             for b in &bundles {
                 let n = n_queries(b);
-                let train_wl = labelled(&b.dataset, &scale, train_policy, n * 8 / 10, scale.seed + 1);
+                let train_wl =
+                    labelled(&b.dataset, &scale, train_policy, n * 8 / 10, scale.seed + 1);
                 let valid_wl = labelled(&b.dataset, &scale, train_policy, n / 10, scale.seed + 2);
                 let test_wl = labelled(
                     &b.dataset,

@@ -7,14 +7,21 @@ use cardest_data::synth::{default_suite, hm_highdim, SynthConfig};
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("# exp_table2 (Table 2 dataset statistics), scale = {}", scale.label());
+    eprintln!(
+        "# exp_table2 (Table 2 dataset statistics), scale = {}",
+        scale.label()
+    );
     println!("\n## Table 2: datasets (synthetic stand-ins, DESIGN.md §2.5)");
     println!(
         "{:<14} {:<10} {:>10} {:>8} {:>8} {:>10} {:>8}",
         "Dataset", "Distance", "#Records", "l_max", "l_avg", "θ_max", "kind"
     );
     let mut suite = default_suite(scale.n_records, scale.seed);
-    suite.push(hm_highdim(SynthConfig::new(scale.n_records, scale.seed + 20), 256, 64.0));
+    suite.push(hm_highdim(
+        SynthConfig::new(scale.n_records, scale.seed + 20),
+        256,
+        64.0,
+    ));
     for ds in &suite {
         println!(
             "{:<14} {:<10} {:>10} {:>8} {:>8.2} {:>10} {:>8}",
@@ -24,7 +31,11 @@ fn main() {
             ds.max_width(),
             ds.avg_width(),
             ds.theta_max,
-            if ds.kind.is_integer_valued() { "int" } else { "real" }
+            if ds.kind.is_integer_valued() {
+                "int"
+            } else {
+                "real"
+            }
         );
     }
 

@@ -48,12 +48,24 @@ fn main() {
 
     // Shape checks the paper reports: CardNet-A faster than CardNet and
     // faster than SimSelect.
-    let idx = |label: &str| rows.iter().position(|(l, _)| *l == label).expect("row exists");
+    let idx = |label: &str| {
+        rows.iter()
+            .position(|(l, _)| *l == label)
+            .expect("row exists")
+    };
     let (card, card_a, sim) = (idx("CardNet"), idx("CardNet-A"), idx("SimSelect"));
-    let faster_than_card =
-        rows[card_a].1.iter().zip(&rows[card].1).filter(|(a, c)| a < c).count();
-    let faster_than_sim =
-        rows[card_a].1.iter().zip(&rows[sim].1).filter(|(a, s)| a < s).count();
+    let faster_than_card = rows[card_a]
+        .1
+        .iter()
+        .zip(&rows[card].1)
+        .filter(|(a, c)| a < c)
+        .count();
+    let faster_than_sim = rows[card_a]
+        .1
+        .iter()
+        .zip(&rows[sim].1)
+        .filter(|(a, s)| a < s)
+        .count();
     println!(
         "\nCardNet-A faster than CardNet on {faster_than_card}/{} datasets; \
          faster than SimSelect on {faster_than_sim}/{}",

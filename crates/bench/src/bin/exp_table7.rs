@@ -23,7 +23,12 @@ enum Variant {
     NoDynamic,
 }
 
-fn train_variant(b: &Bundle, scale: &Scale, variant: Variant, accelerated: bool) -> Box<dyn CardinalityEstimator> {
+fn train_variant(
+    b: &Bundle,
+    scale: &Scale,
+    variant: Variant,
+    accelerated: bool,
+) -> Box<dyn CardinalityEstimator> {
     let fx_seed = scale.seed ^ 0xF0;
     let fx = match variant {
         Variant::NoFx => naive_extractor(&b.dataset, scale.tau_max, fx_seed),
@@ -50,7 +55,10 @@ fn gamma(full: f64, ablated: f64) -> f64 {
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("# exp_table7 (Table 7 ablations), scale = {}", scale.label());
+    eprintln!(
+        "# exp_table7 (Table 7 ablations), scale = {}",
+        scale.label()
+    );
     let bundles = Bundle::default_four(&scale);
 
     println!("\n## Table 7: component ablation γ ratios (positive = component helps)");
@@ -61,7 +69,10 @@ fn main() {
     for accelerated in [false, true] {
         let model_name = if accelerated { "CardNet-A" } else { "CardNet" };
         for b in &bundles {
-            let full = evaluate(train_variant(b, &scale, Variant::Full, accelerated).as_ref(), &b.split.test);
+            let full = evaluate(
+                train_variant(b, &scale, Variant::Full, accelerated).as_ref(),
+                &b.split.test,
+            );
             let variants: [(&str, Variant); 4] = [
                 ("FeatureExt", Variant::NoFx),
                 ("Incremental", Variant::NoIncremental),
@@ -75,8 +86,10 @@ fn main() {
                 {
                     continue;
                 }
-                let ablated: Accuracy =
-                    evaluate(train_variant(b, &scale, v, accelerated).as_ref(), &b.split.test);
+                let ablated: Accuracy = evaluate(
+                    train_variant(b, &scale, v, accelerated).as_ref(),
+                    &b.split.test,
+                );
                 println!(
                     "{:<14} {:<10} {:>9.0}% {:>11.0}% {:>7.0}% {:>10}",
                     b.dataset.name,

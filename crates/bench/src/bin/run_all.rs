@@ -37,7 +37,10 @@ fn main() {
         let status = Command::new(exe_dir.join(exp))
             .status()
             .unwrap_or_else(|e| panic!("failed to spawn {exp}: {e}"));
-        println!("--- {exp} finished in {:.1}s ---", t0.elapsed().as_secs_f64());
+        println!(
+            "--- {exp} finished in {:.1}s ---",
+            t0.elapsed().as_secs_f64()
+        );
         if !status.success() {
             failures.push(*exp);
         }

@@ -69,7 +69,11 @@ impl Scale {
     }
 
     pub fn label(&self) -> &'static str {
-        if self.n_records >= Scale::full().n_records { "full" } else { "quick" }
+        if self.n_records >= Scale::full().n_records {
+            "full"
+        } else {
+            "quick"
+        }
     }
 }
 

@@ -34,10 +34,7 @@ pub fn evaluate_at(est: &dyn CardinalityEstimator, test: &Workload, grid_index: 
 
 /// Per-query actual/estimated pairs at the maximum threshold — the input for
 /// the long-tail (Figure 9) and generalizability (Figure 10) groupings.
-pub fn per_query_pairs(
-    est: &dyn CardinalityEstimator,
-    test: &Workload,
-) -> (Vec<f64>, Vec<f64>) {
+pub fn per_query_pairs(est: &dyn CardinalityEstimator, test: &Workload) -> (Vec<f64>, Vec<f64>) {
     let last = test.thresholds.len() - 1;
     let theta = test.thresholds[last];
     let mut actual = Vec::with_capacity(test.len());

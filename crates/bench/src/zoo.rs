@@ -132,31 +132,51 @@ pub fn train_model(
                 GrowthPolicy::LeafWise
             };
             let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
-            let opts = GbtOptions { policy, n_trees: scale.gbt_trees, ..GbtOptions::default() };
+            let opts = GbtOptions {
+                policy,
+                n_trees: scale.gbt_trees,
+                ..GbtOptions::default()
+            };
             Box::new(TlGbt::train(train_wl, featurizer, dataset.theta_max, opts))
         }
         ModelKind::TlKde => Box::new(TlKde::build(dataset, 0.05, fx_seed)),
         ModelKind::DlDln => {
             let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
-            let opts = DlnOptions { epochs: scale.epochs, seed: scale.seed, ..DlnOptions::default() };
+            let opts = DlnOptions {
+                epochs: scale.epochs,
+                seed: scale.seed,
+                ..DlnOptions::default()
+            };
             Box::new(DlDln::train(train_wl, featurizer, dataset.theta_max, opts))
         }
         ModelKind::DlMoe => {
             let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
-            let opts = MoeOptions { epochs: scale.epochs, seed: scale.seed, ..MoeOptions::default() };
+            let opts = MoeOptions {
+                epochs: scale.epochs,
+                seed: scale.seed,
+                ..MoeOptions::default()
+            };
             Box::new(DlMoe::train(train_wl, featurizer, dataset.theta_max, opts))
         }
         ModelKind::DlRmi => {
             let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
             let opts = RmiOptions {
-                dnn: DnnOptions { epochs: scale.epochs / 2, seed: scale.seed, ..DnnOptions::default() },
+                dnn: DnnOptions {
+                    epochs: scale.epochs / 2,
+                    seed: scale.seed,
+                    ..DnnOptions::default()
+                },
                 ..RmiOptions::default()
             };
             Box::new(DlRmi::train(train_wl, featurizer, dataset.theta_max, opts))
         }
         ModelKind::DlDnn => {
             let featurizer = BaselineFeaturizer::from_dataset(dataset, fx_seed);
-            let opts = DnnOptions { epochs: scale.epochs, seed: scale.seed, ..DnnOptions::default() };
+            let opts = DnnOptions {
+                epochs: scale.epochs,
+                seed: scale.seed,
+                ..DnnOptions::default()
+            };
             Box::new(DlDnn::train(train_wl, featurizer, dataset.theta_max, opts))
         }
         ModelKind::DlDnnSTau => {
@@ -176,7 +196,11 @@ pub fn train_model(
             Box::new(CardNetEstimator::from_trainer(fx, trainer))
         }
     };
-    TrainedModel { kind, estimator, train_secs: t0.elapsed().as_secs_f64() }
+    TrainedModel {
+        kind,
+        estimator,
+        train_secs: t0.elapsed().as_secs_f64(),
+    }
 }
 
 /// Builds the `Mean` estimator of §9.11 (not part of Table 3's roster).

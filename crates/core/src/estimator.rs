@@ -3,9 +3,9 @@
 
 use crate::model::CardNetModel;
 use crate::train::Trainer;
+use cardest_data::Record;
 use cardest_fx::FeatureExtractor;
 use cardest_nn::{Matrix, ParamStore};
-use cardest_data::Record;
 
 /// A cardinality estimator for similarity selection (Problem 1 of the paper):
 /// `estimate(x, θ) ≈ |{ y ∈ D : f(x, y) ≤ θ }|`.
@@ -36,9 +36,13 @@ pub struct CardNetEstimator {
 impl CardNetEstimator {
     /// Wraps the products of [`crate::train::train_cardnet`].
     pub fn from_trainer(fx: Box<dyn FeatureExtractor>, trainer: Trainer) -> Self {
-        let accelerated =
-            trainer.model.config.encoder == crate::model::EncoderKind::Accelerated;
-        CardNetEstimator { fx, model: trainer.model, store: trainer.store, accelerated }
+        let accelerated = trainer.model.config.encoder == crate::model::EncoderKind::Accelerated;
+        CardNetEstimator {
+            fx,
+            model: trainer.model,
+            store: trainer.store,
+            accelerated,
+        }
     }
 
     pub fn model(&self) -> &CardNetModel {
@@ -76,7 +80,10 @@ pub struct CardNetView<'a> {
 
 impl CardNetEstimator {
     /// Borrows a trainer as an estimator.
-    pub fn from_trainer_ref<'a>(fx: &'a dyn FeatureExtractor, trainer: &'a Trainer) -> CardNetView<'a> {
+    pub fn from_trainer_ref<'a>(
+        fx: &'a dyn FeatureExtractor,
+        trainer: &'a Trainer,
+    ) -> CardNetView<'a> {
         CardNetView { fx, trainer }
     }
 }
@@ -110,7 +117,11 @@ impl CardinalityEstimator for CardNetEstimator {
     }
 
     fn name(&self) -> String {
-        if self.accelerated { "CardNet-A".into() } else { "CardNet".into() }
+        if self.accelerated {
+            "CardNet-A".into()
+        } else {
+            "CardNet".into()
+        }
     }
 
     fn size_bytes(&self) -> usize {

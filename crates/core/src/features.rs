@@ -93,7 +93,12 @@ pub fn prepare_tensors(workload: &Workload, fx: &dyn FeatureExtractor) -> TrainT
             drow[i] = c[i] - c[i - 1];
         }
     }
-    TrainTensors { x, cum, dist, n_out }
+    TrainTensors {
+        x,
+        cum,
+        dist,
+        n_out,
+    }
 }
 
 /// Empirical `P(τ)` over a workload's threshold grid (Eq. 2's expectation
@@ -151,7 +156,10 @@ mod tests {
         let t = prepare_tensors(&wl, fx.as_ref());
         for r in 0..t.n_examples() {
             let row = t.cum.row(r);
-            assert!(row.windows(2).all(|w| w[0] <= w[1]), "row {r} not monotone: {row:?}");
+            assert!(
+                row.windows(2).all(|w| w[0] <= w[1]),
+                "row {r} not monotone: {row:?}"
+            );
             assert!(t.dist.row(r).iter().all(|&v| v >= 0.0));
         }
     }

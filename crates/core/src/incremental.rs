@@ -38,7 +38,12 @@ pub struct IncrementalLearner {
 }
 
 impl IncrementalLearner {
-    pub fn new(trainer: Trainer, train_wl: Workload, valid_wl: Workload, fx: &dyn FeatureExtractor) -> Self {
+    pub fn new(
+        trainer: Trainer,
+        train_wl: Workload,
+        valid_wl: Workload,
+        fx: &dyn FeatureExtractor,
+    ) -> Self {
         let valid = prepare_tensors(&valid_wl, fx);
         let baseline_val = trainer.validation_msle(&valid);
         IncrementalLearner {
@@ -61,17 +66,29 @@ impl IncrementalLearner {
 
         // 2. Retrain only if the error increased beyond tolerance.
         if val_before <= self.baseline_val * (1.0 + self.tolerance) {
-            return UpdateOutcome { val_before, val_after: val_before, retrained: false, report: None };
+            return UpdateOutcome {
+                val_before,
+                val_after: val_before,
+                retrained: false,
+                report: None,
+            };
         }
 
         // 3. Refresh training labels (same queries, new labels) and resume
         //    from the current parameters over the full training set.
         self.train_wl.relabel(dataset);
         let train = prepare_tensors(&self.train_wl, fx);
-        let report = self.trainer.fit_incremental(&train, &valid, self.max_epochs, 3);
+        let report = self
+            .trainer
+            .fit_incremental(&train, &valid, self.max_epochs, 3);
         let val_after = self.trainer.validation_msle(&valid);
         self.baseline_val = val_after;
-        UpdateOutcome { val_before, val_after, retrained: true, report: Some(report) }
+        UpdateOutcome {
+            val_before,
+            val_after,
+            retrained: true,
+            report: Some(report),
+        }
     }
 }
 
@@ -100,8 +117,12 @@ mod tests {
         opts.epochs = 8;
         opts.vae_epochs = 3;
         let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
-        let mut learner =
-            IncrementalLearner::new(trainer, split.train.clone(), split.valid.clone(), fx.as_ref());
+        let mut learner = IncrementalLearner::new(
+            trainer,
+            split.train.clone(),
+            split.valid.clone(),
+            fx.as_ref(),
+        );
 
         // Insert two near-duplicates of existing records: a negligible shift.
         let a = ds.records[0].clone();
@@ -127,8 +148,12 @@ mod tests {
         opts.epochs = 8;
         opts.vae_epochs = 3;
         let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
-        let mut learner =
-            IncrementalLearner::new(trainer, split.train.clone(), split.valid.clone(), fx.as_ref());
+        let mut learner = IncrementalLearner::new(
+            trainer,
+            split.train.clone(),
+            split.valid.clone(),
+            fx.as_ref(),
+        );
         learner.tolerance = 0.01;
         learner.max_epochs = 5;
 

@@ -18,6 +18,35 @@
 //! * [`train`] — MSLE + dynamic per-distance loss (Eq. 2–3), validation-driven
 //!   ω updates, VAE pre-training, snapshots;
 //! * [`incremental`] — incremental learning for dataset updates (§8).
+//!
+//! Train a small CardNet and observe the structural guarantee — estimates
+//! never decrease as the threshold grows, even on a barely trained model:
+//!
+//! ```
+//! use cardest_core::{train_cardnet, CardNetConfig, CardNetEstimator, CardinalityEstimator};
+//! use cardest_core::train::TrainerOptions;
+//! use cardest_data::synth::{hm_imagenet, SynthConfig};
+//! use cardest_data::Workload;
+//! use cardest_fx::build_extractor;
+//!
+//! let ds = hm_imagenet(SynthConfig::new(150, 9));
+//! let fx = build_extractor(&ds, 10, 1);
+//! let split = Workload::sample_from(&ds, 0.3, 8, 2).split(3);
+//!
+//! let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+//! cfg.phi_hidden = vec![16];
+//! cfg.z_dim = 8;
+//! cfg = cfg.without_vae();
+//! let opts = TrainerOptions { epochs: 2, vae_epochs: 0, ..TrainerOptions::quick() };
+//! let (trainer, report) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+//! assert!(report.best_val_msle.is_finite());
+//!
+//! let est = CardNetEstimator::from_trainer(fx, trainer);
+//! let query = ds.records[0].clone();
+//! let estimates: Vec<f64> =
+//!     (0..=10).map(|i| est.estimate(&query, ds.theta_max * f64::from(i) / 10.0)).collect();
+//! assert!(estimates.windows(2).all(|w| w[1] >= w[0] - 1e-9), "not monotone: {estimates:?}");
+//! ```
 
 pub mod estimator;
 pub mod features;

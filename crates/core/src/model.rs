@@ -15,7 +15,7 @@
 //! `O((τ+1)·|Φ|)` to `O(|Φ′|)`.
 
 use cardest_nn::layers::{Activation, Dense, Mlp};
-use cardest_nn::{init, Matrix, ParamId, ParamStore, Tape, Var, Vae, VaeConfig};
+use cardest_nn::{init, Matrix, ParamId, ParamStore, Tape, Vae, VaeConfig, Var};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -138,11 +138,18 @@ impl CardNetModel {
             Vae::new(
                 store,
                 rng,
-                VaeConfig::new(config.input_dim, config.vae_hidden.clone(), config.vae_latent),
+                VaeConfig::new(
+                    config.input_dim,
+                    config.vae_hidden.clone(),
+                    config.vae_latent,
+                ),
             )
         });
         // §5.2.2: E initialized from the standard normal distribution.
-        let e = store.register("cardnet.E", init::std_normal(rng, config.n_out, config.e_dim));
+        let e = store.register(
+            "cardnet.E",
+            init::std_normal(rng, config.n_out, config.e_dim),
+        );
         let (phi, phi_a) = match config.encoder {
             EncoderKind::Shared => {
                 let phi = Mlp::new(
@@ -184,7 +191,14 @@ impl CardNetModel {
                     ));
                     prev = h;
                 }
-                (None, Some(PhiAccelerated { hidden, heads, regions }))
+                (
+                    None,
+                    Some(PhiAccelerated {
+                        hidden,
+                        heads,
+                        regions,
+                    }),
+                )
             }
         };
         let dec_w = store.register(
@@ -195,7 +209,15 @@ impl CardNetModel {
         // a decoder that starts at 0 output receives no gradient and would
         // predict 0 forever.
         let dec_b = store.register("cardnet.dec_b", Matrix::full(1, config.n_out, 1.0));
-        CardNetModel { config, vae, e, phi, phi_a, dec_w, dec_b }
+        CardNetModel {
+            config,
+            vae,
+            e,
+            phi,
+            phi_a,
+            dec_w,
+            dec_b,
+        }
     }
 
     pub fn vae(&self) -> Option<&Vae> {
@@ -227,8 +249,16 @@ impl CardNetModel {
         // Incremental prediction (Eq. 1): cumulative = prefix sum of the
         // per-distance outputs. The −incremental ablation (Table 7) instead
         // reads each decoder as a *direct* cumulative prediction at τ = i.
-        let cum = if self.config.incremental { self.prefix_sum(tape, dist, n) } else { dist };
-        ModelForward { dist, cum, vae_loss }
+        let cum = if self.config.incremental {
+            self.prefix_sum(tape, dist, n)
+        } else {
+            dist
+        };
+        ModelForward {
+            dist,
+            cum,
+            vae_loss,
+        }
     }
 
     /// Per-distance predictions for all `n_out` decoders on the tape.

@@ -60,7 +60,12 @@ impl Default for TrainerOptions {
 impl TrainerOptions {
     /// Short schedule for tests and `quick` experiment runs.
     pub fn quick() -> Self {
-        TrainerOptions { epochs: 30, vae_epochs: 10, patience: 4, ..Default::default() }
+        TrainerOptions {
+            epochs: 30,
+            vae_epochs: 10,
+            patience: 4,
+            ..Default::default()
+        }
     }
 }
 
@@ -92,7 +97,14 @@ impl Trainer {
         let n_out = model.config.n_out;
         assert_eq!(p_tau.len(), n_out, "P(τ) arity mismatch");
         let omega = Matrix::full(1, n_out, 1.0 / n_out as f32);
-        Trainer { model, store, options, p_tau: Matrix::row_vector(p_tau), omega, rng }
+        Trainer {
+            model,
+            store,
+            options,
+            p_tau: Matrix::row_vector(p_tau),
+            omega,
+            rng,
+        }
     }
 
     /// Rebuilds a trainer around a restored model and parameter store (the
@@ -138,18 +150,17 @@ impl Trainer {
     /// One optimization step over a batch; returns the scalar loss.
     fn step(&mut self, batch: &TrainTensors, opt: &mut Adam) -> f32 {
         let mut tape = Tape::new();
-        let fwd = self.model.forward_train(
-            &mut tape,
-            &self.store,
-            batch.x.clone(),
-            &mut self.rng,
-            0.1,
-        );
+        let fwd =
+            self.model
+                .forward_train(&mut tape, &self.store, batch.x.clone(), &mut self.rng, 0.1);
         let cum_t = tape.input(batch.cum.clone());
         // The −incremental ablation's decoders predict cumulative values
         // directly, so its per-distance term also targets the cumulative.
-        let dist_targets =
-            if self.model.config.incremental { batch.dist.clone() } else { batch.cum.clone() };
+        let dist_targets = if self.model.config.incremental {
+            batch.dist.clone()
+        } else {
+            batch.cum.clone()
+        };
         let dist_t = tape.input(dist_targets);
         let p = tape.input(self.p_tau.clone());
         let main = loss::weighted_msle(&mut tape, fwd.cum, cum_t, p);
@@ -193,7 +204,11 @@ impl Trainer {
             .zip(self.p_tau.row(0))
             .map(|(&l, &p)| f64::from(l) * f64::from(p))
             .sum();
-        let dist_targets = if self.model.config.incremental { &valid.dist } else { &valid.cum };
+        let dist_targets = if self.model.config.incremental {
+            &valid.dist
+        } else {
+            &valid.cum
+        };
         let per_dist = loss::msle_per_column(&pred, dist_targets);
         (weighted, per_dist)
     }
@@ -205,7 +220,11 @@ impl Trainer {
         let n_out = self.model.config.n_out;
         if pos_sum > 0.0 {
             for i in 0..n_out {
-                let w = if deltas[i] > 0.0 { deltas[i] / pos_sum } else { 0.0 };
+                let w = if deltas[i] > 0.0 {
+                    deltas[i] / pos_sum
+                } else {
+                    0.0
+                };
                 self.omega.set(0, i, w);
             }
         } else {
@@ -404,7 +423,11 @@ mod tests {
         let (trainer, report) = train_cardnet(fx.as_ref(), &train_wl, &valid_wl, cfg, opts);
         assert!(report.best_val_msle.is_finite());
         // Estimates must still be monotone after training.
-        let x = cardest_nn::Matrix::from_vec(1, fx.dim(), fx.extract(&train_wl.queries[0].query).to_f32());
+        let x = cardest_nn::Matrix::from_vec(
+            1,
+            fx.dim(),
+            fx.extract(&train_wl.queries[0].query).to_f32(),
+        );
         let mut prev = 0.0;
         for tau in 0..=fx.tau_max() {
             let est = trainer.model.infer_sum(&trainer.store, &x, tau);

@@ -30,7 +30,10 @@ impl std::fmt::Debug for BitVec {
 impl BitVec {
     /// All-zero vector of `len` bits.
     pub fn zeros(len: usize) -> Self {
-        BitVec { len, words: vec![0; len.div_ceil(64)] }
+        BitVec {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
     }
 
     /// Builds from an iterator of bools, in index order.
@@ -52,8 +55,15 @@ impl BitVec {
     /// Builds a `len`-bit vector from the low bits of `value` (bit 0 first).
     pub fn from_u64(value: u64, len: usize) -> Self {
         assert!(len <= 64);
-        let mask = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
-        BitVec { len, words: vec![value & mask] }
+        let mask = if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        };
+        BitVec {
+            len,
+            words: vec![value & mask],
+        }
     }
 
     /// Number of bits.

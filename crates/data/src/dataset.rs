@@ -21,7 +21,12 @@ impl Dataset {
         records: Vec<Record>,
         theta_max: f64,
     ) -> Self {
-        Dataset { name: name.into(), kind, records, theta_max }
+        Dataset {
+            name: name.into(),
+            kind,
+            records,
+            theta_max,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -85,7 +90,9 @@ mod tests {
     use crate::bitvec::BitVec;
 
     fn tiny_hamming() -> Dataset {
-        let records = (0u64..16).map(|v| Record::Bits(BitVec::from_u64(v, 4))).collect();
+        let records = (0u64..16)
+            .map(|v| Record::Bits(BitVec::from_u64(v, 4)))
+            .collect();
         Dataset::new("tiny", DistanceKind::Hamming, records, 4.0)
     }
 

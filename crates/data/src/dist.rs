@@ -13,7 +13,7 @@ pub enum DistanceKind {
     Hamming,
     /// Levenshtein edit distance on strings (integer-valued).
     Edit,
-    /// Jaccard *distance* `1 − |x∩y|/|x∪y|` on sets (real-valued in [0,1]).
+    /// Jaccard *distance* `1 − |x∩y|/|x∪y|` on sets (real-valued in `[0,1]`).
     Jaccard,
     /// Euclidean (L2) distance on real vectors.
     Euclidean,
@@ -129,7 +129,11 @@ pub fn levenshtein_within(a: &str, b: &str, k: usize) -> Option<usize> {
         for j in lo..=hi {
             let sub = prev[j - 1] + usize::from(a[i - 1] != b[j - 1]);
             let del = if prev[j] == BIG { BIG } else { prev[j] + 1 };
-            let ins = if cur[j - 1] == BIG { BIG } else { cur[j - 1] + 1 };
+            let ins = if cur[j - 1] == BIG {
+                BIG
+            } else {
+                cur[j - 1] + 1
+            };
             cur[j] = sub.min(del).min(ins);
             row_min = row_min.min(cur[j]);
         }
@@ -218,7 +222,12 @@ mod tests {
 
     #[test]
     fn banded_levenshtein_agrees_when_within() {
-        let cases = [("kitten", "sitting"), ("abcdef", "azced"), ("a", "b"), ("", "")];
+        let cases = [
+            ("kitten", "sitting"),
+            ("abcdef", "azced"),
+            ("a", "b"),
+            ("", ""),
+        ];
         for (a, b) in cases {
             let full = levenshtein(a, b);
             for k in 0..=8 {

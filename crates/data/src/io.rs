@@ -31,9 +31,17 @@ pub fn save_jsonl(dataset: &Dataset, path: &Path) -> std::io::Result<()> {
         theta_max: dataset.theta_max,
         n_records: dataset.len(),
     };
-    writeln!(out, "{}", serde_json::to_string(&header).map_err(std::io::Error::other)?)?;
+    writeln!(
+        out,
+        "{}",
+        serde_json::to_string(&header).map_err(std::io::Error::other)?
+    )?;
     for r in &dataset.records {
-        writeln!(out, "{}", serde_json::to_string(r).map_err(std::io::Error::other)?)?;
+        writeln!(
+            out,
+            "{}",
+            serde_json::to_string(r).map_err(std::io::Error::other)?
+        )?;
     }
     out.flush()
 }
@@ -78,7 +86,12 @@ pub fn load_jsonl(path: &Path) -> std::io::Result<Dataset> {
             records.len()
         )));
     }
-    Ok(Dataset::new(header.name, header.kind, records, header.theta_max))
+    Ok(Dataset::new(
+        header.name,
+        header.kind,
+        records,
+        header.theta_max,
+    ))
 }
 
 #[cfg(test)]

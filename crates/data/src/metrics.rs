@@ -114,7 +114,10 @@ mod tests {
 
     #[test]
     fn q_error_is_symmetric_between_over_and_under() {
-        assert_eq!(mean_q_error(&[10.0], &[20.0]), mean_q_error(&[10.0], &[5.0]));
+        assert_eq!(
+            mean_q_error(&[10.0], &[20.0]),
+            mean_q_error(&[10.0], &[5.0])
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl Clustering {
                     .expect("at least one medoid")
             })
             .collect();
-        Clustering { medoids, assignment }
+        Clustering {
+            medoids,
+            assignment,
+        }
     }
 
     /// Records per cluster, as reported in Table 13.
@@ -92,19 +95,16 @@ pub enum SamplingPolicy {
 }
 
 /// Draws `n` query records from the dataset under the given policy.
-pub fn draw_queries(
-    dataset: &Dataset,
-    n: usize,
-    policy: SamplingPolicy,
-    seed: u64,
-) -> Vec<Record> {
+pub fn draw_queries(dataset: &Dataset, n: usize, policy: SamplingPolicy, seed: u64) -> Vec<Record> {
     let mut rng = StdRng::seed_from_u64(seed);
     match policy {
         SamplingPolicy::SingleUniform => {
             let mut idx: Vec<usize> = (0..dataset.len()).collect();
             idx.shuffle(&mut rng);
             idx.truncate(n.min(dataset.len()));
-            idx.into_iter().map(|i| dataset.records[i].clone()).collect()
+            idx.into_iter()
+                .map(|i| dataset.records[i].clone())
+                .collect()
         }
         SamplingPolicy::MultipleUniform { samples } => {
             let per = n.div_ceil(samples.max(1));
@@ -113,7 +113,11 @@ pub fn draw_queries(
                 let mut idx: Vec<usize> = (0..dataset.len()).collect();
                 let mut sub_rng = StdRng::seed_from_u64(seed.wrapping_add(1 + s as u64));
                 idx.shuffle(&mut sub_rng);
-                out.extend(idx.into_iter().take(per).map(|i| dataset.records[i].clone()));
+                out.extend(
+                    idx.into_iter()
+                        .take(per)
+                        .map(|i| dataset.records[i].clone()),
+                );
             }
             out.truncate(n);
             out
@@ -175,7 +179,9 @@ fn random_record(dataset: &Dataset, rng: &mut StdRng) -> Record {
     match dataset.kind {
         DistanceKind::Hamming => {
             let dim = dataset.records[0].as_bits().len();
-            Record::Bits(crate::bitvec::BitVec::from_bits((0..dim).map(|_| rng.gen_bool(0.5))))
+            Record::Bits(crate::bitvec::BitVec::from_bits(
+                (0..dim).map(|_| rng.gen_bool(0.5)),
+            ))
         }
         DistanceKind::Edit => {
             // The paper takes names from a disjoint corpus; we synthesize a
@@ -210,11 +216,7 @@ fn random_record(dataset: &Dataset, rng: &mut StdRng) -> Record {
 /// Long-tail grouping (§9.9): buckets query indices by actual cardinality,
 /// one bucket per `group_width`, with everything above `groups·width` in the
 /// last bucket. Returns `group -> query indices`.
-pub fn cardinality_groups(
-    cards: &[f64],
-    group_width: f64,
-    groups: usize,
-) -> Vec<Vec<usize>> {
+pub fn cardinality_groups(cards: &[f64], group_width: f64, groups: usize) -> Vec<Vec<usize>> {
     let mut out = vec![Vec::new(); groups];
     for (i, &c) in cards.iter().enumerate() {
         let g = ((c / group_width).floor() as usize).min(groups - 1);
@@ -268,38 +270,44 @@ mod tests {
     fn skewed_sampling_overweights_small_clusters() {
         let ds = ds();
         let k = 4;
-        let cl = Clustering::cluster(&ds, k, 3);
+        let seed = 5;
+        // `draw_queries` clusters internally with the draw seed, so this is
+        // exactly the clustering the sampler used.
+        let cl = Clustering::cluster(&ds, k, seed);
         let sizes = cl.cluster_sizes(k);
-        let smallest = sizes
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &s)| s)
-            .map(|(i, _)| i)
-            .expect("clusters exist");
-        // Under skewed sampling every cluster is hit ~uniformly, so the
-        // smallest cluster's share of queries should exceed its share of data.
-        let qs = draw_queries(&ds, 400, SamplingPolicy::SingleSkewed { clusters: k }, 5);
-        let d = ds.distance();
-        let mut hits = 0usize;
+        let n = 400;
+        let qs = draw_queries(&ds, n, SamplingPolicy::SingleSkewed { clusters: k }, seed);
+        let mut hits = vec![0usize; k];
         for q in &qs {
-            let best = cl
-                .medoids
+            let idx = ds
+                .records
                 .iter()
-                .enumerate()
-                .map(|(ci, &m)| (ci, d.eval(&ds.records[m], q)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
-                .map(|(ci, _)| ci)
-                .expect("medoids");
-            if best == smallest {
-                hits += 1;
+                .position(|r| r == q)
+                .expect("skewed queries are sampled from the dataset");
+            hits[cl.assignment[idx]] += 1;
+        }
+        // The policy picks a cluster uniformly, then a member: every cluster's
+        // query share is ~1/k regardless of its size...
+        for (ci, &h) in hits.iter().enumerate() {
+            let share = h as f64 / n as f64;
+            assert!(
+                (share - 1.0 / k as f64).abs() < 0.09,
+                "cluster {ci} (size {}): query share {share:.3} far from uniform",
+                sizes[ci]
+            );
+        }
+        // ...so any below-average-size cluster is over-represented relative
+        // to its share of the data.
+        for (ci, &h) in hits.iter().enumerate() {
+            let data_share = sizes[ci] as f64 / ds.len() as f64;
+            if data_share < 0.15 {
+                let query_share = h as f64 / n as f64;
+                assert!(
+                    query_share > data_share,
+                    "skew missing: cluster {ci} query share {query_share:.3} <= data share {data_share:.3}"
+                );
             }
         }
-        let query_share = hits as f64 / 400.0;
-        let data_share = sizes[smallest] as f64 / ds.len() as f64;
-        assert!(
-            query_share > data_share,
-            "skew missing: query share {query_share:.3} <= data share {data_share:.3}"
-        );
     }
 
     #[test]

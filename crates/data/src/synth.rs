@@ -108,13 +108,13 @@ pub fn hm_highdim(cfg: SynthConfig, dim: usize, theta_max: f64) -> Dataset {
 }
 
 const SYLLABLES: &[&str] = &[
-    "an", "bel", "chen", "dra", "el", "fan", "gar", "hu", "in", "jo", "ka", "li", "mo", "na",
-    "or", "pe", "qi", "ra", "sa", "tu", "ver", "wang", "xu", "yan", "zhou",
+    "an", "bel", "chen", "dra", "el", "fan", "gar", "hu", "in", "jo", "ka", "li", "mo", "na", "or",
+    "pe", "qi", "ra", "sa", "tu", "ver", "wang", "xu", "yan", "zhou",
 ];
 
 /// A synthetic person name: 2–4 syllables, capitalized, optional second word.
 fn synth_name(rng: &mut impl Rng) -> String {
-    let word = |rng: &mut dyn rand::RngCore| {
+    let word = |mut rng: &mut dyn rand::RngCore| {
         let parts = rng.gen_range(1..=2) + 1;
         let mut s = String::new();
         for _ in 0..parts {
@@ -154,7 +154,9 @@ pub fn apply_typos(rng: &mut impl Rng, s: &str, k: usize) -> String {
 /// author-name corpus.
 pub fn ed_aminer(cfg: SynthConfig) -> Dataset {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let pool: Vec<String> = (0..(cfg.n_records / 8).max(8)).map(|_| synth_name(&mut rng)).collect();
+    let pool: Vec<String> = (0..(cfg.n_records / 8).max(8))
+        .map(|_| synth_name(&mut rng))
+        .collect();
     let records = (0..cfg.n_records)
         .map(|_| {
             let base = &pool[rng.gen_range(0..pool.len())];
@@ -166,9 +168,26 @@ pub fn ed_aminer(cfg: SynthConfig) -> Dataset {
 }
 
 const KEYWORDS: &[&str] = &[
-    "learning", "deep", "query", "index", "graph", "neural", "database", "search", "join",
-    "estimation", "cardinality", "similarity", "hashing", "distributed", "stream", "optimal",
-    "efficient", "scalable", "adaptive", "robust",
+    "learning",
+    "deep",
+    "query",
+    "index",
+    "graph",
+    "neural",
+    "database",
+    "search",
+    "join",
+    "estimation",
+    "cardinality",
+    "similarity",
+    "hashing",
+    "distributed",
+    "stream",
+    "optimal",
+    "efficient",
+    "scalable",
+    "adaptive",
+    "robust",
 ];
 
 /// `ED-DBLP` stand-in: publication-title-like strings (3–6 keywords).
@@ -294,7 +313,11 @@ pub fn entity_table(cfg: SynthConfig, n_attrs: usize, dim: usize) -> EntityTable
     // Per-attribute, per-cluster centroids: attributes of the same entity
     // share the cluster id, which correlates their selectivities.
     let centroids: Vec<Vec<Vec<f64>>> = (0..n_attrs)
-        .map(|_| (0..k).map(|_| (0..dim).map(|_| normal(&mut rng)).collect()).collect())
+        .map(|_| {
+            (0..k)
+                .map(|_| (0..dim).map(|_| normal(&mut rng)).collect())
+                .collect()
+        })
         .collect();
     let pick = Zipf::new(k, 0.7);
     let mut attrs: Vec<Vec<Vec<f32>>> = vec![Vec::with_capacity(cfg.n_records); n_attrs];
@@ -308,7 +331,11 @@ pub fn entity_table(cfg: SynthConfig, n_attrs: usize, dim: usize) -> EntityTable
             per_attr.push(v.into_iter().map(|x| x as f32).collect());
         }
     }
-    EntityTable { name: format!("Entities{n_attrs}x{dim}"), attrs, n_entities: cfg.n_records }
+    EntityTable {
+        name: format!("Entities{n_attrs}x{dim}"),
+        attrs,
+        n_entities: cfg.n_records,
+    }
 }
 
 /// The eight Table 2 stand-ins, in paper order. `n` is per-dataset record
@@ -385,7 +412,10 @@ mod tests {
         let ds = jc_bms(SynthConfig::new(100, 4));
         for r in &ds.records {
             let s = r.as_set();
-            assert!(s.windows(2).all(|w| w[0] < w[1]), "set not strictly sorted: {s:?}");
+            assert!(
+                s.windows(2).all(|w| w[0] < w[1]),
+                "set not strictly sorted: {s:?}"
+            );
         }
     }
 

@@ -53,7 +53,10 @@ impl Workload {
     /// One scan per query computes the whole cardinality curve.
     pub fn label(dataset: &Dataset, queries: Vec<Record>, thresholds: Vec<f64>) -> Workload {
         assert!(!thresholds.is_empty());
-        assert!(thresholds.windows(2).all(|w| w[0] <= w[1]), "thresholds must ascend");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] <= w[1]),
+            "thresholds must ascend"
+        );
         let d = dataset.distance();
         let theta_max = *thresholds.last().expect("non-empty grid");
         let labelled = queries
@@ -76,7 +79,10 @@ impl Workload {
                 LabelledQuery { query, cards }
             })
             .collect();
-        Workload { thresholds, queries: labelled }
+        Workload {
+            thresholds,
+            queries: labelled,
+        }
     }
 
     /// The paper's workload construction: uniformly sample `fraction` of the
@@ -92,7 +98,10 @@ impl Workload {
         let mut idx: Vec<usize> = (0..dataset.len()).collect();
         idx.shuffle(&mut rng);
         idx.truncate(n);
-        let queries = idx.into_iter().map(|i| dataset.records[i].clone()).collect();
+        let queries = idx
+            .into_iter()
+            .map(|i| dataset.records[i].clone())
+            .collect();
         let grid = Self::uniform_grid(dataset.theta_max, n_thresholds);
         Self::label(dataset, queries, grid)
     }
@@ -116,17 +125,26 @@ impl Workload {
         let valid_qs = self.queries.split_off(n_train);
         let thresholds = self.thresholds;
         WorkloadSplit {
-            train: Workload { thresholds: thresholds.clone(), queries: self.queries },
-            valid: Workload { thresholds: thresholds.clone(), queries: valid_qs },
-            test: Workload { thresholds, queries: test_qs },
+            train: Workload {
+                thresholds: thresholds.clone(),
+                queries: self.queries,
+            },
+            valid: Workload {
+                thresholds: thresholds.clone(),
+                queries: valid_qs,
+            },
+            test: Workload {
+                thresholds,
+                queries: test_qs,
+            },
         }
     }
 
     /// Keeps the first `fraction` of the queries (Figure 7's training-size
     /// sweep).
     pub fn truncate_fraction(&self, fraction: f64) -> Workload {
-        let keep = ((self.queries.len() as f64 * fraction).round() as usize)
-            .clamp(1, self.queries.len());
+        let keep =
+            ((self.queries.len() as f64 * fraction).round() as usize).clamp(1, self.queries.len());
         Workload {
             thresholds: self.thresholds.clone(),
             queries: self.queries[..keep].to_vec(),
@@ -168,7 +186,9 @@ mod tests {
     use crate::dist::DistanceKind;
 
     fn tiny() -> Dataset {
-        let records = (0u64..32).map(|v| Record::Bits(BitVec::from_u64(v, 5))).collect();
+        let records = (0u64..32)
+            .map(|v| Record::Bits(BitVec::from_u64(v, 5)))
+            .collect();
         Dataset::new("tiny", DistanceKind::Hamming, records, 5.0)
     }
 
@@ -191,7 +211,11 @@ mod tests {
         let ds = tiny();
         let wl = Workload::sample_from(&ds, 0.5, 5, 3);
         for lq in &wl.queries {
-            assert!(lq.cards.windows(2).all(|w| w[0] <= w[1]), "cards {:?}", lq.cards);
+            assert!(
+                lq.cards.windows(2).all(|w| w[0] <= w[1]),
+                "cards {:?}",
+                lq.cards
+            );
         }
     }
 

@@ -28,9 +28,21 @@ pub struct EditPositionalExtractor {
 }
 
 impl EditPositionalExtractor {
-    pub fn new(l_max: usize, smear: usize, n_groups: usize, theta_max: f64, tau_max: usize) -> Self {
+    pub fn new(
+        l_max: usize,
+        smear: usize,
+        n_groups: usize,
+        theta_max: f64,
+        tau_max: usize,
+    ) -> Self {
         assert!(n_groups > 0 && l_max > 0);
-        EditPositionalExtractor { l_max, smear, n_groups, theta_max, tau_max }
+        EditPositionalExtractor {
+            l_max,
+            smear,
+            n_groups,
+            theta_max,
+            tau_max,
+        }
     }
 
     /// Sizes the encoder from a dataset: `l_max` from the corpus, default

@@ -16,7 +16,11 @@ pub struct HammingIdentityExtractor {
 
 impl HammingIdentityExtractor {
     pub fn new(dim: usize, theta_max: f64, tau_max: usize) -> Self {
-        HammingIdentityExtractor { dim, theta_max, tau_max }
+        HammingIdentityExtractor {
+            dim,
+            theta_max,
+            tau_max,
+        }
     }
 
     /// The effective τ ceiling: when `θ_max ≤ τ_max` only `θ_max + 1`

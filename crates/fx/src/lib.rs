@@ -8,6 +8,24 @@
 //! the threshold transform is the `h` half of Lemma 1's precondition for the
 //! end-to-end monotonicity guarantee, and is property-tested for every
 //! extractor.
+//!
+//! ```
+//! use cardest_data::synth::{jc_bms, SynthConfig};
+//! use cardest_fx::build_extractor;
+//!
+//! let ds = jc_bms(SynthConfig::new(80, 7));
+//! let fx = build_extractor(&ds, 12, 1);
+//!
+//! // h_rec: every record embeds into the same d-dimensional Hamming space…
+//! let bits = fx.extract(&ds.records[0]);
+//! assert_eq!(bits.len(), fx.dim());
+//!
+//! // …and h_thr maps θ to τ monotonically (Lemma 1's precondition).
+//! let taus: Vec<usize> =
+//!     (0..=10).map(|i| fx.map_threshold(ds.theta_max * f64::from(i) / 10.0)).collect();
+//! assert!(taus.windows(2).all(|w| w[0] <= w[1]));
+//! assert!(*taus.last().unwrap() <= fx.tau_max());
+//! ```
 
 pub mod edit;
 pub mod hamming;

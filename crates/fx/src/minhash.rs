@@ -33,7 +33,13 @@ impl BBitMinHashExtractor {
                 splitmix64(state)
             })
             .collect();
-        BBitMinHashExtractor { theta_max, tau_max, k, b, seeds }
+        BBitMinHashExtractor {
+            theta_max,
+            tau_max,
+            k,
+            b,
+            seeds,
+        }
     }
 
     /// Minimum hash value of the set under permutation `p`.
@@ -75,7 +81,11 @@ impl FeatureExtractor for BBitMinHashExtractor {
     }
 
     fn map_threshold(&self, theta: f64) -> usize {
-        proportional_tau(theta.clamp(0.0, self.theta_max), self.theta_max, self.tau_max)
+        proportional_tau(
+            theta.clamp(0.0, self.theta_max),
+            self.theta_max,
+            self.tau_max,
+        )
     }
 
     fn name(&self) -> &'static str {
@@ -119,7 +129,13 @@ mod tests {
             let a: Vec<u32> = (0..30).map(|_| rng.gen_range(0..200)).collect();
             let b: Vec<u32> = a
                 .iter()
-                .map(|&t| if rng.gen_bool(0.3) { rng.gen_range(0..200) } else { t })
+                .map(|&t| {
+                    if rng.gen_bool(0.3) {
+                        rng.gen_range(0..200)
+                    } else {
+                        t
+                    }
+                })
                 .collect();
             let (ra, rb) = (Record::set_from(a), Record::set_from(b));
             let jd = jaccard_distance(ra.as_set(), rb.as_set());

@@ -61,9 +61,7 @@ impl FeatureExtractor for NaiveExtractor {
     }
 
     fn tau_max(&self) -> usize {
-        if self.theta_max <= self.tau_max as f64
-            && matches!(self.kind, NaiveKind::CharBag)
-        {
+        if self.theta_max <= self.tau_max as f64 && matches!(self.kind, NaiveKind::CharBag) {
             self.theta_max.floor() as usize
         } else {
             self.tau_max

@@ -45,8 +45,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -107,7 +106,11 @@ impl PStableExtractor {
     }
 
     fn raw_hash(&self, x: &[f32], h: usize) -> i64 {
-        let dot: f64 = self.a[h].iter().zip(x).map(|(&a, &v)| f64::from(a) * f64::from(v)).sum();
+        let dot: f64 = self.a[h]
+            .iter()
+            .zip(x)
+            .map(|(&a, &v)| f64::from(a) * f64::from(v))
+            .sum();
         ((dot + f64::from(self.b[h])) / self.r).floor() as i64
     }
 
@@ -177,7 +180,11 @@ mod tests {
         assert!((prev - 1.0).abs() < 1e-12);
         for i in 1..=40 {
             let p = collision_probability(f64::from(i) * 0.05, r);
-            assert!(p <= prev + 1e-12, "ε increased at θ={}", f64::from(i) * 0.05);
+            assert!(
+                p <= prev + 1e-12,
+                "ε increased at θ={}",
+                f64::from(i) * 0.05
+            );
             assert!((0.0..=1.0).contains(&p));
             prev = p;
         }

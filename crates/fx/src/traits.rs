@@ -29,20 +29,24 @@ pub trait FeatureExtractor: Send + Sync {
 /// Builds the paper's case-study extractor for the dataset's distance
 /// function (§4.1–§4.4). `tau_max` controls the decoder count; the LSH
 /// extractors draw their hash functions from `seed`.
-pub fn build_extractor(
-    dataset: &Dataset,
-    tau_max: usize,
-    seed: u64,
-) -> Box<dyn FeatureExtractor> {
+pub fn build_extractor(dataset: &Dataset, tau_max: usize, seed: u64) -> Box<dyn FeatureExtractor> {
     match dataset.kind {
         DistanceKind::Hamming => {
             let dim = dataset.records.first().map_or(0, |r| r.as_bits().len());
-            Box::new(HammingIdentityExtractor::new(dim, dataset.theta_max, tau_max))
+            Box::new(HammingIdentityExtractor::new(
+                dim,
+                dataset.theta_max,
+                tau_max,
+            ))
         }
         DistanceKind::Edit => Box::new(EditPositionalExtractor::from_dataset(dataset, tau_max)),
-        DistanceKind::Jaccard => {
-            Box::new(BBitMinHashExtractor::new(dataset.theta_max, tau_max, 64, 2, seed))
-        }
+        DistanceKind::Jaccard => Box::new(BBitMinHashExtractor::new(
+            dataset.theta_max,
+            tau_max,
+            64,
+            2,
+            seed,
+        )),
         DistanceKind::Euclidean => Box::new(PStableExtractor::from_dataset(dataset, tau_max, seed)),
     }
 }
@@ -60,7 +64,7 @@ pub(crate) fn proportional_tau(theta: f64, theta_max: f64, tau_max: usize) -> us
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cardest_data::synth::{default_suite, SynthConfig};
+    use cardest_data::synth::default_suite;
 
     #[test]
     fn dispatcher_builds_for_every_kind() {
@@ -70,7 +74,11 @@ mod tests {
             let bv = fx.extract(&ds.records[0]);
             assert_eq!(bv.len(), fx.dim(), "{}", ds.name);
             assert_eq!(fx.map_threshold(0.0), 0, "{}", ds.name);
-            assert!(fx.map_threshold(ds.theta_max) <= fx.tau_max(), "{}", ds.name);
+            assert!(
+                fx.map_threshold(ds.theta_max) <= fx.tau_max(),
+                "{}",
+                ds.name
+            );
         }
     }
 

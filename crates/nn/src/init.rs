@@ -42,6 +42,9 @@ mod tests {
         let w = he_normal(&mut r, 512, 64);
         let var = w.as_slice().iter().map(|v| v * v).sum::<f32>() / w.len() as f32;
         let expect = 2.0 / 512.0;
-        assert!((var - expect).abs() < expect, "var {var}, expected ~{expect}");
+        assert!(
+            (var - expect).abs() < expect,
+            "var {var}, expected ~{expect}"
+        );
     }
 }

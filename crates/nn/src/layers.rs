@@ -45,12 +45,17 @@ impl Activation {
                 .iter_mut()
                 .for_each(|v| *v = if *v > 0.0 { *v } else { v.exp() - 1.0 }),
             Activation::Sigmoid => m.as_mut_slice().iter_mut().for_each(|v| {
-                *v = if *v >= 0.0 { 1.0 / (1.0 + (-*v).exp()) } else { v.exp() / (1.0 + v.exp()) }
+                *v = if *v >= 0.0 {
+                    1.0 / (1.0 + (-*v).exp())
+                } else {
+                    v.exp() / (1.0 + v.exp())
+                }
             }),
             Activation::Tanh => m.as_mut_slice().iter_mut().for_each(|v| *v = v.tanh()),
-            Activation::Softplus => m.as_mut_slice().iter_mut().for_each(|v| {
-                *v = if *v > 20.0 { *v } else { v.exp().ln_1p() }
-            }),
+            Activation::Softplus => m
+                .as_mut_slice()
+                .iter_mut()
+                .for_each(|v| *v = if *v > 20.0 { *v } else { v.exp().ln_1p() }),
         }
     }
 }
@@ -84,7 +89,13 @@ impl Dense {
         };
         let w = store.register(format!("{name}.w"), w_init);
         let b = store.register(format!("{name}.b"), Matrix::zeros(1, out_dim));
-        Dense { w, b, activation, in_dim, out_dim }
+        Dense {
+            w,
+            b,
+            activation,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Forward pass on the tape (training).
@@ -137,7 +148,14 @@ impl Mlp {
         let mut layers = Vec::with_capacity(hidden.len() + 1);
         let mut prev = in_dim;
         for (i, &h) in hidden.iter().enumerate() {
-            layers.push(Dense::new(store, rng, &format!("{name}.{i}"), prev, h, hidden_act));
+            layers.push(Dense::new(
+                store,
+                rng,
+                &format!("{name}.{i}"),
+                prev,
+                h,
+                hidden_act,
+            ));
             prev = h;
         }
         layers.push(Dense::new(
@@ -205,7 +223,16 @@ mod tests {
         // XOR is the classic non-linearly-separable sanity check.
         let mut r = rng::seeded(42);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, &mut r, "xor", 2, &[8, 8], 1, Activation::Tanh, Activation::Sigmoid);
+        let mlp = Mlp::new(
+            &mut store,
+            &mut r,
+            "xor",
+            2,
+            &[8, 8],
+            1,
+            Activation::Tanh,
+            Activation::Sigmoid,
+        );
         let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
         let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
         let mut opt = Adam::new(0.05);
@@ -234,7 +261,16 @@ mod tests {
     fn mlp_shapes_and_param_counts() {
         let mut r = rng::seeded(3);
         let mut store = ParamStore::new();
-        let mlp = Mlp::new(&mut store, &mut r, "m", 10, &[16, 8], 2, Activation::Relu, Activation::None);
+        let mlp = Mlp::new(
+            &mut store,
+            &mut r,
+            "m",
+            10,
+            &[16, 8],
+            2,
+            Activation::Relu,
+            Activation::None,
+        );
         assert_eq!(mlp.in_dim(), 10);
         assert_eq!(mlp.out_dim(), 2);
         assert_eq!(mlp.num_params(), 10 * 16 + 16 + 16 * 8 + 8 + 8 * 2 + 2);

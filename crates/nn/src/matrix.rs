@@ -29,12 +29,20 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// A `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Matrix { rows, cols, data: vec![v; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Builds a matrix from a closure over `(row, col)`.
@@ -50,13 +58,21 @@ impl Matrix {
 
     /// Wraps an existing buffer; `data.len()` must equal `rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
-        assert_eq!(data.len(), rows * cols, "buffer does not match {rows}x{cols}");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer does not match {rows}x{cols}"
+        );
         Matrix { rows, cols, data }
     }
 
     /// A `1 x n` row vector.
     pub fn row_vector(data: Vec<f32>) -> Self {
-        Matrix { rows: 1, cols: data.len(), data }
+        Matrix {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -209,7 +225,12 @@ impl Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 

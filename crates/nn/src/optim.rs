@@ -31,7 +31,15 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     fn ensure_state(&mut self, store: &ParamStore) {
@@ -94,11 +102,19 @@ pub struct Sgd {
 
 impl Sgd {
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -188,6 +204,10 @@ mod tests {
         store.accumulate_grad(w, &Matrix::full(1, 1, f32::NAN));
         let mut opt = Adam::new(0.1);
         opt.step(&mut store);
-        assert_eq!(store.value(w).get(0, 0), 1.0, "NaN grad must not move the weight");
+        assert_eq!(
+            store.value(w).get(0, 0),
+            1.0,
+            "NaN grad must not move the weight"
+        );
     }
 }

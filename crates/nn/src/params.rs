@@ -40,7 +40,11 @@ impl ParamStore {
     /// Registers a parameter and returns its handle.
     pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
         let grad = Matrix::zeros(value.rows(), value.cols());
-        self.params.push(Param { name: name.into(), value, grad });
+        self.params.push(Param {
+            name: name.into(),
+            value,
+            grad,
+        });
         ParamId(self.params.len() - 1)
     }
 

@@ -89,7 +89,11 @@ impl Tape {
     }
 
     fn push(&mut self, value: Matrix, op: Op) -> Var {
-        self.nodes.push(Node { value, grad: None, op });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -134,17 +138,23 @@ impl Tape {
     }
 
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x + y);
+        let value = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x + y);
         self.push(value, Op::Add(a.0, b.0))
     }
 
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x - y);
+        let value = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x - y);
         self.push(value, Op::Sub(a.0, b.0))
     }
 
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.zip(&self.nodes[b.0].value, |x, y| x * y);
+        let value = self.nodes[a.0]
+            .value
+            .zip(&self.nodes[b.0].value, |x, y| x * y);
         self.push(value, Op::Mul(a.0, b.0))
     }
 
@@ -194,7 +204,9 @@ impl Tape {
     }
 
     pub fn elu(&mut self, a: Var, alpha: f32) -> Var {
-        let value = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
+        let value = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { alpha * (x.exp() - 1.0) });
         self.push(value, Op::Elu(a.0, alpha))
     }
 
@@ -315,11 +327,17 @@ impl Tape {
     /// into `store`. The tape can be dropped afterwards; gradients persist in
     /// the store until `zero_grads`.
     pub fn backward(&mut self, loss: Var, store: &mut ParamStore) {
-        assert_eq!(self.nodes[loss.0].value.shape(), (1, 1), "loss must be scalar");
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "loss must be scalar"
+        );
         self.nodes[loss.0].grad = Some(Matrix::full(1, 1, 1.0));
 
         for i in (0..self.nodes.len()).rev() {
-            let Some(grad) = self.nodes[i].grad.take() else { continue };
+            let Some(grad) = self.nodes[i].grad.take() else {
+                continue;
+            };
             // Deltas are computed with immutable borrows, then accumulated.
             let mut deltas: Vec<(usize, Matrix)> = Vec::new();
             match &self.nodes[i].op {
@@ -384,7 +402,10 @@ impl Tape {
                 Op::Elu(a, alpha) => {
                     let out = &self.nodes[i].value;
                     let al = *alpha;
-                    deltas.push((*a, grad.zip(out, move |g, y| if y > 0.0 { g } else { g * (y + al) })));
+                    deltas.push((
+                        *a,
+                        grad.zip(out, move |g, y| if y > 0.0 { g } else { g * (y + al) }),
+                    ));
                 }
                 Op::Sigmoid(a) => {
                     let out = &self.nodes[i].value;
@@ -497,11 +518,7 @@ mod tests {
     use rand::Rng;
 
     /// Central finite-difference gradient of `f` w.r.t. the single parameter.
-    fn numeric_grad(
-        store: &mut ParamStore,
-        id: ParamId,
-        f: &dyn Fn(&ParamStore) -> f32,
-    ) -> Matrix {
+    fn numeric_grad(store: &mut ParamStore, id: ParamId, f: &dyn Fn(&ParamStore) -> f32) -> Matrix {
         let eps = 1e-3;
         let shape = store.value(id).shape();
         let mut out = Matrix::zeros(shape.0, shape.1);
@@ -540,7 +557,10 @@ mod tests {
         let analytic = store.grad(w).clone();
         let numeric = numeric_grad(&mut store, w, &run);
         let diff = analytic.max_abs_diff(&numeric);
-        assert!(diff < 2e-2, "{name}: analytic vs numeric gradient diff {diff}");
+        assert!(
+            diff < 2e-2,
+            "{name}: analytic vs numeric gradient diff {diff}"
+        );
     }
 
     #[test]

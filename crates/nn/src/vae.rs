@@ -31,7 +31,11 @@ pub struct VaeConfig {
 
 impl VaeConfig {
     pub fn new(input_dim: usize, hidden: Vec<usize>, latent_dim: usize) -> Self {
-        VaeConfig { input_dim, hidden, latent_dim }
+        VaeConfig {
+            input_dim,
+            hidden,
+            latent_dim,
+        }
     }
 }
 
@@ -68,9 +72,26 @@ impl Vae {
             Activation::Elu,
             Activation::Elu,
         );
-        let mu_head = Mlp::new(store, r, "vae.mu", enc_out, &[], config.latent_dim, Activation::None, Activation::None);
-        let logvar_head =
-            Mlp::new(store, r, "vae.logvar", enc_out, &[], config.latent_dim, Activation::None, Activation::None);
+        let mu_head = Mlp::new(
+            store,
+            r,
+            "vae.mu",
+            enc_out,
+            &[],
+            config.latent_dim,
+            Activation::None,
+            Activation::None,
+        );
+        let logvar_head = Mlp::new(
+            store,
+            r,
+            "vae.logvar",
+            enc_out,
+            &[],
+            config.latent_dim,
+            Activation::None,
+            Activation::None,
+        );
         let mut dec_hidden: Vec<usize> = config.hidden.clone();
         dec_hidden.reverse();
         let decoder = Mlp::new(
@@ -83,7 +104,13 @@ impl Vae {
             Activation::Elu,
             Activation::Sigmoid,
         );
-        Vae { config, encoder, mu_head, logvar_head, decoder }
+        Vae {
+            config,
+            encoder,
+            mu_head,
+            logvar_head,
+            decoder,
+        }
     }
 
     /// Training forward pass: encodes `x`, samples `z`, decodes, and builds the
@@ -191,7 +218,10 @@ mod tests {
                 last_loss = l;
             }
         }
-        assert!(last_loss < 0.55, "VAE failed to fit toy data: loss {last_loss}");
+        assert!(
+            last_loss < 0.55,
+            "VAE failed to fit toy data: loss {last_loss}"
+        );
 
         // Reconstruction should round-trip the two prototypes.
         let recon = vae.reconstruct(&store, &x);

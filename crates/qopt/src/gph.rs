@@ -87,7 +87,9 @@ pub fn allocate_thresholds(
     for (p, qp) in query_parts.iter().enumerate() {
         let max_tau = widths[p].min(budget);
         // Per-part cost per τ, queried once.
-        let costs: Vec<f64> = (0..=max_tau as u32).map(|t| cost.estimate(p, qp, t)).collect();
+        let costs: Vec<f64> = (0..=max_tau as u32)
+            .map(|t| cost.estimate(p, qp, t))
+            .collect();
         let mut next: Vec<Option<(f64, Vec<u32>)>> = vec![None; budget + 1];
         for (b, slot) in dp.iter().enumerate() {
             let Some((c, alloc)) = slot else { continue };
@@ -136,7 +138,10 @@ impl GphProcessor {
     pub fn build(dataset: &Dataset, m: usize) -> Self {
         assert_eq!(dataset.kind, DistanceKind::Hamming);
         let dim = dataset.records.first().map_or(0, |r| r.as_bits().len());
-        GphProcessor { index: HammingIndex::build(dataset, m), dim }
+        GphProcessor {
+            index: HammingIndex::build(dataset, m),
+            dim,
+        }
     }
 
     /// Splits a query into the index's part bit vectors.
@@ -160,7 +165,12 @@ impl GphProcessor {
                 let records = dataset
                     .records
                     .iter()
-                    .map(|r| Record::Bits(BitVec::from_u64(r.as_bits().extract_word(start, width), width)))
+                    .map(|r| {
+                        Record::Bits(BitVec::from_u64(
+                            r.as_bits().extract_word(start, width),
+                            width,
+                        ))
+                    })
                     .collect();
                 Dataset::new(
                     format!("{}-part{p}", dataset.name),
@@ -185,7 +195,9 @@ impl GphProcessor {
         let allocation = allocate_thresholds(cost, &parts, theta);
         let allocation_secs = t0.elapsed().as_secs_f64();
         let t1 = Instant::now();
-        let results = self.index.select_with_allocation(dataset, query, theta, &allocation);
+        let results = self
+            .index
+            .select_with_allocation(dataset, query, theta, &allocation);
         let processing_secs = t1.elapsed().as_secs_f64();
         let candidates = parts
             .iter()
@@ -195,7 +207,13 @@ impl GphProcessor {
                 self.index.part_candidates(p, key, allocation[p])
             })
             .sum();
-        GphOutcome { results, allocation, candidates, allocation_secs, processing_secs }
+        GphOutcome {
+            results,
+            allocation,
+            candidates,
+            allocation_secs,
+            processing_secs,
+        }
     }
 }
 

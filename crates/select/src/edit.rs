@@ -64,7 +64,12 @@ impl EditIndex {
                 inverted.entry(g).or_default().push(id as u32);
             }
         }
-        EditIndex { by_length, inverted, gram_counts, max_len }
+        EditIndex {
+            by_length,
+            inverted,
+            gram_counts,
+            max_len,
+        }
     }
 
     /// Exact selection, sorted ids.
@@ -87,7 +92,9 @@ impl EditIndex {
         let lo = q.len().saturating_sub(k);
         let hi = (q.len() + k).min(self.max_len);
         for len in lo..=hi {
-            let Some(ids) = self.by_length.get(&len) else { continue };
+            let Some(ids) = self.by_length.get(&len) else {
+                continue;
+            };
             for &id in ids {
                 let y = dataset.records[id as usize].as_str();
                 // Count filter on *distinct* q-grams: each edit destroys at

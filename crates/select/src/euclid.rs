@@ -1,6 +1,6 @@
 //! Euclidean range search with a vantage-point tree.
 //!
-//! The paper uses a cover tree [34] for the conjunctive-query case study; a
+//! The paper uses a cover tree \[34\] for the conjunctive-query case study; a
 //! VP-tree offers the same triangle-inequality pruning with a simpler
 //! structure (DESIGN.md §2.4 documents the substitution). Exactness is
 //! property-tested against the linear scan.
@@ -42,7 +42,12 @@ impl VpTree {
         let vantage = ids[0];
         let rest = &mut ids[1..];
         if rest.is_empty() {
-            return Some(Box::new(Node { vantage, radius: 0.0, inside: None, outside: None }));
+            return Some(Box::new(Node {
+                vantage,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            }));
         }
         let vp = dataset.records[vantage as usize].as_vec();
         // Median split by distance to the vantage point.
@@ -59,7 +64,12 @@ impl VpTree {
         let (inside_ids, outside_ids) = rest.split_at_mut(mid);
         let inside = Self::build_node(dataset, inside_ids, rng);
         let outside = Self::build_node(dataset, outside_ids, rng);
-        Some(Box::new(Node { vantage, radius, inside, outside }))
+        Some(Box::new(Node {
+            vantage,
+            radius,
+            inside,
+            outside,
+        }))
     }
 
     /// Ids of all records within `theta` of `query`, sorted.
@@ -74,7 +84,12 @@ impl VpTree {
 
     /// Number of distance evaluations a range query makes (profiling helper
     /// used by the optimizer case study's cost accounting).
-    pub fn count_with_evals(&self, dataset: &Dataset, query: &Record, theta: f64) -> (usize, usize) {
+    pub fn count_with_evals(
+        &self,
+        dataset: &Dataset,
+        query: &Record,
+        theta: f64,
+    ) -> (usize, usize) {
         let mut out = Vec::new();
         let mut evals = 0usize;
         if let Some(root) = &self.root {

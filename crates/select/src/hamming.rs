@@ -39,7 +39,11 @@ impl HammingIndex {
             .map(|i| {
                 let start = i * dim / m;
                 let end = (i + 1) * dim / m;
-                Part { start, width: (end - start).min(64), postings: HashMap::new() }
+                Part {
+                    start,
+                    width: (end - start).min(64),
+                    postings: HashMap::new(),
+                }
             })
             .collect();
         for (id, r) in dataset.records.iter().enumerate() {
@@ -49,7 +53,11 @@ impl HammingIndex {
                 p.postings.entry(key).or_default().push(id as u32);
             }
         }
-        HammingIndex { parts, dim, n_records: dataset.len() }
+        HammingIndex {
+            parts,
+            dim,
+            n_records: dataset.len(),
+        }
     }
 
     /// Default part count used by the oracle: wide enough parts that postings
@@ -83,7 +91,11 @@ impl HammingIndex {
         theta: u32,
         allocation: &[u32],
     ) -> Vec<u32> {
-        assert_eq!(allocation.len(), self.parts.len(), "allocation arity mismatch");
+        assert_eq!(
+            allocation.len(),
+            self.parts.len(),
+            "allocation arity mismatch"
+        );
         let qbits = query.as_bits();
         assert_eq!(qbits.len(), self.dim, "query dimensionality mismatch");
         let mut seen = vec![false; self.n_records];

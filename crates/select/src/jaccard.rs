@@ -41,8 +41,11 @@ impl JaccardIndex {
         }
         let mut tokens: Vec<(u32, u32)> = freq.iter().map(|(&t, &f)| (t, f)).collect();
         tokens.sort_by_key(|&(t, f)| (f, t));
-        let rank: HashMap<u32, u32> =
-            tokens.iter().enumerate().map(|(i, &(t, _))| (t, i as u32)).collect();
+        let rank: HashMap<u32, u32> = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, _))| (t, i as u32))
+            .collect();
 
         let mut prefix_lists: HashMap<u32, Vec<u32>> = HashMap::new();
         let mut ranked = Vec::with_capacity(dataset.len());
@@ -55,7 +58,12 @@ impl JaccardIndex {
             }
             ranked.push(rs);
         }
-        JaccardIndex { prefix_lists, rank, ranked, t_min }
+        JaccardIndex {
+            prefix_lists,
+            rank,
+            ranked,
+            t_min,
+        }
     }
 
     /// Exact selection, sorted ids. `theta` must be ≤ the build-time maximum.

@@ -10,10 +10,22 @@ use cardest_data::{Dataset, DistanceKind, Record, Workload};
 
 /// An exact similarity-selection algorithm bound to a dataset.
 pub enum Selector<'a> {
-    Hamming { dataset: &'a Dataset, index: HammingIndex },
-    Edit { dataset: &'a Dataset, index: EditIndex },
-    Jaccard { dataset: &'a Dataset, index: JaccardIndex },
-    Euclidean { dataset: &'a Dataset, index: VpTree },
+    Hamming {
+        dataset: &'a Dataset,
+        index: HammingIndex,
+    },
+    Edit {
+        dataset: &'a Dataset,
+        index: EditIndex,
+    },
+    Jaccard {
+        dataset: &'a Dataset,
+        index: JaccardIndex,
+    },
+    Euclidean {
+        dataset: &'a Dataset,
+        index: VpTree,
+    },
 }
 
 /// Builds the appropriate index for the dataset's distance function.
@@ -26,14 +38,18 @@ pub fn build_selector(dataset: &Dataset) -> Selector<'_> {
                 index: HammingIndex::build(dataset, HammingIndex::default_parts(dim)),
             }
         }
-        DistanceKind::Edit => Selector::Edit { dataset, index: EditIndex::build(dataset) },
+        DistanceKind::Edit => Selector::Edit {
+            dataset,
+            index: EditIndex::build(dataset),
+        },
         DistanceKind::Jaccard => Selector::Jaccard {
             dataset,
             index: JaccardIndex::build(dataset, dataset.theta_max),
         },
-        DistanceKind::Euclidean => {
-            Selector::Euclidean { dataset, index: VpTree::build(dataset, 0xCAFE) }
-        }
+        DistanceKind::Euclidean => Selector::Euclidean {
+            dataset,
+            index: VpTree::build(dataset, 0xCAFE),
+        },
     }
 }
 
@@ -54,10 +70,9 @@ impl Selector<'_> {
     }
 }
 
-/// Labels a query workload in parallel with `crossbeam` scoped threads:
-/// each worker scans a chunk of queries against the dataset. This is the
-/// training-data preparation path; it must agree exactly with
-/// [`Workload::label`].
+/// Labels a query workload in parallel with scoped threads: each worker
+/// scans a chunk of queries against the dataset. This is the training-data
+/// preparation path; it must agree exactly with [`Workload::label`].
 pub fn parallel_label(
     dataset: &Dataset,
     queries: Vec<Record>,
@@ -71,20 +86,22 @@ pub fn parallel_label(
     let chunk = queries.len().div_ceil(n_threads);
     let chunks: Vec<Vec<Record>> = queries.chunks(chunk).map(<[Record]>::to_vec).collect();
     let mut results: Vec<Vec<LabelledQuery>> = Vec::with_capacity(chunks.len());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .into_iter()
             .map(|qs| {
                 let thr = thresholds.clone();
-                scope.spawn(move |_| Workload::label(dataset, qs, thr).queries)
+                scope.spawn(move || Workload::label(dataset, qs, thr).queries)
             })
             .collect();
         for h in handles {
             results.push(h.join().expect("labelling worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
-    Workload { thresholds, queries: results.into_iter().flatten().collect() }
+    });
+    Workload {
+        thresholds,
+        queries: results.into_iter().flatten().collect(),
+    }
 }
 
 #[cfg(test)]

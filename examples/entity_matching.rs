@@ -20,14 +20,22 @@ fn main() {
 
     let fx = build_extractor(&dataset, 8, 2);
     let config = CardNetConfig::new(fx.dim(), fx.tau_max() + 1).accelerated();
-    let (trainer, _) =
-        train_cardnet(fx.as_ref(), &split.train, &split.valid, config, TrainerOptions::quick());
+    let (trainer, _) = train_cardnet(
+        fx.as_ref(),
+        &split.train,
+        &split.valid,
+        config,
+        TrainerOptions::quick(),
+    );
     let estimator = CardNetEstimator::from_trainer(fx, trainer);
     let selector = build_selector(&dataset);
 
     // A blocking rule: ed(name, q) ≤ 2 — find likely duplicates of a record.
     println!("blocking rule: edit_distance(name, query) ≤ 2\n");
-    println!("{:<28} {:>10} {:>8} {:>24}", "query name", "estimated", "actual", "sample matches");
+    println!(
+        "{:<28} {:>10} {:>8} {:>24}",
+        "query name", "estimated", "actual", "sample matches"
+    );
     for lq in split.test.queries.iter().take(8) {
         let name = lq.query.as_str().to_string();
         let est = estimator.estimate(&lq.query, 2.0);

@@ -26,19 +26,32 @@ fn main() {
 
     let fx = build_extractor(&dataset, 20, 2);
     let config = CardNetConfig::new(fx.dim(), fx.tau_max() + 1).accelerated();
-    let (trainer, _) =
-        train_cardnet(fx.as_ref(), &split.train, &split.valid, config, TrainerOptions::quick());
+    let (trainer, _) = train_cardnet(
+        fx.as_ref(),
+        &split.train,
+        &split.valid,
+        config,
+        TrainerOptions::quick(),
+    );
     let estimator = CardNetEstimator::from_trainer(fx, trainer);
     let selector = build_selector(&dataset);
 
-    println!("per-candidate verification cost: {VERIFY_MS_PER_CANDIDATE} ms, budget: {BUDGET_MS} ms\n");
+    println!(
+        "per-candidate verification cost: {VERIFY_MS_PER_CANDIDATE} ms, budget: {BUDGET_MS} ms\n"
+    );
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>14} {:>10}",
         "query", "θ chosen", "est. cands", "real cands", "est. cost(ms)", "in budget"
     );
 
     let mut met = 0usize;
-    let queries: Vec<_> = split.test.queries.iter().take(10).map(|q| q.query.clone()).collect();
+    let queries: Vec<_> = split
+        .test
+        .queries
+        .iter()
+        .take(10)
+        .map(|q| q.query.clone())
+        .collect();
     for (qi, query) in queries.iter().enumerate() {
         // Walk θ upward while the *estimated* verification cost fits the
         // budget — monotonicity makes this walk well-defined: the estimate
@@ -66,5 +79,8 @@ fn main() {
             if ok { "yes" } else { "NO" }
         );
     }
-    println!("\nSLA met (within 25% slack) on {met}/{} queries", queries.len());
+    println!(
+        "\nSLA met (within 25% slack) on {met}/{} queries",
+        queries.len()
+    );
 }

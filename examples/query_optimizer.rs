@@ -16,7 +16,11 @@ use rand::{Rng, SeedableRng};
 fn main() {
     let source = entity_table(SynthConfig::new(1500, 11), 3, 24);
     let table = ConjunctiveTable::build(&source, 0.8, 3);
-    println!("table: {} entities × {} attributes", table.n_entities(), table.n_attrs());
+    println!(
+        "table: {} entities × {} attributes",
+        table.n_entities(),
+        table.n_attrs()
+    );
 
     // One CardNet-A per attribute.
     let estimators: Vec<CardNetEstimator> = table
@@ -26,13 +30,21 @@ fn main() {
             let split = Workload::sample_from(ds, 0.10, 10, 5).split(6);
             let fx = build_extractor(ds, 16, 2);
             let config = CardNetConfig::new(fx.dim(), fx.tau_max() + 1).accelerated();
-            let (trainer, _) =
-                train_cardnet(fx.as_ref(), &split.train, &split.valid, config, TrainerOptions::quick());
+            let (trainer, _) = train_cardnet(
+                fx.as_ref(),
+                &split.train,
+                &split.valid,
+                config,
+                TrainerOptions::quick(),
+            );
             CardNetEstimator::from_trainer(fx, trainer)
         })
         .collect();
     let planner = Planner {
-        estimators: estimators.iter().map(|e| e as &dyn CardinalityEstimator).collect(),
+        estimators: estimators
+            .iter()
+            .map(|e| e as &dyn CardinalityEstimator)
+            .collect(),
     };
 
     // Queries: existing entities with per-attribute thresholds in [0.2, 0.5].
@@ -47,7 +59,12 @@ fn main() {
         let id = rng.gen_range(0..table.n_entities());
         let query = ConjunctiveQuery {
             preds: (0..table.n_attrs())
-                .map(|a| (table.attrs[a].records[id].as_vec().to_vec(), rng.gen_range(0.2..0.5)))
+                .map(|a| {
+                    (
+                        table.attrs[a].records[id].as_vec().to_vec(),
+                        rng.gen_range(0.2..0.5),
+                    )
+                })
                 .collect(),
         };
         let lead = planner.choose(&query);

@@ -17,7 +17,12 @@ fn main() {
     // 1. A dataset: 64-bit binary codes under Hamming distance, θ_max = 20.
     //    (Replace with your own `Dataset` of Bits/Str/Set/Vec records.)
     let dataset = hm_imagenet(SynthConfig::new(2000, 42));
-    println!("dataset: {} ({} records, θ_max = {})", dataset.name, dataset.len(), dataset.theta_max);
+    println!(
+        "dataset: {} ({} records, θ_max = {})",
+        dataset.name,
+        dataset.len(),
+        dataset.theta_max
+    );
 
     // 2. A labelled workload: sample 10% of the records as queries, label
     //    them with the exact oracle over a uniform threshold grid (§6.1).

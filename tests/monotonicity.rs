@@ -42,7 +42,11 @@ fn trained_cardnet_is_monotone_on_every_domain() {
             cfg.z_dim = 16;
             cfg.vae_hidden = vec![32];
             cfg.vae_latent = 8;
-            let opts = TrainerOptions { epochs: 6, vae_epochs: 2, ..TrainerOptions::quick() };
+            let opts = TrainerOptions {
+                epochs: 6,
+                vae_epochs: 2,
+                ..TrainerOptions::quick()
+            };
             let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
             let est = CardNetEstimator::from_trainer(fx, trainer);
             assert!(est.is_monotonic());

@@ -30,14 +30,22 @@ fn conjunctive_plans_agree_on_matches_for_any_estimator() {
     let table = ConjunctiveTable::build(&src, 0.8, 1);
     let awful = [Awful, Awful, Awful];
     let planner = Planner {
-        estimators: awful.iter().map(|a| a as &dyn CardinalityEstimator).collect(),
+        estimators: awful
+            .iter()
+            .map(|a| a as &dyn CardinalityEstimator)
+            .collect(),
     };
     let mut rng = rand::rngs::StdRng::seed_from_u64(5);
     for _ in 0..10 {
         let id = rng.gen_range(0..table.n_entities());
         let q = ConjunctiveQuery {
             preds: (0..3)
-                .map(|a| (table.attrs[a].records[id].as_vec().to_vec(), rng.gen_range(0.2..0.5)))
+                .map(|a| {
+                    (
+                        table.attrs[a].records[id].as_vec().to_vec(),
+                        rng.gen_range(0.2..0.5),
+                    )
+                })
                 .collect(),
         };
         let lead = planner.choose(&q);
@@ -57,10 +65,17 @@ fn gph_is_complete_under_learned_cost_models() {
         .iter()
         .map(|pds| -> Box<dyn CardinalityEstimator> {
             let wl = Workload::sample_from(pds, 0.05, 6, 3);
-            Box::new(cardest_baselines::MeanEstimator::build(&wl, pds.theta_max, 16))
+            Box::new(cardest_baselines::MeanEstimator::build(
+                &wl,
+                pds.theta_max,
+                16,
+            ))
         })
         .collect();
-    let coarse = EstimatorPartCost { per_part, label: "Mean".into() };
+    let coarse = EstimatorPartCost {
+        per_part,
+        label: "Mean".into(),
+    };
     let exact = ExactPartCost { index: &proc.index };
 
     for qi in [0usize, 123, 321] {
@@ -108,7 +123,10 @@ fn gph_exact_cost_never_expands_more_candidates_than_even_split() {
             even_total += proc.index.part_candidates(p, key, even[p]);
         }
     }
-    assert!(dp_total <= even_total, "DP allocation did more work: {dp_total} > {even_total}");
+    assert!(
+        dp_total <= even_total,
+        "DP allocation did more work: {dp_total} > {even_total}"
+    );
     // Sanity: the helper used above really splits the query.
     let parts = proc.query_parts(&ds.records[0]);
     assert_eq!(parts.iter().map(BitVec::len).sum::<usize>(), 64);

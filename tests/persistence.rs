@@ -35,19 +35,26 @@ fn dataset_and_model_roundtrip_preserves_estimates() {
     cfg.z_dim = 12;
     cfg.vae_hidden = vec![24];
     cfg.vae_latent = 6;
-    let opts = TrainerOptions { epochs: 6, vae_epochs: 2, ..TrainerOptions::quick() };
+    let opts = TrainerOptions {
+        epochs: 6,
+        vae_epochs: 2,
+        ..TrainerOptions::quick()
+    };
     let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
 
     // Model through disk.
     let model_path = tmp("flow_model.json");
-    Snapshot::from_trainer(&trainer, fx.name()).save(&model_path).expect("save model");
+    Snapshot::from_trainer(&trainer, fx.name())
+        .save(&model_path)
+        .expect("save model");
     let snap = Snapshot::load(&model_path).expect("load model");
     assert_eq!(snap.extractor, fx.name());
 
     // The restored estimator must agree bit-for-bit with the live one.
     let fx2 = build_extractor(&ds2, 10, 1);
     let live = CardNetEstimator::from_trainer(fx, trainer);
-    let restored = CardNetEstimator::from_trainer(fx2, Trainer::from_parts(snap.model, snap.params));
+    let restored =
+        CardNetEstimator::from_trainer(fx2, Trainer::from_parts(snap.model, snap.params));
     for qi in [0usize, 50, 150] {
         let q = &ds2.records[qi];
         for theta in [0.0, 5.0, 10.0, 20.0] {

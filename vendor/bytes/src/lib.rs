@@ -1,0 +1,106 @@
+//! Vendored shim for the tiny `bytes::Bytes` surface the workspace uses
+//! (cheaply clonable, immutable byte buffers for snapshot transport).
+//!
+//! Real `bytes` does zero-copy slicing over a refcounted allocation; an
+//! `Arc<[u8]>` gives the same clone-without-copy behavior for the subset of
+//! operations used here.
+//!
+//! ```
+//! let b = bytes::Bytes::from(vec![1u8, 2, 3]);
+//! assert_eq!(b.len(), 3);
+//! assert_eq!(&b[..], &[1, 2, 3]);
+//! ```
+
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable byte buffer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    pub fn new() -> Bytes {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Copies the contents into an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.to_vec()
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Bytes {
+        Bytes::from(data.into_bytes())
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Bytes;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Bytes::from(vec![0u8; 1024]);
+        let b = a.clone();
+        assert_eq!(a.as_slice().as_ptr(), b.as_slice().as_ptr());
+        assert_eq!(b.len(), 1024);
+    }
+}

@@ -1,0 +1,174 @@
+//! Vendored shim for the `criterion` API subset the workspace benches use:
+//! [`Criterion`], benchmark groups, `Bencher::iter`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's bootstrapped statistics it reports a plain
+//! mean/min over an adaptively chosen iteration count — enough to compare
+//! estimator latencies across PRs without any external dependencies. Passing
+//! `--test` (as `cargo test --benches` does) runs every benchmark body
+//! exactly once, keeping test runs fast.
+
+use std::time::{Duration, Instant};
+
+/// Target measuring time per benchmark; iteration count adapts to hit it.
+const TARGET: Duration = Duration::from_millis(200);
+const MAX_ITERS: u64 = 100_000;
+
+pub struct Criterion {
+    /// One-shot mode: run each body once, skip measurement (set by `--test`).
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.test_mode, &id.to_string(), f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(
+            self.criterion.test_mode,
+            &format!("{}/{}", self.group, id),
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(test_mode: bool, label: &str, mut f: F) {
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    if test_mode {
+        f(&mut bencher);
+        println!("  {label}: ok (test mode)");
+        return;
+    }
+    // Calibrate: grow the iteration count until one batch takes long enough
+    // for the clock to resolve it meaningfully.
+    let mut iters: u64 = 1;
+    loop {
+        bencher.iters = iters;
+        bencher.elapsed = Duration::ZERO;
+        f(&mut bencher);
+        if bencher.elapsed >= TARGET || iters >= MAX_ITERS {
+            break;
+        }
+        let grow = if bencher.elapsed.is_zero() {
+            100
+        } else {
+            (TARGET.as_nanos() / bencher.elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = (iters.saturating_mul(grow.clamp(2, 100))).min(MAX_ITERS);
+    }
+    let per_iter = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!(
+        "  {label}: {} ({} iters)",
+        format_ns(per_iter),
+        bencher.iters
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs/iter", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms/iter", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s/iter", ns / 1_000_000_000.0)
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` runs of the routine; criterion's `iter` contract.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// `criterion_group!(name, bench_fn, ...)` — bundles bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed_time() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn format_ns_picks_sane_units() {
+        assert!(format_ns(12.0).contains("ns"));
+        assert!(format_ns(12_500.0).contains("µs"));
+        assert!(format_ns(12_500_000.0).contains("ms"));
+    }
+}

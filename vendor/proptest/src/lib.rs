@@ -1,0 +1,413 @@
+//! Vendored shim for the `proptest` API subset the workspace tests use.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the pieces the test suites rely on:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(...)]` and both
+//!   `name in strategy` and `name: Type` parameter forms);
+//! * [`Strategy`](strategy::Strategy) impls for integer/float ranges,
+//!   regex-lite string patterns (`"[a-f]{1,12}"`), and
+//!   [`collection::vec`];
+//! * [`arbitrary::any`] for `bool`, integers, and
+//!   [`sample::Index`];
+//! * `prop_assert!` / `prop_assert_eq!`.
+//!
+//! What it deliberately does **not** do: input shrinking and failure-case
+//! persistence. Every generated case is a pure function of the case number,
+//! so a failing test replays identically on the next run — shrinking is a
+//! convenience, not a prerequisite for reproduction.
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Subset of real proptest's config: the number of generated cases.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Real proptest defaults to 256; the suites here train models
+            // inside properties, so the shim defaults lower. Tests that need
+            // more (or fewer) cases say so via `proptest_config`.
+            ProptestConfig { cases: 16 }
+        }
+    }
+
+    /// Deterministic per-case RNG: case `i` always replays identically.
+    pub fn rng_for_case(case: u32) -> StdRng {
+        StdRng::seed_from_u64(
+            0xC0FF_EE00_u64 ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        )
+    }
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Generates one value per test case. (Real proptest builds a shrinkable
+    /// value tree here; the shim generates final values directly.)
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// One `[charset]{lo,hi}` element of a regex-lite pattern.
+    struct PatternPart {
+        charset: Vec<char>,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// `&str` patterns act as string strategies, supporting the regex subset
+    /// the workspace tests use: literal characters, `[a-z0-9_]`-style classes
+    /// (with ranges), and `{n}` / `{lo,hi}` repetition counts.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let parts = parse_pattern(self);
+            let mut out = String::new();
+            for part in &parts {
+                let count = rng.gen_range(part.lo..=part.hi);
+                for _ in 0..count {
+                    out.push(part.charset[rng.gen_range(0..part.charset.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+        let mut chars = pattern.chars().peekable();
+        let mut parts = Vec::new();
+        while let Some(c) = chars.next() {
+            let charset: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    loop {
+                        match chars.next() {
+                            Some(']') => break,
+                            Some(lo) => {
+                                if chars.peek() == Some(&'-') {
+                                    chars.next();
+                                    let hi = chars
+                                        .next()
+                                        .unwrap_or_else(|| panic!("bad range in `{pattern}`"));
+                                    set.extend(lo..=hi);
+                                } else {
+                                    set.push(lo);
+                                }
+                            }
+                            None => panic!("unterminated class in `{pattern}`"),
+                        }
+                    }
+                    set
+                }
+                '\\' => vec![chars
+                    .next()
+                    .unwrap_or_else(|| panic!("bad escape in `{pattern}`"))],
+                literal => vec![literal],
+            };
+            // Optional repetition: `{n}` or `{lo,hi}`.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let spec: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in `{pattern}`")),
+                        b.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in `{pattern}`")),
+                    ),
+                    None => {
+                        let n = spec
+                            .trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad repeat in `{pattern}`"));
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            parts.push(PatternPart { charset, lo, hi });
+        }
+        parts
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for super::sample::Index {
+        fn arbitrary(rng: &mut StdRng) -> super::sample::Index {
+            super::sample::Index::new(rng.gen::<f64>())
+        }
+    }
+
+    pub struct AnyStrategy<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    /// `any::<T>()` — the strategy of all values of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy {
+            _marker: core::marker::PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// `prop::collection::btree_set(element, size_range)`. Like real
+    /// proptest, `size` bounds the number of *generation attempts*, so the
+    /// set can come out smaller when elements collide.
+    pub fn btree_set<S: Strategy>(element: S, size: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> std::collections::BTreeSet<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    /// A length-agnostic index: generated once, projected onto any slice
+    /// length via [`Index::index`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Index(f64);
+
+    impl Index {
+        pub(crate) fn new(unit: f64) -> Index {
+            Index(unit)
+        }
+
+        /// Maps the index onto `0..len`. Panics on `len == 0`, like real
+        /// proptest.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            ((self.0 * len as f64) as usize).min(len - 1)
+        }
+    }
+}
+
+/// Namespace mirror of real proptest's `prelude::prop` re-export tree.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The shim's `proptest!` macro: expands each contained function into a
+/// `#[test]` that replays `cases` deterministic generated inputs.
+///
+/// Both real-proptest parameter forms work: `name in strategy-expr` and the
+/// `name: Type` sugar for `any::<Type>()`.
+#[macro_export]
+macro_rules! proptest {
+    // Entry: leading `#![proptest_config(expr)]`.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    // One function; recurse on the remainder.
+    (@fns ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::rng_for_case(__case);
+                $crate::proptest!(@bind __rng, $($params)*);
+                $body
+            }
+        }
+        $crate::proptest!(@fns ($cfg) $($rest)*);
+    };
+    (@fns ($cfg:expr)) => {};
+    // Parameter munchers: `name in strategy` ...
+    (@bind $rng:ident, $var:ident in $strat:expr, $($rest:tt)*) => {
+        let $var = $crate::strategy::Strategy::generate(&$strat, &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $var:ident in $strat:expr) => {
+        let $var = $crate::strategy::Strategy::generate(&$strat, &mut $rng);
+    };
+    // ... and the `name: Type` sugar.
+    (@bind $rng:ident, $var:ident: $ty:ty, $($rest:tt)*) => {
+        let $var: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $var:ident: $ty:ty) => {
+        let $var: $ty = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident,) => {};
+    (@bind $rng:ident) => {};
+    // Entry: no config attribute.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@fns ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_sugar_bind(x in 3u64..10, f in -1.0f64..1.0, flag: bool) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            let _ = flag;
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-c]{2,5}") {
+            prop_assert!((2..=5).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn vec_and_index_compose(v in prop::collection::vec(any::<bool>(), 1..20),
+                                 ix in prop::collection::vec(any::<prop::sample::Index>(), 0..4)) {
+            for i in &ix {
+                prop_assert!(i.index(v.len()) < v.len());
+            }
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a = crate::strategy::Strategy::generate(
+            &(0u64..1000),
+            &mut crate::test_runner::rng_for_case(3),
+        );
+        let b = crate::strategy::Strategy::generate(
+            &(0u64..1000),
+            &mut crate::test_runner::rng_for_case(3),
+        );
+        assert_eq!(a, b);
+    }
+}

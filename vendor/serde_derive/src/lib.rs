@@ -1,0 +1,461 @@
+//! Vendored shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented directly over `proc_macro::TokenStream`, with no `syn`/`quote`
+//! (the build environment has no access to crates.io).
+//!
+//! Supported shapes — everything the cardest workspace derives on:
+//! * structs with named fields, newtype structs, tuple structs, unit structs;
+//! * enums with unit, newtype, tuple, and struct variants (externally tagged,
+//!   matching real serde's default representation);
+//! * the field attribute `#[serde(skip)]`, optionally with
+//!   `default = "path::to::fn"`.
+//!
+//! Generics are intentionally unsupported (no derived type in the workspace
+//! is generic); the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ------------------------------------------------------------------- model
+
+struct Field {
+    name: String,
+    skip: bool,
+    /// `#[serde(default = "path")]` — called as `path()` when skipped.
+    default: Option<String>,
+}
+
+enum Shape {
+    Unit,
+    /// Tuple struct / tuple variant with this many fields.
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ------------------------------------------------------------------ parsing
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Consumes attributes (`#[...]`), returning any `#[serde(...)]` flags found.
+fn eat_attrs(toks: &mut Tokens) -> (bool, Option<String>) {
+    let mut skip = false;
+    let mut default = None;
+    while matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        toks.next();
+        let Some(TokenTree::Group(attr)) = toks.next() else {
+            panic!("serde_derive: `#` not followed by an attribute group");
+        };
+        let mut inner = attr.stream().into_iter();
+        let is_serde =
+            matches!(inner.next(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.next() else {
+            continue;
+        };
+        let mut args = args.stream().into_iter().peekable();
+        while let Some(tok) = args.next() {
+            let TokenTree::Ident(id) = tok else { continue };
+            match id.to_string().as_str() {
+                "skip" => skip = true,
+                "default" => {
+                    // `default = "path"`
+                    match (args.next(), args.next()) {
+                        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit)))
+                            if eq.as_char() == '=' =>
+                        {
+                            let raw = lit.to_string();
+                            default = Some(raw.trim_matches('"').to_string());
+                        }
+                        _ => panic!("serde_derive: malformed `default` attribute"),
+                    }
+                }
+                other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+            }
+        }
+    }
+    (skip, default)
+}
+
+/// Consumes `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn eat_visibility(toks: &mut Tokens) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Consumes one field type: everything up to a top-level `,` (tracking
+/// `<...>` nesting so `Vec<(A, B)>`-style types don't split early).
+fn eat_type(toks: &mut Tokens) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.peek() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let (skip, default) = eat_attrs(&mut toks);
+        eat_visibility(&mut toks);
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde_derive: expected `:` after field `{name}`"),
+        }
+        eat_type(&mut toks);
+        toks.next(); // the `,`, if any
+        fields.push(Field {
+            name: name.to_string(),
+            skip,
+            default,
+        });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated types in a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        eat_attrs(&mut toks);
+        eat_visibility(&mut toks);
+        if toks.peek().is_none() {
+            break;
+        }
+        eat_type(&mut toks);
+        toks.next();
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut toks);
+        let Some(TokenTree::Ident(name)) = toks.next() else {
+            break;
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        toks.next(); // the `,`, if any
+        variants.push(Variant {
+            name: name.to_string(),
+            shape,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        eat_attrs(&mut toks);
+        eat_visibility(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {
+                let Some(TokenTree::Ident(name)) = toks.next() else {
+                    panic!("serde_derive: expected struct name");
+                };
+                let shape = match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive: generic type `{name}` is unsupported")
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Shape::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => Shape::Unit,
+                };
+                return Item::Struct {
+                    name: name.to_string(),
+                    shape,
+                };
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+                let Some(TokenTree::Ident(name)) = toks.next() else {
+                    panic!("serde_derive: expected enum name");
+                };
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde_derive: generic type `{name}` is unsupported")
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Item::Enum {
+                            name: name.to_string(),
+                            variants: parse_variants(g.stream()),
+                        };
+                    }
+                    _ => panic!("serde_derive: expected enum body"),
+                }
+            }
+            Some(other) => panic!("serde_derive: unexpected token `{other}`"),
+            None => panic!("serde_derive: ran out of tokens before `struct`/`enum`"),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n"
+            ));
+            match shape {
+                Shape::Unit => out.push_str("        serde::Value::Null\n"),
+                Shape::Tuple(1) => {
+                    out.push_str("        serde::Serialize::to_value(&self.0)\n");
+                }
+                Shape::Tuple(n) => {
+                    out.push_str("        serde::Value::Array(::std::vec![\n");
+                    for i in 0..*n {
+                        out.push_str(&format!(
+                            "            serde::Serialize::to_value(&self.{i}),\n"
+                        ));
+                    }
+                    out.push_str("        ])\n");
+                }
+                Shape::Named(fields) => {
+                    out.push_str(
+                        "        let mut __fields: ::std::vec::Vec<(::std::string::String, serde::Value)> = ::std::vec::Vec::new();\n",
+                    );
+                    for f in fields.iter().filter(|f| !f.skip) {
+                        out.push_str(&format!(
+                            "        __fields.push((::std::string::String::from(\"{0}\"), serde::Serialize::to_value(&self.{0})));\n",
+                            f.name
+                        ));
+                    }
+                    out.push_str("        serde::Value::Object(__fields)\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n        match self {{\n"
+            ));
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => out.push_str(&format!(
+                        "            {name}::{vname} => serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    Shape::Tuple(1) => out.push_str(&format!(
+                        "            {name}::{vname}(__f0) => serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname}({}) => serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), serde::Value::Array(::std::vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{0}\"), serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        out.push_str(&format!(
+                            "            {name}::{vname} {{ {} }} => serde::Value::Object(::std::vec![(::std::string::String::from(\"{vname}\"), serde::Value::Object(::std::vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str("        }\n    }\n}\n");
+        }
+    }
+    out
+}
+
+/// The expression deserializing one named field from `__obj`.
+fn field_expr(f: &Field, owner: &str) -> String {
+    if f.skip {
+        match &f.default {
+            Some(path) => format!("{path}()"),
+            None => "::core::default::Default::default()".to_string(),
+        }
+    } else {
+        format!(
+            "serde::Deserialize::from_value(serde::get_field(__obj, \"{0}\")?).map_err(|e| serde::Error::custom(::std::format!(\"{owner}.{0}: {{e}}\")))?",
+            f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, shape } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n    fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n"
+            ));
+            match shape {
+                Shape::Unit => out.push_str(&format!("        ::core::result::Result::Ok({name})\n")),
+                Shape::Tuple(1) => out.push_str(&format!(
+                    "        ::core::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))\n"
+                )),
+                Shape::Tuple(n) => {
+                    out.push_str(&format!(
+                        "        let __items = __v.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}\"))?;\n"
+                    ));
+                    out.push_str(&format!(
+                        "        if __items.len() != {n} {{ return ::core::result::Result::Err(serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n"
+                    ));
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "        ::core::result::Result::Ok({name}({}))\n",
+                        items.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    out.push_str(&format!(
+                        "        let __obj = __v.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}\"))?;\n"
+                    ));
+                    out.push_str(&format!("        ::core::result::Result::Ok({name} {{\n"));
+                    for f in fields {
+                        out.push_str(&format!("            {}: {},\n", f.name, field_expr(f, name)));
+                    }
+                    out.push_str("        })\n");
+                }
+            }
+            out.push_str("    }\n}\n");
+        }
+        Item::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl serde::Deserialize for {name} {{\n    fn from_value(__v: &serde::Value) -> ::core::result::Result<Self, serde::Error> {{\n        match __v {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str("            serde::Value::Str(__s) => match __s.as_str() {\n");
+            for v in variants.iter().filter(|v| matches!(v.shape, Shape::Unit)) {
+                out.push_str(&format!(
+                    "                \"{0}\" => ::core::result::Result::Ok({name}::{0}),\n",
+                    v.name
+                ));
+            }
+            out.push_str(&format!(
+                "                __other => ::core::result::Result::Err(serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n            }},\n"
+            ));
+            // Data-carrying variants arrive as single-key objects.
+            out.push_str(
+                "            serde::Value::Object(__pairs) if __pairs.len() == 1 => {\n                let (__tag, __inner) = &__pairs[0];\n                match __tag.as_str() {\n",
+            );
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => {}
+                    Shape::Tuple(1) => out.push_str(&format!(
+                        "                    \"{vname}\" => ::core::result::Result::Ok({name}::{vname}(serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vname}\" => {{\n                        let __items = __inner.as_array().ok_or_else(|| serde::Error::custom(\"expected array for {name}::{vname}\"))?;\n                        if __items.len() != {n} {{ return ::core::result::Result::Err(serde::Error::custom(\"wrong tuple arity for {name}::{vname}\")); }}\n                        ::core::result::Result::Ok({name}::{vname}({}))\n                    }}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{}: {}", f.name, field_expr(f, name)))
+                            .collect();
+                        out.push_str(&format!(
+                            "                    \"{vname}\" => {{\n                        let __obj = __inner.as_object().ok_or_else(|| serde::Error::custom(\"expected object for {name}::{vname}\"))?;\n                        ::core::result::Result::Ok({name}::{vname} {{ {} }})\n                    }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "                    __other => ::core::result::Result::Err(serde::Error::custom(::std::format!(\"unknown variant `{{__other}}` of {name}\"))),\n                }}\n            }}\n"
+            ));
+            out.push_str(&format!(
+                "            __other => ::core::result::Result::Err(serde::Error::custom(::std::format!(\"expected string or single-key object for {name}, got {{}}\", __other.kind()))),\n        }}\n    }}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- entry points
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
