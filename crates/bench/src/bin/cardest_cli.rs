@@ -1,15 +1,23 @@
-//! `cardest` command line: generate datasets, train estimators, and estimate
-//! cardinalities from the shell — the downstream-user workflow.
+//! `cardest` command line: generate datasets, train estimators, estimate
+//! cardinalities, and serve estimates from the shell — the downstream-user
+//! workflow.
 //!
 //! ```text
 //! cardest_cli gen      --kind hm --n 2000 --seed 7 --out data.jsonl
 //! cardest_cli train    --data data.jsonl --model model.json [--accelerated]
 //! cardest_cli estimate --data data.jsonl --model model.json --query 42 --theta 8
+//! cardest_cli estimate --data data.jsonl --model model.json --queries batch.txt
+//! cardest_cli serve    --data data.jsonl --model model.json [--workers 4]
 //! cardest_cli stats    --data data.jsonl
 //! ```
 //!
+//! `serve` answers `<record-index> <theta>` request lines from stdin with one
+//! estimate line each on stdout (a summary of the service counters goes to
+//! stderr at EOF); `estimate --queries` runs the same request format from a
+//! file through the serving layer's micro-batching path.
+//!
 //! (Argument parsing is hand-rolled: the workspace's dependency policy has no
-//! CLI-parser crate, and four subcommands do not justify one.)
+//! CLI-parser crate, and a handful of subcommands does not justify one.)
 
 use cardest_core::estimator::CardinalityEstimator;
 use cardest_core::model::CardNetConfig;
@@ -17,11 +25,15 @@ use cardest_core::snapshot::Snapshot;
 use cardest_core::train::{train_cardnet, TrainerOptions};
 use cardest_core::CardNetEstimator;
 use cardest_data::synth::{self, SynthConfig};
-use cardest_data::{io as dio, Workload};
+use cardest_data::{io as dio, Dataset, Workload};
 use cardest_fx::build_extractor;
+use cardest_serve::{ModelRegistry, Request, ServeConfig, Service};
 use std::collections::HashMap;
+use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,6 +45,7 @@ fn main() -> ExitCode {
         "gen" => cmd_gen(&flags),
         "train" => cmd_train(&flags),
         "estimate" => cmd_estimate(&flags),
+        "serve" => cmd_serve(&flags),
         "stats" => cmd_stats(&flags),
         _ => {
             eprintln!("unknown command `{cmd}`\n{USAGE}");
@@ -52,6 +65,10 @@ const USAGE: &str = "usage:
   cardest_cli gen      --kind <hm|ed|jc|eu> --n <records> [--seed <u64>] --out <file>
   cardest_cli train    --data <file> --model <file> [--accelerated] [--epochs <n>] [--tau-max <n>]
   cardest_cli estimate --data <file> --model <file> --query <record-index> --theta <f64>
+  cardest_cli estimate --data <file> --model <file> --queries <file with `<index> <theta>` lines>
+  cardest_cli serve    --data <file> --model <file> [--workers <n>] [--batch-max <n>]
+                       [--batch-window-us <n>] [--cache <entries>] [--bound-tolerance <f64>]
+                       [--pipeline <n outstanding>]
   cardest_cli stats    --data <file>";
 
 type Flags = HashMap<String, String>;
@@ -146,16 +163,66 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
         report.epochs_run,
         report.best_val_msle
     );
-    Snapshot::from_trainer(&trainer, fx.name())
+    Snapshot::from_trainer(&trainer, fx.name(), fx.tau_max())
         .save(&model_path)
         .map_err(|e| e.to_string())?;
     println!("snapshot saved to {}", model_path.display());
     Ok(())
 }
 
-fn cmd_estimate(flags: &Flags) -> Result<(), String> {
+/// Loads the dataset and snapshot named by `--data`/`--model` and restores a
+/// *validated* estimator (decoder count, extractor name, and dimensionality
+/// are all checked before a single estimate is produced).
+fn load_estimator(flags: &Flags) -> Result<(Dataset, CardNetEstimator), String> {
     let ds = dio::load_jsonl(Path::new(required(flags, "data")?)).map_err(|e| e.to_string())?;
     let snap = Snapshot::load(Path::new(required(flags, "model")?)).map_err(|e| e.to_string())?;
+    // Rebuild the extractor the snapshot was trained behind; seeds are
+    // deterministic, and `into_estimator` rejects any mismatch.
+    let fx = build_extractor(&ds, snap.tau_max, 1);
+    let est = snap.into_estimator(fx).map_err(|e| e.to_string())?;
+    Ok((ds, est))
+}
+
+/// Parses one `<record-index> <theta>` request line.
+fn parse_request_line(line: &str, n_records: usize) -> Result<(usize, f64), String> {
+    let mut parts = line.split_whitespace();
+    let idx: usize = parts
+        .next()
+        .ok_or("empty request line")?
+        .parse()
+        .map_err(|_| format!("bad record index in `{line}`"))?;
+    let theta: f64 = parts
+        .next()
+        .ok_or_else(|| format!("missing theta in `{line}`"))?
+        .parse()
+        .map_err(|_| format!("bad theta in `{line}`"))?;
+    if parts.next().is_some() {
+        return Err(format!("trailing tokens in `{line}`"));
+    }
+    if idx >= n_records {
+        return Err(format!(
+            "record index {idx} out of range (dataset has {n_records})"
+        ));
+    }
+    Ok((idx, theta))
+}
+
+fn serve_config_from_flags(flags: &Flags) -> Result<ServeConfig, String> {
+    let defaults = ServeConfig::default();
+    Ok(ServeConfig {
+        workers: parsed(flags, "workers", defaults.workers)?,
+        batch_max: parsed(flags, "batch-max", defaults.batch_max)?,
+        batch_window: Duration::from_micros(parsed(flags, "batch-window-us", 200u64)?),
+        cache_capacity: parsed(flags, "cache", defaults.cache_capacity)?,
+        bound_tolerance: parsed(flags, "bound-tolerance", 0.0)?,
+    })
+}
+
+fn cmd_estimate(flags: &Flags) -> Result<(), String> {
+    if let Some(queries_path) = flags.get("queries") {
+        return cmd_estimate_batch(flags, Path::new(queries_path));
+    }
+    let (ds, est) = load_estimator(flags)?;
     let query_idx: usize = parsed(flags, "query", 0)?;
     let theta: f64 = required(flags, "theta")?
         .parse()
@@ -166,21 +233,156 @@ fn cmd_estimate(flags: &Flags) -> Result<(), String> {
             ds.len()
         ));
     }
-    // Rebuild the extractor the snapshot names; seeds are deterministic.
-    let fx = build_extractor(&ds, snap.model.config.n_out - 1, 1);
-    if fx.name() != snap.extractor {
-        return Err(format!(
-            "snapshot was trained behind extractor `{}`, dataset implies `{}`",
-            snap.extractor,
-            fx.name()
-        ));
-    }
-    let trainer = cardest_core::train::Trainer::from_parts(snap.model, snap.params);
-    let est = CardNetEstimator::from_trainer(fx, trainer);
     let query = &ds.records[query_idx];
     let estimate = est.estimate(query, theta);
     let actual = ds.cardinality_scan(query, theta);
     println!("query #{query_idx}, θ = {theta}: estimated {estimate:.1}, actual {actual}");
+    Ok(())
+}
+
+/// Batch mode: every `<index> <theta>` line of the file goes through the
+/// serving layer (micro-batched, cached), one estimate printed per line in
+/// input order.
+fn cmd_estimate_batch(flags: &Flags, queries_path: &Path) -> Result<(), String> {
+    let (ds, est) = load_estimator(flags)?;
+    let text = std::fs::read_to_string(queries_path).map_err(|e| e.to_string())?;
+    let requests: Vec<(usize, f64)> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_request_line(l, ds.len()))
+        .collect::<Result<_, _>>()?;
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("default", est);
+    let service = Service::start(registry, serve_config_from_flags(flags)?);
+    // Fully pipelined: submit everything, then drain in input order — this
+    // is what lets the workers form real micro-batches.
+    let receivers: Vec<_> = requests
+        .iter()
+        .map(|&(idx, theta)| {
+            service.submit(Request {
+                model: "default".into(),
+                query: Arc::new(ds.records[idx].clone()),
+                theta,
+            })
+        })
+        .collect();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for rx in receivers {
+        let resp = rx
+            .recv()
+            .map_err(|_| "service stopped".to_string())?
+            .map_err(|e| e.to_string())?;
+        writeln!(out, "{}", resp.estimate).map_err(|e| e.to_string())?;
+    }
+    drop(out);
+    let snap = service.stats();
+    eprintln!(
+        "{} requests, {} model batches (mean size {:.1}), cache hits {:.1}% (bound hits {:.1}%)",
+        snap.requests,
+        snap.batches,
+        snap.mean_batch_size(),
+        snap.hit_rate() * 100.0,
+        snap.bound_hit_rate() * 100.0
+    );
+    service.shutdown();
+    Ok(())
+}
+
+/// Long-running serve mode: request lines on stdin, estimates on stdout.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let (ds, est) = load_estimator(flags)?;
+    let monotone = est.is_monotonic();
+    let registry = Arc::new(ModelRegistry::new());
+    let epoch = registry.publish("default", est);
+    let config = serve_config_from_flags(flags)?;
+    // How many requests may be in flight before we block on the oldest
+    // response. 1 = strictly interactive; larger values let piped input form
+    // micro-batches at the cost of response lag behind input.
+    let pipeline: usize = parsed(flags, "pipeline", 1usize)?;
+    eprintln!(
+        "serving `{}` ({} records) with {} workers, batch window {:?}, cache {} entries \
+         (model epoch {epoch}, monotone: {monotone}); send `<record-index> <theta>` lines",
+        ds.name,
+        ds.len(),
+        config.workers,
+        config.batch_window,
+        config.cache_capacity,
+    );
+    let service = Service::start(registry, config);
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    type PendingResponse =
+        std::sync::mpsc::Receiver<Result<cardest_serve::Response, cardest_serve::ServeError>>;
+    let mut in_flight: std::collections::VecDeque<PendingResponse> =
+        std::collections::VecDeque::new();
+    fn drain(
+        in_flight: &mut std::collections::VecDeque<PendingResponse>,
+        out: &mut dyn Write,
+        until: usize,
+    ) {
+        while in_flight.len() > until {
+            let rx = in_flight.pop_front().expect("non-empty queue");
+            match rx.recv() {
+                Ok(Ok(resp)) => {
+                    let _ = writeln!(out, "{}", resp.estimate);
+                }
+                Ok(Err(e)) => {
+                    let _ = writeln!(out, "ERR {e}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "ERR service stopped");
+                }
+            }
+        }
+        let _ = out.flush();
+    }
+    let mut parse_errors = 0usize;
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_request_line(&line, ds.len()) {
+            Ok((idx, theta)) => {
+                in_flight.push_back(service.submit(Request {
+                    model: "default".into(),
+                    query: Arc::new(ds.records[idx].clone()),
+                    theta,
+                }));
+                drain(&mut in_flight, &mut out, pipeline.max(1) - 1);
+            }
+            Err(e) => {
+                // Flush everything in flight first so response line i keeps
+                // pairing with request line i even when pipelining.
+                drain(&mut in_flight, &mut out, 0);
+                parse_errors += 1;
+                eprintln!("bad request: {e}");
+                let _ = writeln!(out, "ERR {e}");
+                let _ = out.flush();
+            }
+        }
+    }
+    drain(&mut in_flight, &mut out, 0);
+    drop(out);
+    let snap = service.stats();
+    eprintln!(
+        "served {} requests ({} errors, {parse_errors} malformed lines): \
+         {} model batches (mean size {:.1}), \
+         cache hits {:.1}% (bound {:.1}%), p50 {:?}, p99 {:?}",
+        snap.requests,
+        snap.errors,
+        snap.batches,
+        snap.mean_batch_size(),
+        snap.hit_rate() * 100.0,
+        snap.bound_hit_rate() * 100.0,
+        snap.latency_quantile(0.50),
+        snap.latency_quantile(0.99),
+    );
+    service.shutdown();
     Ok(())
 }
 

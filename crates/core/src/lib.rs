@@ -57,5 +57,7 @@ pub mod train;
 
 pub use estimator::{CardNetEstimator, CardinalityEstimator};
 pub use features::{prepare_tensors, TrainTensors};
+pub use incremental::{IncrementalLearner, UpdateOutcome};
 pub use model::{CardNetConfig, CardNetModel, EncoderKind};
+pub use snapshot::{Snapshot, SnapshotError};
 pub use train::{train_cardnet, TrainReport, Trainer, TrainerOptions};

@@ -1,0 +1,51 @@
+//! `cardest-serve`: a concurrent estimation service.
+//!
+//! The paper's economics only pay off inside a long-running system: a learned
+//! estimator answers in microseconds what exact selection answers in
+//! milliseconds (Table 6), so the estimator is deployed as a shared component
+//! queried concurrently by many optimizer sessions. This crate is that
+//! deployment shell, built on `std` threads and mpsc channels only (the
+//! workspace's dependency policy has no async runtime):
+//!
+//! * [`registry::ModelRegistry`] — named, `Arc`-wrapped estimators with
+//!   epoch-tagged hot-swap: a freshly retrained snapshot replaces the live
+//!   model without pausing in-flight queries, and a half-written model is
+//!   unrepresentable.
+//! * [`service::Service`] — a worker pool that drains the request queue into
+//!   **micro-batches** and runs per-distance decoding once per batch
+//!   ([`cardest_core::CardNetModel::infer_dist_batch`]) rather than once per
+//!   query, while staying bit-identical to the unbatched path.
+//! * [`cache::EstimateCache`] — a sharded LRU cache keyed by
+//!   `(model epoch, query fingerprint, τ-bucket)` that exploits the
+//!   monotonicity guarantee: a lookup at τ bracketed by cached τ₁ ≤ τ ≤ τ₂
+//!   yields the *bounds* `[ĉ(τ₁), ĉ(τ₂)]` — something no non-monotone
+//!   estimator could offer — and short-circuits when the bracket is tight.
+//! * [`stats::ServiceStats`] — lock-free counters: throughput, p50/p99
+//!   latency, cache hit/bound-hit rates, and a batch-size histogram.
+//!
+//! ```no_run
+//! use cardest_serve::{ModelRegistry, ServeConfig, Service};
+//! use std::sync::Arc;
+//! # fn trained() -> cardest_core::CardNetEstimator { unimplemented!() }
+//! # fn a_record() -> std::sync::Arc<cardest_data::Record> { unimplemented!() }
+//! let registry = Arc::new(ModelRegistry::new());
+//! registry.publish("default", trained());
+//! let service = Service::start(Arc::clone(&registry), ServeConfig::default());
+//! let resp = service.estimate("default", a_record(), 8.0).unwrap();
+//! println!("ĉ = {} (model epoch {})", resp.estimate, resp.epoch);
+//! ```
+
+pub mod cache;
+pub mod registry;
+pub mod service;
+pub mod stats;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use cache::{CacheLookup, EstimateCache};
+pub use registry::{ModelRegistry, RegistryReader, ServeModel};
+pub use service::{
+    EstimateSource, Request, Response, ServeConfig, ServeError, Service, ServiceClient,
+};
+pub use stats::{ServiceStats, StatsSnapshot};

@@ -1,0 +1,746 @@
+//! The request path: a worker pool that drains an mpsc queue into
+//! micro-batches, probes the monotone cache, and runs per-distance decoding
+//! **once per batch** instead of once per query.
+//!
+//! Batching changes the arithmetic *layout*, not the arithmetic: the batched
+//! kernel ([`cardest_core::CardNetModel::infer_dist_batch`]) computes each
+//! row with the same per-row accumulation order as the single-query path, so
+//! served estimates are **bit-identical** to `estimator.estimate(q, θ)` run
+//! on one thread with no batching. That invariant is what makes the cache
+//! sound (a cached value *is* the value) and is asserted by the integration
+//! tests and by `exp_serve`.
+//!
+//! Concurrency layout: one shared queue, `workers` threads. A worker locks
+//! the queue only while *collecting* a batch (blocking for at most
+//! `batch_window`); it computes with the lock released, so collection of the
+//! next batch overlaps with computation of the current one. Under load this
+//! converges to all workers computing while one collects — the classic
+//! single-dispatcher micro-batching layout, with no dedicated dispatcher
+//! thread to idle when traffic stops.
+
+use crate::cache::{CacheLookup, EstimateCache};
+use crate::registry::{ModelRegistry, RegistryReader, ServeModel};
+use crate::stats::{ServiceStats, StatsSnapshot};
+use cardest_data::{BitVec, Record};
+use cardest_nn::Matrix;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Largest micro-batch a worker will assemble.
+    pub batch_max: usize,
+    /// How long a worker waits for the batch to fill once the first request
+    /// arrived. Zero means "drain whatever is already queued, never wait".
+    pub batch_window: Duration,
+    /// Total estimate-cache entries across shards; 0 disables caching.
+    pub cache_capacity: usize,
+    /// Relative slack for the monotone-bound short-circuit: a bracket
+    /// `[lo, hi]` answers the request when `hi − lo ≤ tolerance · max(hi, 1)`.
+    /// At the default `0.0` only *degenerate* brackets (`lo == hi`) short-
+    /// circuit — those pin the true value exactly, so estimates stay
+    /// bit-identical to the uncached path.
+    pub bound_tolerance: f64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(2),
+            batch_max: 64,
+            batch_window: Duration::from_micros(200),
+            cache_capacity: 4096,
+            bound_tolerance: 0.0,
+        }
+    }
+}
+
+/// One estimation request.
+#[derive(Clone)]
+pub struct Request {
+    /// Registry name of the model to query.
+    pub model: String,
+    /// The query record (`Arc` so a load generator can replay a shared
+    /// stream without cloning payloads).
+    pub query: Arc<Record>,
+    /// Similarity threshold θ.
+    pub theta: f64,
+}
+
+/// How a response was produced.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum EstimateSource {
+    /// Ran through the model, in a micro-batch of `batch_size` unique
+    /// queries.
+    Computed { batch_size: usize },
+    /// Identical to another request in the same micro-batch; answered from
+    /// that request's row without its own model run.
+    Coalesced,
+    /// Exact cache entry for `(epoch, fingerprint, τ)`.
+    CacheExact,
+    /// Monotone bracket `[lo, hi]` was tight enough to answer without the
+    /// model.
+    CacheBounds { lo: f64, hi: f64 },
+}
+
+/// A served estimate, tagged with the epoch of the model that produced it —
+/// the tag a client (or test) uses to tell which side of a hot-swap it saw.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub estimate: f64,
+    /// Publish epoch of the model that answered (see [`ServeModel::epoch`]).
+    pub epoch: u64,
+    pub source: EstimateSource,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// No model is published under the requested name.
+    UnknownModel(String),
+    /// The service shut down before (or while) answering.
+    ServiceStopped,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(name) => write!(f, "no model published as `{name}`"),
+            ServeError::ServiceStopped => write!(f, "service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct Job {
+    req: Request,
+    resp: Sender<Result<Response, ServeError>>,
+    enqueued: Instant,
+}
+
+/// A cloneable submission handle; cheap to hand to every client thread.
+#[derive(Clone)]
+pub struct ServiceClient {
+    tx: Sender<Job>,
+    stats: Arc<ServiceStats>,
+}
+
+impl ServiceClient {
+    /// Enqueues a request; the returned channel yields exactly one result.
+    /// Submitting many requests before draining any is how a client opts
+    /// into pipelining (and gives workers batches to chew on).
+    pub fn submit(&self, req: Request) -> Receiver<Result<Response, ServeError>> {
+        self.stats.record_request();
+        let (resp_tx, resp_rx) = channel();
+        let job = Job {
+            req,
+            resp: resp_tx,
+            enqueued: Instant::now(),
+        };
+        if let Err(send_err) = self.tx.send(job) {
+            // Queue closed: answer the caller directly instead of hanging.
+            let _ = send_err.0.resp.send(Err(ServeError::ServiceStopped));
+        }
+        resp_rx
+    }
+
+    /// Blocking convenience wrapper around [`ServiceClient::submit`].
+    pub fn estimate(
+        &self,
+        model: &str,
+        query: Arc<Record>,
+        theta: f64,
+    ) -> Result<Response, ServeError> {
+        self.submit(Request {
+            model: model.to_string(),
+            query,
+            theta,
+        })
+        .recv()
+        .unwrap_or(Err(ServeError::ServiceStopped))
+    }
+}
+
+/// The running service: owns the worker pool; dropping it (or calling
+/// [`Service::shutdown`]) closes the queue and joins the workers.
+pub struct Service {
+    registry: Arc<ModelRegistry>,
+    cache: Arc<EstimateCache>,
+    stats: Arc<ServiceStats>,
+    client: ServiceClient,
+    tx: Option<Sender<Job>>,
+    /// Set on shutdown so idle workers wake and exit even while external
+    /// [`ServiceClient`] clones still hold the queue's sender side open.
+    stop: Arc<AtomicBool>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl Service {
+    pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Service {
+        let cache = Arc::new(EstimateCache::new(config.cache_capacity));
+        let stats = Arc::new(ServiceStats::new());
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let reader = registry.reader();
+                let cache = Arc::clone(&cache);
+                let stats = Arc::clone(&stats);
+                let stop = Arc::clone(&stop);
+                let cfg = config.clone();
+                std::thread::spawn(move || worker_loop(&rx, reader, &cache, &stats, &stop, &cfg))
+            })
+            .collect();
+        let client = ServiceClient {
+            tx: tx.clone(),
+            stats: Arc::clone(&stats),
+        };
+        Service {
+            registry,
+            cache,
+            stats,
+            client,
+            tx: Some(tx),
+            stop,
+            workers,
+            config,
+        }
+    }
+
+    pub fn client(&self) -> ServiceClient {
+        self.client.clone()
+    }
+
+    pub fn submit(&self, req: Request) -> Receiver<Result<Response, ServeError>> {
+        self.client.submit(req)
+    }
+
+    pub fn estimate(
+        &self,
+        model: &str,
+        query: Arc<Record>,
+        theta: f64,
+    ) -> Result<Response, ServeError> {
+        self.client.estimate(model, query, theta)
+    }
+
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    pub fn cache(&self) -> &EstimateCache {
+        &self.cache
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Closes the queue, lets workers drain in-flight jobs, joins them.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        // The stop flag (not channel disconnection) is what ends the workers:
+        // an external `ServiceClient` clone may still hold a live sender, so
+        // idle workers cannot rely on `recv()` erroring out. They poll the
+        // flag between idle ticks, finish any in-flight batch, and exit.
+        self.stop.store(true, Ordering::Release);
+        self.tx = None;
+        self.client.tx = dead_sender();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A sender whose receiver is already gone — used to neuter the service's
+/// internal client on shutdown.
+fn dead_sender() -> Sender<Job> {
+    let (tx, _) = channel();
+    tx
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Stable fingerprint of a query *as the model sees it*: the extracted bit
+/// vector. Two records that extract identically share cache entries.
+fn fingerprint(bits: &BitVec) -> u64 {
+    // DefaultHasher is keyed with constants, so fingerprints are stable
+    // across threads and runs (required: cache keys outlive any one thread).
+    let mut h = DefaultHasher::new();
+    bits.len().hash(&mut h);
+    bits.words().hash(&mut h);
+    h.finish()
+}
+
+/// How often an idle worker wakes to check the stop flag.
+const IDLE_TICK: Duration = Duration::from_millis(25);
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    mut reader: RegistryReader,
+    cache: &EstimateCache,
+    stats: &ServiceStats,
+    stop: &AtomicBool,
+    cfg: &ServeConfig,
+) {
+    loop {
+        let batch = collect_batch(rx, stop, cfg.batch_max, cfg.batch_window);
+        if batch.is_empty() {
+            return; // queue disconnected or service stopped
+        }
+        process_batch(batch, &mut reader, cache, stats, cfg.bound_tolerance);
+    }
+}
+
+/// Blocks for the first job (waking every [`IDLE_TICK`] to honor shutdown),
+/// then fills the batch until `batch_max`, the window closes, or the queue
+/// drains. The queue lock is held throughout — collection is serialized
+/// across workers, computation is not.
+fn collect_batch(
+    rx: &Mutex<Receiver<Job>>,
+    stop: &AtomicBool,
+    batch_max: usize,
+    window: Duration,
+) -> Vec<Job> {
+    let rx = rx.lock().expect("request queue poisoned");
+    let first = loop {
+        if stop.load(Ordering::Acquire) {
+            // Drain-but-stop: answer anything already queued, then exit.
+            match rx.try_recv() {
+                Ok(job) => break job,
+                Err(_) => return Vec::new(),
+            }
+        }
+        match rx.recv_timeout(IDLE_TICK) {
+            Ok(job) => break job,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return Vec::new(),
+        }
+    };
+    let mut batch = vec![first];
+    let deadline = Instant::now() + window;
+    while batch.len() < batch_max.max(1) {
+        let now = Instant::now();
+        if now >= deadline {
+            // Window closed: take only what is already queued.
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        } else {
+            match rx.recv_timeout(deadline - now) {
+                Ok(job) => batch.push(job),
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+    batch
+}
+
+fn process_batch(
+    batch: Vec<Job>,
+    reader: &mut RegistryReader,
+    cache: &EstimateCache,
+    stats: &ServiceStats,
+    bound_tolerance: f64,
+) {
+    // Group by model name (almost always a single group), resolving each
+    // name once per batch so every job in a group sees the same model Arc.
+    let mut groups: Vec<(String, Vec<Job>)> = Vec::new();
+    for job in batch {
+        match groups.iter_mut().find(|(name, _)| *name == job.req.model) {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((job.req.model.clone(), vec![job])),
+        }
+    }
+    for (name, jobs) in groups {
+        match reader.get(&name) {
+            Some(model) => serve_group(&model, jobs, cache, stats, bound_tolerance),
+            None => {
+                for job in jobs {
+                    stats.record_error();
+                    stats.record_latency(job.enqueued.elapsed());
+                    let _ = job.resp.send(Err(ServeError::UnknownModel(name.clone())));
+                }
+            }
+        }
+    }
+}
+
+struct Pending {
+    job: Job,
+    fp: u64,
+    tau: usize,
+    bits: BitVec,
+}
+
+fn serve_group(
+    model: &ServeModel,
+    jobs: Vec<Job>,
+    cache: &EstimateCache,
+    stats: &ServiceStats,
+    bound_tolerance: f64,
+) {
+    let fx = model.estimator.extractor();
+    let epoch = model.epoch;
+    let n_out = model.estimator.model().config.n_out;
+    let mut pending: Vec<Pending> = Vec::with_capacity(jobs.len());
+
+    for job in jobs {
+        let bits = fx.extract(&job.req.query);
+        let fp = fingerprint(&bits);
+        // The estimate depends on θ only through τ (and infer clamps τ to
+        // the decoder count), so τ is the cache's θ-bucket.
+        let tau = fx.map_threshold(job.req.theta).min(n_out - 1);
+        match cache.lookup(epoch, fp, tau) {
+            CacheLookup::Exact(value) => {
+                stats.record_exact_hit();
+                respond(job, value, epoch, EstimateSource::CacheExact, stats);
+            }
+            CacheLookup::Bounds { lo, hi } if model.monotone => {
+                // Tight bracket ⇒ answer from bounds. A degenerate bracket
+                // (lo == hi) squeezes the true value exactly — monotone
+                // prefix sums cannot dip between equal endpoints — so the
+                // short-circuit stays bit-identical even at tolerance 0,
+                // and the pinned value is safe to cache as exact.
+                if lo == hi {
+                    cache.insert(epoch, fp, tau, lo);
+                    stats.record_bound_hit();
+                    respond(
+                        job,
+                        lo,
+                        epoch,
+                        EstimateSource::CacheBounds { lo, hi },
+                        stats,
+                    );
+                } else if hi - lo <= bound_tolerance * hi.max(1.0) {
+                    let mid = 0.5 * (lo + hi);
+                    stats.record_bound_hit();
+                    respond(
+                        job,
+                        mid,
+                        epoch,
+                        EstimateSource::CacheBounds { lo, hi },
+                        stats,
+                    );
+                } else {
+                    pending.push(Pending { job, fp, tau, bits });
+                }
+            }
+            _ => pending.push(Pending { job, fp, tau, bits }),
+        }
+    }
+
+    if pending.is_empty() {
+        return;
+    }
+
+    // Coalesce duplicates: a Zipf-hot query repeated within one micro-batch
+    // gets one model row, not many. (Like the cache, this trusts the 64-bit
+    // fingerprint; a SipHash collision between distinct live queries is
+    // vanishingly unlikely and would only alias two cache entries.)
+    let mut seen: std::collections::HashMap<(u64, usize), usize> = std::collections::HashMap::new();
+    let mut unique: Vec<usize> = Vec::new(); // pending indices, one per row
+    let mut row_of: Vec<usize> = Vec::with_capacity(pending.len());
+    for (i, p) in pending.iter().enumerate() {
+        let row = *seen.entry((p.fp, p.tau)).or_insert_with(|| {
+            unique.push(i);
+            unique.len() - 1
+        });
+        row_of.push(row);
+    }
+
+    // One model run for the whole batch: stack the bit vectors and decode
+    // every distance once. Row r of the batched kernel is computed with the
+    // same accumulation order as a 1-row call, so per-row results match the
+    // single-query path bit for bit.
+    let d = fx.dim();
+    let mut data = vec![0.0f32; unique.len() * d];
+    for (r, &i) in unique.iter().enumerate() {
+        pending[i].bits.write_f32(&mut data[r * d..(r + 1) * d]);
+    }
+    let x = Matrix::from_vec(unique.len(), d, data);
+    let dist = model
+        .estimator
+        .model()
+        .infer_dist_batch(model.estimator.store(), &x);
+    let batch_size = unique.len();
+    stats.record_batch(batch_size);
+    let incremental = model.estimator.model().config.incremental;
+    // Mirror `CardNetModel::infer_sum` exactly: left-to-right f64 prefix
+    // sum over decoders 0..=τ (or the τ-th decoder for −incremental).
+    let estimates: Vec<f64> = unique
+        .iter()
+        .enumerate()
+        .map(|(r, &i)| {
+            let tau = pending[i].tau;
+            if incremental {
+                let mut acc = 0.0f64;
+                for j in 0..=tau {
+                    acc += f64::from(dist.get(r, j));
+                }
+                acc
+            } else {
+                f64::from(dist.get(r, tau))
+            }
+        })
+        .collect();
+    for ((i, p), row) in pending.into_iter().enumerate().zip(row_of) {
+        let estimate = estimates[row];
+        let source = if unique[row] == i {
+            cache.insert(epoch, p.fp, p.tau, estimate);
+            EstimateSource::Computed { batch_size }
+        } else {
+            stats.record_coalesced();
+            EstimateSource::Coalesced
+        };
+        respond(p.job, estimate, epoch, source, stats);
+    }
+}
+
+fn respond(job: Job, estimate: f64, epoch: u64, source: EstimateSource, stats: &ServiceStats) {
+    stats.record_latency(job.enqueued.elapsed());
+    let _ = job.resp.send(Ok(Response {
+        estimate,
+        epoch,
+        source,
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::tiny_setup;
+    use cardest_core::CardinalityEstimator;
+
+    fn unbatched_config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            batch_max: 1,
+            batch_window: Duration::ZERO,
+            cache_capacity: 0,
+            bound_tolerance: 0.0,
+        }
+    }
+
+    #[test]
+    fn served_estimates_are_bit_identical_to_direct_calls() {
+        let (ds, est) = tiny_setup(21);
+        let registry = Arc::new(ModelRegistry::new());
+        // Reference values from the plain single-thread path, before the
+        // estimator moves into the registry.
+        let queries: Vec<(Arc<Record>, f64)> = (0..20)
+            .map(|i| {
+                let q = Arc::new(ds.records[i * 5].clone());
+                let theta = ds.theta_max * (i as f64) / 19.0;
+                (q, theta)
+            })
+            .collect();
+        let reference: Vec<f64> = queries
+            .iter()
+            .map(|(q, theta)| est.estimate(q, *theta))
+            .collect();
+        registry.publish("m", est);
+
+        let service = Service::start(registry, ServeConfig::default());
+        for ((q, theta), want) in queries.iter().zip(&reference) {
+            let got = service
+                .estimate("m", Arc::clone(q), *theta)
+                .expect("served")
+                .estimate;
+            assert_eq!(got.to_bits(), want.to_bits(), "θ={theta}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache_exactly() {
+        let (ds, est) = tiny_setup(22);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(registry, ServeConfig::default());
+        let q = Arc::new(ds.records[3].clone());
+        let first = service.estimate("m", Arc::clone(&q), 6.0).expect("first");
+        assert!(matches!(first.source, EstimateSource::Computed { .. }));
+        let second = service.estimate("m", Arc::clone(&q), 6.0).expect("second");
+        assert_eq!(second.source, EstimateSource::CacheExact);
+        assert_eq!(second.estimate.to_bits(), first.estimate.to_bits());
+        // A different θ in the same τ-bucket also hits.
+        let snap = service.stats();
+        assert!(snap.exact_hits >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn loose_bracket_computes_tight_bracket_short_circuits() {
+        let (ds, est) = tiny_setup(23);
+        let fx_tau_max = est.extractor().tau_max();
+        let theta_of = {
+            let theta_max = ds.theta_max;
+            move |tau: usize| theta_max * (tau as f64 + 0.5) / (fx_tau_max as f64)
+        };
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let mut cfg = ServeConfig::default();
+        cfg.bound_tolerance = f64::INFINITY; // any bracket answers
+        let service = Service::start(registry, cfg);
+        let q = Arc::new(ds.records[7].clone());
+        let lo = service.estimate("m", Arc::clone(&q), theta_of(1)).unwrap();
+        let hi = service.estimate("m", Arc::clone(&q), theta_of(6)).unwrap();
+        assert!(lo.estimate <= hi.estimate, "monotonicity");
+        let mid = service.estimate("m", Arc::clone(&q), theta_of(3)).unwrap();
+        match mid.source {
+            EstimateSource::CacheBounds { lo: l, hi: h } => {
+                assert_eq!(l.to_bits(), lo.estimate.to_bits());
+                assert_eq!(h.to_bits(), hi.estimate.to_bits());
+                assert!(l <= mid.estimate && mid.estimate <= h);
+            }
+            other => panic!("expected a bounds answer, got {other:?}"),
+        }
+        assert!(service.stats().bound_hits >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn unknown_model_is_an_error_not_a_hang() {
+        let (_, est) = tiny_setup(24);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("real", est);
+        let service = Service::start(registry, unbatched_config());
+        let q = Arc::new(Record::Bits(BitVec::zeros(4)));
+        let err = service.estimate("ghost", q, 1.0).expect_err("must fail");
+        assert_eq!(err, ServeError::UnknownModel("ghost".into()));
+        assert_eq!(service.stats().errors, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn pipelined_submissions_form_micro_batches() {
+        let (ds, est) = tiny_setup(25);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                batch_max: 64,
+                batch_window: Duration::from_millis(200),
+                cache_capacity: 0,
+                bound_tolerance: 0.0,
+            },
+        );
+        // 16 distinct queries submitted before any response is drained: the
+        // lone worker's first recv starts the window and the rest arrive
+        // well within it, forming a single micro-batch.
+        let receivers: Vec<_> = (0..16)
+            .map(|i| {
+                service.submit(Request {
+                    model: "m".into(),
+                    query: Arc::new(ds.records[i].clone()),
+                    theta: 5.0,
+                })
+            })
+            .collect();
+        for rx in receivers {
+            let resp = rx.recv().expect("worker alive").expect("served");
+            match resp.source {
+                EstimateSource::Computed { batch_size } => assert!(batch_size > 1),
+                other => panic!("cache disabled, expected computed: {other:?}"),
+            }
+        }
+        let snap = service.stats();
+        assert_eq!(snap.batches, 1, "expected one micro-batch");
+        assert!((snap.mean_batch_size() - 16.0).abs() < 1e-9);
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_batch_coalesce() {
+        let (ds, est) = tiny_setup(27);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                batch_max: 64,
+                batch_window: Duration::from_millis(200),
+                cache_capacity: 0, // coalescing is intra-batch, not the cache
+                bound_tolerance: 0.0,
+            },
+        );
+        let q = Arc::new(ds.records[2].clone());
+        let receivers: Vec<_> = (0..8)
+            .map(|_| {
+                service.submit(Request {
+                    model: "m".into(),
+                    query: Arc::clone(&q),
+                    theta: 5.0,
+                })
+            })
+            .collect();
+        let responses: Vec<Response> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("worker alive").expect("served"))
+            .collect();
+        let computed = responses
+            .iter()
+            .filter(|r| matches!(r.source, EstimateSource::Computed { .. }))
+            .count();
+        let coalesced = responses
+            .iter()
+            .filter(|r| r.source == EstimateSource::Coalesced)
+            .count();
+        assert_eq!((computed, coalesced), (1, 7));
+        let first = responses[0].estimate.to_bits();
+        assert!(responses.iter().all(|r| r.estimate.to_bits() == first));
+        let snap = service.stats();
+        assert_eq!(snap.batches, 1);
+        assert!(
+            (snap.mean_batch_size() - 1.0).abs() < 1e-9,
+            "one unique row"
+        );
+        assert_eq!(snap.coalesced, 7);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_then_estimate_reports_stopped() {
+        let (ds, est) = tiny_setup(26);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(Arc::clone(&registry), unbatched_config());
+        let client = service.client();
+        let q = Arc::new(ds.records[0].clone());
+        assert!(client.estimate("m", Arc::clone(&q), 2.0).is_ok());
+        service.shutdown();
+        assert_eq!(
+            client.estimate("m", q, 2.0).expect_err("stopped"),
+            ServeError::ServiceStopped
+        );
+    }
+}

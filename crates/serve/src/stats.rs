@@ -1,0 +1,274 @@
+//! Lock-free service counters: request totals, cache effectiveness, the
+//! micro-batch size distribution, and a log-bucketed latency histogram from
+//! which p50/p99 are read without ever locking the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Latency buckets: bucket `b` covers `[2^b, 2^{b+1})` nanoseconds. 48
+/// buckets span 1 ns – ~3.2 days, which is every latency a service can see.
+const LATENCY_BUCKETS: usize = 48;
+/// Batch-size buckets: bucket `b` holds batches of `2^b ..= 2^{b+1} - 1`
+/// requests (bucket 0 = singletons).
+const BATCH_BUCKETS: usize = 12;
+
+/// Shared, atomically updated counters. One instance per [`crate::Service`];
+/// workers and the response path update it, reporters snapshot it.
+pub struct ServiceStats {
+    /// Requests accepted (including ones answered from cache or failed).
+    requests: AtomicU64,
+    /// Answered from an exact `(epoch, fp, τ)` cache entry.
+    exact_hits: AtomicU64,
+    /// Answered from a tight monotone bracket without running the model.
+    bound_hits: AtomicU64,
+    /// Ran through the model (micro-batched).
+    computed: AtomicU64,
+    /// Answered by sharing another identical request's row in the same
+    /// micro-batch.
+    coalesced: AtomicU64,
+    /// Failed (unknown model name).
+    errors: AtomicU64,
+    /// Micro-batches executed (model runs, not request groups).
+    batches: AtomicU64,
+    /// Sum of micro-batch sizes (mean batch = this / batches).
+    batch_size_sum: AtomicU64,
+    batch_hist: [AtomicU64; BATCH_BUCKETS],
+    latency_hist: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl Default for ServiceStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceStats {
+    pub fn new() -> ServiceStats {
+        ServiceStats {
+            requests: AtomicU64::new(0),
+            exact_hits: AtomicU64::new(0),
+            bound_hits: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_size_sum: AtomicU64::new(0),
+            batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub fn record_request(&self) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_exact_hit(&self) {
+        self.exact_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_bound_hit(&self) {
+        self.bound_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_coalesced(&self) {
+        self.coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One model run over `size` stacked queries.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_size_sum
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.computed.fetch_add(size as u64, Ordering::Relaxed);
+        let bucket = (usize::BITS - 1 - size.max(1).leading_zeros()) as usize;
+        self.batch_hist[bucket.min(BATCH_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// End-to-end latency of one answered request (enqueue → response sent).
+    pub fn record_latency(&self, latency: Duration) {
+        let ns = latency.as_nanos().max(1) as u64;
+        let bucket = (63 - ns.leading_zeros()) as usize;
+        self.latency_hist[bucket.min(LATENCY_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy for reporting (individual counters are read
+    /// relaxed; exactness across counters is not needed for monitoring).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let latency: Vec<u64> = self
+            .latency_hist
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            bound_hits: self.bound_hits.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_size_sum: self.batch_size_sum.load(Ordering::Relaxed),
+            batch_hist: self
+                .batch_hist
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            latency_hist: latency,
+        }
+    }
+}
+
+/// A point-in-time copy of [`ServiceStats`] with derived rates/quantiles.
+#[derive(Clone, Debug)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub exact_hits: u64,
+    pub bound_hits: u64,
+    pub computed: u64,
+    pub coalesced: u64,
+    pub errors: u64,
+    pub batches: u64,
+    pub batch_size_sum: u64,
+    /// Count of micro-batches whose size fell in `[2^b, 2^{b+1})`.
+    pub batch_hist: Vec<u64>,
+    /// Count of requests whose latency fell in `[2^b, 2^{b+1})` ns.
+    pub latency_hist: Vec<u64>,
+}
+
+impl StatsSnapshot {
+    /// Successfully answered requests, across every response source.
+    pub fn answered(&self) -> u64 {
+        self.exact_hits + self.bound_hits + self.coalesced + self.computed
+    }
+
+    /// Fraction of answered requests served from cache (exact or bounds).
+    pub fn hit_rate(&self) -> f64 {
+        if self.answered() == 0 {
+            return 0.0;
+        }
+        (self.exact_hits + self.bound_hits) as f64 / self.answered() as f64
+    }
+
+    pub fn bound_hit_rate(&self) -> f64 {
+        if self.answered() == 0 {
+            return 0.0;
+        }
+        self.bound_hits as f64 / self.answered() as f64
+    }
+
+    /// Fraction of answered requests that avoided a model row entirely
+    /// (cache hits plus intra-batch coalescing).
+    pub fn saved_rate(&self) -> f64 {
+        if self.answered() == 0 {
+            return 0.0;
+        }
+        (self.exact_hits + self.bound_hits + self.coalesced) as f64 / self.answered() as f64
+    }
+
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batch_size_sum as f64 / self.batches as f64
+    }
+
+    /// Approximate latency quantile (`q` in `[0, 1]`) from the log-bucketed
+    /// histogram: the geometric midpoint of the bucket holding the q-th
+    /// request. Resolution is a factor of √2 — plenty for p50/p99 reporting.
+    pub fn latency_quantile(&self, q: f64) -> Duration {
+        let total: u64 = self.latency_hist.iter().sum();
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (b, &count) in self.latency_hist.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                // Geometric midpoint of [2^b, 2^{b+1}) = 2^b · √2.
+                let ns = (2f64.powi(b as i32) * std::f64::consts::SQRT_2).round() as u64;
+                return Duration::from_nanos(ns);
+            }
+        }
+        Duration::from_nanos(1 << (self.latency_hist.len() - 1))
+    }
+
+    /// `(size-range label, count)` rows for the non-empty batch buckets.
+    pub fn batch_histogram_rows(&self) -> Vec<(String, u64)> {
+        self.batch_hist
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let lo = 1u64 << b;
+                let hi = (1u64 << (b + 1)) - 1;
+                let label = if lo == hi {
+                    format!("{lo}")
+                } else {
+                    format!("{lo}-{hi}")
+                };
+                (label, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = ServiceStats::new();
+        for _ in 0..10 {
+            stats.record_request();
+        }
+        stats.record_exact_hit();
+        stats.record_exact_hit();
+        stats.record_bound_hit();
+        stats.record_batch(7);
+        stats.record_batch(1);
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 10);
+        assert_eq!(snap.exact_hits, 2);
+        assert_eq!(snap.bound_hits, 1);
+        assert_eq!(snap.computed, 8);
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_size() - 4.0).abs() < 1e-12);
+        // 2 exact + 1 bound out of 11 answered.
+        assert!((snap.hit_rate() - 3.0 / 11.0).abs() < 1e-12);
+        assert!((snap.saved_rate() - 3.0 / 11.0).abs() < 1e-12);
+        let rows = snap.batch_histogram_rows();
+        assert_eq!(rows.len(), 2); // bucket "1" and bucket "4-7"
+        assert_eq!(rows[0], ("1".to_string(), 1));
+        assert_eq!(rows[1], ("4-7".to_string(), 1));
+    }
+
+    #[test]
+    fn latency_quantiles_are_ordered() {
+        let stats = ServiceStats::new();
+        for us in [1u64, 10, 10, 10, 100, 100, 1000, 10_000] {
+            stats.record_latency(Duration::from_micros(us));
+        }
+        let snap = stats.snapshot();
+        let p50 = snap.latency_quantile(0.50);
+        let p99 = snap.latency_quantile(0.99);
+        assert!(p50 <= p99, "{p50:?} > {p99:?}");
+        assert!(p50 >= Duration::from_micros(5) && p50 <= Duration::from_micros(20));
+        assert!(p99 >= Duration::from_micros(5_000));
+        assert_eq!(
+            StatsSnapshot::default_zero().latency_quantile(0.5),
+            Duration::ZERO
+        );
+    }
+
+    impl StatsSnapshot {
+        fn default_zero() -> StatsSnapshot {
+            ServiceStats::new().snapshot()
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Shared fixtures for the serve crate's unit tests: quickly trained tiny
+//! estimators (accuracy is irrelevant here; determinism and monotonicity are
+//! what the serving layer relies on).
+
+use cardest_core::model::CardNetConfig;
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_core::CardNetEstimator;
+use cardest_data::synth::{hm_imagenet, SynthConfig};
+use cardest_data::{Dataset, Workload};
+use cardest_fx::build_extractor;
+
+/// A tiny Hamming dataset plus a CardNet trained on it for two epochs.
+pub(crate) fn tiny_setup(seed: u64) -> (Dataset, CardNetEstimator) {
+    let ds = hm_imagenet(SynthConfig::new(120, seed));
+    let fx = build_extractor(&ds, 8, 1);
+    let split = Workload::sample_from(&ds, 0.3, 6, 2).split(3);
+    let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+    cfg.phi_hidden = vec![16];
+    cfg.z_dim = 8;
+    cfg = cfg.without_vae();
+    let opts = TrainerOptions {
+        epochs: 2,
+        vae_epochs: 0,
+        ..TrainerOptions::quick()
+    };
+    let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+    (ds, CardNetEstimator::from_trainer(fx, trainer))
+}
+
+/// Just the estimator, for registry tests that never issue a query.
+pub(crate) fn tiny_estimator(seed: u64) -> CardNetEstimator {
+    tiny_setup(seed).1
+}

@@ -5,7 +5,7 @@
 use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
 use cardest_core::model::CardNetConfig;
 use cardest_core::snapshot::Snapshot;
-use cardest_core::train::{train_cardnet, Trainer, TrainerOptions};
+use cardest_core::train::{train_cardnet, TrainerOptions};
 use cardest_data::io::{load_jsonl, save_jsonl};
 use cardest_data::synth::{hm_imagenet, SynthConfig};
 use cardest_data::Workload;
@@ -44,17 +44,17 @@ fn dataset_and_model_roundtrip_preserves_estimates() {
 
     // Model through disk.
     let model_path = tmp("flow_model.json");
-    Snapshot::from_trainer(&trainer, fx.name())
+    Snapshot::from_trainer(&trainer, fx.name(), fx.tau_max())
         .save(&model_path)
         .expect("save model");
     let snap = Snapshot::load(&model_path).expect("load model");
     assert_eq!(snap.extractor, fx.name());
+    assert_eq!(snap.tau_max, fx.tau_max());
 
     // The restored estimator must agree bit-for-bit with the live one.
     let fx2 = build_extractor(&ds2, 10, 1);
     let live = CardNetEstimator::from_trainer(fx, trainer);
-    let restored =
-        CardNetEstimator::from_trainer(fx2, Trainer::from_parts(snap.model, snap.params));
+    let restored = snap.into_estimator(fx2).expect("validated snapshot");
     for qi in [0usize, 50, 150] {
         let q = &ds2.records[qi];
         for theta in [0.0, 5.0, 10.0, 20.0] {

@@ -1,0 +1,214 @@
+//! Integration tests for the `cardest-serve` subsystem: concurrency
+//! determinism (batched N-worker serving must be bit-identical to 1-worker
+//! and to the plain estimator), and hot-swap atomicity (mid-stream model
+//! replacement never yields an estimate from a half-written model).
+
+use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
+use cardest_core::model::CardNetConfig;
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_data::synth::{hm_imagenet, SynthConfig};
+use cardest_data::zipf::Zipf;
+use cardest_data::{Dataset, Record, Workload};
+use cardest_fx::build_extractor;
+use cardest_serve::{ModelRegistry, Request, ServeConfig, Service};
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_model(ds: &Dataset, seed_epochs: usize) -> CardNetEstimator {
+    let fx = build_extractor(ds, 10, 1);
+    let split = Workload::sample_from(ds, 0.25, 8, 2).split(3);
+    let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+    cfg.phi_hidden = vec![24, 16];
+    cfg.z_dim = 12;
+    cfg = cfg.without_vae();
+    let opts = TrainerOptions {
+        epochs: seed_epochs,
+        vae_epochs: 0,
+        ..TrainerOptions::quick()
+    };
+    let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+    CardNetEstimator::from_trainer(fx, trainer)
+}
+
+/// A Zipf-skewed request stream (record index, shared record, θ): repeats
+/// exercise the cache, distinct queries exercise batching.
+fn request_stream(ds: &Dataset, n: usize, seed: u64) -> Vec<(usize, Arc<Record>, f64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let hot = Zipf::new(60.min(ds.len()), 1.1);
+    (0..n)
+        .map(|_| {
+            let idx = hot.sample(&mut rng);
+            let theta = ds.theta_max * (rng.gen_range(0..16) as f64) / 15.0;
+            (idx, Arc::new(ds.records[idx].clone()), theta)
+        })
+        .collect()
+}
+
+/// Plays the stream fully pipelined through a fresh service and returns the
+/// served estimates (stream order) with their model-epoch tags.
+fn play(
+    registry: &Arc<ModelRegistry>,
+    stream: &[(usize, Arc<Record>, f64)],
+    workers: usize,
+) -> Vec<(f64, u64)> {
+    let service = Service::start(
+        Arc::clone(registry),
+        ServeConfig {
+            workers,
+            batch_max: 32,
+            batch_window: Duration::from_micros(300),
+            cache_capacity: 1024,
+            bound_tolerance: 0.0,
+        },
+    );
+    let receivers: Vec<_> = stream
+        .iter()
+        .map(|(_, rec, theta)| {
+            service.submit(Request {
+                model: "m".into(),
+                query: Arc::clone(rec),
+                theta: *theta,
+            })
+        })
+        .collect();
+    let out = receivers
+        .into_iter()
+        .map(|rx| {
+            let resp = rx.recv().expect("service alive").expect("served");
+            (resp.estimate, resp.epoch)
+        })
+        .collect();
+    service.shutdown();
+    out
+}
+
+#[test]
+fn one_worker_and_many_workers_serve_identical_estimates() {
+    let ds = hm_imagenet(SynthConfig::new(300, 91));
+    let est = small_model(&ds, 3);
+    let stream = request_stream(&ds, 400, 17);
+    // Ground truth from the single-thread, unbatched estimator call.
+    let reference: Vec<f64> = stream
+        .iter()
+        .map(|(_, rec, theta)| est.estimate(rec, *theta))
+        .collect();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("m", est);
+    let solo = play(&registry, &stream, 1);
+    let pooled = play(&registry, &stream, 4);
+
+    for (i, ((s, p), want)) in solo.iter().zip(&pooled).zip(&reference).enumerate() {
+        assert_eq!(
+            s.0.to_bits(),
+            want.to_bits(),
+            "1-worker diverged from the direct path at request {i}"
+        );
+        assert_eq!(
+            p.0.to_bits(),
+            want.to_bits(),
+            "4-worker diverged from the direct path at request {i}"
+        );
+    }
+}
+
+#[test]
+fn hot_swap_mid_stream_is_atomic_and_epoch_tagged() {
+    let ds = hm_imagenet(SynthConfig::new(300, 92));
+    let model_a = small_model(&ds, 2);
+    let model_b = small_model(&ds, 6); // different weights on purpose
+    let stream = request_stream(&ds, 600, 23);
+
+    // Reference answers for *both* generations, computed up front (before
+    // the estimators move into the registry).
+    let mut expect_a: HashMap<(usize, u64), f64> = HashMap::new();
+    let mut expect_b: HashMap<(usize, u64), f64> = HashMap::new();
+    for (idx, rec, theta) in &stream {
+        expect_a
+            .entry((*idx, theta.to_bits()))
+            .or_insert_with(|| model_a.estimate(rec, *theta));
+        expect_b
+            .entry((*idx, theta.to_bits()))
+            .or_insert_with(|| model_b.estimate(rec, *theta));
+    }
+
+    let registry = Arc::new(ModelRegistry::new());
+    let epoch_a = registry.publish("m", model_a);
+    let service = Service::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers: 3,
+            batch_max: 16,
+            batch_window: Duration::from_micros(200),
+            // Cache on: entries are epoch-keyed, so pre-swap entries must
+            // never answer post-swap requests.
+            cache_capacity: 512,
+            bound_tolerance: 0.0,
+        },
+    );
+
+    // Stream requests while the swap happens mid-flight.
+    let submit = |(_, rec, theta): &(usize, Arc<Record>, f64)| {
+        service.submit(Request {
+            model: "m".into(),
+            query: Arc::clone(rec),
+            theta: *theta,
+        })
+    };
+    let half = stream.len() / 2;
+    let mut responses = Vec::with_capacity(stream.len());
+    let first_half: Vec<_> = stream[..half].iter().map(submit).collect();
+    // Force one pre-swap answer so generation A provably served traffic…
+    responses.push(
+        first_half[0]
+            .recv()
+            .expect("service alive")
+            .expect("served"),
+    );
+    assert_eq!(
+        responses[0].epoch, epoch_a,
+        "pre-swap answer must be model A's"
+    );
+    // …then swap while the rest of the first half is still in flight.
+    let epoch_b = registry.publish("m", model_b);
+    assert!(epoch_b > epoch_a, "swap must bump the epoch");
+    let second_half: Vec<_> = stream[half..].iter().map(submit).collect();
+    responses.extend(
+        first_half
+            .into_iter()
+            .skip(1)
+            .chain(second_half)
+            .map(|rx| rx.recv().expect("service alive").expect("served")),
+    );
+
+    let mut saw = [0usize, 0];
+    for (resp, (idx, _, theta)) in responses.into_iter().zip(&stream) {
+        // Every response must come from exactly one published generation —
+        // by construction a torn model is unrepresentable, and the epoch
+        // tag + bit-exact match against that generation's reference proves
+        // the estimate is entirely model A's or entirely model B's.
+        let expect = if resp.epoch == epoch_a {
+            saw[0] += 1;
+            &expect_a
+        } else if resp.epoch == epoch_b {
+            saw[1] += 1;
+            &expect_b
+        } else {
+            panic!("estimate tagged with unpublished epoch {}", resp.epoch);
+        };
+        let want = expect[&(*idx, theta.to_bits())];
+        assert_eq!(
+            resp.estimate.to_bits(),
+            want.to_bits(),
+            "epoch {} estimate does not match that generation's model",
+            resp.epoch
+        );
+    }
+    // The swap happened mid-stream with requests still flowing on both
+    // sides, so both generations must have answered at least once.
+    assert!(saw[0] > 0, "model A never answered");
+    assert!(saw[1] > 0, "model B never answered");
+    service.shutdown();
+}
