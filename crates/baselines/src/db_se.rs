@@ -10,7 +10,8 @@
 //!   degrades on large thresholds);
 //! * Euclidean — LSH-bucket sampling with local density extrapolation \[76\].
 
-use cardest_core::CardinalityEstimator;
+use crate::db_us::SampleKeys;
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Dataset, Distance, DistanceKind, Record};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -77,13 +78,13 @@ impl GroupHistogram {
     }
 }
 
-impl CardinalityEstimator for GroupHistogram {
-    fn estimate(&self, query: &Record, theta: f64) -> f64 {
-        let theta = theta.floor().max(0.0) as usize;
+impl GroupHistogram {
+    /// The convolution DP: probability mass of total distance exactly `d`
+    /// for `d < cap` (everything ≥ cap is irrelevant for `P(dist ≤ θ)`).
+    /// Masses below `cap` are independent of `cap` — a larger cap only
+    /// appends entries — which is what makes one DP serve a whole curve.
+    fn dist_masses(&self, query: &Record, cap: usize) -> Vec<f64> {
         let bits = query.as_bits();
-        let cap = theta.min(self.dim) + 1;
-        // dp[d] = probability mass of total distance exactly d (truncated at
-        // cap − 1; everything ≥ cap is irrelevant for P(dist ≤ θ)).
         let mut dp = vec![0.0f64; cap];
         dp[0] = 1.0;
         let n = self.n_records.max(1) as f64;
@@ -107,7 +108,37 @@ impl CardinalityEstimator for GroupHistogram {
             }
             dp = next;
         }
+        dp
+    }
+}
+
+impl CardinalityEstimator for GroupHistogram {
+    fn estimate(&self, query: &Record, theta: f64) -> f64 {
+        let cap = self.threshold_step(theta) + 1;
+        let dp = self.dist_masses(query, cap);
         self.n_records as f64 * dp.iter().sum::<f64>()
+    }
+
+    /// One convolution DP answers every integer threshold up to θ: step `t`
+    /// of the curve is `|D| · P(dist ≤ t)`, the exact left-to-right partial
+    /// sums `estimate` would compute at θ = t.
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let cap = self.threshold_step(theta) + 1;
+        let dp = self.dist_masses(prepared.record(), cap);
+        let n = self.n_records as f64;
+        let mut acc = 0.0f64;
+        CardinalityCurve::from_values(
+            dp.iter()
+                .map(|&p| {
+                    acc += p;
+                    n * acc
+                })
+                .collect(),
+        )
+    }
+
+    fn threshold_step(&self, theta: f64) -> usize {
+        (theta.floor().max(0.0) as usize).min(self.dim)
     }
 
     fn name(&self) -> String {
@@ -139,6 +170,14 @@ pub struct PivotHistogram {
     hist: Vec<Vec<u32>>,
     bucket_width: f64,
     distance: Distance,
+    prep_id: u64,
+}
+
+/// Cached per-query state: the nearest pivot and the query–pivot distance —
+/// the entire per-query cost of this estimator.
+struct PivotPrepared {
+    pivot: usize,
+    dq: f64,
 }
 
 impl PivotHistogram {
@@ -191,23 +230,27 @@ impl PivotHistogram {
             hist,
             bucket_width,
             distance,
+            prep_id: next_instance_id(),
         }
     }
-}
 
-impl CardinalityEstimator for PivotHistogram {
-    fn estimate(&self, query: &Record, theta: f64) -> f64 {
-        // Nearest pivot.
-        let (p, dq) = self
+    /// Nearest pivot and its distance to the query — the expensive part.
+    fn nearest_pivot(&self, query: &Record) -> PivotPrepared {
+        let (pivot, dq) = self
             .pivots
             .iter()
             .enumerate()
             .map(|(i, pv)| (i, self.distance.eval(pv, query)))
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
             .expect("at least one pivot");
-        // Records within θ of q lie within [max(0, dq − θ), dq + θ] of the
-        // pivot; scale that band's mass by the fraction a θ-ball occupies of
-        // the band (a ring-intersection heuristic — coarse, as DB-SE is).
+        PivotPrepared { pivot, dq }
+    }
+
+    /// Records within θ of q lie within [max(0, dq − θ), dq + θ] of the
+    /// pivot; scale that band's mass by the fraction a θ-ball occupies of
+    /// the band (a ring-intersection heuristic — coarse, as DB-SE is).
+    fn band_estimate(&self, state: &PivotPrepared, theta: f64) -> f64 {
+        let (p, dq) = (state.pivot, state.dq);
         let lo = (dq - theta).max(0.0);
         let hi = dq + theta;
         let b_lo = (lo / self.bucket_width).floor() as usize;
@@ -220,6 +263,24 @@ impl CardinalityEstimator for PivotHistogram {
         let fraction = (2.0 * theta / band_width).clamp(0.0, 1.0);
         // Guarantee monotone growth: the band plus fraction both widen with θ.
         band * fraction
+    }
+}
+
+impl CardinalityEstimator for PivotHistogram {
+    fn estimate(&self, query: &Record, theta: f64) -> f64 {
+        self.band_estimate(&self.nearest_pivot(query), theta)
+    }
+
+    /// Caches the nearest-pivot scan so a sweep touches the pivots once.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = prepared.state(self.prep_id, || self.nearest_pivot(prepared.record()));
+        prepared
+    }
+
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let state = prepared.state(self.prep_id, || self.nearest_pivot(prepared.record()));
+        CardinalityCurve::point(self.band_estimate(&state, theta))
     }
 
     fn name(&self) -> String {
@@ -264,6 +325,14 @@ pub struct LshBucketSampling {
     n_records: usize,
     /// Global fallback sample for queries hashing to empty buckets.
     fallback: Vec<u32>,
+    prep_id: u64,
+}
+
+/// Cached per-query state: the chosen bucket's size and the sorted decision
+/// keys of its members — the entire per-query cost of the LSH estimator.
+struct LshPrepared {
+    bucket_len: usize,
+    keys: SampleKeys,
 }
 
 impl LshBucketSampling {
@@ -292,6 +361,7 @@ impl LshBucketSampling {
             distance: dataset.distance(),
             n_records: dataset.len(),
             fallback: Vec::new(),
+            prep_id: next_instance_id(),
         };
         let cap = 64usize; // per-bucket sample cap keeps estimation O(1)-ish
         for (id, rec) in dataset.records.iter().enumerate() {
@@ -304,6 +374,20 @@ impl LshBucketSampling {
         let step = (dataset.len() / 128).max(1);
         me.fallback = (0..dataset.len()).step_by(step).map(|i| i as u32).collect();
         me
+    }
+
+    fn lsh_state(&self, prepared: &PreparedQuery) -> std::sync::Arc<LshPrepared> {
+        prepared.state(self.prep_id, || {
+            let bucket = self.bucket_of(prepared.record());
+            LshPrepared {
+                bucket_len: bucket.len(),
+                keys: SampleKeys::compute(
+                    &self.distance,
+                    prepared.record(),
+                    bucket.iter().map(|&id| &self.records[id as usize]),
+                ),
+            }
+        })
     }
 
     fn key_of(&self, x: &[f32]) -> u64 {
@@ -319,16 +403,27 @@ impl LshBucketSampling {
         }
         key
     }
+
+    /// The bucket the query's neighbourhood is sampled from.
+    fn bucket_of(&self, query: &Record) -> &[u32] {
+        let key = self.key_of(query.as_vec());
+        self.table
+            .get(&key)
+            .filter(|b| b.len() >= 4)
+            .unwrap_or(&self.fallback)
+    }
+
+    /// Local density extrapolation for `hits` of `bucket_len` co-located
+    /// records within θ: scale by dataset-to-sample ratio.
+    fn extrapolate(&self, hits: usize, bucket_len: usize) -> f64 {
+        hits as f64 * self.n_records as f64 / bucket_len.max(1) as f64
+            * (bucket_len as f64 / self.n_records as f64).max(1.0 / 64.0)
+    }
 }
 
 impl CardinalityEstimator for LshBucketSampling {
     fn estimate(&self, query: &Record, theta: f64) -> f64 {
-        let key = self.key_of(query.as_vec());
-        let bucket = self
-            .table
-            .get(&key)
-            .filter(|b| b.len() >= 4)
-            .unwrap_or(&self.fallback);
+        let bucket = self.bucket_of(query);
         if bucket.is_empty() {
             return 0.0;
         }
@@ -340,10 +435,30 @@ impl CardinalityEstimator for LshBucketSampling {
                     .is_some()
             })
             .count();
-        // Local density extrapolation: the sampled bucket represents the
-        // query's neighbourhood; scale by dataset-to-sample ratio.
-        hits as f64 * self.n_records as f64 / bucket.len().max(1) as f64
-            * (bucket.len() as f64 / self.n_records as f64).max(1.0 / 64.0)
+        self.extrapolate(hits, bucket.len())
+    }
+
+    /// Caches the bucket lookup and its members' distance keys so a sweep
+    /// hashes and scans the bucket once.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = self.lsh_state(&prepared);
+        prepared
+    }
+
+    /// The bucket's empirical ladder under the density extrapolation — one
+    /// step per co-located record entering the θ-ball.
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let state = self.lsh_state(prepared);
+        if state.bucket_len == 0 {
+            return CardinalityCurve::point(0.0);
+        }
+        let m = state.keys.count_within(self.distance.kind, theta);
+        CardinalityCurve::from_values(
+            (0..=m)
+                .map(|i| self.extrapolate(i, state.bucket_len))
+                .collect(),
+        )
     }
 
     fn name(&self) -> String {

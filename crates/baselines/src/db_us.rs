@@ -4,18 +4,77 @@
 //! `ĉ(x, θ) = |{ s ∈ S : f(x, s) ≤ θ }| · |D| / |S|`. Deterministic w.r.t.
 //! the query, so the estimate is monotone in θ. The paper samples 1%; the
 //! ratio is a parameter here because our scaled datasets are smaller.
+//!
+//! Prepared queries cache the per-sample distances (the entire per-query
+//! cost) as a sorted key vector, so a τ-sweep pays for the sample scan once
+//! and each threshold is a binary search; the curve is the empirical
+//! distance ladder.
 
-use cardest_core::CardinalityEstimator;
-use cardest_data::{Dataset, Distance, Record};
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
+use cardest_data::{Dataset, Distance, DistanceKind, Record};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// The decision key of `eval_within(q, s, θ)` for one sample: the quantity
+/// the within-θ test actually compares. Distances for most kinds; the
+/// f64-accumulated *squared* distance for Euclidean, because
+/// `euclidean_within` tests `Σd² ≤ θ²` and replicating that comparison (not
+/// `√Σd² ≤ θ`) is what keeps cached counting bit-identical to the direct
+/// scan even on knife-edge values.
+pub(crate) fn decision_key(distance: &Distance, q: &Record, s: &Record) -> f64 {
+    match distance.kind {
+        DistanceKind::Euclidean => {
+            let (a, b) = (q.as_vec(), s.as_vec());
+            let mut acc = 0.0f64;
+            for (&x, &y) in a.iter().zip(b) {
+                let d = f64::from(x) - f64::from(y);
+                acc += d * d;
+            }
+            acc
+        }
+        _ => distance.eval(q, s),
+    }
+}
+
+/// The bound a decision key is compared against at threshold θ — mirrors
+/// the exact clamping/flooring of [`Distance::eval_within`] per kind.
+pub(crate) fn decision_bound(kind: DistanceKind, theta: f64) -> f64 {
+    match kind {
+        DistanceKind::Hamming => f64::from(theta.floor() as u32),
+        DistanceKind::Edit => (theta.floor() as usize) as f64,
+        DistanceKind::Jaccard => theta,
+        DistanceKind::Euclidean => theta * theta,
+    }
+}
+
+/// Sorted decision keys — the cached per-query state of the samplers.
+pub(crate) struct SampleKeys(pub(crate) Vec<f64>);
+
+impl SampleKeys {
+    pub(crate) fn compute<'a>(
+        distance: &Distance,
+        q: &Record,
+        sample: impl Iterator<Item = &'a Record>,
+    ) -> SampleKeys {
+        let mut keys: Vec<f64> = sample.map(|s| decision_key(distance, q, s)).collect();
+        keys.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        SampleKeys(keys)
+    }
+
+    /// `|{ s : f(q, s) ≤ θ }|` — same count as an `eval_within` scan.
+    pub(crate) fn count_within(&self, kind: DistanceKind, theta: f64) -> usize {
+        let bound = decision_bound(kind, theta);
+        self.0.partition_point(|&k| k <= bound)
+    }
+}
 
 /// Uniform-sampling estimator.
 pub struct DbUs {
     sample: Vec<Record>,
     distance: Distance,
     scale: f64,
+    prep_id: u64,
 }
 
 impl DbUs {
@@ -33,15 +92,25 @@ impl DbUs {
             sample,
             distance: dataset.distance(),
             scale: dataset.len() as f64 / n as f64,
+            prep_id: next_instance_id(),
         }
     }
 
     pub fn sample_size(&self) -> usize {
         self.sample.len()
     }
+
+    fn keys(&self, prepared: &PreparedQuery) -> std::sync::Arc<SampleKeys> {
+        prepared.state(self.prep_id, || {
+            SampleKeys::compute(&self.distance, prepared.record(), self.sample.iter())
+        })
+    }
 }
 
 impl CardinalityEstimator for DbUs {
+    /// Scalar fast path: one early-exiting `eval_within` scan. Bit-identical
+    /// to `curve(…).last()` — the cached keys replicate exactly the
+    /// comparisons this scan performs.
     fn estimate(&self, query: &Record, theta: f64) -> f64 {
         let hits = self
             .sample
@@ -49,6 +118,23 @@ impl CardinalityEstimator for DbUs {
             .filter(|s| self.distance.eval_within(query, s, theta).is_some())
             .count();
         hits as f64 * self.scale
+    }
+
+    /// Caches the per-sample distance keys (the entire per-query cost) so
+    /// every threshold of a sweep is a binary search.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = self.keys(&prepared);
+        prepared
+    }
+
+    /// The empirical ladder: one step per sample entering the θ-ball, scaled
+    /// by `|D|/|S|`. Non-decreasing by construction; the final point equals
+    /// `estimate` bit for bit.
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let keys = self.keys(prepared);
+        let m = keys.count_within(self.distance.kind, theta);
+        CardinalityCurve::from_values((0..=m).map(|i| i as f64 * self.scale).collect())
     }
 
     fn name(&self) -> String {
@@ -100,6 +186,26 @@ mod tests {
             (approx - truth).abs() / truth.max(1.0) < 0.8,
             "{approx} vs {truth}"
         );
+    }
+
+    #[test]
+    fn curve_matches_scan_bitwise_on_every_kind() {
+        for ds in cardest_data::synth::default_suite(120, 9) {
+            let est = DbUs::build(&ds, 0.4, 7);
+            let q = &ds.records[1];
+            let prepared = est.prepare(q);
+            for i in 0..=10 {
+                let theta = ds.theta_max * f64::from(i) / 10.0;
+                let curve = est.curve(&prepared, theta);
+                assert!(curve.is_non_decreasing(), "{}", ds.name);
+                assert_eq!(
+                    curve.last().to_bits(),
+                    est.estimate(q, theta).to_bits(),
+                    "{} θ={theta}",
+                    ds.name
+                );
+            }
+        }
     }
 
     #[test]

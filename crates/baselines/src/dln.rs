@@ -15,8 +15,8 @@
 //!   network construction of Daniels & Velikova, which lattice networks
 //!   generalize).
 
-use crate::features::{BaselineFeaturizer, RegressionData};
-use cardest_core::CardinalityEstimator;
+use crate::features::{prepared_features, BaselineFeaturizer, RegressionData};
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Record, Workload};
 use cardest_nn::{init, loss, Adam, Matrix, Optimizer, ParamId, ParamStore, Tape, Var};
 use rand::rngs::StdRng;
@@ -99,6 +99,7 @@ pub struct DlDln {
     store: ParamStore,
     featurizer: BaselineFeaturizer,
     theta_max: f64,
+    prep_id: u64,
 }
 
 impl DlDln {
@@ -168,6 +169,7 @@ impl DlDln {
             store,
             featurizer,
             theta_max,
+            prep_id: next_instance_id(),
         }
     }
 
@@ -186,6 +188,19 @@ impl CardinalityEstimator for DlDln {
     fn estimate(&self, query: &Record, theta: f64) -> f64 {
         let x = RegressionData::query_row(&self.featurizer, query, theta, self.theta_max);
         self.infer(&x, self.featurizer.dim())
+    }
+
+    /// Featurizes once; every θ of a sweep reuses the cached vector.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = prepared_features(&self.featurizer, self.prep_id, &prepared);
+        prepared
+    }
+
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let feats = prepared_features(&self.featurizer, self.prep_id, prepared);
+        let x = RegressionData::row_from_features(&feats.0, theta, self.theta_max);
+        CardinalityCurve::point(self.infer(&x, self.featurizer.dim()))
     }
 
     fn name(&self) -> String {

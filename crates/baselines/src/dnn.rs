@@ -8,8 +8,8 @@
 //!   parameters, slower to train, prone to overfitting (§9.2), and not
 //!   monotonic across τ.
 
-use crate::features::{BaselineFeaturizer, RegressionData};
-use cardest_core::CardinalityEstimator;
+use crate::features::{prepared_features, BaselineFeaturizer, RegressionData};
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Record, Workload};
 use cardest_fx::FeatureExtractor;
 use cardest_nn::layers::{Activation, Mlp};
@@ -90,6 +90,7 @@ pub struct DlDnn {
     store: ParamStore,
     featurizer: BaselineFeaturizer,
     theta_max: f64,
+    prep_id: u64,
 }
 
 impl DlDnn {
@@ -106,6 +107,7 @@ impl DlDnn {
             store,
             featurizer,
             theta_max,
+            prep_id: next_instance_id(),
         }
     }
 }
@@ -114,6 +116,19 @@ impl CardinalityEstimator for DlDnn {
     fn estimate(&self, query: &Record, theta: f64) -> f64 {
         let x = RegressionData::query_row(&self.featurizer, query, theta, self.theta_max);
         f64::from(self.mlp.infer(&self.store, &x).get(0, 0))
+    }
+
+    /// Featurizes once; every θ of a sweep reuses the cached vector.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = prepared_features(&self.featurizer, self.prep_id, &prepared);
+        prepared
+    }
+
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let feats = prepared_features(&self.featurizer, self.prep_id, prepared);
+        let x = RegressionData::row_from_features(&feats.0, theta, self.theta_max);
+        CardinalityCurve::point(f64::from(self.mlp.infer(&self.store, &x).get(0, 0)))
     }
 
     fn name(&self) -> String {
@@ -129,6 +144,7 @@ impl CardinalityEstimator for DlDnn {
 pub struct DlDnnSTau {
     models: Vec<(Mlp, ParamStore)>,
     fx: Box<dyn FeatureExtractor>,
+    prep_id: u64,
 }
 
 impl DlDnnSTau {
@@ -173,7 +189,11 @@ impl DlDnnSTau {
                 "dnnstau",
             ));
         }
-        DlDnnSTau { models, fx }
+        DlDnnSTau {
+            models,
+            fx,
+            prep_id: next_instance_id(),
+        }
     }
 }
 
@@ -184,6 +204,31 @@ impl CardinalityEstimator for DlDnnSTau {
         let x = Matrix::from_vec(1, bits.len(), bits.to_f32());
         let (mlp, store) = &self.models[tau];
         f64::from(mlp.infer(store, &x).get(0, 0))
+    }
+
+    /// Extracts the shared input encoding once for all τ networks.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        PreparedQuery::with_bits(query.clone(), self.prep_id, self.fx.extract(query))
+    }
+
+    /// A genuinely multi-step curve: step t is the t-th independent
+    /// network's prediction — which is exactly why DNNsτ is *not* monotone
+    /// across τ (the paper's point).
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let tau = self.threshold_step(theta);
+        let x = cardest_core::prepared_feature_matrix(self.fx.as_ref(), self.prep_id, prepared);
+        CardinalityCurve::from_values(
+            (0..=tau)
+                .map(|t| {
+                    let (mlp, store) = &self.models[t];
+                    f64::from(mlp.infer(store, &x).get(0, 0))
+                })
+                .collect(),
+        )
+    }
+
+    fn threshold_step(&self, theta: f64) -> usize {
+        self.fx.map_threshold(theta).min(self.models.len() - 1)
     }
 
     fn name(&self) -> String {

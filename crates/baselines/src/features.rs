@@ -5,9 +5,11 @@
 //! Euclidean distance (TL-KDE is the exception — it consumes original records
 //! directly).
 
+use cardest_core::PreparedQuery;
 use cardest_data::{Dataset, DistanceKind, Record, Workload};
 use cardest_fx::{build_extractor, FeatureExtractor};
 use cardest_nn::Matrix;
+use std::sync::Arc;
 
 /// Maps a record to the baseline input vector.
 pub enum BaselineFeaturizer {
@@ -56,6 +58,24 @@ impl BaselineFeaturizer {
         self.featurize(record, &mut out);
         out
     }
+}
+
+/// The cached feature vector of a prepared query — the shared per-query
+/// state of every featurizer-backed baseline (GBT, DNN, MoE, RMI, DLN).
+pub struct PreparedFeatures(pub Vec<f32>);
+
+/// Featurizes `prepared` at most once per (query, owner): the first call
+/// caches the vector inside the [`PreparedQuery`], later calls (any θ of a
+/// sweep) reuse it. `owner` is the estimator's instance id, so a query
+/// prepared under one model is never served another model's features.
+pub fn prepared_features(
+    featurizer: &BaselineFeaturizer,
+    owner: u64,
+    prepared: &PreparedQuery,
+) -> Arc<PreparedFeatures> {
+    prepared.state(owner, || {
+        PreparedFeatures(featurizer.featurize_vec(prepared.record()))
+    })
 }
 
 /// Flat regression dataset: `x = [features ; θ/θ_max]`, `y = cardinality`.
@@ -109,6 +129,17 @@ impl RegressionData {
         let dim = featurizer.dim();
         let mut x = Matrix::zeros(1, dim + 1);
         featurizer.featurize(query, x.row_mut(0)[..dim].as_mut());
+        x.set(0, dim, (theta / theta_max.max(1e-12)) as f32);
+        x
+    }
+
+    /// One inference row from already-computed features — the per-θ step of
+    /// a prepared-query sweep. Identical values to
+    /// [`RegressionData::query_row`] on the same record.
+    pub fn row_from_features(features: &[f32], theta: f64, theta_max: f64) -> Matrix {
+        let dim = features.len();
+        let mut x = Matrix::zeros(1, dim + 1);
+        x.row_mut(0)[..dim].copy_from_slice(features);
         x.set(0, dim, (theta / theta_max.max(1e-12)) as f32);
         x
     }

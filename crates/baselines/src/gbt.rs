@@ -12,8 +12,8 @@
 //! value bounds propagate down the tree — this is what makes the paper's
 //! TL-XGB/TL-LGBM monotonic rows monotone.
 
-use crate::features::{BaselineFeaturizer, RegressionData};
-use cardest_core::CardinalityEstimator;
+use crate::features::{prepared_features, BaselineFeaturizer, RegressionData};
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Record, Workload};
 use cardest_nn::Matrix;
 
@@ -122,6 +122,7 @@ pub struct TlGbt {
     options: GbtOptions,
     featurizer: BaselineFeaturizer,
     theta_max: f64,
+    prep_id: u64,
 }
 
 impl TlGbt {
@@ -156,6 +157,7 @@ impl TlGbt {
             options,
             featurizer,
             theta_max,
+            prep_id: next_instance_id(),
         }
     }
 
@@ -178,6 +180,19 @@ impl CardinalityEstimator for TlGbt {
     fn estimate(&self, query: &Record, theta: f64) -> f64 {
         let x = RegressionData::query_row(&self.featurizer, query, theta, self.theta_max);
         self.predict_row(x.row(0))
+    }
+
+    /// Featurizes once; every θ of a sweep reuses the cached vector.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = prepared_features(&self.featurizer, self.prep_id, &prepared);
+        prepared
+    }
+
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let feats = prepared_features(&self.featurizer, self.prep_id, prepared);
+        let x = RegressionData::row_from_features(&feats.0, theta, self.theta_max);
+        CardinalityCurve::point(self.predict_row(x.row(0)))
     }
 
     fn name(&self) -> String {
@@ -265,7 +280,7 @@ fn grow_tree(x: &Matrix, residuals: &[f64], options: &GbtOptions, theta_feature:
 /// Depth-wise: FIFO (level order). Leaf-wise: the open leaf with the best
 /// achievable gain.
 fn pick_leaf(
-    open: &mut Vec<OpenLeaf>,
+    open: &mut [OpenLeaf],
     _tree: &Tree,
     x: &Matrix,
     residuals: &[f64],
@@ -282,7 +297,7 @@ fn pick_leaf(
             for (i, leaf) in open.iter().enumerate() {
                 let gain = best_split(x, residuals, leaf, options, theta_feature)
                     .map_or(f64::NEG_INFINITY, |s| s.gain);
-                if best.map_or(true, |(_, g)| gain > g) {
+                if best.is_none_or(|(_, g)| gain > g) {
                     best = Some((i, gain));
                 }
             }
@@ -357,7 +372,7 @@ fn best_split(
             let gain = left_sum * left_sum / f64::from(left_count)
                 + right_sum * right_sum / f64::from(right_count)
                 - total_sum * total_sum / n;
-            if best.as_ref().map_or(true, |b| gain > b.gain) && gain > 1e-12 {
+            if best.as_ref().is_none_or(|b| gain > b.gain) && gain > 1e-12 {
                 let threshold = lo + width * (b + 1) as f32;
                 let (mut lrows, mut rrows) = (Vec::new(), Vec::new());
                 for &r in rows {

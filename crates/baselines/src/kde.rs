@@ -8,7 +8,7 @@
 //! on sampled pairwise distances. Monotone in θ because `Φ` is increasing
 //! and the sample is fixed.
 
-use cardest_core::CardinalityEstimator;
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Dataset, Distance, Record};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -20,6 +20,14 @@ pub struct TlKde {
     distance: Distance,
     scale: f64,
     bandwidth: f64,
+    prep_id: u64,
+}
+
+/// Cached per-query state: distances to every kernel center, **in sample
+/// order** — the curve folds them in exactly the order `estimate` does, so
+/// the floating-point sum is bit-identical.
+struct KdePrepared {
+    dists: Vec<f64>,
 }
 
 fn norm_cdf(x: f64) -> f64 {
@@ -64,11 +72,22 @@ impl TlKde {
             distance,
             scale: dataset.len() as f64 / n as f64,
             bandwidth,
+            prep_id: next_instance_id(),
         }
     }
 
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth
+    }
+
+    fn dists(&self, prepared: &PreparedQuery) -> std::sync::Arc<KdePrepared> {
+        prepared.state(self.prep_id, || KdePrepared {
+            dists: self
+                .sample
+                .iter()
+                .map(|s| self.distance.eval(prepared.record(), s))
+                .collect(),
+        })
     }
 }
 
@@ -80,6 +99,24 @@ impl CardinalityEstimator for TlKde {
             .map(|s| norm_cdf((theta - self.distance.eval(query, s)) / self.bandwidth))
             .sum();
         total * self.scale
+    }
+
+    /// Caches the distances to every kernel center — the per-query cost —
+    /// so each threshold of a sweep only re-evaluates the cheap CDF terms.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = self.dists(&prepared);
+        prepared
+    }
+
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let state = self.dists(prepared);
+        let total: f64 = state
+            .dists
+            .iter()
+            .map(|&d| norm_cdf((theta - d) / self.bandwidth))
+            .sum();
+        CardinalityCurve::point(total * self.scale)
     }
 
     fn name(&self) -> String {
@@ -136,6 +173,21 @@ mod tests {
         }
         let q_err = metrics::mean_q_error(&actual, &predicted);
         assert!(q_err < 5.0, "KDE badly off: mean q-error {q_err}");
+    }
+
+    #[test]
+    fn prepared_curve_matches_estimate_bitwise() {
+        let ds = hm_imagenet(SynthConfig::new(100, 5));
+        let est = TlKde::build(&ds, 0.3, 6);
+        let q = &ds.records[2];
+        let prepared = est.prepare(q);
+        for i in 0..=8 {
+            let theta = ds.theta_max * f64::from(i) / 8.0;
+            assert_eq!(
+                est.curve(&prepared, theta).last().to_bits(),
+                est.estimate(q, theta).to_bits()
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,17 @@
 //!   experts), [`rmi::DlRmi`] (two-stage recursive model index), and
 //!   [`dln::DlDln`] (a monotone network standing in for deep lattice
 //!   networks; DESIGN.md §2.4 documents each substitution).
+//!
+//! Every baseline speaks the v2 Estimator API
+//! (`prepare` → `curve` → `estimate`, see `cardest_core::estimator`):
+//! `prepare` caches the per-query work — featurization for the learned
+//! models ([`features::prepared_features`]), sample/bucket distance keys for
+//! the samplers, the nearest-pivot scan for the pivot histogram — so a
+//! τ-sweep pays for it once, and `curve` returns the per-threshold values in
+//! one call (a single convolution DP serves the whole curve of
+//! [`db_se::GroupHistogram`]; the samplers return their empirical distance
+//! ladders). Scalar `estimate` calls remain bit-identical to the prepared
+//! paths.
 
 pub mod db_se;
 pub mod db_us;

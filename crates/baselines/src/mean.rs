@@ -2,7 +2,7 @@
 //! at a given threshold — the average over an offline random workload,
 //! quantized per threshold bucket.
 
-use cardest_core::CardinalityEstimator;
+use cardest_core::{CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Record, Workload};
 
 /// Per-threshold-bucket mean cardinality.
@@ -48,6 +48,17 @@ impl MeanEstimator {
 impl CardinalityEstimator for MeanEstimator {
     fn estimate(&self, _query: &Record, theta: f64) -> f64 {
         self.means[Self::bucket_of(theta, self.theta_max, self.means.len() - 1)]
+    }
+
+    /// The per-bucket means up to θ's bucket — curve-indexed: step i is the
+    /// estimate at any θ' in bucket i, which is what lets the GPH allocator
+    /// read one curve instead of τ+1 estimates.
+    fn curve(&self, _prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        CardinalityCurve::from_values(self.means[..=self.threshold_step(theta)].to_vec())
+    }
+
+    fn threshold_step(&self, theta: f64) -> usize {
+        Self::bucket_of(theta, self.theta_max, self.means.len() - 1)
     }
 
     fn name(&self) -> String {

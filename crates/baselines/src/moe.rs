@@ -4,8 +4,8 @@
 //! A gating network produces a softmax over `K` expert MLPs; the estimate is
 //! the gate-weighted sum of expert outputs, trained end-to-end with MSLE.
 
-use crate::features::{BaselineFeaturizer, RegressionData};
-use cardest_core::CardinalityEstimator;
+use crate::features::{prepared_features, BaselineFeaturizer, RegressionData};
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Record, Workload};
 use cardest_nn::layers::{Activation, Mlp};
 use cardest_nn::{loss, Adam, Matrix, Optimizer, ParamStore, Tape, Var};
@@ -46,6 +46,7 @@ pub struct DlMoe {
     store: ParamStore,
     featurizer: BaselineFeaturizer,
     theta_max: f64,
+    prep_id: u64,
 }
 
 impl DlMoe {
@@ -108,6 +109,7 @@ impl DlMoe {
             store,
             featurizer,
             theta_max,
+            prep_id: next_instance_id(),
         }
     }
 
@@ -146,6 +148,19 @@ impl CardinalityEstimator for DlMoe {
     fn estimate(&self, query: &Record, theta: f64) -> f64 {
         let x = RegressionData::query_row(&self.featurizer, query, theta, self.theta_max);
         self.infer(&x)
+    }
+
+    /// Featurizes once; every θ of a sweep reuses the cached vector.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = prepared_features(&self.featurizer, self.prep_id, &prepared);
+        prepared
+    }
+
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let feats = prepared_features(&self.featurizer, self.prep_id, prepared);
+        let x = RegressionData::row_from_features(&feats.0, theta, self.theta_max);
+        CardinalityCurve::point(self.infer(&x))
     }
 
     fn name(&self) -> String {

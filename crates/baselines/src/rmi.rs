@@ -9,8 +9,8 @@
 //! but "tends to mispredict the cardinalities closest to region boundaries".
 
 use crate::dnn::{fit_msle_mlp, DnnOptions};
-use crate::features::{BaselineFeaturizer, RegressionData};
-use cardest_core::CardinalityEstimator;
+use crate::features::{prepared_features, BaselineFeaturizer, RegressionData};
+use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
 use cardest_data::{Record, Workload};
 use cardest_nn::layers::Mlp;
 use cardest_nn::{Matrix, ParamStore};
@@ -44,6 +44,7 @@ pub struct DlRmi {
     route_hi: f64,
     featurizer: BaselineFeaturizer,
     theta_max: f64,
+    prep_id: u64,
 }
 
 impl DlRmi {
@@ -119,6 +120,7 @@ impl DlRmi {
             route_hi,
             featurizer,
             theta_max,
+            prep_id: next_instance_id(),
         }
     }
 
@@ -143,6 +145,20 @@ impl CardinalityEstimator for DlRmi {
         let x = RegressionData::query_row(&self.featurizer, query, theta, self.theta_max);
         let (mlp, store) = &self.experts[self.route_of(&x)];
         f64::from(mlp.infer(store, &x).get(0, 0))
+    }
+
+    /// Featurizes once; every θ of a sweep reuses the cached vector.
+    fn prepare(&self, query: &Record) -> PreparedQuery {
+        let prepared = PreparedQuery::from_record(query.clone());
+        let _ = prepared_features(&self.featurizer, self.prep_id, &prepared);
+        prepared
+    }
+
+    fn curve(&self, prepared: &PreparedQuery, theta: f64) -> CardinalityCurve {
+        let feats = prepared_features(&self.featurizer, self.prep_id, prepared);
+        let x = RegressionData::row_from_features(&feats.0, theta, self.theta_max);
+        let (mlp, store) = &self.experts[self.route_of(&x)];
+        CardinalityCurve::point(f64::from(mlp.infer(store, &x).get(0, 0)))
     }
 
     fn name(&self) -> String {

@@ -64,11 +64,11 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cardest_cli gen      --kind <hm|ed|jc|eu> --n <records> [--seed <u64>] --out <file>
   cardest_cli train    --data <file> --model <file> [--accelerated] [--epochs <n>] [--tau-max <n>]
-  cardest_cli estimate --data <file> --model <file> --query <record-index> --theta <f64>
+  cardest_cli estimate --data <file> --model <file> --query <record-index> --theta <f64> [--curve]
   cardest_cli estimate --data <file> --model <file> --queries <file with `<index> <theta>` lines>
   cardest_cli serve    --data <file> --model <file> [--workers <n>] [--batch-max <n>]
                        [--batch-window-us <n>] [--cache <entries>] [--bound-tolerance <f64>]
-                       [--pipeline <n outstanding>]
+                       [--cache-curve-points <n>] [--pipeline <n outstanding>]
   cardest_cli stats    --data <file>";
 
 type Flags = HashMap<String, String>;
@@ -215,6 +215,7 @@ fn serve_config_from_flags(flags: &Flags) -> Result<ServeConfig, String> {
         batch_window: Duration::from_micros(parsed(flags, "batch-window-us", 200u64)?),
         cache_capacity: parsed(flags, "cache", defaults.cache_capacity)?,
         bound_tolerance: parsed(flags, "bound-tolerance", 0.0)?,
+        cache_curve_points: parsed(flags, "cache-curve-points", 0usize)?,
     })
 }
 
@@ -234,7 +235,19 @@ fn cmd_estimate(flags: &Flags) -> Result<(), String> {
         ));
     }
     let query = &ds.records[query_idx];
-    let estimate = est.estimate(query, theta);
+    let estimate = if flags.contains_key("curve") {
+        // The whole threshold curve from one prepare + one curve call; its
+        // final point *is* the scalar estimate (bit-identical), so no second
+        // model run is needed.
+        let prepared = est.prepare(query);
+        let curve = est.curve(&prepared, theta);
+        for (step, value) in curve.values().iter().enumerate() {
+            println!("τ={step}: {value:.1}");
+        }
+        curve.last()
+    } else {
+        est.estimate(query, theta)
+    };
     let actual = ds.cardinality_scan(query, theta);
     println!("query #{query_idx}, θ = {theta}: estimated {estimate:.1}, actual {actual}");
     Ok(())

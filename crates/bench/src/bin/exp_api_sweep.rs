@@ -1,0 +1,151 @@
+//! Estimator-API microbench smoke: naive per-θ sweep vs prepared-query
+//! sweep.
+//!
+//! The v2 API's contract is that a τ-sweep over k thresholds performs
+//! exactly **1** feature extraction and **1** encoder pass (vs k for the
+//! naive per-θ loop) while producing bit-identical estimates. This binary
+//! verifies both claims with the `cardest_core::metrics` counters and exits
+//! non-zero on any violation, so CI can run it as a gate
+//! (`CARDEST_SCALE=quick exp_api_sweep`).
+
+use cardest_bench::zoo::{cardnet_config, trainer_options};
+use cardest_bench::Scale;
+use cardest_core::metrics::ApiCounters;
+use cardest_core::train::train_cardnet;
+use cardest_core::{CardNetEstimator, CardinalityEstimator};
+use cardest_data::synth::{hm_imagenet, SynthConfig};
+use cardest_data::Workload;
+use cardest_fx::build_extractor;
+use std::time::Instant;
+
+fn main() {
+    let mut scale = Scale::from_env();
+    scale.n_records = scale.n_records.min(1200);
+    eprintln!(
+        "# exp_api_sweep (Estimator API smoke), scale = {}",
+        scale.label()
+    );
+
+    let ds = hm_imagenet(SynthConfig::new(scale.n_records, scale.seed + 90));
+    let wl = Workload::sample_from(
+        &ds,
+        scale.workload_frac,
+        scale.n_thresholds,
+        scale.seed + 91,
+    );
+    let split = wl.split(scale.seed + 92);
+
+    let mut all_pass = true;
+    for accelerated in [false, true] {
+        let fx = build_extractor(&ds, scale.tau_max, scale.seed ^ 0xF0);
+        let cfg = cardnet_config(fx.dim(), fx.tau_max() + 1, accelerated);
+        let (trainer, _) = train_cardnet(
+            fx.as_ref(),
+            &split.train,
+            &split.valid,
+            cfg,
+            trainer_options(&scale),
+        );
+        let est = CardNetEstimator::from_trainer(fx, trainer);
+        let name = est.name();
+
+        let queries: Vec<_> = (0..32.min(ds.len()))
+            .map(|i| ds.records[i * (ds.len() / 32).max(1)].clone())
+            .collect();
+        let k = scale.tau_max + 1;
+        let thetas: Vec<f64> = (0..k)
+            .map(|i| ds.theta_max * i as f64 / (k - 1) as f64)
+            .collect();
+
+        // Naive sweep: one scalar estimate per (query, θ).
+        let before = ApiCounters::snapshot();
+        let t0 = Instant::now();
+        let naive: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|q| thetas.iter().map(|&t| est.estimate(q, t)).collect())
+            .collect();
+        let naive_secs = t0.elapsed().as_secs_f64();
+        let naive_counts = ApiCounters::snapshot().delta_since(&before);
+
+        // Prepared sweep: prepare once per query, then per-θ decoding.
+        let before = ApiCounters::snapshot();
+        let t1 = Instant::now();
+        let prepared: Vec<Vec<f64>> = queries
+            .iter()
+            .map(|q| {
+                let p = est.prepare(q);
+                thetas
+                    .iter()
+                    .map(|&t| est.estimate_prepared(&p, t))
+                    .collect()
+            })
+            .collect();
+        let prep_secs = t1.elapsed().as_secs_f64();
+        let prep_counts = ApiCounters::snapshot().delta_since(&before);
+
+        let nq = queries.len() as u64;
+        let identical = naive
+            .iter()
+            .flatten()
+            .zip(prepared.iter().flatten())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        let extraction_ratio = naive_counts.extractions as f64 / prep_counts.extractions as f64;
+        let encoder_ratio = naive_counts.encoder_passes as f64 / prep_counts.encoder_passes as f64;
+
+        println!(
+            "\n## {name}: {}-query sweep over {k} thresholds",
+            queries.len()
+        );
+        println!(
+            "{:<22} {:>14} {:>14} {:>10}",
+            "", "naive per-θ", "prepared", "ratio"
+        );
+        println!(
+            "{:<22} {:>14} {:>14} {:>9.1}x",
+            "feature extractions",
+            naive_counts.extractions,
+            prep_counts.extractions,
+            extraction_ratio
+        );
+        println!(
+            "{:<22} {:>14} {:>14} {:>9.1}x",
+            "encoder passes",
+            naive_counts.encoder_passes,
+            prep_counts.encoder_passes,
+            encoder_ratio
+        );
+        println!(
+            "{:<22} {:>14} {:>14} {:>9.1}x",
+            "decoder calls",
+            naive_counts.decoder_calls,
+            prep_counts.decoder_calls,
+            naive_counts.decoder_calls as f64 / prep_counts.decoder_calls.max(1) as f64
+        );
+        println!(
+            "{:<22} {:>13.4}s {:>13.4}s {:>9.1}x",
+            "wall time",
+            naive_secs,
+            prep_secs,
+            naive_secs / prep_secs.max(1e-12)
+        );
+
+        // Gates: k extractions+encoder passes per query naive, exactly 1+1
+        // prepared, and bit-identical values.
+        let counts_ok = naive_counts.extractions == nq * k as u64
+            && naive_counts.encoder_passes == nq * k as u64
+            && prep_counts.extractions == nq
+            && prep_counts.encoder_passes == nq;
+        println!(
+            "bit-identity: {}   extraction counts: {}",
+            if identical { "PASS" } else { "FAIL" },
+            if counts_ok { "PASS" } else { "FAIL" },
+        );
+        all_pass &= identical && counts_ok;
+    }
+
+    if !all_pass {
+        eprintln!("exp_api_sweep: FAIL");
+        std::process::exit(1);
+    }
+    eprintln!("exp_api_sweep: all gates PASS");
+}

@@ -57,8 +57,8 @@ fn main() {
     }
     for (bi, label) in buckets.iter().enumerate() {
         print!("{label:<16}");
-        for ti in 0..4 {
-            print!(" {:>8.3}", table[bi][ti] as f64 / n_q as f64);
+        for &cell in table[bi].iter().take(4) {
+            print!(" {:>8.3}", cell as f64 / n_q as f64);
         }
         println!();
     }

@@ -116,6 +116,7 @@ fn main() -> ExitCode {
                         batch_window: window,
                         cache_capacity: 0,
                         bound_tolerance: 0.0,
+                        cache_curve_points: 0,
                     },
                     clients,
                 );
@@ -171,6 +172,7 @@ fn main() -> ExitCode {
             batch_window: Duration::from_micros(500),
             cache_capacity: 4096,
             bound_tolerance: 0.0,
+            cache_curve_points: 0,
         },
         8.min(n_requests),
     );
@@ -228,6 +230,7 @@ fn main() -> ExitCode {
             batch_window: Duration::from_micros(500),
             cache_capacity: 4096,
             bound_tolerance: tolerance,
+            cache_curve_points: 0,
         },
         8.min(n_requests),
     );

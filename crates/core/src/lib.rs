@@ -11,7 +11,12 @@
 //!
 //! Modules:
 //! * [`estimator`] — the [`CardinalityEstimator`] trait every method in the
-//!   workspace implements, plus the trained CardNet wrapper;
+//!   workspace implements (the v2 prepare → curve → estimate API:
+//!   [`PreparedQuery`], [`CardinalityCurve`], [`Estimate`], batch-first
+//!   [`estimator::CardinalityEstimator::estimate_batch`]), plus the trained
+//!   CardNet wrapper;
+//! * [`metrics`] — per-thread extraction/encoder/decoder counters that make
+//!   the "one encoder pass per τ-sweep" claim checkable;
 //! * [`features`] — workload → training tensors (per-distance targets, `P(τ)`);
 //! * [`model`] — the encoder Ψ (VAE ⊕ distance embeddings ⊕ shared Φ),
 //!   decoders, and the accelerated Φ′ of §7;
@@ -46,16 +51,28 @@
 //! let estimates: Vec<f64> =
 //!     (0..=10).map(|i| est.estimate(&query, ds.theta_max * f64::from(i) / 10.0)).collect();
 //! assert!(estimates.windows(2).all(|w| w[1] >= w[0] - 1e-9), "not monotone: {estimates:?}");
+//!
+//! // τ-sweeps should go through the prepared-query API instead: feature
+//! // extraction and the encoder run once, the whole curve comes back in one
+//! // call, and the final point is bit-identical to `estimate`.
+//! let prepared = est.prepare(&query);
+//! let curve = est.curve(&prepared, ds.theta_max);
+//! assert!(curve.is_non_decreasing());
+//! assert_eq!(curve.last().to_bits(), est.estimate(&query, ds.theta_max).to_bits());
 //! ```
 
 pub mod estimator;
 pub mod features;
 pub mod incremental;
+pub mod metrics;
 pub mod model;
 pub mod snapshot;
 pub mod train;
 
-pub use estimator::{CardNetEstimator, CardinalityEstimator};
+pub use estimator::{
+    next_instance_id, prepared_feature_matrix, prepared_features_into, CardNetEstimator,
+    CardinalityCurve, CardinalityEstimator, Estimate, PreparedQuery,
+};
 pub use features::{prepare_tensors, TrainTensors};
 pub use incremental::{IncrementalLearner, UpdateOutcome};
 pub use model::{CardNetConfig, CardNetModel, EncoderKind};

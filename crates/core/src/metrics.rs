@@ -1,0 +1,85 @@
+//! Per-thread instrumentation counters for the estimation hot path.
+//!
+//! The Estimator API's whole point is that a τ-sweep over k thresholds does
+//! **one** feature extraction and **one** encoder pass instead of k. These
+//! counters make that claim checkable: the CardNet inference paths bump them
+//! on every `h_rec` extraction, every encoder forward, and every decoder
+//! evaluation, and the `exp_api_sweep` bench smoke (and any unit test) can
+//! snapshot them around a sweep and assert the exact ratio.
+//!
+//! Counters are **thread-local** so assertions stay exact under a parallel
+//! test runner: each thread observes only the estimation work it performed
+//! itself. (A worker pool therefore counts per worker; aggregate across
+//! threads yourself if you need a process total.)
+
+use std::cell::Cell;
+
+thread_local! {
+    static EXTRACTIONS: Cell<u64> = const { Cell::new(0) };
+    static ENCODER_PASSES: Cell<u64> = const { Cell::new(0) };
+    static DECODER_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Records one `h_rec` feature extraction (record → bit vector).
+pub fn record_extraction() {
+    EXTRACTIONS.with(|c| c.set(c.get() + 1));
+}
+
+/// Records one encoder forward pass (VAE latent + Ψ embeddings), whatever
+/// the batch size — batching is the point, so a batched pass counts once.
+pub fn record_encoder_pass() {
+    ENCODER_PASSES.with(|c| c.set(c.get() + 1));
+}
+
+/// Records `n` per-distance decoder evaluations (`g_i`).
+pub fn record_decoder_calls(n: u64) {
+    DECODER_CALLS.with(|c| c.set(c.get() + n));
+}
+
+/// A point-in-time snapshot of the calling thread's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApiCounters {
+    pub extractions: u64,
+    pub encoder_passes: u64,
+    pub decoder_calls: u64,
+}
+
+impl ApiCounters {
+    /// Current totals for the calling thread.
+    pub fn snapshot() -> ApiCounters {
+        ApiCounters {
+            extractions: EXTRACTIONS.with(Cell::get),
+            encoder_passes: ENCODER_PASSES.with(Cell::get),
+            decoder_calls: DECODER_CALLS.with(Cell::get),
+        }
+    }
+
+    /// Counter movement since an earlier snapshot on the same thread.
+    pub fn delta_since(&self, earlier: &ApiCounters) -> ApiCounters {
+        ApiCounters {
+            extractions: self.extractions - earlier.extractions,
+            encoder_passes: self.encoder_passes - earlier.encoder_passes,
+            decoder_calls: self.decoder_calls - earlier.decoder_calls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_diff_exactly() {
+        let before = ApiCounters::snapshot();
+        record_extraction();
+        record_encoder_pass();
+        record_encoder_pass();
+        record_decoder_calls(3);
+        let delta = ApiCounters::snapshot().delta_since(&before);
+        // Exact equality is safe: counters are thread-local and this test's
+        // thread performs no other estimation work.
+        assert_eq!(delta.extractions, 1);
+        assert_eq!(delta.encoder_passes, 2);
+        assert_eq!(delta.decoder_calls, 3);
+    }
+}

@@ -337,6 +337,8 @@ impl CardNetModel {
     /// `O((τ+1)|Φ|)` cost — while the accelerated encoder computes all
     /// embeddings in one pass (`O(|Φ′|)`).
     pub fn infer_dist(&self, store: &ParamStore, x: &Matrix, tau: usize) -> Vec<f32> {
+        crate::metrics::record_encoder_pass();
+        crate::metrics::record_decoder_calls(tau.min(self.config.n_out - 1) as u64 + 1);
         let tau = tau.min(self.config.n_out - 1);
         let xprime = match &self.vae {
             Some(vae) => {
@@ -359,7 +361,7 @@ impl CardNetModel {
                         row[xprime.cols()..].copy_from_slice(e.row(i));
                     }
                     let z = phi.infer(store, &xi);
-                    decode_row(&z, dec_w, dec_b, i)
+                    decode_row(z.row(0), dec_w, dec_b, i)
                 })
                 .collect(),
             (None, Some(pa)) => {
@@ -380,7 +382,7 @@ impl CardNetModel {
                             }
                             at += r;
                         }
-                        decode_row(&z, dec_w, dec_b, i)
+                        decode_row(z.row(0), dec_w, dec_b, i)
                     })
                     .collect()
             }
@@ -400,9 +402,82 @@ impl CardNetModel {
         }
     }
 
+    /// Full deterministic encoder pass for one query (row vector `1 × d`):
+    /// the per-distance embeddings `z_0 … z_{n_out−1}` stacked into an
+    /// `n_out × z_dim` matrix (output activations applied). This is the
+    /// cacheable half of a prepared query: decoding any τ from the returned
+    /// matrix via [`CardNetModel::decode_prefix`] reproduces
+    /// [`CardNetModel::infer_dist`] bit for bit, because each row is computed
+    /// with exactly the per-distance arithmetic of the single-shot path.
+    pub fn encode_all(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        crate::metrics::record_encoder_pass();
+        let n_out = self.config.n_out;
+        let xprime = match &self.vae {
+            Some(vae) => {
+                let mu = vae.latent_mean(store, x);
+                Matrix::hconcat(&[x, &mu])
+            }
+            None => x.clone(),
+        };
+        let e = store.value(self.e);
+        let mut z_all = Matrix::zeros(n_out, self.config.z_dim);
+
+        match (&self.phi, &self.phi_a) {
+            (Some(phi), _) => {
+                for i in 0..n_out {
+                    let mut xi = Matrix::zeros(x.rows(), xprime.cols() + self.config.e_dim);
+                    for r in 0..x.rows() {
+                        let row = xi.row_mut(r);
+                        row[..xprime.cols()].copy_from_slice(xprime.row(r));
+                        row[xprime.cols()..].copy_from_slice(e.row(i));
+                    }
+                    let z = phi.infer(store, &xi);
+                    z_all.row_mut(i).copy_from_slice(z.row(0));
+                }
+            }
+            (None, Some(pa)) => {
+                let mut h = xprime;
+                let mut blocks: Vec<Matrix> = Vec::with_capacity(pa.hidden.len());
+                for (layer, &head) in pa.hidden.iter().zip(&pa.heads) {
+                    h = layer.infer(store, &h);
+                    blocks.push(h.matmul(store.value(head)));
+                }
+                for i in 0..n_out {
+                    let zr = z_all.row_mut(i);
+                    let mut at = 0;
+                    for (block, &r) in blocks.iter().zip(&pa.regions) {
+                        for (k, v) in zr[at..at + r].iter_mut().enumerate() {
+                            *v = block.get(0, i * r + k).max(0.0);
+                        }
+                        at += r;
+                    }
+                }
+            }
+            _ => unreachable!("model has exactly one encoder"),
+        }
+        z_all
+    }
+
+    /// Per-distance predictions `ĉ_0 … ĉ_τ` decoded from a cached
+    /// [`CardNetModel::encode_all`] matrix — the per-τ half of a prepared
+    /// query. No encoder work happens here: a τ-sweep pays for the embeddings
+    /// once and re-runs only these dot products.
+    pub fn decode_prefix(&self, store: &ParamStore, z_all: &Matrix, tau: usize) -> Vec<f32> {
+        let tau = tau.min(self.config.n_out - 1);
+        crate::metrics::record_decoder_calls(tau as u64 + 1);
+        let dec_w = store.value(self.dec_w);
+        let dec_b = store.value(self.dec_b);
+        (0..=tau)
+            .map(|i| decode_row(z_all.row(i), dec_w, dec_b, i))
+            .collect()
+    }
+
     /// Batched per-distance inference across all decoders: `n × n_out`
-    /// matrix. Used by validation (dynamic-ω updates need per-column losses).
+    /// matrix. Used by validation (dynamic-ω updates need per-column losses)
+    /// and by the batch-first estimation path (one encoder pass per batch).
     pub fn infer_dist_batch(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        crate::metrics::record_encoder_pass();
+        crate::metrics::record_decoder_calls((x.rows() * self.config.n_out) as u64);
         let n_out = self.config.n_out;
         let xprime = match &self.vae {
             Some(vae) => {
@@ -464,9 +539,9 @@ impl CardNetModel {
     }
 }
 
-fn decode_row(z: &Matrix, dec_w: &Matrix, dec_b: &Matrix, i: usize) -> f32 {
+fn decode_row(z: &[f32], dec_w: &Matrix, dec_b: &Matrix, i: usize) -> f32 {
     let mut acc = dec_b.get(0, i);
-    for (zv, wv) in z.row(0).iter().zip(dec_w.row(i)) {
+    for (zv, wv) in z.iter().zip(dec_w.row(i)) {
         acc += zv * wv;
     }
     acc.max(0.0)
@@ -598,6 +673,28 @@ mod tests {
                 "{enc:?}: paths diverge by {}",
                 train_dist.max_abs_diff(&infer)
             );
+        }
+    }
+
+    #[test]
+    fn encode_then_decode_matches_infer_dist_bitwise() {
+        // The prepared-query fast path (encode once, decode per τ) must be
+        // arithmetic-for-arithmetic the single-shot path.
+        for enc in [EncoderKind::Shared, EncoderKind::Accelerated] {
+            for with_vae in [false, true] {
+                let (model, store) = toy_model(enc, with_vae);
+                let x = toy_x(1);
+                let z_all = model.encode_all(&store, &x);
+                assert_eq!(z_all.shape(), (5, 8));
+                for tau in 0..5 {
+                    let direct = model.infer_dist(&store, &x, tau);
+                    let cached = model.decode_prefix(&store, &z_all, tau);
+                    assert_eq!(direct.len(), cached.len());
+                    for (a, b) in direct.iter().zip(&cached) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{enc:?} vae={with_vae} τ={tau}");
+                    }
+                }
+            }
         }
     }
 

@@ -219,12 +219,8 @@ impl Trainer {
         let pos_sum: f32 = deltas.iter().filter(|&&d| d > 0.0).sum();
         let n_out = self.model.config.n_out;
         if pos_sum > 0.0 {
-            for i in 0..n_out {
-                let w = if deltas[i] > 0.0 {
-                    deltas[i] / pos_sum
-                } else {
-                    0.0
-                };
+            for (i, &d) in deltas.iter().enumerate().take(n_out) {
+                let w = if d > 0.0 { d / pos_sum } else { 0.0 };
                 self.omega.set(0, i, w);
             }
         } else {

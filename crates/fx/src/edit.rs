@@ -49,7 +49,7 @@ impl EditPositionalExtractor {
     /// smear and 12 alphabet groups.
     pub fn from_dataset(dataset: &Dataset, tau_max: usize) -> Self {
         let l_max = dataset.max_width().max(1);
-        let smear = tau_max.min(3).max(1);
+        let smear = tau_max.clamp(1, 3);
         EditPositionalExtractor::new(l_max, smear, 12, dataset.theta_max, tau_max)
     }
 

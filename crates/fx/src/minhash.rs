@@ -24,7 +24,7 @@ pub struct BBitMinHashExtractor {
 
 impl BBitMinHashExtractor {
     pub fn new(theta_max: f64, tau_max: usize, k: usize, b: u32, seed: u64) -> Self {
-        assert!(b >= 1 && b <= 16, "b-bit minhash needs 1 ≤ b ≤ 16");
+        assert!((1..=16).contains(&b), "b-bit minhash needs 1 ≤ b ≤ 16");
         // SplitMix64 over the master seed generates independent seeds.
         let mut state = seed;
         let seeds = (0..k)

@@ -135,6 +135,7 @@ pub struct Mlp {
 impl Mlp {
     /// Builds an MLP with the given hidden sizes; all hidden layers use
     /// `hidden_act`, the output layer uses `out_act`.
+    #[allow(clippy::too_many_arguments)] // a constructor mirroring the paper's hyperparameters
     pub fn new(
         store: &mut ParamStore,
         rng: &mut impl Rng,

@@ -65,6 +65,9 @@ impl Optimizer for Adam {
             let v = &mut self.v[idx];
             store.update(id, |value, grad| {
                 let vals = value.as_mut_slice();
+                // Lockstep indexing over four parallel buffers (value, grad,
+                // m, v); an iterator zip would obscure the update.
+                #[allow(clippy::needless_range_loop)]
                 for i in 0..vals.len() {
                     let g = grad.as_slice()[i];
                     if !g.is_finite() {
@@ -131,6 +134,7 @@ impl Optimizer for Sgd {
             let vel = &mut self.velocity[idx];
             store.update(id, |value, grad| {
                 let vals = value.as_mut_slice();
+                #[allow(clippy::needless_range_loop)] // parallel value/grad/velocity buffers
                 for i in 0..vals.len() {
                     let g = grad.as_slice()[i];
                     if !g.is_finite() {

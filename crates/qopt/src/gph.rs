@@ -18,6 +18,18 @@ use std::time::Instant;
 pub trait PartCostModel {
     fn estimate(&self, part: usize, query_part: &BitVec, tau: u32) -> f64;
 
+    /// All per-τ costs `ĉ(part, q_p, 0) … ĉ(part, q_p, max_tau)` in one
+    /// call — the DP's inner loop. The default evaluates `estimate` per τ;
+    /// estimator-backed models override it to extract features and run the
+    /// encoder **once** per `(part, query)` via the prepared-query API.
+    /// Overrides must return exactly the per-τ `estimate` values (the DP's
+    /// allocations are asserted identical in the tests).
+    fn curve(&self, part: usize, query_part: &BitVec, max_tau: u32) -> Vec<f64> {
+        (0..=max_tau)
+            .map(|t| self.estimate(part, query_part, t))
+            .collect()
+    }
+
     /// Structure size (Figure 14's x-axis).
     fn size_bytes(&self) -> usize;
 
@@ -59,6 +71,32 @@ impl PartCostModel for EstimatorPartCost {
         self.per_part[part].estimate(&Record::Bits(query_part.clone()), f64::from(tau))
     }
 
+    /// One `prepare` + one `curve` per `(part, query)` instead of
+    /// `max_tau + 1` scalar estimates. Sound only for curve-indexed
+    /// estimators
+    /// (`threshold_step > 0`), whose contract guarantees
+    /// `curve(p, θ).value_at(threshold_step(t)) == estimate(q, t)` bit for
+    /// bit; estimators without curve indexing fall back to the per-τ loop
+    /// (identical to the default).
+    fn curve(&self, part: usize, query_part: &BitVec, max_tau: u32) -> Vec<f64> {
+        let est = &self.per_part[part];
+        let record = Record::Bits(query_part.clone());
+        // `threshold_step == 0` at max_tau means "no curve indexing" — a
+        // ladder-curve estimator (e.g. a sampler) would misreport τ = 0
+        // through `value_at(0)` — so fall back to per-τ estimates; this also
+        // covers max_tau == 0 with a single scalar call.
+        if est.threshold_step(f64::from(max_tau)) == 0 {
+            return (0..=max_tau)
+                .map(|t| est.estimate(&record, f64::from(t)))
+                .collect();
+        }
+        let prepared = est.prepare(&record);
+        let curve = est.curve(&prepared, f64::from(max_tau));
+        (0..=max_tau)
+            .map(|t| curve.value_at(est.threshold_step(f64::from(t))))
+            .collect()
+    }
+
     fn size_bytes(&self) -> usize {
         self.per_part.iter().map(|e| e.size_bytes()).sum()
     }
@@ -86,10 +124,9 @@ pub fn allocate_thresholds(
     dp[0] = Some((0.0, Vec::new()));
     for (p, qp) in query_parts.iter().enumerate() {
         let max_tau = widths[p].min(budget);
-        // Per-part cost per τ, queried once.
-        let costs: Vec<f64> = (0..=max_tau as u32)
-            .map(|t| cost.estimate(p, qp, t))
-            .collect();
+        // One curve() call per (part, query): features + encoder run once,
+        // not once per τ.
+        let costs: Vec<f64> = cost.curve(p, qp, max_tau as u32);
         let mut next: Vec<Option<(f64, Vec<u32>)>> = vec![None; budget + 1];
         for (b, slot) in dp.iter().enumerate() {
             let Some((c, alloc)) = slot else { continue };
@@ -99,7 +136,7 @@ pub fn allocate_thresholds(
                     break;
                 }
                 let nc = c + tc;
-                if next[nb].as_ref().map_or(true, |(best, _)| nc < *best) {
+                if next[nb].as_ref().is_none_or(|(best, _)| nc < *best) {
                     let mut na = alloc.clone();
                     na.push(tau as u32);
                     next[nb] = Some((nc, na));
@@ -272,6 +309,29 @@ mod tests {
         }
     }
 
+    /// The pre-redesign DP inner loop: per-τ `estimate` calls. Kept as the
+    /// reference the curve-based allocator is asserted identical against.
+    fn allocate_reference(
+        cost: &dyn PartCostModel,
+        query_parts: &[BitVec],
+        theta: u32,
+    ) -> Vec<u32> {
+        struct PerEstimate<'a>(&'a dyn PartCostModel);
+        impl PartCostModel for PerEstimate<'_> {
+            fn estimate(&self, part: usize, qp: &BitVec, tau: u32) -> f64 {
+                self.0.estimate(part, qp, tau)
+            }
+            // No `curve` override: the default per-τ loop *is* the old path.
+            fn size_bytes(&self) -> usize {
+                0
+            }
+            fn name(&self) -> String {
+                "reference".into()
+            }
+        }
+        allocate_thresholds(&PerEstimate(cost), query_parts, theta)
+    }
+
     #[test]
     fn better_estimates_give_cheaper_allocations() {
         let (ds, proc) = setup();
@@ -286,6 +346,13 @@ mod tests {
             let parts = proc.query_parts(q);
             let theta = 12u32;
             let opt = allocate_thresholds(&exact, &parts, theta);
+            // The single-curve()-per-part DP must allocate exactly like the
+            // old per-estimate inner loop.
+            assert_eq!(
+                opt,
+                allocate_reference(&exact, &parts, theta),
+                "curve-based DP diverged from per-estimate DP (query {qi})"
+            );
             let even = proc.index.even_allocation(theta);
             for (p, qp) in parts.iter().enumerate() {
                 exact_cost += exact.estimate(p, qp, opt[p]);
@@ -296,6 +363,79 @@ mod tests {
             exact_cost <= even_cost,
             "DP allocation worse than even split: {exact_cost} > {even_cost}"
         );
+    }
+
+    #[test]
+    fn estimator_curve_fast_path_matches_per_estimate_costs_bitwise() {
+        // Curve-indexed estimators (histogram, bucket means) take the
+        // prepared-query fast path inside `EstimatorPartCost::curve`; their
+        // per-τ costs — and therefore the DP allocations — must be
+        // bit-identical to scalar `estimate` calls.
+        use cardest_baselines::db_se::GroupHistogram;
+        use cardest_baselines::{DbUs, MeanEstimator};
+        use cardest_data::Workload;
+
+        let (ds, proc) = setup();
+        let part_datasets = proc.part_datasets(&ds);
+        // A ladder-curve sampler with no curve indexing: must take (and
+        // stay bit-identical on) the per-τ fallback, including max_tau = 0.
+        let sampler = EstimatorPartCost {
+            per_part: part_datasets
+                .iter()
+                .map(|pds| Box::new(DbUs::build(pds, 0.5, 3)) as Box<dyn CardinalityEstimator>)
+                .collect(),
+            label: "DB-US".into(),
+        };
+        let hist = EstimatorPartCost {
+            per_part: part_datasets
+                .iter()
+                .map(|pds| Box::new(GroupHistogram::build(pds)) as Box<dyn CardinalityEstimator>)
+                .collect(),
+            label: "Histogram".into(),
+        };
+        let mean = EstimatorPartCost {
+            per_part: part_datasets
+                .iter()
+                .map(|pds| {
+                    let wl = Workload::sample_from(pds, 0.2, 8, 5);
+                    Box::new(MeanEstimator::build(&wl, pds.theta_max, 33))
+                        as Box<dyn CardinalityEstimator>
+                })
+                .collect(),
+            label: "Mean".into(),
+        };
+        for qi in [0usize, 77, 150] {
+            let q = &ds.records[qi];
+            let parts = proc.query_parts(q);
+            for model in [&sampler, &hist, &mean] {
+                for (p, qp) in parts.iter().enumerate() {
+                    // max_tau = 0 is the degenerate single-τ call every
+                    // model must get right (a ladder curve read at index 0
+                    // would report 0 here).
+                    for max_tau in [0, qp.len() as u32] {
+                        let curve = model.curve(p, qp, max_tau);
+                        assert_eq!(curve.len() as u32, max_tau + 1);
+                        for (t, &c) in curve.iter().enumerate() {
+                            let direct = model.estimate(p, qp, t as u32);
+                            assert_eq!(
+                                c.to_bits(),
+                                direct.to_bits(),
+                                "{} part {p} τ={t}: {c} vs {direct}",
+                                model.name()
+                            );
+                        }
+                    }
+                }
+                for theta in [0u32, 4, 9, 14] {
+                    assert_eq!(
+                        allocate_thresholds(model, &parts, theta),
+                        allocate_reference(model, &parts, theta),
+                        "{} θ={theta}: allocations diverged",
+                        model.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

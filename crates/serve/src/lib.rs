@@ -12,14 +12,19 @@
 //!   model without pausing in-flight queries, and a half-written model is
 //!   unrepresentable.
 //! * [`service::Service`] — a worker pool that drains the request queue into
-//!   **micro-batches** and runs per-distance decoding once per batch
-//!   ([`cardest_core::CardNetModel::infer_dist_batch`]) rather than once per
-//!   query, while staying bit-identical to the unbatched path.
+//!   **micro-batches** and feeds them through the estimator's batch-first
+//!   API ([`cardest_core::CardinalityEstimator::estimate_batch`]): queries
+//!   are `prepare`d once at ingress, the encoder runs once per batch, and
+//!   every served value stays bit-identical to the unbatched scalar path.
 //! * [`cache::EstimateCache`] — a sharded LRU cache keyed by
 //!   `(model epoch, query fingerprint, τ-bucket)` that exploits the
 //!   monotonicity guarantee: a lookup at τ bracketed by cached τ₁ ≤ τ ≤ τ₂
-//!   yields the *bounds* `[ĉ(τ₁), ĉ(τ₂)]` — something no non-monotone
-//!   estimator could offer — and short-circuits when the bracket is tight.
+//!   yields the *bounds* `[ĉ(τ₁), ĉ(τ₂)]` as a
+//!   [`cardest_core::Estimate`] — something no non-monotone estimator could
+//!   offer — and short-circuits when the bracket is pinned or tight. With
+//!   [`service::ServeConfig::cache_curve_points`] set, computed misses seed
+//!   the cache with whole threshold-curve points, turning repeat θ-sweeps
+//!   into exact hits.
 //! * [`stats::ServiceStats`] — lock-free counters: throughput, p50/p99
 //!   latency, cache hit/bound-hit rates, and a batch-size histogram.
 //!

@@ -21,8 +21,8 @@
 use crate::cache::{CacheLookup, EstimateCache};
 use crate::registry::{ModelRegistry, RegistryReader, ServeModel};
 use crate::stats::{ServiceStats, StatsSnapshot};
+use cardest_core::{CardinalityEstimator, Estimate, PreparedQuery};
 use cardest_data::{BitVec, Record};
-use cardest_nn::Matrix;
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -49,6 +49,14 @@ pub struct ServeConfig {
     /// circuit — those pin the true value exactly, so estimates stay
     /// bit-identical to the uncached path.
     pub bound_tolerance: f64,
+    /// When > 0, each computed miss runs the model's full threshold
+    /// **curve** (same per-row arithmetic, every decoder is evaluated either
+    /// way) and seeds the cache with this many evenly spaced curve points in
+    /// addition to the requested τ — so a later miss between two cached τ
+    /// values answers from the same model epoch's [`Estimate`] bounds, and a
+    /// θ-sweep over a repeated query turns into exact hits. `0` (default)
+    /// keeps the plain batched-kernel path.
+    pub cache_curve_points: usize,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +69,7 @@ impl Default for ServeConfig {
             batch_window: Duration::from_micros(200),
             cache_capacity: 4096,
             bound_tolerance: 0.0,
+            cache_curve_points: 0,
         }
     }
 }
@@ -312,7 +321,7 @@ fn worker_loop(
         if batch.is_empty() {
             return; // queue disconnected or service stopped
         }
-        process_batch(batch, &mut reader, cache, stats, cfg.bound_tolerance);
+        process_batch(batch, &mut reader, cache, stats, cfg);
     }
 }
 
@@ -366,7 +375,7 @@ fn process_batch(
     reader: &mut RegistryReader,
     cache: &EstimateCache,
     stats: &ServiceStats,
-    bound_tolerance: f64,
+    cfg: &ServeConfig,
 ) {
     // Group by model name (almost always a single group), resolving each
     // name once per batch so every job in a group sees the same model Arc.
@@ -379,7 +388,7 @@ fn process_batch(
     }
     for (name, jobs) in groups {
         match reader.get(&name) {
-            Some(model) => serve_group(&model, jobs, cache, stats, bound_tolerance),
+            Some(model) => serve_group(&model, jobs, cache, stats, cfg),
             None => {
                 for job in jobs {
                     stats.record_error();
@@ -395,7 +404,7 @@ struct Pending {
     job: Job,
     fp: u64,
     tau: usize,
-    bits: BitVec,
+    prepared: PreparedQuery,
 }
 
 fn serve_group(
@@ -403,55 +412,59 @@ fn serve_group(
     jobs: Vec<Job>,
     cache: &EstimateCache,
     stats: &ServiceStats,
-    bound_tolerance: f64,
+    cfg: &ServeConfig,
 ) {
-    let fx = model.estimator.extractor();
+    let estimator = &model.estimator;
     let epoch = model.epoch;
-    let n_out = model.estimator.model().config.n_out;
     let mut pending: Vec<Pending> = Vec::with_capacity(jobs.len());
 
     for job in jobs {
-        let bits = fx.extract(&job.req.query);
-        let fp = fingerprint(&bits);
-        // The estimate depends on θ only through τ (and infer clamps τ to
-        // the decoder count), so τ is the cache's θ-bucket.
-        let tau = fx.map_threshold(job.req.theta).min(n_out - 1);
+        // `prepare_shared` runs `h_rec` once and keeps the request's
+        // `Arc<Record>` without copying the payload; the estimate depends on
+        // θ only through τ = threshold_step(θ), so τ is the cache's θ-bucket.
+        let prepared = estimator.prepare_shared(&job.req.query);
+        let fp = fingerprint(prepared.bits().expect("CardNet prepare extracts"));
+        let tau = estimator.threshold_step(job.req.theta);
         match cache.lookup(epoch, fp, tau) {
             CacheLookup::Exact(value) => {
                 stats.record_exact_hit();
                 respond(job, value, epoch, EstimateSource::CacheExact, stats);
             }
             CacheLookup::Bounds { lo, hi } if model.monotone => {
-                // Tight bracket ⇒ answer from bounds. A degenerate bracket
-                // (lo == hi) squeezes the true value exactly — monotone
-                // prefix sums cannot dip between equal endpoints — so the
-                // short-circuit stays bit-identical even at tolerance 0,
-                // and the pinned value is safe to cache as exact.
-                if lo == hi {
-                    cache.insert(epoch, fp, tau, lo);
+                // Two cached curve points bracket the miss; `Estimate` owns
+                // the pin/tolerance math. A pinned bracket (`lo == hi`)
+                // squeezes the true value exactly — monotone curves cannot
+                // dip between equal endpoints — so the short-circuit stays
+                // bit-identical even at tolerance 0, and the pinned value is
+                // safe to cache as exact.
+                let bracket = Estimate::from_bracket(lo, hi);
+                if bracket.is_pinned() {
+                    cache.insert(epoch, fp, tau, bracket.value);
+                }
+                if bracket.is_pinned() || bracket.within_tolerance(cfg.bound_tolerance) {
                     stats.record_bound_hit();
                     respond(
                         job,
-                        lo,
-                        epoch,
-                        EstimateSource::CacheBounds { lo, hi },
-                        stats,
-                    );
-                } else if hi - lo <= bound_tolerance * hi.max(1.0) {
-                    let mid = 0.5 * (lo + hi);
-                    stats.record_bound_hit();
-                    respond(
-                        job,
-                        mid,
+                        bracket.value,
                         epoch,
                         EstimateSource::CacheBounds { lo, hi },
                         stats,
                     );
                 } else {
-                    pending.push(Pending { job, fp, tau, bits });
+                    pending.push(Pending {
+                        job,
+                        fp,
+                        tau,
+                        prepared,
+                    });
                 }
             }
-            _ => pending.push(Pending { job, fp, tau, bits }),
+            _ => pending.push(Pending {
+                job,
+                fp,
+                tau,
+                prepared,
+            }),
         }
     }
 
@@ -460,65 +473,102 @@ fn serve_group(
     }
 
     // Coalesce duplicates: a Zipf-hot query repeated within one micro-batch
-    // gets one model row, not many. (Like the cache, this trusts the 64-bit
-    // fingerprint; a SipHash collision between distinct live queries is
-    // vanishingly unlikely and would only alias two cache entries.)
+    // gets one model row, not many. In curve mode one computed curve answers
+    // *every* τ of a query, so rows dedup on the fingerprint alone — a
+    // same-query θ-sweep landing in one batch costs one model run. (Like the
+    // cache, this trusts the 64-bit fingerprint; a SipHash collision between
+    // distinct live queries is vanishingly unlikely and would only alias two
+    // cache entries.)
+    let curve_mode = cfg.cache_curve_points > 0;
     let mut seen: std::collections::HashMap<(u64, usize), usize> = std::collections::HashMap::new();
     let mut unique: Vec<usize> = Vec::new(); // pending indices, one per row
     let mut row_of: Vec<usize> = Vec::with_capacity(pending.len());
     for (i, p) in pending.iter().enumerate() {
-        let row = *seen.entry((p.fp, p.tau)).or_insert_with(|| {
+        let key = (p.fp, if curve_mode { 0 } else { p.tau });
+        let row = *seen.entry(key).or_insert_with(|| {
             unique.push(i);
             unique.len() - 1
         });
         row_of.push(row);
     }
 
-    // One model run for the whole batch: stack the bit vectors and decode
-    // every distance once. Row r of the batched kernel is computed with the
-    // same accumulation order as a 1-row call, so per-row results match the
-    // single-query path bit for bit.
-    let d = fx.dim();
-    let mut data = vec![0.0f32; unique.len() * d];
-    for (r, &i) in unique.iter().enumerate() {
-        pending[i].bits.write_f32(&mut data[r * d..(r + 1) * d]);
-    }
-    let x = Matrix::from_vec(unique.len(), d, data);
-    let dist = model
-        .estimator
-        .model()
-        .infer_dist_batch(model.estimator.store(), &x);
     let batch_size = unique.len();
+    enum RowResult {
+        Scalar(f64),
+        Curve(cardest_core::CardinalityCurve),
+    }
+    let rows: Vec<RowResult> = if curve_mode {
+        // Curve path: the batched curve kernel (one encoder pass for the
+        // whole micro-batch — every decoder column comes out of it anyway)
+        // yields each unique query's full curve; seed the cache with evenly
+        // spaced curve points so future misses at other τ values answer
+        // from curve-derived brackets or exact hits.
+        let refs: Vec<&PreparedQuery> = unique.iter().map(|&i| &pending[i].prepared).collect();
+        estimator
+            .curve_batch(&refs)
+            .into_iter()
+            .zip(&unique)
+            .map(|(curve, &i)| {
+                seed_curve_points(cache, epoch, pending[i].fp, &curve, cfg.cache_curve_points);
+                RowResult::Curve(curve)
+            })
+            .collect()
+    } else {
+        // Batch-first path: the estimator's own batched kernel runs the
+        // encoder once for the whole micro-batch. Per-row arithmetic mirrors
+        // the scalar path exactly (the API's bit-identity contract), which
+        // is what makes the cache sound — a cached value *is* the value.
+        let refs: Vec<&PreparedQuery> = unique.iter().map(|&i| &pending[i].prepared).collect();
+        let thetas: Vec<f64> = unique.iter().map(|&i| pending[i].job.req.theta).collect();
+        estimator
+            .estimate_batch(&refs, &thetas)
+            .into_iter()
+            .map(|e| RowResult::Scalar(e.value))
+            .collect()
+    };
     stats.record_batch(batch_size);
-    let incremental = model.estimator.model().config.incremental;
-    // Mirror `CardNetModel::infer_sum` exactly: left-to-right f64 prefix
-    // sum over decoders 0..=τ (or the τ-th decoder for −incremental).
-    let estimates: Vec<f64> = unique
-        .iter()
-        .enumerate()
-        .map(|(r, &i)| {
-            let tau = pending[i].tau;
-            if incremental {
-                let mut acc = 0.0f64;
-                for j in 0..=tau {
-                    acc += f64::from(dist.get(r, j));
-                }
-                acc
-            } else {
-                f64::from(dist.get(r, tau))
-            }
-        })
-        .collect();
     for ((i, p), row) in pending.into_iter().enumerate().zip(row_of) {
-        let estimate = estimates[row];
+        let estimate = match &rows[row] {
+            RowResult::Scalar(v) => *v,
+            // Exact curve value at this request's own τ, whichever row
+            // computed the curve.
+            RowResult::Curve(curve) => curve.value_at(p.tau),
+        };
         let source = if unique[row] == i {
             cache.insert(epoch, p.fp, p.tau, estimate);
             EstimateSource::Computed { batch_size }
         } else {
+            if curve_mode {
+                // A coalesced τ still gets its exact entry: the value came
+                // from the same curve at zero extra model cost.
+                cache.insert(epoch, p.fp, p.tau, estimate);
+            }
             stats.record_coalesced();
             EstimateSource::Coalesced
         };
         respond(p.job, estimate, epoch, source, stats);
+    }
+}
+
+/// Inserts `points` evenly spaced values of a freshly computed curve (always
+/// including the final step) under their τ keys — the curve-derived entries
+/// later requests bracket against.
+fn seed_curve_points(
+    cache: &EstimateCache,
+    epoch: u64,
+    fp: u64,
+    curve: &cardest_core::CardinalityCurve,
+    points: usize,
+) {
+    let last = curve.len() - 1;
+    let points = points.clamp(1, curve.len());
+    for j in 0..points {
+        let step = if points == 1 {
+            last
+        } else {
+            j * last / (points - 1)
+        };
+        cache.insert(epoch, fp, step, curve.value_at(step));
     }
 }
 
@@ -544,6 +594,7 @@ mod tests {
             batch_window: Duration::ZERO,
             cache_capacity: 0,
             bound_tolerance: 0.0,
+            cache_curve_points: 0,
         }
     }
 
@@ -605,8 +656,10 @@ mod tests {
         };
         let registry = Arc::new(ModelRegistry::new());
         registry.publish("m", est);
-        let mut cfg = ServeConfig::default();
-        cfg.bound_tolerance = f64::INFINITY; // any bracket answers
+        let cfg = ServeConfig {
+            bound_tolerance: f64::INFINITY, // any bracket answers
+            ..ServeConfig::default()
+        };
         let service = Service::start(registry, cfg);
         let q = Arc::new(ds.records[7].clone());
         let lo = service.estimate("m", Arc::clone(&q), theta_of(1)).unwrap();
@@ -622,6 +675,116 @@ mod tests {
             other => panic!("expected a bounds answer, got {other:?}"),
         }
         assert!(service.stats().bound_hits >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn curve_seeding_turns_a_sweep_into_cache_hits() {
+        let (ds, est) = tiny_setup(28);
+        let tau_max = est.extractor().tau_max();
+        // Reference sweep values before the estimator moves into the
+        // registry: the served answers must stay bit-identical no matter
+        // how the cache produced them.
+        let q = Arc::new(ds.records[5].clone());
+        let theta_of = |tau: usize| ds.theta_max * (tau as f64 + 0.5) / (tau_max as f64);
+        let reference: Vec<f64> = (0..tau_max)
+            .map(|t| est.estimate(&q, theta_of(t)))
+            .collect();
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                batch_max: 1,
+                batch_window: Duration::ZERO,
+                cache_capacity: 4096,
+                bound_tolerance: 0.0,
+                // Seed every curve point: the first request computes once,
+                // the rest of the sweep is exact hits.
+                cache_curve_points: tau_max + 1,
+            },
+        );
+        let first = service
+            .estimate("m", Arc::clone(&q), theta_of(0))
+            .expect("served");
+        assert!(matches!(first.source, EstimateSource::Computed { .. }));
+        assert_eq!(first.estimate.to_bits(), reference[0].to_bits());
+        for (t, want) in reference.iter().enumerate().skip(1) {
+            let resp = service
+                .estimate("m", Arc::clone(&q), theta_of(t))
+                .expect("served");
+            assert_eq!(
+                resp.source,
+                EstimateSource::CacheExact,
+                "τ={t} should be a curve-seeded hit"
+            );
+            assert_eq!(resp.estimate.to_bits(), want.to_bits(), "τ={t}");
+        }
+        let snap = service.stats();
+        assert_eq!(snap.batches, 1, "one model run for the whole sweep");
+        assert!(snap.exact_hits >= (tau_max - 1) as u64);
+        service.shutdown();
+    }
+
+    #[test]
+    fn curve_mode_coalesces_a_pipelined_sweep_into_one_model_run() {
+        let (ds, est) = tiny_setup(29);
+        let tau_max = est.extractor().tau_max();
+        let q = Arc::new(ds.records[4].clone());
+        let theta_of = |t: usize| ds.theta_max * (t as f64 + 0.5) / (tau_max as f64);
+        let reference: Vec<f64> = (0..tau_max)
+            .map(|t| est.estimate(&q, theta_of(t)))
+            .collect();
+
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(
+            registry,
+            ServeConfig {
+                workers: 1,
+                batch_max: 64,
+                batch_window: Duration::from_millis(200),
+                cache_capacity: 4096,
+                bound_tolerance: 0.0,
+                cache_curve_points: 2,
+            },
+        );
+        // A whole θ-sweep of one query submitted before draining: every τ is
+        // distinct, but one curve answers them all — expect exactly one
+        // model row and τ_max − 1 coalesced responses.
+        let receivers: Vec<_> = (0..tau_max)
+            .map(|t| {
+                service.submit(Request {
+                    model: "m".into(),
+                    query: Arc::clone(&q),
+                    theta: theta_of(t),
+                })
+            })
+            .collect();
+        let responses: Vec<Response> = receivers
+            .into_iter()
+            .map(|rx| rx.recv().expect("worker alive").expect("served"))
+            .collect();
+        for (t, (resp, want)) in responses.iter().zip(&reference).enumerate() {
+            assert_eq!(resp.estimate.to_bits(), want.to_bits(), "τ={t}");
+        }
+        let computed = responses
+            .iter()
+            .filter(|r| matches!(r.source, EstimateSource::Computed { .. }))
+            .count();
+        let coalesced = responses
+            .iter()
+            .filter(|r| r.source == EstimateSource::Coalesced)
+            .count();
+        assert_eq!((computed, coalesced), (1, tau_max - 1));
+        let snap = service.stats();
+        assert_eq!(snap.batches, 1);
+        assert!(
+            (snap.mean_batch_size() - 1.0).abs() < 1e-9,
+            "one unique curve row"
+        );
         service.shutdown();
     }
 
@@ -651,6 +814,7 @@ mod tests {
                 batch_window: Duration::from_millis(200),
                 cache_capacity: 0,
                 bound_tolerance: 0.0,
+                cache_curve_points: 0,
             },
         );
         // 16 distinct queries submitted before any response is drained: the
@@ -691,6 +855,7 @@ mod tests {
                 batch_window: Duration::from_millis(200),
                 cache_capacity: 0, // coalescing is intra-batch, not the cache
                 bound_tolerance: 0.0,
+                cache_curve_points: 0,
             },
         );
         let q = Arc::new(ds.records[2].clone());

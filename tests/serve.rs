@@ -61,6 +61,7 @@ fn play(
             batch_window: Duration::from_micros(300),
             cache_capacity: 1024,
             bound_tolerance: 0.0,
+            cache_curve_points: 0,
         },
     );
     let receivers: Vec<_> = stream
@@ -146,6 +147,7 @@ fn hot_swap_mid_stream_is_atomic_and_epoch_tagged() {
             // never answer post-swap requests.
             cache_capacity: 512,
             bound_tolerance: 0.0,
+            cache_curve_points: 0,
         },
     );
 

@@ -189,6 +189,9 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     variants
 }
 
+// Not a real loop: every arm returns or panics; the `loop` only exists to
+// re-run the attribute/visibility eaters before the item keyword.
+#[allow(clippy::never_loop)]
 fn parse_item(input: TokenStream) -> Item {
     let mut toks = input.into_iter().peekable();
     loop {
