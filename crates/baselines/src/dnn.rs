@@ -9,14 +9,17 @@
 //!   monotonic across τ.
 
 use crate::features::{prepared_features, BaselineFeaturizer, RegressionData};
-use cardest_core::{next_instance_id, CardinalityCurve, CardinalityEstimator, PreparedQuery};
+use cardest_core::{
+    next_instance_id, CardinalityCurve, CardinalityEstimator, Estimate, PreparedQuery,
+};
 use cardest_data::{Record, Workload};
 use cardest_fx::FeatureExtractor;
 use cardest_nn::layers::{Activation, Mlp};
-use cardest_nn::{loss, Adam, Matrix, Optimizer, ParamStore, Tape};
+use cardest_nn::{loss, Adam, Matrix, Optimizer, Parallelism, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Shared training knobs for the DNN-family baselines.
 #[derive(Clone, Debug)]
@@ -129,6 +132,50 @@ impl CardinalityEstimator for DlDnn {
         let feats = prepared_features(&self.featurizer, self.prep_id, prepared);
         let x = RegressionData::row_from_features(&feats.0, theta, self.theta_max);
         CardinalityCurve::point(f64::from(self.mlp.infer(&self.store, &x).get(0, 0)))
+    }
+
+    /// One stacked forward pass for the whole batch. The batched kernel
+    /// computes each row with the per-row arithmetic of the single-query
+    /// path, so batch estimates are bit-identical to scalar `estimate`
+    /// calls (pinned by the `batched_dnn_matches_scalar_bitwise` test).
+    fn estimate_batch(&self, prepared: &[&PreparedQuery], thetas: &[f64]) -> Vec<Estimate> {
+        self.estimate_batch_par(prepared, thetas, 1)
+    }
+
+    fn estimate_batch_par(
+        &self,
+        prepared: &[&PreparedQuery],
+        thetas: &[f64],
+        threads: usize,
+    ) -> Vec<Estimate> {
+        assert_eq!(
+            prepared.len(),
+            thetas.len(),
+            "estimate_batch: {} queries vs {} thresholds",
+            prepared.len(),
+            thetas.len()
+        );
+        if prepared.is_empty() {
+            return Vec::new();
+        }
+        // One flat `n × (dim + 1)` fill — same per-row layout as
+        // `RegressionData::row_from_features`, without a matrix per query.
+        let dim = self.featurizer.dim();
+        let width = dim + 1;
+        let mut data = vec![0.0f32; prepared.len() * width];
+        for ((p, &theta), row) in prepared.iter().zip(thetas).zip(data.chunks_mut(width)) {
+            let feats = prepared_features(&self.featurizer, self.prep_id, p);
+            row[..dim].copy_from_slice(&feats.0);
+            row[dim] = (theta / self.theta_max.max(1e-12)) as f32;
+        }
+        let x = Matrix::from_vec(prepared.len(), width, data);
+        let pred = self
+            .mlp
+            .infer_with(&self.store, &x, Parallelism::threads(threads));
+        let source: Arc<str> = CardinalityEstimator::name(self).into();
+        (0..prepared.len())
+            .map(|r| Estimate::exact(f64::from(pred.get(r, 0))).with_source(Arc::clone(&source)))
+            .collect()
     }
 
     fn name(&self) -> String {
@@ -281,6 +328,44 @@ mod tests {
         // should land well under MSLE of 9 (≈ e^3x multiplicative error).
         assert!(msle < 9.0, "DL-DNN failed to learn: MSLE {msle}");
         assert!(dnn.size_bytes() > 0);
+    }
+
+    #[test]
+    fn batched_dnn_matches_scalar_bitwise() {
+        // The stacked batch kernel (and its threaded variant) must agree
+        // with per-query `estimate` bit for bit — same contract as CardNet's
+        // batch path, which is what lets the serve layer batch baselines too.
+        let (ds, train_wl, test_wl) = setup();
+        let f = BaselineFeaturizer::from_dataset(&ds, 1);
+        let opts = DnnOptions {
+            epochs: 3,
+            hidden: vec![32, 16],
+            ..Default::default()
+        };
+        let dnn = DlDnn::train(&train_wl, f, ds.theta_max, opts);
+        let queries: Vec<Record> = test_wl
+            .queries
+            .iter()
+            .take(9)
+            .map(|lq| lq.query.clone())
+            .collect();
+        let thetas: Vec<f64> = (0..queries.len())
+            .map(|i| ds.theta_max * i as f64 / 8.0)
+            .collect();
+        let prepared: Vec<PreparedQuery> = queries.iter().map(|q| dnn.prepare(q)).collect();
+        let refs: Vec<&PreparedQuery> = prepared.iter().collect();
+        for threads in [1usize, 4] {
+            let batch = dnn.estimate_batch_par(&refs, &thetas, threads);
+            for ((q, &theta), got) in queries.iter().zip(&thetas).zip(&batch) {
+                let want = dnn.estimate(q, theta);
+                assert_eq!(
+                    got.value.to_bits(),
+                    want.to_bits(),
+                    "threads={threads} θ={theta}: {} vs {want}",
+                    got.value
+                );
+            }
+        }
     }
 
     #[test]

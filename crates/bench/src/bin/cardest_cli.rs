@@ -24,6 +24,7 @@ use cardest_core::model::CardNetConfig;
 use cardest_core::snapshot::Snapshot;
 use cardest_core::train::{train_cardnet, TrainerOptions};
 use cardest_core::CardNetEstimator;
+use cardest_core::Parallelism;
 use cardest_data::synth::{self, SynthConfig};
 use cardest_data::{io as dio, Dataset, Workload};
 use cardest_fx::build_extractor;
@@ -64,12 +65,18 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   cardest_cli gen      --kind <hm|ed|jc|eu> --n <records> [--seed <u64>] --out <file>
   cardest_cli train    --data <file> --model <file> [--accelerated] [--epochs <n>] [--tau-max <n>]
+                       [--threads <n kernel workers; 0 = all cores>]
   cardest_cli estimate --data <file> --model <file> --query <record-index> --theta <f64> [--curve]
+                       [--threads <n kernel workers; 0 = all cores>]
   cardest_cli estimate --data <file> --model <file> --queries <file with `<index> <theta>` lines>
   cardest_cli serve    --data <file> --model <file> [--workers <n>] [--batch-max <n>]
                        [--batch-window-us <n>] [--cache <entries>] [--bound-tolerance <f64>]
                        [--cache-curve-points <n>] [--pipeline <n outstanding>]
-  cardest_cli stats    --data <file>";
+                       [--kernel-threads <n per micro-batch>]
+  cardest_cli stats    --data <file>
+
+Thread counts only change wall clock: the threaded kernels are bit-identical
+to the scalar ones, so estimates and trained weights never depend on them.";
 
 type Flags = HashMap<String, String>;
 
@@ -143,6 +150,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let accelerated = flags.contains_key("accelerated");
     let epochs: usize = parsed(flags, "epochs", 56)?;
     let tau_max: usize = parsed(flags, "tau-max", 16)?;
+    let threads = kernel_threads_flag(flags, "threads")?;
 
     let wl = Workload::sample_from(&ds, 0.10, 12, 7);
     let split = wl.split(13);
@@ -153,6 +161,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     }
     let opts = TrainerOptions {
         epochs,
+        threads,
         ..TrainerOptions::default()
     };
     let (trainer, report) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
@@ -179,8 +188,19 @@ fn load_estimator(flags: &Flags) -> Result<(Dataset, CardNetEstimator), String> 
     // Rebuild the extractor the snapshot was trained behind; seeds are
     // deterministic, and `into_estimator` rejects any mismatch.
     let fx = build_extractor(&ds, snap.tau_max, 1);
-    let est = snap.into_estimator(fx).map_err(|e| e.to_string())?;
+    let mut est = snap.into_estimator(fx).map_err(|e| e.to_string())?;
+    est.set_parallelism(Parallelism::threads(kernel_threads_flag(flags, "threads")?));
     Ok((ds, est))
+}
+
+/// Reads a worker-count flag; `0` means "one per hardware thread".
+fn kernel_threads_flag(flags: &Flags, name: &str) -> Result<usize, String> {
+    let n: usize = parsed(flags, name, 1)?;
+    Ok(if n == 0 {
+        Parallelism::auto().thread_count()
+    } else {
+        n
+    })
 }
 
 /// Parses one `<record-index> <theta>` request line.
@@ -216,6 +236,7 @@ fn serve_config_from_flags(flags: &Flags) -> Result<ServeConfig, String> {
         cache_capacity: parsed(flags, "cache", defaults.cache_capacity)?,
         bound_tolerance: parsed(flags, "bound-tolerance", 0.0)?,
         cache_curve_points: parsed(flags, "cache-curve-points", 0usize)?,
+        kernel_threads: kernel_threads_flag(flags, "kernel-threads")?,
     })
 }
 

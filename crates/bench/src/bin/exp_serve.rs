@@ -117,6 +117,7 @@ fn main() -> ExitCode {
                         cache_capacity: 0,
                         bound_tolerance: 0.0,
                         cache_curve_points: 0,
+                        kernel_threads: 1,
                     },
                     clients,
                 );
@@ -173,6 +174,7 @@ fn main() -> ExitCode {
             cache_capacity: 4096,
             bound_tolerance: 0.0,
             cache_curve_points: 0,
+            kernel_threads: 1,
         },
         8.min(n_requests),
     );
@@ -231,6 +233,7 @@ fn main() -> ExitCode {
             cache_capacity: 4096,
             bound_tolerance: tolerance,
             cache_curve_points: 0,
+            kernel_threads: 1,
         },
         8.min(n_requests),
     );

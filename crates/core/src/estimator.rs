@@ -33,7 +33,7 @@ use crate::model::CardNetModel;
 use crate::train::Trainer;
 use cardest_data::{BitVec, Record};
 use cardest_fx::FeatureExtractor;
-use cardest_nn::{Matrix, ParamStore};
+use cardest_nn::{Matrix, Parallelism, ParamStore};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -383,6 +383,33 @@ pub trait CardinalityEstimator: Send + Sync {
             .collect()
     }
 
+    /// [`CardinalityEstimator::estimate_batch`] with a kernel worker-count
+    /// hint. Estimators whose batched kernel can thread (bit-identically)
+    /// override this; the default ignores the hint — correct for every
+    /// estimator, since threading is an optimization, never a semantic.
+    /// The serve worker pool plumbs `ServeConfig::kernel_threads` through
+    /// here.
+    fn estimate_batch_par(
+        &self,
+        prepared: &[&PreparedQuery],
+        thetas: &[f64],
+        threads: usize,
+    ) -> Vec<Estimate> {
+        let _ = threads;
+        self.estimate_batch(prepared, thetas)
+    }
+
+    /// [`CardinalityEstimator::curve_batch`] with a kernel worker-count hint
+    /// (see [`CardinalityEstimator::estimate_batch_par`]).
+    fn curve_batch_par(
+        &self,
+        prepared: &[&PreparedQuery],
+        threads: usize,
+    ) -> Vec<CardinalityCurve> {
+        let _ = threads;
+        self.curve_batch(prepared)
+    }
+
     /// Display name matching the paper's tables (e.g. `CardNet-A`, `DB-US`).
     fn name(&self) -> String;
 
@@ -435,6 +462,10 @@ pub struct CardNetEstimator {
     accelerated: bool,
     /// Owner id for encoder state cached inside [`PreparedQuery`].
     prep_id: u64,
+    /// Kernel worker budget for the encoder/batch paths. Threaded kernels
+    /// are bit-identical to the scalar ones, so this is a throughput knob
+    /// with no effect on estimates.
+    par: Parallelism,
 }
 
 /// CardNet's cached per-query state: the full encoder output (`n_out ×
@@ -454,7 +485,25 @@ impl CardNetEstimator {
             store: trainer.store,
             accelerated,
             prep_id: next_instance_id(),
+            par: Parallelism::serial(),
         }
+    }
+
+    /// Sets the kernel worker budget for the encoder/batch paths (builder
+    /// form). Estimates are bit-identical for any setting.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Sets the kernel worker budget in place.
+    pub fn set_parallelism(&mut self, par: Parallelism) {
+        self.par = par;
+    }
+
+    /// The configured kernel worker budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     pub fn model(&self) -> &CardNetModel {
@@ -487,11 +536,91 @@ impl CardNetEstimator {
     /// query.
     fn embeddings(&self, prepared: &PreparedQuery) -> Arc<CardNetPrepared> {
         prepared.state(self.prep_id, || CardNetPrepared {
-            z_all: self.model.encode_all(
+            z_all: self.model.encode_all_with(
                 &self.store,
                 &prepared_feature_matrix(self.fx.as_ref(), self.prep_id, prepared),
+                self.par,
             ),
         })
+    }
+
+    /// Stacks the prepared queries' features into one `n × dim` model input.
+    fn batch_feature_matrix(&self, prepared: &[&PreparedQuery]) -> Matrix {
+        let d = self.fx.dim();
+        let mut data = vec![0.0f32; prepared.len() * d];
+        for (r, p) in prepared.iter().enumerate() {
+            prepared_features_into(
+                self.fx.as_ref(),
+                self.prep_id,
+                p,
+                &mut data[r * d..(r + 1) * d],
+            );
+        }
+        Matrix::from_vec(prepared.len(), d, data)
+    }
+
+    /// Shared body of `estimate_batch` / `estimate_batch_par`.
+    fn estimate_batch_impl(
+        &self,
+        prepared: &[&PreparedQuery],
+        thetas: &[f64],
+        par: Parallelism,
+    ) -> Vec<Estimate> {
+        assert_eq!(
+            prepared.len(),
+            thetas.len(),
+            "estimate_batch: {} queries vs {} thresholds",
+            prepared.len(),
+            thetas.len()
+        );
+        if prepared.is_empty() {
+            return Vec::new();
+        }
+        let x = self.batch_feature_matrix(prepared);
+        let dist = self.model.infer_dist_batch_with(&self.store, &x, par);
+        let n_out = self.model.config.n_out;
+        let incremental = self.model.config.incremental;
+        let source: Arc<str> = CardinalityEstimator::name(self).into();
+        thetas
+            .iter()
+            .enumerate()
+            .map(|(r, &theta)| {
+                let tau = self.fx.map_threshold(theta).min(n_out - 1);
+                let value = if incremental {
+                    let mut acc = 0.0f64;
+                    for j in 0..=tau {
+                        acc += f64::from(dist.get(r, j));
+                    }
+                    acc
+                } else {
+                    f64::from(dist.get(r, tau))
+                };
+                Estimate::exact(value).with_source(Arc::clone(&source))
+            })
+            .collect()
+    }
+
+    /// Shared body of `curve_batch` / `curve_batch_par`.
+    fn curve_batch_impl(
+        &self,
+        prepared: &[&PreparedQuery],
+        par: Parallelism,
+    ) -> Vec<CardinalityCurve> {
+        if prepared.is_empty() {
+            return Vec::new();
+        }
+        let x = self.batch_feature_matrix(prepared);
+        let dist = self.model.infer_dist_batch_with(&self.store, &x, par);
+        let incremental = self.model.config.incremental;
+        (0..prepared.len())
+            .map(|r| {
+                if incremental {
+                    CardinalityCurve::from_f32_increments(dist.row(r))
+                } else {
+                    CardinalityCurve::from_f32_direct(dist.row(r))
+                }
+            })
+            .collect()
     }
 }
 
@@ -616,48 +745,22 @@ impl CardinalityEstimator for CardNetEstimator {
     /// sum over decoders `0..=τ`), so batched estimates are bit-identical to
     /// the scalar path — the invariant the serving layer's cache relies on.
     fn estimate_batch(&self, prepared: &[&PreparedQuery], thetas: &[f64]) -> Vec<Estimate> {
-        assert_eq!(
-            prepared.len(),
-            thetas.len(),
-            "estimate_batch: {} queries vs {} thresholds",
-            prepared.len(),
-            thetas.len()
-        );
-        if prepared.is_empty() {
-            return Vec::new();
-        }
-        let d = self.fx.dim();
-        let mut data = vec![0.0f32; prepared.len() * d];
-        for (r, p) in prepared.iter().enumerate() {
-            prepared_features_into(
-                self.fx.as_ref(),
-                self.prep_id,
-                p,
-                &mut data[r * d..(r + 1) * d],
-            );
-        }
-        let x = Matrix::from_vec(prepared.len(), d, data);
-        let dist = self.model.infer_dist_batch(&self.store, &x);
-        let n_out = self.model.config.n_out;
-        let incremental = self.model.config.incremental;
-        let source: Arc<str> = self.name().into();
-        thetas
-            .iter()
-            .enumerate()
-            .map(|(r, &theta)| {
-                let tau = self.fx.map_threshold(theta).min(n_out - 1);
-                let value = if incremental {
-                    let mut acc = 0.0f64;
-                    for j in 0..=tau {
-                        acc += f64::from(dist.get(r, j));
-                    }
-                    acc
-                } else {
-                    f64::from(dist.get(r, tau))
-                };
-                Estimate::exact(value).with_source(Arc::clone(&source))
-            })
-            .collect()
+        self.estimate_batch_impl(prepared, thetas, self.par)
+    }
+
+    /// The batched kernel with extra workers (still bit-identical): the
+    /// serving worker pool plumbs `ServeConfig::kernel_threads` here.
+    fn estimate_batch_par(
+        &self,
+        prepared: &[&PreparedQuery],
+        thetas: &[f64],
+        threads: usize,
+    ) -> Vec<Estimate> {
+        self.estimate_batch_impl(
+            prepared,
+            thetas,
+            self.par.max(Parallelism::threads(threads)),
+        )
     }
 
     /// One batched kernel run for the whole batch of full curves: every
@@ -665,31 +768,15 @@ impl CardinalityEstimator for CardNetEstimator {
     /// curve is just its f64 prefix sums — bit-identical to per-query
     /// `curve` calls.
     fn curve_batch(&self, prepared: &[&PreparedQuery]) -> Vec<CardinalityCurve> {
-        if prepared.is_empty() {
-            return Vec::new();
-        }
-        let d = self.fx.dim();
-        let mut data = vec![0.0f32; prepared.len() * d];
-        for (r, p) in prepared.iter().enumerate() {
-            prepared_features_into(
-                self.fx.as_ref(),
-                self.prep_id,
-                p,
-                &mut data[r * d..(r + 1) * d],
-            );
-        }
-        let x = Matrix::from_vec(prepared.len(), d, data);
-        let dist = self.model.infer_dist_batch(&self.store, &x);
-        let incremental = self.model.config.incremental;
-        (0..prepared.len())
-            .map(|r| {
-                if incremental {
-                    CardinalityCurve::from_f32_increments(dist.row(r))
-                } else {
-                    CardinalityCurve::from_f32_direct(dist.row(r))
-                }
-            })
-            .collect()
+        self.curve_batch_impl(prepared, self.par)
+    }
+
+    fn curve_batch_par(
+        &self,
+        prepared: &[&PreparedQuery],
+        threads: usize,
+    ) -> Vec<CardinalityCurve> {
+        self.curve_batch_impl(prepared, self.par.max(Parallelism::threads(threads)))
     }
 
     fn name(&self) -> String {
@@ -866,6 +953,45 @@ mod tests {
                     assert_eq!(a.to_bits(), b.to_bits(), "accel={accelerated}");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn threaded_estimator_is_bit_identical_to_serial() {
+        // An estimator configured for threaded kernels must serve the exact
+        // bits of the serial one: estimate, curve (via the fan-out encoder),
+        // and both batch kernels.
+        let (mut est, ds) = trained(false);
+        let queries: Vec<_> = (0..10).map(|i| ds.records[i * 9].clone()).collect();
+        let thetas: Vec<f64> = (0..10).map(|i| ds.theta_max * f64::from(i) / 9.0).collect();
+        let prepared: Vec<PreparedQuery> = queries.iter().map(|q| est.prepare(q)).collect();
+        let refs: Vec<&PreparedQuery> = prepared.iter().collect();
+        let serial_batch = est.estimate_batch(&refs, &thetas);
+        let serial_curves = est.curve_batch(&refs);
+        let serial_curve = est.curve(&est.prepare(&queries[0]), ds.theta_max);
+
+        est.set_parallelism(Parallelism::exact_threads(3));
+        assert_eq!(est.parallelism(), Parallelism::exact_threads(3));
+        let batch = est.estimate_batch(&refs, &thetas);
+        for (a, b) in serial_batch.iter().zip(&batch) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        let curves = est.curve_batch(&refs);
+        for (a, b) in serial_curves.iter().zip(&curves) {
+            for (x, y) in a.values().iter().zip(b.values()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        // A fresh prepared query so the encoder state is recomputed under
+        // the threaded fan-out.
+        let curve = est.curve(&est.prepare(&queries[0]), ds.theta_max);
+        for (x, y) in serial_curve.values().iter().zip(curve.values()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // The trait-level worker hint is also bit-stable.
+        let hinted = est.estimate_batch_par(&refs, &thetas, 4);
+        for (a, b) in serial_batch.iter().zip(&hinted) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
         }
     }
 

@@ -14,8 +14,9 @@
 //! embeddings through a head matrix (Figure 4), cutting estimation cost from
 //! `O((τ+1)·|Φ|)` to `O(|Φ′|)`.
 
+use cardest_nn::kernels::partition_rows;
 use cardest_nn::layers::{Activation, Dense, Mlp};
-use cardest_nn::{init, Matrix, ParamId, ParamStore, Tape, Vae, VaeConfig, Var};
+use cardest_nn::{init, Matrix, Parallelism, ParamId, ParamStore, Tape, Vae, VaeConfig, Var};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -410,6 +411,16 @@ impl CardNetModel {
     /// [`CardNetModel::infer_dist`] bit for bit, because each row is computed
     /// with exactly the per-distance arithmetic of the single-shot path.
     pub fn encode_all(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        self.encode_all_with(store, x, Parallelism::serial())
+    }
+
+    /// [`CardNetModel::encode_all`] with an explicit kernel worker budget.
+    ///
+    /// For the shared encoder the `n_out` per-distance Φ passes are
+    /// independent, so they partition across workers — each embedding row is
+    /// still computed by the exact serial arithmetic, so the result is
+    /// bit-identical for any `par`.
+    pub fn encode_all_with(&self, store: &ParamStore, x: &Matrix, par: Parallelism) -> Matrix {
         crate::metrics::record_encoder_pass();
         let n_out = self.config.n_out;
         let xprime = match &self.vae {
@@ -424,16 +435,22 @@ impl CardNetModel {
 
         match (&self.phi, &self.phi_a) {
             (Some(phi), _) => {
-                for i in 0..n_out {
-                    let mut xi = Matrix::zeros(x.rows(), xprime.cols() + self.config.e_dim);
-                    for r in 0..x.rows() {
-                        let row = xi.row_mut(r);
-                        row[..xprime.cols()].copy_from_slice(xprime.row(r));
-                        row[xprime.cols()..].copy_from_slice(e.row(i));
+                let workers = par.workers(n_out, n_out * phi.num_params());
+                let z_dim = self.config.z_dim;
+                let xprime = &xprime;
+                partition_rows(z_all.as_mut_slice(), z_dim, workers, |first_row, chunk| {
+                    for (i_local, z_row) in chunk.chunks_mut(z_dim).enumerate() {
+                        let i = first_row + i_local;
+                        let mut xi = Matrix::zeros(x.rows(), xprime.cols() + self.config.e_dim);
+                        for r in 0..x.rows() {
+                            let row = xi.row_mut(r);
+                            row[..xprime.cols()].copy_from_slice(xprime.row(r));
+                            row[xprime.cols()..].copy_from_slice(e.row(i));
+                        }
+                        let z = phi.infer(store, &xi);
+                        z_row.copy_from_slice(z.row(0));
                     }
-                    let z = phi.infer(store, &xi);
-                    z_all.row_mut(i).copy_from_slice(z.row(0));
-                }
+                });
             }
             (None, Some(pa)) => {
                 let mut h = xprime;
@@ -476,12 +493,56 @@ impl CardNetModel {
     /// matrix. Used by validation (dynamic-ω updates need per-column losses)
     /// and by the batch-first estimation path (one encoder pass per batch).
     pub fn infer_dist_batch(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        self.infer_dist_batch_with(store, x, Parallelism::serial())
+    }
+
+    /// [`CardNetModel::infer_dist_batch`] with an explicit kernel worker
+    /// budget, bit-identical for any `par`.
+    ///
+    /// Large batches partition their **rows** across workers, each running
+    /// the full serial pipeline on its chunk — one spawn amortized over the
+    /// whole model, and every row's arithmetic is row-independent, so the
+    /// output matches the serial batch bit for bit. Small batches fall
+    /// through to kernel-level threading (which in turn stays serial below
+    /// its own work threshold).
+    pub fn infer_dist_batch_with(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        par: Parallelism,
+    ) -> Matrix {
         crate::metrics::record_encoder_pass();
         crate::metrics::record_decoder_calls((x.rows() * self.config.n_out) as u64);
+        let n = x.rows();
+        let n_out = self.config.n_out;
+        // Per-row cost ≈ one multiply-add per parameter.
+        let workers = par.workers(n, n * store.num_scalars());
+        if workers <= 1 {
+            return self.infer_dist_batch_rows(store, x, par);
+        }
+        let d = x.cols();
+        let mut out = Matrix::zeros(n, n_out);
+        partition_rows(out.as_mut_slice(), n_out, workers, |first_row, chunk| {
+            let rows_here = chunk.len() / n_out;
+            let sub = Matrix::from_vec(
+                rows_here,
+                d,
+                x.as_slice()[first_row * d..(first_row + rows_here) * d].to_vec(),
+            );
+            let dist = self.infer_dist_batch_rows(store, &sub, Parallelism::serial());
+            chunk.copy_from_slice(dist.as_slice());
+        });
+        out
+    }
+
+    /// The serial-order batch pipeline (no metrics recording; both the
+    /// serial and the row-partitioned paths of
+    /// [`CardNetModel::infer_dist_batch_with`] funnel through here).
+    fn infer_dist_batch_rows(&self, store: &ParamStore, x: &Matrix, par: Parallelism) -> Matrix {
         let n_out = self.config.n_out;
         let xprime = match &self.vae {
             Some(vae) => {
-                let mu = vae.latent_mean(store, x);
+                let mu = vae.latent_mean_with(store, x, par);
                 Matrix::hconcat(&[x, &mu])
             }
             None => x.clone(),
@@ -501,7 +562,7 @@ impl CardNetModel {
                         row[..xprime.cols()].copy_from_slice(xprime.row(r));
                         row[xprime.cols()..].copy_from_slice(e.row(i));
                     }
-                    let z = phi.infer(store, &xi);
+                    let z = phi.infer_with(store, &xi, par);
                     for r in 0..n {
                         let mut acc = dec_b.get(0, i);
                         for (zv, wv) in z.row(r).iter().zip(dec_w.row(i)) {
@@ -515,8 +576,8 @@ impl CardNetModel {
                 let mut h = xprime;
                 let mut blocks: Vec<Matrix> = Vec::with_capacity(pa.hidden.len());
                 for (layer, &head) in pa.hidden.iter().zip(&pa.heads) {
-                    h = layer.infer(store, &h);
-                    blocks.push(h.matmul(store.value(head)));
+                    h = layer.infer_with(store, &h, par);
+                    blocks.push(h.matmul_with(store.value(head), par));
                 }
                 for r in 0..n {
                     for i in 0..n_out {
@@ -704,6 +765,40 @@ mod tests {
         let x = toy_x(1);
         assert_eq!(model.infer_dist(&store, &x, 2).len(), 3);
         assert_eq!(model.infer_dist(&store, &x, 99).len(), 5); // clamped
+    }
+
+    #[test]
+    fn batch_row_partition_is_bit_identical() {
+        // The row-partitioned batch pipeline (and the per-distance encoder
+        // fan-out) must reproduce the serial batch bit for bit, whatever the
+        // worker count — including workers that don't divide the row count.
+        for enc in [EncoderKind::Shared, EncoderKind::Accelerated] {
+            for with_vae in [false, true] {
+                let (model, store) = toy_model(enc, with_vae);
+                let x = toy_x(9);
+                let want = model.infer_dist_batch(&store, &x);
+                for t in [2usize, 3, 4, 8] {
+                    let got =
+                        model.infer_dist_batch_with(&store, &x, Parallelism::exact_threads(t));
+                    assert_eq!(want.shape(), got.shape());
+                    for (a, b) in want.as_slice().iter().zip(got.as_slice()) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "{enc:?} vae={with_vae} threads={t}: {a} vs {b}"
+                        );
+                    }
+                }
+                let z_serial = model.encode_all(&store, &toy_x(1));
+                for t in [2usize, 4] {
+                    let z_par =
+                        model.encode_all_with(&store, &toy_x(1), Parallelism::exact_threads(t));
+                    for (a, b) in z_serial.as_slice().iter().zip(z_par.as_slice()) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{enc:?} encode_all threads={t}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::model::{CardNetConfig, CardNetModel};
 use cardest_data::Workload;
 use cardest_fx::FeatureExtractor;
 use cardest_nn::loss;
-use cardest_nn::{Adam, Matrix, Optimizer, ParamStore, Tape};
+use cardest_nn::{Adam, Matrix, Optimizer, Parallelism, ParamStore, Tape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -38,6 +38,10 @@ pub struct TrainerOptions {
     pub seed: u64,
     /// Disables the dynamic ω updates (ablation −dynamic: pure MSLE).
     pub dynamic: bool,
+    /// Worker threads for the minibatch forward/backward kernels (1 =
+    /// serial). Threaded kernels are bit-identical to the scalar path, so
+    /// this changes training wall clock, never the trained parameters.
+    pub threads: usize,
 }
 
 impl Default for TrainerOptions {
@@ -53,6 +57,7 @@ impl Default for TrainerOptions {
             patience: 6,
             seed: 0xC0DE,
             dynamic: true,
+            threads: 1,
         }
     }
 }
@@ -124,10 +129,16 @@ impl Trainer {
         }
     }
 
+    /// The kernel worker budget derived from [`TrainerOptions::threads`].
+    pub fn kernel_parallelism(&self) -> Parallelism {
+        Parallelism::threads(self.options.threads)
+    }
+
     /// Pre-trains the VAE unsupervised on the binary representations
     /// (§9.1.3 trains it before the estimator).
     pub fn pretrain_vae(&mut self, x: &Matrix) {
         let Some(_) = self.model.vae() else { return };
+        let par = self.kernel_parallelism();
         let mut opt = Adam::new(self.options.learning_rate);
         let n = x.rows();
         let bs = self.options.batch_size.min(n).max(1);
@@ -136,7 +147,7 @@ impl Trainer {
             order.shuffle(&mut self.rng);
             for chunk in order.chunks(bs) {
                 let xb = x.gather_rows(chunk);
-                let mut tape = Tape::new();
+                let mut tape = Tape::with_parallelism(par);
                 let xv = tape.input(xb);
                 let vae = self.model.vae().expect("vae enabled");
                 let fwd = vae.forward_train(&mut tape, &self.store, xv, &mut self.rng, 0.1);
@@ -149,7 +160,7 @@ impl Trainer {
 
     /// One optimization step over a batch; returns the scalar loss.
     fn step(&mut self, batch: &TrainTensors, opt: &mut Adam) -> f32 {
-        let mut tape = Tape::new();
+        let mut tape = Tape::with_parallelism(self.kernel_parallelism());
         let fwd =
             self.model
                 .forward_train(&mut tape, &self.store, batch.x.clone(), &mut self.rng, 0.1);
@@ -177,6 +188,13 @@ impl Trainer {
             total = tape.add(total, scaled);
         }
         let value = tape.value(total).get(0, 0);
+        // The kernels now propagate non-finite values instead of masking
+        // them behind the sparse zero-skip; catch a diverging loss at the
+        // step that produced it rather than epochs later.
+        debug_assert!(
+            value.is_finite(),
+            "non-finite training loss {value}: diverged batch (lr too high or bad targets)"
+        );
         tape.backward(total, &mut self.store);
         self.store.clip_grad_norm(5.0);
         opt.step(&mut self.store);
@@ -186,7 +204,9 @@ impl Trainer {
     /// Validation MSLE of the cumulative predictions, weighted by `P(τ)`,
     /// plus the per-distance losses `ℓ_i` used by the ω update.
     fn validate(&self, valid: &TrainTensors) -> (f64, Vec<f32>) {
-        let pred = self.model.infer_dist_batch(&self.store, &valid.x);
+        let pred =
+            self.model
+                .infer_dist_batch_with(&self.store, &valid.x, self.kernel_parallelism());
         // Incremental models accumulate per-distance outputs into cumulative
         // predictions; the −incremental ablation already predicts cumulative.
         let mut cum = pred.clone();

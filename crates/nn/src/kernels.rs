@@ -1,0 +1,600 @@
+//! Cache-blocked and multi-threaded compute kernels, **bit-identical** to the
+//! scalar kernels in [`crate::matrix`] by construction.
+//!
+//! Every model in this workspace funnels through three matrix products:
+//! `matmul` (forward layers), `t_matmul` (weight gradients), and `matmul_t`
+//! (input gradients). The scalar reference kernels accumulate each output
+//! element as a running `f32` sum over the inner dimension in ascending
+//! order, skipping `a == 0.0` terms only when the right-hand operand is
+//! entirely finite (see [`crate::matrix::Matrix::matmul`]). The variants here
+//! keep **exactly that per-element operation sequence**:
+//!
+//! * the *blocked* kernels tile the output into register accumulators
+//!   (`MR × NR` micro-tiles for `matmul`, 4-wide dot products for
+//!   `matmul_t`), which changes memory traffic but not the order in which any
+//!   single output element receives its contributions;
+//! * the *threaded* kernels partition **output rows** across
+//!   `std::thread::scope` workers; every element is still computed by the
+//!   same blocked code on one thread, so the result is independent of the
+//!   worker count.
+//!
+//! Floating-point addition is deterministic for a fixed operand order, so
+//! "same per-element order" ⇒ "same bits" — for finite values, signed zeros,
+//! and NaN/∞ alike. The property tests in `tests/kernel_identity.rs` pin this
+//! across rectangular and degenerate shapes, thread counts, and non-finite
+//! inputs; `exp_kernel_bench` gates it again at benchmark scale.
+//!
+//! [`Parallelism`] is the knob the rest of the system plumbs through
+//! (trainer minibatches, CardNet batch estimation, the serve worker pool,
+//! `report::evaluate`): a worker-count hint that the kernels clamp by the
+//! number of output rows and by a minimum useful work size, so callers can
+//! pass one config everywhere without tiny products paying thread-spawn
+//! overhead.
+
+use crate::matrix::Matrix;
+
+/// Rows per register micro-tile in the blocked `matmul`.
+const MR: usize = 4;
+/// Columns per register micro-tile in the blocked `matmul` (two 8-lane f32
+/// vectors — fixed width so the inner loops vectorize).
+const NR: usize = 16;
+
+/// Minimum multiply-adds a worker thread must have before the kernels spawn
+/// it. The kernels run at tens of GFLOP/s, so 4M MACs ≈ 100–200 µs of work —
+/// comfortably above a `thread::scope` spawn+join (~20 µs), which keeps
+/// threading from ever losing to its own overhead on small products.
+/// Callers that need fine-grained parallelism regardless (tests, coarse
+/// per-row fan-outs that amortize one spawn over many kernel calls) use
+/// [`Parallelism::exact_threads`] or partition above the kernel layer.
+const MIN_WORK_PER_THREAD: usize = 4_000_000;
+
+/// How many worker threads the compute kernels may use.
+///
+/// A `Parallelism` is a *hint*: kernels clamp it by the number of output rows
+/// (each row is computed entirely by one worker — that is what makes the
+/// result bit-identical) and, unless constructed with
+/// [`Parallelism::exact_threads`], by a minimum-work-per-thread threshold so
+/// small products stay serial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Parallelism {
+    threads: usize,
+    /// Skip the minimum-work clamp (tests and micro-benchmarks).
+    force: bool,
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Parallelism::serial()
+    }
+}
+
+impl Parallelism {
+    /// Single-threaded (the default everywhere).
+    pub const fn serial() -> Parallelism {
+        Parallelism {
+            threads: 1,
+            force: false,
+        }
+    }
+
+    /// At most `n` worker threads (`0` is treated as `1`).
+    pub fn threads(n: usize) -> Parallelism {
+        Parallelism {
+            threads: n.max(1),
+            force: false,
+        }
+    }
+
+    /// One worker per available hardware thread.
+    pub fn auto() -> Parallelism {
+        Parallelism::threads(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Exactly `n` workers whenever the shape allows it, ignoring the
+    /// minimum-work clamp. Meant for tests and benchmarks that must exercise
+    /// the threaded path on small inputs; production callers want
+    /// [`Parallelism::threads`].
+    pub fn exact_threads(n: usize) -> Parallelism {
+        Parallelism {
+            threads: n.max(1),
+            force: true,
+        }
+    }
+
+    /// The configured worker-count hint.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    pub fn is_serial(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// The larger of two hints (config merging: an estimator's own setting
+    /// vs. a per-call override).
+    pub fn max(self, other: Parallelism) -> Parallelism {
+        Parallelism {
+            threads: self.threads.max(other.threads),
+            force: self.force || other.force,
+        }
+    }
+
+    /// Effective worker count for `tasks` independent tasks totalling `work`
+    /// multiply-adds: the hint, clamped by the task count and (unless
+    /// constructed with [`Parallelism::exact_threads`]) by the minimum
+    /// useful work per thread.
+    pub fn workers(&self, tasks: usize, work: usize) -> usize {
+        let cap = if self.force {
+            tasks
+        } else {
+            tasks.min((work / MIN_WORK_PER_THREAD).max(1))
+        };
+        self.threads.min(cap)
+    }
+}
+
+/// Partitions a row-major buffer of `row_len`-wide rows into contiguous row
+/// ranges and runs `task(first_row, row_chunk)` on each — on the calling
+/// thread when `workers <= 1`, else across `std::thread::scope` workers (the
+/// calling thread takes the first chunk instead of idling).
+///
+/// Each row is handed to exactly one worker, which is what lets higher-level
+/// fan-outs (per-distance encoder passes, per-query evaluation) stay
+/// bit-identical to their serial order.
+pub fn partition_rows<F>(out: &mut [f32], row_len: usize, workers: usize, task: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    if row_len == 0 || out.is_empty() {
+        task(0, out);
+        return;
+    }
+    let rows = out.len() / row_len;
+    let workers = workers.clamp(1, rows.max(1));
+    if workers <= 1 {
+        task(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(workers);
+    let mut chunks = out.chunks_mut(chunk_rows * row_len).enumerate();
+    let first = chunks.next();
+    std::thread::scope(|s| {
+        for (t, chunk) in chunks {
+            let task = &task;
+            s.spawn(move || task(t * chunk_rows, chunk));
+        }
+        if let Some((t, chunk)) = first {
+            task(t * chunk_rows, chunk);
+        }
+    });
+}
+
+impl Matrix {
+    /// `self @ other` through the blocked (and, when `par` allows, threaded)
+    /// kernel. Bit-identical to [`Matrix::matmul`] for every input.
+    pub fn matmul_with(&self, other: &Matrix, par: Parallelism) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul shape mismatch: {}x{} @ {}x{}",
+            self.rows(),
+            self.cols(),
+            other.rows(),
+            other.cols()
+        );
+        // Same batch-level finiteness rule as the scalar kernel: the sparse
+        // skip is only sound when no skipped term could hide a 0·NaN / 0·∞.
+        let skip_zeros = other.all_finite();
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        let n = other.cols();
+        let k = self.cols();
+        // Per-call kernel choice — both orders are bit-identical, so this is
+        // purely a throughput decision: a sparse left operand (binary
+        // features, post-ReLU activations) favors the saxpy order whose zero
+        // skip drops whole rows of work; a dense one favors register tiles.
+        let sparse_left = skip_zeros && {
+            let nonzero = self.as_slice().iter().filter(|&&v| v != 0.0).count();
+            4 * nonzero < 3 * self.len().max(1)
+        };
+        let work = self.rows() * k * n;
+        let workers = par.workers(self.rows(), work);
+        partition_rows(out.as_mut_slice(), n, workers, |first_row, chunk| {
+            if sparse_left {
+                matmul_rows_saxpy(self.as_slice(), k, other.as_slice(), n, first_row, chunk);
+            } else {
+                matmul_rows(
+                    self.as_slice(),
+                    k,
+                    other.as_slice(),
+                    n,
+                    first_row,
+                    chunk,
+                    skip_zeros,
+                );
+            }
+        });
+        out
+    }
+
+    /// `selfᵀ @ other` through the row-partitioned kernel. Bit-identical to
+    /// [`Matrix::t_matmul`] for every input.
+    pub fn t_matmul_with(&self, other: &Matrix, par: Parallelism) -> Matrix {
+        assert_eq!(self.rows(), other.rows(), "t_matmul shape mismatch");
+        let skip_zeros = other.all_finite();
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        let n = other.cols();
+        let k = self.cols();
+        let samples = self.rows();
+        let work = samples * k * n;
+        let workers = par.workers(k, work);
+        partition_rows(out.as_mut_slice(), n, workers, |first_row, chunk| {
+            t_matmul_rows(
+                self.as_slice(),
+                k,
+                other.as_slice(),
+                n,
+                samples,
+                first_row,
+                chunk,
+                skip_zeros,
+            );
+        });
+        out
+    }
+
+    /// `self @ otherᵀ` through the blocked/threaded kernel. Bit-identical to
+    /// [`Matrix::matmul_t`] for every input.
+    pub fn matmul_t_with(&self, other: &Matrix, par: Parallelism) -> Matrix {
+        assert_eq!(self.cols(), other.cols(), "matmul_t shape mismatch");
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        let n = other.rows();
+        let k = self.cols();
+        let work = self.rows() * k * n;
+        let workers = par.workers(self.rows(), work);
+        partition_rows(out.as_mut_slice(), n, workers, |first_row, chunk| {
+            matmul_t_rows(self.as_slice(), k, other.as_slice(), n, first_row, chunk);
+        });
+        out
+    }
+}
+
+/// Blocked `matmul` over output rows `first_row ..` of `a @ b`, writing into
+/// `out` (a contiguous chunk of the output, `len = rows_here * n`).
+///
+/// Register micro-tiles of `MR × NR` accumulators; the inner dimension `k`
+/// runs ascending over the *full* range for each tile, and the zero skip is
+/// decided per `(row, k)` exactly like the scalar kernel — so each output
+/// element sees the identical sequence of `f32` additions.
+///
+/// All three row kernels take raw slices + dimensions rather than `&Matrix`
+/// deliberately: slice parameters carry `noalias` guarantees at the function
+/// boundary, while a heap buffer loaded through a struct reference does not
+/// — and without that LLVM refuses to vectorize the inner tile loops once
+/// the kernel is reachable from the threaded fan-out (measured ~4× slower).
+fn matmul_rows(
+    ad: &[f32],
+    kk: usize,
+    bd: &[f32],
+    n: usize,
+    first_row: usize,
+    out: &mut [f32],
+    skip_zeros: bool,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    let a_row = |r: usize| -> &[f32] { &ad[r * kk..(r + 1) * kk] };
+    let mut r = 0;
+    while r + MR <= rows {
+        let a_rows: [&[f32]; MR] = std::array::from_fn(|i| a_row(first_row + r + i));
+        matmul_row_block::<MR>(a_rows, bd, kk, n, &mut out[r * n..(r + MR) * n], skip_zeros);
+        r += MR;
+    }
+    while r < rows {
+        matmul_row_block::<1>(
+            [a_row(first_row + r)],
+            bd,
+            kk,
+            n,
+            &mut out[r * n..(r + 1) * n],
+            skip_zeros,
+        );
+        r += 1;
+    }
+}
+
+/// The reference kernel's i-k-j saxpy order restricted to a row range (the
+/// sparse-left dispatch of [`Matrix::matmul_with`]). Zero skip always on —
+/// this path is only chosen when `other` is all-finite. Per-element
+/// accumulation order matches [`Matrix::matmul`] exactly.
+fn matmul_rows_saxpy(
+    ad: &[f32],
+    kk: usize,
+    bd: &[f32],
+    n: usize,
+    first_row: usize,
+    out: &mut [f32],
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let a_row = &ad[(first_row + r) * kk..(first_row + r + 1) * kk];
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (k, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[k * n..k * n + n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `M` rows of `a @ b` into `out` (`M * n` floats): fixed-width `M × NR`
+/// register tiles over full column tiles, a dynamic-width tail for the last
+/// partial tile. Per output element the accumulation is ascending `k` with
+/// the scalar kernel's zero-skip decision — identical op sequence, identical
+/// bits.
+#[inline]
+fn matmul_row_block<const M: usize>(
+    a_rows: [&[f32]; M],
+    bd: &[f32],
+    kk: usize,
+    n: usize,
+    out: &mut [f32],
+    skip_zeros: bool,
+) {
+    let mut j0 = 0;
+    while j0 + NR <= n {
+        let mut acc = [[0.0f32; NR]; M];
+        for k in 0..kk {
+            let bt: &[f32; NR] = bd[k * n + j0..k * n + j0 + NR]
+                .try_into()
+                .expect("NR-wide tile");
+            for (acc_row, a_row) in acc.iter_mut().zip(&a_rows) {
+                let av = a_row[k];
+                if skip_zeros && av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in acc_row.iter_mut().zip(bt) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (i, acc_row) in acc.iter().enumerate() {
+            out[i * n + j0..i * n + j0 + NR].copy_from_slice(acc_row);
+        }
+        j0 += NR;
+    }
+    if j0 < n {
+        let jw = n - j0;
+        let mut acc = [[0.0f32; NR]; M];
+        for k in 0..kk {
+            let bt = &bd[k * n + j0..k * n + j0 + jw];
+            for (acc_row, a_row) in acc.iter_mut().zip(&a_rows) {
+                let av = a_row[k];
+                if skip_zeros && av == 0.0 {
+                    continue;
+                }
+                for (o, &bv) in acc_row[..jw].iter_mut().zip(bt) {
+                    *o += av * bv;
+                }
+            }
+        }
+        for (i, acc_row) in acc.iter().enumerate() {
+            out[i * n + j0..i * n + j0 + jw].copy_from_slice(&acc_row[..jw]);
+        }
+    }
+}
+
+/// `aᵀ @ b` restricted to output rows `first_row ..` (columns of `a`).
+/// `ad` is `samples × kk`, `bd` is `samples × n`.
+///
+/// The scalar kernel accumulates output row `k` as contributions in
+/// ascending sample order `r`; restricting `k` to this worker's range keeps
+/// that per-element order untouched.
+#[allow(clippy::too_many_arguments)] // slice+dims boundary, see matmul_rows
+fn t_matmul_rows(
+    ad: &[f32],
+    kk: usize,
+    bd: &[f32],
+    n: usize,
+    samples: usize,
+    first_row: usize,
+    out: &mut [f32],
+    skip_zeros: bool,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows_here = out.len() / n;
+    if rows_here == 0 {
+        return;
+    }
+    for r in 0..samples {
+        let a_seg = &ad[r * kk + first_row..r * kk + first_row + rows_here];
+        let b_row = &bd[r * n..r * n + n];
+        for (k_local, &av) in a_seg.iter().enumerate() {
+            if skip_zeros && av == 0.0 {
+                continue;
+            }
+            let out_row = &mut out[k_local * n..k_local * n + n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// `a @ bᵀ` over output rows `first_row ..`: independent register-accumulated
+/// dot products, four output columns at a time so each `a` row load is
+/// reused. Ascending-`k` accumulation per element, like the scalar kernel.
+/// `ad` is `rows × kk`, `bd` is `n × kk`.
+fn matmul_t_rows(ad: &[f32], kk: usize, bd: &[f32], n: usize, first_row: usize, out: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let a_row = &ad[(first_row + r) * kk..(first_row + r + 1) * kk];
+        let out_row = &mut out[r * n..(r + 1) * n];
+        let mut j = 0;
+        while j + 4 <= n {
+            let b0 = &bd[j * kk..(j + 1) * kk];
+            let b1 = &bd[(j + 1) * kk..(j + 2) * kk];
+            let b2 = &bd[(j + 2) * kk..(j + 3) * kk];
+            let b3 = &bd[(j + 3) * kk..(j + 4) * kk];
+            let (mut acc0, mut acc1, mut acc2, mut acc3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for (k, &av) in a_row.iter().enumerate() {
+                acc0 += av * b0[k];
+                acc1 += av * b1[k];
+                acc2 += av * b2[k];
+                acc3 += av * b3[k];
+            }
+            out_row[j] = acc0;
+            out_row[j + 1] = acc1;
+            out_row[j + 2] = acc2;
+            out_row[j + 3] = acc3;
+            j += 4;
+        }
+        while j < n {
+            let b_row = &bd[j * kk..(j + 1) * kk];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn filled(rows: usize, cols: usize, f: impl FnMut(usize, usize) -> f32) -> Matrix {
+        Matrix::from_fn(rows, cols, f)
+    }
+
+    fn assert_bits_eq(want: &Matrix, got: &Matrix, what: &str) {
+        assert_eq!(want.shape(), got.shape(), "{what}: shape");
+        for (i, (w, g)) in want.as_slice().iter().zip(got.as_slice()).enumerate() {
+            assert_eq!(
+                w.to_bits(),
+                g.to_bits(),
+                "{what}: element {i} differs ({w} vs {g})"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_clamps_and_merges() {
+        assert_eq!(Parallelism::threads(0).thread_count(), 1);
+        assert!(Parallelism::serial().is_serial());
+        assert!(Parallelism::auto().thread_count() >= 1);
+        let merged = Parallelism::threads(2).max(Parallelism::threads(5));
+        assert_eq!(merged.thread_count(), 5);
+        // Small work stays serial under a plain hint, threads under exact.
+        assert_eq!(Parallelism::threads(8).workers(100, 1000), 1);
+        assert_eq!(Parallelism::exact_threads(8).workers(100, 1000), 8);
+        assert_eq!(Parallelism::exact_threads(8).workers(3, 1000), 3);
+        assert_eq!(Parallelism::threads(8).workers(100, 64_000_000), 8);
+    }
+
+    #[test]
+    fn blocked_matches_scalar_on_mixed_shapes() {
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (9, 13, 17), (4, 8, 8), (7, 3, 9)] {
+            let a = filled(m, k, |r, c| {
+                if (r + c) % 3 == 0 {
+                    0.0
+                } else {
+                    (r as f32 - 0.5) * 0.3 + c as f32 * 0.1
+                }
+            });
+            let b = filled(k, n, |r, c| (r * n + c) as f32 * 0.01 - 0.7);
+            assert_bits_eq(
+                &a.matmul(&b),
+                &a.matmul_with(&b, Parallelism::serial()),
+                "matmul",
+            );
+            let bt = b.transpose();
+            assert_bits_eq(
+                &a.matmul_t(&bt),
+                &a.matmul_t_with(&bt, Parallelism::serial()),
+                "matmul_t",
+            );
+            let at = a.transpose();
+            assert_bits_eq(
+                &at.t_matmul(&b),
+                &at.t_matmul_with(&b, Parallelism::serial()),
+                "t_matmul",
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_matches_scalar_for_every_worker_count() {
+        let a = filled(13, 21, |r, c| if c % 4 == 0 { 0.0 } else { (r + c) as f32 });
+        let b = filled(21, 10, |r, c| (r as f32 - c as f32) * 0.25);
+        let want = a.matmul(&b);
+        for t in [1, 2, 3, 4, 7, 16] {
+            assert_bits_eq(
+                &want,
+                &a.matmul_with(&b, Parallelism::exact_threads(t)),
+                "threads",
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_handled() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(
+            a.matmul_with(&b, Parallelism::exact_threads(4)).shape(),
+            (0, 3)
+        );
+        let a = Matrix::zeros(3, 0);
+        let b = Matrix::zeros(0, 2);
+        let c = a.matmul_with(&b, Parallelism::exact_threads(2));
+        assert_eq!(c.shape(), (3, 2));
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+        let a = Matrix::zeros(2, 5);
+        let b = Matrix::zeros(5, 0);
+        assert_eq!(
+            a.matmul_with(&b, Parallelism::exact_threads(2)).shape(),
+            (2, 0)
+        );
+    }
+
+    #[test]
+    fn nonfinite_inputs_propagate_identically() {
+        let a = filled(5, 6, |r, c| match (r + c) % 4 {
+            0 => 0.0,
+            1 => 1.5,
+            _ => -0.25,
+        });
+        let mut b = filled(6, 5, |r, c| (r * 5 + c) as f32 * 0.1);
+        b.set(2, 3, f32::NAN);
+        b.set(4, 0, f32::INFINITY);
+        let want = a.matmul(&b);
+        assert!(want.as_slice().iter().any(|v| v.is_nan()));
+        for t in [1, 2, 4] {
+            assert_bits_eq(
+                &want,
+                &a.matmul_with(&b, Parallelism::exact_threads(t)),
+                "nan matmul",
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Reusable layer abstractions: dense layers and MLP stacks.
 
 use crate::init;
+use crate::kernels::Parallelism;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
@@ -109,7 +110,14 @@ impl Dense {
 
     /// Tape-free forward pass (inference fast path).
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let mut h = x.matmul(store.value(self.w));
+        self.infer_with(store, x, Parallelism::serial())
+    }
+
+    /// [`Dense::infer`] with an explicit kernel worker budget. Threaded
+    /// kernels are bit-identical to the scalar path, so the result never
+    /// depends on `par`.
+    pub fn infer_with(&self, store: &ParamStore, x: &Matrix, par: Parallelism) -> Matrix {
+        let mut h = x.matmul_with(store.value(self.w), par);
         let b = store.value(self.b);
         for r in 0..h.rows() {
             for (v, &bias) in h.row_mut(r).iter_mut().zip(b.row(0)) {
@@ -179,9 +187,15 @@ impl Mlp {
     }
 
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let mut h = self.layers[0].infer(store, x);
+        self.infer_with(store, x, Parallelism::serial())
+    }
+
+    /// [`Mlp::infer`] with an explicit kernel worker budget (bit-identical
+    /// for any `par`).
+    pub fn infer_with(&self, store: &ParamStore, x: &Matrix, par: Parallelism) -> Matrix {
+        let mut h = self.layers[0].infer_with(store, x, par);
         for layer in &self.layers[1..] {
-            h = layer.infer(store, &h);
+            h = layer.infer_with(store, &h, par);
         }
         h
     }

@@ -6,6 +6,9 @@
 //!
 //! * [`matrix::Matrix`] — contiguous row-major `f32` matrices with the handful
 //!   of BLAS-like kernels the models need,
+//! * [`kernels`] — cache-blocked and multi-threaded variants of those
+//!   kernels, bit-identical to the scalar reference by construction, behind
+//!   the [`kernels::Parallelism`] config,
 //! * [`tape::Tape`] — a dynamic reverse-mode autodiff tape over matrices,
 //! * [`params::ParamStore`] — named trainable parameters plus their gradients,
 //! * [`optim`] — Adam and SGD,
@@ -15,9 +18,13 @@
 //!
 //! The engine is deliberately small: models in this workspace are a few
 //! hundred kilobytes of parameters, so clarity and determinism (seeded RNG,
-//! reproducible iteration order) win over raw throughput.
+//! reproducible iteration order) win over raw throughput. The [`kernels`]
+//! layer recovers throughput without giving up determinism: blocked and
+//! threaded products keep every output element's scalar accumulation order,
+//! so any thread count produces the same bits.
 
 pub mod init;
+pub mod kernels;
 pub mod layers;
 pub mod loss;
 pub mod matrix;
@@ -27,6 +34,7 @@ pub mod rng;
 pub mod tape;
 pub mod vae;
 
+pub use kernels::Parallelism;
 pub use layers::{Activation, Dense, Mlp};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};

@@ -133,21 +133,35 @@ impl Matrix {
         self.data.iter_mut().for_each(|v| *v = 0.0);
     }
 
+    /// Whether every element is finite (no NaN, no ±∞). One linear scan —
+    /// the batch-level check that makes the sparse zero-skip in
+    /// [`Matrix::matmul`] / [`Matrix::t_matmul`] sound.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
     /// `self @ other` — the workhorse. i-k-j loop order keeps the inner loop
     /// a contiguous saxpy that LLVM auto-vectorizes.
+    ///
+    /// Binary inputs are sparse, so `a == 0.0` terms are skipped — but only
+    /// after a batch-level finiteness check of `other`: skipping `0 · NaN`
+    /// or `0 · ∞` would silently launder a diverged operand into a healthy
+    /// zero, so when `other` carries any non-finite value the kernel runs
+    /// dense and lets IEEE propagation do its job.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul shape mismatch: {}x{} @ {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        let skip_zeros = other.all_finite();
         let mut out = Matrix::zeros(self.rows, other.cols);
         let n = other.cols;
         for i in 0..self.rows {
             let a_row = self.row(i);
             let out_row = out.row_mut(i);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zeros && a == 0.0 {
                     continue; // binary inputs are sparse; skipping zeros is a real win
                 }
                 let b_row = &other.data[k * n..k * n + n];
@@ -159,16 +173,18 @@ impl Matrix {
         out
     }
 
-    /// `selfᵀ @ other` without materializing the transpose.
+    /// `selfᵀ @ other` without materializing the transpose. The sparse
+    /// zero-skip follows the same finiteness rule as [`Matrix::matmul`].
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul shape mismatch");
+        let skip_zeros = other.all_finite();
         let mut out = Matrix::zeros(self.cols, other.cols);
         let n = other.cols;
         for r in 0..self.rows {
             let a_row = self.row(r);
             let b_row = other.row(r);
             for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if skip_zeros && a == 0.0 {
                     continue;
                 }
                 let out_row = &mut out.data[k * n..k * n + n];
@@ -415,6 +431,37 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_propagates_nonfinite_through_zero_terms() {
+        // A diverged weight matrix must never masquerade as healthy: the
+        // sparse skip may not turn 0·NaN / 0·∞ into silent zeros.
+        let a = m(1, 2, &[0.0, 1.0]);
+        let b = m(2, 2, &[f32::NAN, f32::INFINITY, 2.0, 3.0]);
+        let c = a.matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0·NaN + 1·2 must be NaN");
+        assert!(c.get(0, 1).is_nan(), "0·∞ + 1·3 must be NaN");
+        // Non-finite values on the *left* already propagate (never skipped).
+        let a = m(1, 2, &[f32::NAN, 0.0]);
+        let b = m(2, 1, &[1.0, 1.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan());
+        // All-finite operands keep the fast sparse path and exact values.
+        assert!(m(2, 2, &[0.0, 1.0, 2.0, 3.0]).all_finite());
+        assert!(!m(1, 2, &[1.0, f32::NEG_INFINITY]).all_finite());
+        let a = m(1, 2, &[0.0, 2.0]);
+        let b = m(2, 2, &[5.0, 6.0, 7.0, 8.0]);
+        assert_eq!(a.matmul(&b).as_slice(), &[14.0, 16.0]);
+    }
+
+    #[test]
+    fn t_matmul_propagates_nonfinite_through_zero_terms() {
+        // aᵀ @ b with a zero in `a` aligned against an ∞ row of `b`.
+        let a = m(2, 1, &[0.0, 1.0]);
+        let b = m(2, 2, &[f32::INFINITY, 1.0, 2.0, 3.0]);
+        let c = a.t_matmul(&b);
+        assert!(c.get(0, 0).is_nan(), "0·∞ + 1·2 must be NaN");
+        assert_eq!(c.get(0, 1), 3.0); // 0·1 + 1·3 — the finite column is exact
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! Gradient correctness for every op is checked against central finite
 //! differences in this module's tests.
 
+use crate::kernels::Parallelism;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, ParamStore};
 
@@ -72,11 +73,28 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// Worker budget for the matrix products recorded on (and
+    /// back-propagated through) this tape. Threaded kernels are bit-identical
+    /// to the scalar ones, so this changes wall clock, never results.
+    par: Parallelism,
 }
 
 impl Tape {
     pub fn new() -> Self {
-        Tape { nodes: Vec::new() }
+        Tape::default()
+    }
+
+    /// A tape whose matmul forward/backward kernels may use `par` workers.
+    pub fn with_parallelism(par: Parallelism) -> Self {
+        Tape {
+            nodes: Vec::new(),
+            par,
+        }
+    }
+
+    /// The configured kernel parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.par
     }
 
     /// Number of recorded nodes (diagnostic).
@@ -118,7 +136,9 @@ impl Tape {
     }
 
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let value = self.nodes[a.0]
+            .value
+            .matmul_with(&self.nodes[b.0].value, self.par);
         self.push(value, Op::MatMul(a.0, b.0))
     }
 
@@ -345,8 +365,8 @@ impl Tape {
                 Op::Param(id) => store.accumulate_grad(*id, &grad),
                 Op::MatMul(a, b) => {
                     let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
-                    deltas.push((*a, grad.matmul_t(bv)));
-                    deltas.push((*b, av.t_matmul(&grad)));
+                    deltas.push((*a, grad.matmul_t_with(bv, self.par)));
+                    deltas.push((*b, av.t_matmul_with(&grad, self.par)));
                 }
                 Op::AddRow(a, b) => {
                     deltas.push((*b, grad.col_sums()));

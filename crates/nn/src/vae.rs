@@ -156,8 +156,19 @@ impl Vae {
 
     /// Deterministic latent `μ(x)` — the inference-time representation.
     pub fn latent_mean(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let h = self.encoder.infer(store, x);
-        self.mu_head.infer(store, &h)
+        self.latent_mean_with(store, x, crate::kernels::Parallelism::serial())
+    }
+
+    /// [`Vae::latent_mean`] with an explicit kernel worker budget
+    /// (bit-identical for any `par`).
+    pub fn latent_mean_with(
+        &self,
+        store: &ParamStore,
+        x: &Matrix,
+        par: crate::kernels::Parallelism,
+    ) -> Matrix {
+        let h = self.encoder.infer_with(store, x, par);
+        self.mu_head.infer_with(store, &h, par)
     }
 
     /// Builds the deterministic latent on a tape (lets gradients fine-tune the

@@ -1,0 +1,161 @@
+//! Property tests pinning the kernel-layer contract: the blocked and
+//! threaded variants of `matmul` / `t_matmul` / `matmul_t` produce outputs
+//! **bit-identical** to the scalar reference kernels — across rectangular
+//! and degenerate shapes (0×n, 1×1, non-square), across 1/2/4 workers, and
+//! with non-finite inputs (NaN, ±∞, ±0.0) in the mix.
+//!
+//! Bitwise comparison (not approximate) is the point: the serving cache,
+//! the snapshot system, and the train-serial-vs-threaded guarantee all rely
+//! on "thread count changes wall clock, never bits".
+
+use cardest_nn::kernels::Parallelism;
+use cardest_nn::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic matrix fill mixing the value classes that matter: exact
+/// zeros (the sparse-skip path), negative zeros, ordinary finite values, and
+/// — when `nonfinite` — NaN and ±∞.
+fn matrix_from_seed(rows: usize, cols: usize, seed: u64, nonfinite: bool) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |_, _| {
+        let roll: f64 = rng.gen();
+        if roll < 0.30 {
+            0.0
+        } else if roll < 0.36 {
+            -0.0
+        } else if nonfinite && roll < 0.40 {
+            f32::NAN
+        } else if nonfinite && roll < 0.44 {
+            f32::INFINITY
+        } else if nonfinite && roll < 0.48 {
+            f32::NEG_INFINITY
+        } else {
+            rng.gen_range(-2.0f32..2.0)
+        }
+    })
+}
+
+fn assert_bits_eq(want: &Matrix, got: &Matrix, what: &str) {
+    assert_eq!(want.shape(), got.shape(), "{what}: shape mismatch");
+    for (i, (w, g)) in want.as_slice().iter().zip(got.as_slice()).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            g.to_bits(),
+            "{what}: element {i} differs: {w} vs {g}"
+        );
+    }
+}
+
+/// The worker configurations under test: serial/blocked, plus forced 1-, 2-
+/// and 4-thread partitions (forced so tiny shapes still exercise the real
+/// partitioning code paths).
+fn variants() -> [(&'static str, Parallelism); 4] {
+    [
+        ("blocked/serial", Parallelism::serial()),
+        ("threads=1", Parallelism::exact_threads(1)),
+        ("threads=2", Parallelism::exact_threads(2)),
+        ("threads=4", Parallelism::exact_threads(4)),
+    ]
+}
+
+fn check_all_kernels(m: usize, k: usize, n: usize, seed: u64, nonfinite: bool) {
+    // matmul: (m×k) @ (k×n).
+    let a = matrix_from_seed(m, k, seed, nonfinite);
+    let b = matrix_from_seed(k, n, seed ^ 0x9E37_79B9, nonfinite);
+    let want = a.matmul(&b);
+    for (label, par) in variants() {
+        assert_bits_eq(&want, &a.matmul_with(&b, par), &format!("matmul {label}"));
+    }
+
+    // t_matmul: (m×k)ᵀ @ (m×n) — shares the m-dimension.
+    let a2 = matrix_from_seed(m, k, seed ^ 0xDEAD_BEEF, nonfinite);
+    let b2 = matrix_from_seed(m, n, seed ^ 0xFACE_FEED, nonfinite);
+    let want = a2.t_matmul(&b2);
+    for (label, par) in variants() {
+        assert_bits_eq(
+            &want,
+            &a2.t_matmul_with(&b2, par),
+            &format!("t_matmul {label}"),
+        );
+    }
+
+    // matmul_t: (m×k) @ (n×k)ᵀ — shares the k-dimension.
+    let a3 = matrix_from_seed(m, k, seed ^ 0x0123_4567, nonfinite);
+    let b3 = matrix_from_seed(n, k, seed ^ 0x89AB_CDEF, nonfinite);
+    let want = a3.matmul_t(&b3);
+    for (label, par) in variants() {
+        assert_bits_eq(
+            &want,
+            &a3.matmul_t_with(&b3, par),
+            &format!("matmul_t {label}"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random rectangular shapes up to 21 per dimension (covers the 4×8
+    /// micro-tile interior, every edge remainder, and single-row/column
+    /// cases), finite values with many exact/negative zeros.
+    #[test]
+    fn kernels_bit_identical_on_finite_inputs(
+        m in 0usize..22,
+        k in 0usize..22,
+        n in 0usize..22,
+        seed in any::<u64>(),
+    ) {
+        check_all_kernels(m, k, n, seed, false);
+    }
+
+    /// Same property with NaN / ±∞ mixed in: the dense fallback (the
+    /// sparse skip is disabled by the finiteness pre-check) must also be
+    /// order-identical across variants — NaN for NaN, bit for bit.
+    #[test]
+    fn kernels_bit_identical_on_nonfinite_inputs(
+        m in 0usize..16,
+        k in 0usize..16,
+        n in 0usize..16,
+        seed in any::<u64>(),
+    ) {
+        check_all_kernels(m, k, n, seed, true);
+    }
+
+    /// Degenerate shapes: at least one dimension pinned to zero, any
+    /// worker count. (0×n) @ (n×m), (m×0) @ (0×n), and friends.
+    #[test]
+    fn kernels_handle_degenerate_shapes(
+        m in 0usize..6,
+        k in 0usize..6,
+        n in 0usize..6,
+        which in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = match which {
+            0 => (0, k, n),
+            1 => (m, 0, n),
+            _ => (m, k, 0),
+        };
+        check_all_kernels(m, k, n, seed, true);
+    }
+}
+
+/// Larger-than-cache-tile shapes hit the multi-chunk threaded path with
+/// every worker owning many rows; one deterministic heavyweight case keeps
+/// the proptest suite fast while still covering the "real" regime.
+#[test]
+fn kernels_bit_identical_at_model_scale() {
+    // Typical CardNet shapes: batch 64, features ~160, hidden 96.
+    check_all_kernels(64, 160, 96, 0xC0DE, false);
+    // Sparse-binary-heavy left operand, like real extracted features.
+    let a = Matrix::from_fn(64, 160, |r, c| {
+        f32::from(u8::from((r * 7 + c * 3) % 5 == 0))
+    });
+    let b = matrix_from_seed(160, 96, 7, false);
+    let want = a.matmul(&b);
+    for (label, par) in variants() {
+        assert_bits_eq(&want, &a.matmul_with(&b, par), &format!("sparse {label}"));
+    }
+}

@@ -145,6 +145,10 @@ impl Shard {
     }
 
     fn insert(&mut self, epoch: u64, fp: u64, tau: usize, value: f64) {
+        if self.capacity == 0 {
+            // Disabled shard: never allocate a node just to evict it.
+            return;
+        }
         if let Some(&idx) = self.index.get(&(epoch, fp)).and_then(|t| t.get(&tau)) {
             // Re-computation under the same epoch is deterministic, so the
             // value cannot actually change — but refresh recency regardless.
@@ -193,10 +197,13 @@ impl Shard {
 }
 
 /// The sharded cache. A `capacity` of 0 disables it entirely (every lookup
-/// misses, every insert is dropped) — useful for apples-to-apples compute
-/// benchmarks.
+/// misses without even touching a shard lock, every insert is dropped) —
+/// useful for apples-to-apples compute benchmarks.
 pub struct EstimateCache {
     shards: Vec<Mutex<Shard>>,
+    /// `capacity > 0`, hoisted out of the shards so the disabled cache costs
+    /// one branch on the hot path, not a mutex acquisition.
+    enabled: bool,
 }
 
 impl EstimateCache {
@@ -207,6 +214,7 @@ impl EstimateCache {
             shards: (0..N_SHARDS)
                 .map(|_| Mutex::new(Shard::new(per_shard)))
                 .collect(),
+            enabled: capacity > 0,
         }
     }
 
@@ -218,23 +226,27 @@ impl EstimateCache {
     }
 
     pub fn is_enabled(&self) -> bool {
-        self.shards[0].lock().expect("cache poisoned").capacity > 0
+        self.enabled
     }
 
     pub fn lookup(&self, epoch: u64, fp: u64, tau: usize) -> CacheLookup {
-        let mut shard = self.shard(epoch, fp).lock().expect("cache poisoned");
-        if shard.capacity == 0 {
+        if !self.enabled {
             return CacheLookup::Miss;
         }
-        shard.lookup(epoch, fp, tau)
+        self.shard(epoch, fp)
+            .lock()
+            .expect("cache poisoned")
+            .lookup(epoch, fp, tau)
     }
 
     pub fn insert(&self, epoch: u64, fp: u64, tau: usize, value: f64) {
-        let mut shard = self.shard(epoch, fp).lock().expect("cache poisoned");
-        if shard.capacity == 0 {
+        if !self.enabled {
             return;
         }
-        shard.insert(epoch, fp, tau, value);
+        self.shard(epoch, fp)
+            .lock()
+            .expect("cache poisoned")
+            .insert(epoch, fp, tau, value);
     }
 
     /// Number of live entries across all shards.
@@ -247,6 +259,18 @@ impl EstimateCache {
 
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Number of live `(epoch, fp)` groups in the τ-indexes across all
+    /// shards. Every group holds at least one entry — eviction removes
+    /// emptied groups — so this never exceeds [`EstimateCache::len`]; it is
+    /// the invariant that keeps hot-swap churn (a new epoch per publish)
+    /// from accumulating empty index maps.
+    pub fn index_groups(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").index.len())
+            .sum()
     }
 }
 
@@ -337,6 +361,51 @@ mod tests {
         for tau in 0..12 {
             let _ = cache.lookup(1, 5, tau);
         }
+    }
+
+    #[test]
+    fn zero_capacity_inserts_allocate_nothing() {
+        // The documented "disable" mode must be free: no node allocation,
+        // no linking, no immediate eviction — and no shard-index entries.
+        let cache = EstimateCache::new(0);
+        for fp in 0..100 {
+            cache.insert(1, fp, 3, fp as f64);
+        }
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.index_groups(), 0);
+        assert!(!cache.is_enabled());
+        assert_eq!(cache.lookup(1, 0, 3), CacheLookup::Miss);
+        // Defense in depth: even a direct shard insert at capacity 0 is a
+        // no-op (no alloc-then-evict churn).
+        let mut shard = Shard::new(0);
+        shard.insert(1, 1, 1, 1.0);
+        assert_eq!(shard.len, 0);
+        assert!(shard.nodes.is_empty(), "no node may be allocated");
+        assert!(shard.index.is_empty());
+    }
+
+    #[test]
+    fn eviction_removes_emptied_index_groups_under_epoch_churn() {
+        // Hot-swap churn: every publish bumps the epoch, so old (epoch, fp)
+        // groups stop being hit and age out. If eviction left emptied
+        // BTreeMaps behind, `index` would grow without bound; instead every
+        // live group holds ≥ 1 entry, so groups ≤ entries always.
+        let capacity = 2 * N_SHARDS;
+        let cache = EstimateCache::new(capacity);
+        for epoch in 0..200u64 {
+            for fp in 0..3u64 {
+                cache.insert(epoch, fp, (epoch % 7) as usize, epoch as f64);
+            }
+        }
+        assert!(cache.len() <= capacity, "LRU bound violated");
+        assert!(
+            cache.index_groups() <= cache.len(),
+            "emptied (epoch, fp) groups leaked: {} groups for {} entries",
+            cache.index_groups(),
+            cache.len()
+        );
+        // Distinct (epoch, fp, τ) keys ⇒ exactly one entry per group here.
+        assert_eq!(cache.index_groups(), cache.len());
     }
 
     #[test]

@@ -57,6 +57,13 @@ pub struct ServeConfig {
     /// θ-sweep over a repeated query turns into exact hits. `0` (default)
     /// keeps the plain batched-kernel path.
     pub cache_curve_points: usize,
+    /// Worker threads the batched compute kernel may use *per micro-batch*
+    /// (plumbed into [`cardest_core::CardinalityEstimator::estimate_batch_par`]).
+    /// Threaded kernels are bit-identical to the scalar path, so this is a
+    /// latency knob with no effect on served estimates. Default 1: the pool
+    /// already runs `workers` batches concurrently, so intra-batch threading
+    /// pays off mainly for large batches on big machines.
+    pub kernel_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +77,7 @@ impl Default for ServeConfig {
             cache_capacity: 4096,
             bound_tolerance: 0.0,
             cache_curve_points: 0,
+            kernel_threads: 1,
         }
     }
 }
@@ -505,7 +513,7 @@ fn serve_group(
         // from curve-derived brackets or exact hits.
         let refs: Vec<&PreparedQuery> = unique.iter().map(|&i| &pending[i].prepared).collect();
         estimator
-            .curve_batch(&refs)
+            .curve_batch_par(&refs, cfg.kernel_threads)
             .into_iter()
             .zip(&unique)
             .map(|(curve, &i)| {
@@ -521,7 +529,7 @@ fn serve_group(
         let refs: Vec<&PreparedQuery> = unique.iter().map(|&i| &pending[i].prepared).collect();
         let thetas: Vec<f64> = unique.iter().map(|&i| pending[i].job.req.theta).collect();
         estimator
-            .estimate_batch(&refs, &thetas)
+            .estimate_batch_par(&refs, &thetas, cfg.kernel_threads)
             .into_iter()
             .map(|e| RowResult::Scalar(e.value))
             .collect()
@@ -595,6 +603,7 @@ mod tests {
             cache_capacity: 0,
             bound_tolerance: 0.0,
             cache_curve_points: 0,
+            kernel_threads: 1,
         }
     }
 
@@ -704,6 +713,7 @@ mod tests {
                 // Seed every curve point: the first request computes once,
                 // the rest of the sweep is exact hits.
                 cache_curve_points: tau_max + 1,
+                kernel_threads: 1,
             },
         );
         let first = service
@@ -749,6 +759,7 @@ mod tests {
                 cache_capacity: 4096,
                 bound_tolerance: 0.0,
                 cache_curve_points: 2,
+                kernel_threads: 1,
             },
         );
         // A whole θ-sweep of one query submitted before draining: every τ is
@@ -815,6 +826,7 @@ mod tests {
                 cache_capacity: 0,
                 bound_tolerance: 0.0,
                 cache_curve_points: 0,
+                kernel_threads: 1,
             },
         );
         // 16 distinct queries submitted before any response is drained: the
@@ -856,6 +868,7 @@ mod tests {
                 cache_capacity: 0, // coalescing is intra-batch, not the cache
                 bound_tolerance: 0.0,
                 cache_curve_points: 0,
+                kernel_threads: 1,
             },
         );
         let q = Arc::new(ds.records[2].clone());

@@ -122,6 +122,13 @@ impl ServiceStats {
     }
 }
 
+/// Geometric midpoint of latency bucket `b`, i.e. of `[2^b, 2^{b+1})` ns:
+/// `2^b · √2`. Every quantile read — including the saturated top bucket —
+/// reports this midpoint, so quantiles stay mutually consistent.
+fn bucket_geometric_midpoint(b: usize) -> Duration {
+    Duration::from_nanos((2f64.powi(b as i32) * std::f64::consts::SQRT_2).round() as u64)
+}
+
 /// A point-in-time copy of [`ServiceStats`] with derived rates/quantiles.
 #[derive(Clone, Debug)]
 pub struct StatsSnapshot {
@@ -178,7 +185,9 @@ impl StatsSnapshot {
 
     /// Approximate latency quantile (`q` in `[0, 1]`) from the log-bucketed
     /// histogram: the geometric midpoint of the bucket holding the q-th
-    /// request. Resolution is a factor of √2 — plenty for p50/p99 reporting.
+    /// request. Buckets cover `[2^b, 2^{b+1})`, so the resolution is a
+    /// factor of 2 (each reported value is within √2 of the true one) —
+    /// plenty for p50/p99 reporting.
     pub fn latency_quantile(&self, q: f64) -> Duration {
         let total: u64 = self.latency_hist.iter().sum();
         if total == 0 {
@@ -189,12 +198,13 @@ impl StatsSnapshot {
         for (b, &count) in self.latency_hist.iter().enumerate() {
             seen += count;
             if seen >= target {
-                // Geometric midpoint of [2^b, 2^{b+1}) = 2^b · √2.
-                let ns = (2f64.powi(b as i32) * std::f64::consts::SQRT_2).round() as u64;
-                return Duration::from_nanos(ns);
+                return bucket_geometric_midpoint(b);
             }
         }
-        Duration::from_nanos(1 << (self.latency_hist.len() - 1))
+        // Unreachable (the counts sum to `total`), but stay consistent with
+        // the per-bucket midpoint convention rather than returning the
+        // saturated bucket's *edge*.
+        bucket_geometric_midpoint(self.latency_hist.len() - 1)
     }
 
     /// `(size-range label, count)` rows for the non-empty batch buckets.
@@ -251,15 +261,27 @@ mod tests {
     #[test]
     fn latency_quantiles_are_ordered() {
         let stats = ServiceStats::new();
-        for us in [1u64, 10, 10, 10, 100, 100, 1000, 10_000] {
+        for us in [1u64, 10, 10, 10, 10, 100, 100, 1000, 10_000] {
             stats.record_latency(Duration::from_micros(us));
         }
+        // An absurd latency lands in (and saturates into) the top bucket.
+        let huge = Duration::from_secs(400_000); // ~4.6 days > 2^47 ns
+        stats.record_latency(huge);
         let snap = stats.snapshot();
         let p50 = snap.latency_quantile(0.50);
         let p99 = snap.latency_quantile(0.99);
+        let p100 = snap.latency_quantile(1.0);
         assert!(p50 <= p99, "{p50:?} > {p99:?}");
+        assert!(p99 <= p100, "{p99:?} > {p100:?}");
         assert!(p50 >= Duration::from_micros(5) && p50 <= Duration::from_micros(20));
-        assert!(p99 >= Duration::from_micros(5_000));
+        // The overflow bucket reports its geometric midpoint — the same
+        // convention as every other bucket — not the bucket edge.
+        let top = LATENCY_BUCKETS - 1;
+        let expected =
+            Duration::from_nanos((2f64.powi(top as i32) * std::f64::consts::SQRT_2).round() as u64);
+        assert_eq!(p100, expected);
+        assert!(p100 >= Duration::from_nanos(1 << top));
+        assert!(p100 < Duration::from_nanos(1 << (top + 1)));
         assert_eq!(
             StatsSnapshot::default_zero().latency_quantile(0.5),
             Duration::ZERO

@@ -62,6 +62,7 @@ fn play(
             cache_capacity: 1024,
             bound_tolerance: 0.0,
             cache_curve_points: 0,
+            kernel_threads: 1,
         },
     );
     let receivers: Vec<_> = stream
@@ -148,6 +149,7 @@ fn hot_swap_mid_stream_is_atomic_and_epoch_tagged() {
             cache_capacity: 512,
             bound_tolerance: 0.0,
             cache_curve_points: 0,
+            kernel_threads: 1,
         },
     );
 
