@@ -57,7 +57,19 @@ impl SampleKeys {
         q: &Record,
         sample: impl Iterator<Item = &'a Record>,
     ) -> SampleKeys {
-        let mut keys: Vec<f64> = sample.map(|s| decision_key(distance, q, s)).collect();
+        let mut keys: Vec<f64> = match distance.kind {
+            // Batched word-parallel XOR+popcount: the query's words stay hot
+            // across the whole sample scan. Hamming distances are exact
+            // integers, so the keys are identical to the per-record
+            // `decision_key` path — this is purely a throughput fast path.
+            DistanceKind::Hamming => q
+                .as_bits()
+                .hamming_many(sample.map(Record::as_bits))
+                .into_iter()
+                .map(f64::from)
+                .collect(),
+            _ => sample.map(|s| decision_key(distance, q, s)).collect(),
+        };
         keys.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         SampleKeys(keys)
     }

@@ -139,14 +139,14 @@ impl CardinalityEstimator for DlDnn {
     /// path, so batch estimates are bit-identical to scalar `estimate`
     /// calls (pinned by the `batched_dnn_matches_scalar_bitwise` test).
     fn estimate_batch(&self, prepared: &[&PreparedQuery], thetas: &[f64]) -> Vec<Estimate> {
-        self.estimate_batch_par(prepared, thetas, 1)
+        self.estimate_batch_par(prepared, thetas, Parallelism::serial())
     }
 
     fn estimate_batch_par(
         &self,
         prepared: &[&PreparedQuery],
         thetas: &[f64],
-        threads: usize,
+        par: Parallelism,
     ) -> Vec<Estimate> {
         assert_eq!(
             prepared.len(),
@@ -169,9 +169,7 @@ impl CardinalityEstimator for DlDnn {
             row[dim] = (theta / self.theta_max.max(1e-12)) as f32;
         }
         let x = Matrix::from_vec(prepared.len(), width, data);
-        let pred = self
-            .mlp
-            .infer_with(&self.store, &x, Parallelism::threads(threads));
+        let pred = self.mlp.infer_with(&self.store, &x, par);
         let source: Arc<str> = CardinalityEstimator::name(self).into();
         (0..prepared.len())
             .map(|r| Estimate::exact(f64::from(pred.get(r, 0))).with_source(Arc::clone(&source)))
@@ -355,7 +353,7 @@ mod tests {
         let prepared: Vec<PreparedQuery> = queries.iter().map(|q| dnn.prepare(q)).collect();
         let refs: Vec<&PreparedQuery> = prepared.iter().collect();
         for threads in [1usize, 4] {
-            let batch = dnn.estimate_batch_par(&refs, &thetas, threads);
+            let batch = dnn.estimate_batch_par(&refs, &thetas, Parallelism::threads(threads));
             for ((q, &theta), got) in queries.iter().zip(&thetas).zip(&batch) {
                 let want = dnn.estimate(q, theta);
                 assert_eq!(

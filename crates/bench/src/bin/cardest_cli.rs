@@ -24,7 +24,7 @@ use cardest_core::model::CardNetConfig;
 use cardest_core::snapshot::Snapshot;
 use cardest_core::train::{train_cardnet, TrainerOptions};
 use cardest_core::CardNetEstimator;
-use cardest_core::Parallelism;
+use cardest_core::{KernelBackend, Parallelism};
 use cardest_data::synth::{self, SynthConfig};
 use cardest_data::{io as dio, Dataset, Workload};
 use cardest_fx::build_extractor;
@@ -66,17 +66,23 @@ const USAGE: &str = "usage:
   cardest_cli gen      --kind <hm|ed|jc|eu> --n <records> [--seed <u64>] --out <file>
   cardest_cli train    --data <file> --model <file> [--accelerated] [--epochs <n>] [--tau-max <n>]
                        [--threads <n kernel workers; 0 = all cores>]
+                       [--kernel-backend <scalar|blocked|simd|auto>]
   cardest_cli estimate --data <file> --model <file> --query <record-index> --theta <f64> [--curve]
                        [--threads <n kernel workers; 0 = all cores>]
+                       [--kernel-backend <scalar|blocked|simd|auto>]
   cardest_cli estimate --data <file> --model <file> --queries <file with `<index> <theta>` lines>
   cardest_cli serve    --data <file> --model <file> [--workers <n>] [--batch-max <n>]
                        [--batch-window-us <n>] [--cache <entries>] [--bound-tolerance <f64>]
                        [--cache-curve-points <n>] [--pipeline <n outstanding>]
                        [--kernel-threads <n per micro-batch>]
+                       [--kernel-backend <scalar|blocked|simd|auto>]
   cardest_cli stats    --data <file>
 
-Thread counts only change wall clock: the threaded kernels are bit-identical
-to the scalar ones, so estimates and trained weights never depend on them.";
+Thread counts and kernel backends only change wall clock: every kernel tier
+(scalar, blocked, explicit SIMD) is bit-identical, so estimates and trained
+weights never depend on them. Without --kernel-backend the process default
+applies: the CARDEST_KERNEL_BACKEND env var if set, else the best the CPU
+supports (AVX-512 → AVX2 → blocked).";
 
 type Flags = HashMap<String, String>;
 
@@ -162,6 +168,7 @@ fn cmd_train(flags: &Flags) -> Result<(), String> {
     let opts = TrainerOptions {
         epochs,
         threads,
+        kernel_backend: kernel_backend_flag(flags)?,
         ..TrainerOptions::default()
     };
     let (trainer, report) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
@@ -189,7 +196,7 @@ fn load_estimator(flags: &Flags) -> Result<(Dataset, CardNetEstimator), String> 
     // deterministic, and `into_estimator` rejects any mismatch.
     let fx = build_extractor(&ds, snap.tau_max, 1);
     let mut est = snap.into_estimator(fx).map_err(|e| e.to_string())?;
-    est.set_parallelism(Parallelism::threads(kernel_threads_flag(flags, "threads")?));
+    est.set_parallelism(kernel_parallelism_flags(flags, "threads")?);
     Ok((ds, est))
 }
 
@@ -201,6 +208,26 @@ fn kernel_threads_flag(flags: &Flags, name: &str) -> Result<usize, String> {
     } else {
         n
     })
+}
+
+/// Reads `--kernel-backend`; absent means "process default" (the
+/// `CARDEST_KERNEL_BACKEND` env var, else CPU auto-detection), `auto` pins
+/// the detected best tier explicitly.
+fn kernel_backend_flag(flags: &Flags) -> Result<Option<KernelBackend>, String> {
+    match flags.get("kernel-backend") {
+        None => Ok(None),
+        Some(v) => KernelBackend::parse(v).map(Some).ok_or_else(|| {
+            format!("--kernel-backend: `{v}` not recognized (want scalar|blocked|simd|auto)")
+        }),
+    }
+}
+
+/// The kernel budget from `--threads`-style and `--kernel-backend` flags.
+fn kernel_parallelism_flags(flags: &Flags, threads_flag: &str) -> Result<Parallelism, String> {
+    Ok(
+        Parallelism::threads(kernel_threads_flag(flags, threads_flag)?)
+            .with_backend_opt(kernel_backend_flag(flags)?),
+    )
 }
 
 /// Parses one `<record-index> <theta>` request line.
@@ -237,6 +264,7 @@ fn serve_config_from_flags(flags: &Flags) -> Result<ServeConfig, String> {
         bound_tolerance: parsed(flags, "bound-tolerance", 0.0)?,
         cache_curve_points: parsed(flags, "cache-curve-points", 0usize)?,
         kernel_threads: kernel_threads_flag(flags, "kernel-threads")?,
+        kernel_backend: kernel_backend_flag(flags)?,
     })
 }
 

@@ -1,8 +1,9 @@
 //! `exp_kernel_bench`: compute-kernel benchmark and bit-identity gate.
 //!
-//! Measures the three kernel tiers — scalar reference, cache-blocked, and
-//! blocked + row-partitioned threads — on model-shaped matrix products
-//! (GFLOP/s), then at the system level:
+//! Measures the kernel tiers — scalar reference, cache-blocked, explicit
+//! SIMD (AVX2/AVX-512 runtime dispatch), and best-backend + row-partitioned
+//! threads — on model-shaped matrix products (GFLOP/s), then at the system
+//! level:
 //!
 //! * **train-epoch** wall clock, serial vs. threaded trainer — and the
 //!   trained parameter stores must be *bit-identical* (same RNG schedule,
@@ -14,10 +15,13 @@
 //! Writes `BENCH_kernels.json` (override the path with `CARDEST_BENCH_OUT`)
 //! and exits non-zero when a gate fails:
 //!
-//! 1. every blocked/threaded result must match the scalar kernels bit for
-//!    bit (always enforced);
+//! 1. every blocked/SIMD/threaded result must match the scalar kernels bit
+//!    for bit (always enforced);
 //! 2. with >1 hardware thread, the threaded paths must not be *slower* than
-//!    scalar on the headline measurements (the CI gate at quick scale).
+//!    scalar on the headline measurements (the CI gate at quick scale);
+//! 3. on hosts with AVX2 (or better), the explicit-SIMD backend must not be
+//!    slower than the blocked backend (best ratio across shapes, with a 5%
+//!    noise tolerance).
 //!
 //! The ≥2× speedup target applies on a multi-core runner; the report prints
 //! where each measurement landed. Honors `CARDEST_SCALE` (`quick` | `full`).
@@ -25,7 +29,9 @@
 use cardest_bench::{report, Scale};
 use cardest_core::model::CardNetConfig;
 use cardest_core::train::{train_cardnet, Trainer, TrainerOptions};
-use cardest_core::{CardNetEstimator, CardinalityEstimator, Parallelism, PreparedQuery};
+use cardest_core::{
+    CardNetEstimator, CardinalityEstimator, KernelBackend, Parallelism, PreparedQuery,
+};
 use cardest_data::synth::{hm_imagenet, SynthConfig};
 use cardest_data::Workload;
 use cardest_fx::build_extractor;
@@ -41,14 +47,23 @@ struct KernelRow {
     m: usize,
     k: usize,
     n: usize,
+    /// Whether the left operand is binary-sparse — those shapes route every
+    /// backend through the same zero-skipping saxpy order, so their
+    /// simd-vs-blocked ratio says nothing about the tile kernels.
+    sparse: bool,
     scalar_gflops: f64,
     blocked_gflops: f64,
+    simd_gflops: f64,
     threaded_gflops: f64,
 }
 
 impl KernelRow {
     fn threaded_speedup(&self) -> f64 {
         self.threaded_gflops / self.scalar_gflops.max(1e-12)
+    }
+
+    fn simd_vs_blocked(&self) -> f64 {
+        self.simd_gflops / self.blocked_gflops.max(1e-12)
     }
 }
 
@@ -67,10 +82,14 @@ impl WallClockRow {
 fn main() -> ExitCode {
     let scale = Scale::from_env();
     let threads = Parallelism::auto().thread_count();
+    let simd_active = KernelBackend::simd_available();
     eprintln!(
-        "# exp_kernel_bench (scalar vs blocked vs threaded kernels), scale = {}, {} hardware threads",
+        "# exp_kernel_bench (scalar vs blocked vs simd vs threaded kernels), scale = {}, \
+         {} hardware threads, simd = {} (default backend: {})",
         scale.label(),
-        threads
+        threads,
+        KernelBackend::simd_support(),
+        KernelBackend::default_backend().label(),
     );
 
     // Bit-identity breaks and performance-gate misses are tracked apart:
@@ -95,11 +114,13 @@ fn main() -> ExitCode {
         ]
     };
     let par = Parallelism::threads(threads);
+    let pin_blocked = Parallelism::serial().with_backend(KernelBackend::Blocked);
+    let pin_simd = Parallelism::serial().with_backend(KernelBackend::Simd);
     let mut kernel_rows: Vec<KernelRow> = Vec::new();
     println!("## matmul kernels (GFLOP/s, best of 5)\n");
     println!(
-        "{:<16} {:>14} {:>9} {:>9} {:>9} {:>9}",
-        "shape", "m×k×n", "scalar", "blocked", "threaded", "speedup"
+        "{:<16} {:>14} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "shape", "m×k×n", "scalar", "blocked", "simd", "threaded", "speedup"
     );
     for &(name, m, k, n, sparse) in shapes {
         let a = if sparse {
@@ -114,7 +135,16 @@ fn main() -> ExitCode {
 
         let reference = a.matmul(&b);
         for (label, p) in [
-            ("blocked", Parallelism::serial()),
+            (
+                "scalar-backend",
+                Parallelism::serial().with_backend(KernelBackend::Scalar),
+            ),
+            ("blocked", pin_blocked),
+            ("simd", pin_simd),
+            (
+                "simd threads=2",
+                Parallelism::exact_threads(2).with_backend(KernelBackend::Simd),
+            ),
             ("threaded", par),
             ("threads=2", Parallelism::exact_threads(2)),
         ] {
@@ -123,28 +153,50 @@ fn main() -> ExitCode {
                 identity_failures.push(format!("{name}: {label} matmul diverged from scalar"));
             }
         }
+        // The other two products are gated here too (the proptests cover
+        // them at small shapes; this is the benchmark-scale check).
+        let bt = b.transpose();
+        let at = a.transpose();
+        let want_mt = a.matmul_t(&bt);
+        let want_tm = at.t_matmul(&b);
+        for (label, p) in [
+            ("blocked", pin_blocked),
+            ("simd", pin_simd),
+            ("threaded", par),
+        ] {
+            if !bits_equal(&want_mt, &a.matmul_t_with(&bt, p)) {
+                identity_failures.push(format!("{name}: {label} matmul_t diverged from scalar"));
+            }
+            if !bits_equal(&want_tm, &at.t_matmul_with(&b, p)) {
+                identity_failures.push(format!("{name}: {label} t_matmul diverged from scalar"));
+            }
+        }
 
         let flops = 2.0 * (m * k * n) as f64;
         let scalar = best_gflops(flops, || std::hint::black_box(a.matmul(&b)));
         let blocked = best_gflops(flops, || {
-            std::hint::black_box(a.matmul_with(&b, Parallelism::serial()))
+            std::hint::black_box(a.matmul_with(&b, pin_blocked))
         });
+        let simd = best_gflops(flops, || std::hint::black_box(a.matmul_with(&b, pin_simd)));
         let threaded = best_gflops(flops, || std::hint::black_box(a.matmul_with(&b, par)));
         let row = KernelRow {
             name,
             m,
             k,
             n,
+            sparse,
             scalar_gflops: scalar,
             blocked_gflops: blocked,
+            simd_gflops: simd,
             threaded_gflops: threaded,
         };
         println!(
-            "{:<16} {:>14} {:>9.2} {:>9.2} {:>9.2} {:>8.2}x",
+            "{:<16} {:>14} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>8.2}x",
             row.name,
             format!("{m}x{k}x{n}"),
             row.scalar_gflops,
             row.blocked_gflops,
+            row.simd_gflops,
             row.threaded_gflops,
             row.threaded_speedup()
         );
@@ -213,7 +265,7 @@ fn main() -> ExitCode {
     let refs: Vec<&PreparedQuery> = prepared.iter().collect();
 
     let serial_values = est.estimate_batch(&refs, &thetas);
-    let threaded_values = est.estimate_batch_par(&refs, &thetas, threads);
+    let threaded_values = est.estimate_batch_par(&refs, &thetas, par);
     let batch_identical = serial_values
         .iter()
         .zip(&threaded_values)
@@ -221,11 +273,30 @@ fn main() -> ExitCode {
     if !batch_identical {
         identity_failures.push("estimate_batch_par diverged from estimate_batch".into());
     }
+    // Every pinned backend serves the same bits through the batched path.
+    for backend in [
+        KernelBackend::Scalar,
+        KernelBackend::Blocked,
+        KernelBackend::Simd,
+    ] {
+        let pinned =
+            est.estimate_batch_par(&refs, &thetas, Parallelism::serial().with_backend(backend));
+        if !serial_values
+            .iter()
+            .zip(&pinned)
+            .all(|(a, b)| a.value.to_bits() == b.value.to_bits())
+        {
+            identity_failures.push(format!(
+                "estimate_batch_par({}) diverged from estimate_batch",
+                backend.label()
+            ));
+        }
+    }
     let serial_batch_s = best_seconds(3, || {
         std::hint::black_box(est.estimate_batch(&refs, &thetas));
     });
     let threaded_batch_s = best_seconds(3, || {
-        std::hint::black_box(est.estimate_batch_par(&refs, &thetas, threads));
+        std::hint::black_box(est.estimate_batch_par(&refs, &thetas, par));
     });
     let batch_row = WallClockRow {
         name: "batch-estimate",
@@ -289,6 +360,34 @@ fn main() -> ExitCode {
             ));
         }
     }
+    // The SIMD gate: on AVX2-capable hosts the explicit-SIMD backend must
+    // not lose to the blocked one, judged on the **dense** shapes only —
+    // the sparse shapes route both backends through the identical saxpy
+    // order (ratio ≈ 1 by construction), so including them would let a
+    // dense-tile regression hide behind a sparse-shape ratio. 5% tolerance
+    // absorbs runner noise.
+    let best_dense_simd_ratio = kernel_rows
+        .iter()
+        .filter(|r| !r.sparse)
+        .map(KernelRow::simd_vs_blocked)
+        .fold(f64::NAN, f64::max);
+    if simd_active {
+        println!(
+            "simd backend ({}) vs blocked on dense shapes: best ratio {best_dense_simd_ratio:.2}x",
+            KernelBackend::simd_support()
+        );
+        // NaN (no dense shape measured) must fail too.
+        if best_dense_simd_ratio.is_nan() || best_dense_simd_ratio < 0.95 {
+            failures.push(format!(
+                "simd backend slower than blocked on an AVX2-capable host: \
+                 best dense-shape ratio {best_dense_simd_ratio:.2}x"
+            ));
+        }
+    } else {
+        println!(
+            "simd backend: no AVX2 on this host — dispatch fell back to blocked (gate skipped)"
+        );
+    }
     let two_x = best_wall_speedup >= 2.0 || best_kernel_speedup >= 2.0;
     println!(
         "\nbest kernel speedup {best_kernel_speedup:.2}x, best wall-clock speedup {best_wall_speedup:.2}x — ≥2x target {} ({} threads)",
@@ -306,6 +405,7 @@ fn main() -> ExitCode {
         &[&train_row, &batch_row, &eval_row],
         identity_failures.is_empty(),
         two_x,
+        simd_active,
     );
     if let Err(e) = std::fs::write(&out_path, json) {
         failures.push(format!("cannot write {out_path}: {e}"));
@@ -373,6 +473,7 @@ fn stores_equal(a: &Trainer, b: &Trainer) -> bool {
         .all(|(ia, ib)| sa.name(ia) == sb.name(ib) && bits_equal(sa.value(ia), sb.value(ib)))
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     scale: &Scale,
     threads: usize,
@@ -380,11 +481,23 @@ fn render_json(
     walls: &[&WallClockRow],
     bit_identity_pass: bool,
     two_x_met: bool,
+    simd_active: bool,
 ) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"scale\": \"{}\",", scale.label());
     let _ = writeln!(s, "  \"hardware_threads\": {threads},");
+    let _ = writeln!(
+        s,
+        "  \"simd_support\": \"{}\",",
+        KernelBackend::simd_support()
+    );
+    let _ = writeln!(s, "  \"simd_active\": {simd_active},");
+    let _ = writeln!(
+        s,
+        "  \"default_backend\": \"{}\",",
+        KernelBackend::default_backend().label()
+    );
     let _ = writeln!(s, "  \"bit_identity_pass\": {bit_identity_pass},");
     let _ = writeln!(s, "  \"speedup_2x_met\": {two_x_met},");
     let _ = writeln!(s, "  \"kernels\": [");
@@ -393,6 +506,7 @@ fn render_json(
             s,
             "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \
              \"scalar_gflops\": {:.4}, \"blocked_gflops\": {:.4}, \
+             \"simd_gflops\": {:.4}, \"simd_vs_blocked\": {:.4}, \
              \"threaded_gflops\": {:.4}, \"threaded_speedup\": {:.4}}}{}",
             r.name,
             r.m,
@@ -400,6 +514,8 @@ fn render_json(
             r.n,
             r.scalar_gflops,
             r.blocked_gflops,
+            r.simd_gflops,
+            r.simd_vs_blocked(),
             r.threaded_gflops,
             r.threaded_speedup(),
             if i + 1 < kernels.len() { "," } else { "" }

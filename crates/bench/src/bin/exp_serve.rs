@@ -118,6 +118,7 @@ fn main() -> ExitCode {
                         bound_tolerance: 0.0,
                         cache_curve_points: 0,
                         kernel_threads: 1,
+                        kernel_backend: None,
                     },
                     clients,
                 );
@@ -175,6 +176,7 @@ fn main() -> ExitCode {
             bound_tolerance: 0.0,
             cache_curve_points: 0,
             kernel_threads: 1,
+            kernel_backend: None,
         },
         8.min(n_requests),
     );
@@ -234,6 +236,7 @@ fn main() -> ExitCode {
             bound_tolerance: tolerance,
             cache_curve_points: 0,
             kernel_threads: 1,
+            kernel_backend: None,
         },
         8.min(n_requests),
     );

@@ -383,30 +383,31 @@ pub trait CardinalityEstimator: Send + Sync {
             .collect()
     }
 
-    /// [`CardinalityEstimator::estimate_batch`] with a kernel worker-count
-    /// hint. Estimators whose batched kernel can thread (bit-identically)
-    /// override this; the default ignores the hint — correct for every
-    /// estimator, since threading is an optimization, never a semantic.
-    /// The serve worker pool plumbs `ServeConfig::kernel_threads` through
-    /// here.
+    /// [`CardinalityEstimator::estimate_batch`] with a kernel budget: a
+    /// worker-count hint plus an optionally pinned
+    /// [`cardest_nn::KernelBackend`]. Estimators whose batched kernel can
+    /// exploit it (bit-identically) override this; the default ignores the
+    /// hint — correct for every estimator, since threading and backend
+    /// choice are optimizations, never semantics. The serve worker pool
+    /// plumbs `ServeConfig::kernel_parallelism()` through here.
     fn estimate_batch_par(
         &self,
         prepared: &[&PreparedQuery],
         thetas: &[f64],
-        threads: usize,
+        par: Parallelism,
     ) -> Vec<Estimate> {
-        let _ = threads;
+        let _ = par;
         self.estimate_batch(prepared, thetas)
     }
 
-    /// [`CardinalityEstimator::curve_batch`] with a kernel worker-count hint
+    /// [`CardinalityEstimator::curve_batch`] with a kernel budget
     /// (see [`CardinalityEstimator::estimate_batch_par`]).
     fn curve_batch_par(
         &self,
         prepared: &[&PreparedQuery],
-        threads: usize,
+        par: Parallelism,
     ) -> Vec<CardinalityCurve> {
-        let _ = threads;
+        let _ = par;
         self.curve_batch(prepared)
     }
 
@@ -748,19 +749,20 @@ impl CardinalityEstimator for CardNetEstimator {
         self.estimate_batch_impl(prepared, thetas, self.par)
     }
 
-    /// The batched kernel with extra workers (still bit-identical): the
-    /// serving worker pool plumbs `ServeConfig::kernel_threads` here.
+    /// The batched kernel with an extra worker/backend budget (still
+    /// bit-identical): the serving worker pool plumbs
+    /// `ServeConfig::kernel_parallelism()` here.
     fn estimate_batch_par(
         &self,
         prepared: &[&PreparedQuery],
         thetas: &[f64],
-        threads: usize,
+        par: Parallelism,
     ) -> Vec<Estimate> {
-        self.estimate_batch_impl(
-            prepared,
-            thetas,
-            self.par.max(Parallelism::threads(threads)),
-        )
+        // Caller first: `Parallelism::max` keeps the left side's backend
+        // pin, so a per-call override (e.g. `ServeConfig::kernel_backend`)
+        // beats the estimator's own setting; thread counts still merge by
+        // maximum either way.
+        self.estimate_batch_impl(prepared, thetas, par.max(self.par))
     }
 
     /// One batched kernel run for the whole batch of full curves: every
@@ -774,9 +776,10 @@ impl CardinalityEstimator for CardNetEstimator {
     fn curve_batch_par(
         &self,
         prepared: &[&PreparedQuery],
-        threads: usize,
+        par: Parallelism,
     ) -> Vec<CardinalityCurve> {
-        self.curve_batch_impl(prepared, self.par.max(Parallelism::threads(threads)))
+        // Caller first — see `estimate_batch_par`.
+        self.curve_batch_impl(prepared, par.max(self.par))
     }
 
     fn name(&self) -> String {
@@ -988,10 +991,25 @@ mod tests {
         for (x, y) in serial_curve.values().iter().zip(curve.values()) {
             assert_eq!(x.to_bits(), y.to_bits());
         }
-        // The trait-level worker hint is also bit-stable.
-        let hinted = est.estimate_batch_par(&refs, &thetas, 4);
+        // The trait-level kernel budget is also bit-stable — across worker
+        // hints and pinned backends alike.
+        let hinted = est.estimate_batch_par(&refs, &thetas, Parallelism::threads(4));
         for (a, b) in serial_batch.iter().zip(&hinted) {
             assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
+        for backend in [
+            cardest_nn::KernelBackend::Scalar,
+            cardest_nn::KernelBackend::Blocked,
+            cardest_nn::KernelBackend::Simd,
+        ] {
+            let pinned = est.estimate_batch_par(
+                &refs,
+                &thetas,
+                Parallelism::threads(2).with_backend(backend),
+            );
+            for (a, b) in serial_batch.iter().zip(&pinned) {
+                assert_eq!(a.value.to_bits(), b.value.to_bits(), "{}", backend.label());
+            }
         }
     }
 

@@ -69,7 +69,7 @@ pub mod model;
 pub mod snapshot;
 pub mod train;
 
-pub use cardest_nn::Parallelism;
+pub use cardest_nn::{KernelBackend, Parallelism};
 pub use estimator::{
     next_instance_id, prepared_feature_matrix, prepared_features_into, CardNetEstimator,
     CardinalityCurve, CardinalityEstimator, Estimate, PreparedQuery,

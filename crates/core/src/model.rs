@@ -529,7 +529,9 @@ impl CardNetModel {
                 d,
                 x.as_slice()[first_row * d..(first_row + rows_here) * d].to_vec(),
             );
-            let dist = self.infer_dist_batch_rows(store, &sub, Parallelism::serial());
+            // One worker per chunk, but a backend pinned by the caller must
+            // survive the coarse fan-out into the per-chunk kernels.
+            let dist = self.infer_dist_batch_rows(store, &sub, par.serial_worker());
             chunk.copy_from_slice(dist.as_slice());
         });
         out

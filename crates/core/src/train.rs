@@ -42,6 +42,11 @@ pub struct TrainerOptions {
     /// serial). Threaded kernels are bit-identical to the scalar path, so
     /// this changes training wall clock, never the trained parameters.
     pub threads: usize,
+    /// Pinned compute-kernel backend for the forward/backward products;
+    /// `None` resolves [`cardest_nn::KernelBackend::default_backend`]
+    /// (env override, else best the CPU supports). Every backend is
+    /// bit-identical, so this too can never change the trained parameters.
+    pub kernel_backend: Option<cardest_nn::KernelBackend>,
 }
 
 impl Default for TrainerOptions {
@@ -58,6 +63,7 @@ impl Default for TrainerOptions {
             seed: 0xC0DE,
             dynamic: true,
             threads: 1,
+            kernel_backend: None,
         }
     }
 }
@@ -129,9 +135,10 @@ impl Trainer {
         }
     }
 
-    /// The kernel worker budget derived from [`TrainerOptions::threads`].
+    /// The kernel budget derived from [`TrainerOptions::threads`] and
+    /// [`TrainerOptions::kernel_backend`].
     pub fn kernel_parallelism(&self) -> Parallelism {
-        Parallelism::threads(self.options.threads)
+        Parallelism::threads(self.options.threads).with_backend_opt(self.options.kernel_backend)
     }
 
     /// Pre-trains the VAE unsupervised on the binary representations

@@ -8,6 +8,20 @@
 use serde::{Deserialize, Serialize};
 
 /// A fixed-width binary vector packed into `u64` words.
+///
+/// Two representation invariants back the derived `PartialEq`/`Hash` (cache
+/// keys and dedup all over the system compare `BitVec`s structurally):
+///
+/// 1. `words.len() == len.div_ceil(64)` — every constructor allocates
+///    exactly the words the length needs, so two logically equal vectors
+///    can never differ in word count;
+/// 2. padding bits beyond `len` in the last word are zero — every mutator
+///    either cannot set them (in-range `set`/`flip` stay below `len`) or
+///    masks the last word so a release-mode out-of-range index cannot
+///    corrupt it.
+///
+/// The proptests at the bottom of this module drive random
+/// constructor/mutator sequences against both invariants.
 #[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BitVec {
     len: usize,
@@ -55,14 +69,23 @@ impl BitVec {
     /// Builds a `len`-bit vector from the low bits of `value` (bit 0 first).
     pub fn from_u64(value: u64, len: usize) -> Self {
         assert!(len <= 64);
-        let mask = if len == 64 {
-            u64::MAX
-        } else {
-            (1u64 << len) - 1
-        };
-        BitVec {
-            len,
-            words: vec![value & mask],
+        // Word count must follow `len` exactly: `from_u64(v, 0)` used to
+        // allocate one word while `zeros(0)` allocated none, making two
+        // logically equal vectors unequal under derived `PartialEq`/`Hash`.
+        let mut bv = BitVec::zeros(len);
+        if len > 0 {
+            bv.words[0] = value & Self::last_word_mask(len);
+        }
+        bv
+    }
+
+    /// Mask selecting the valid bits of the last word of a `len`-bit vector
+    /// (`u64::MAX` when the last word is full).
+    #[inline]
+    fn last_word_mask(len: usize) -> u64 {
+        match len % 64 {
+            0 => u64::MAX,
+            tail => (1u64 << tail) - 1,
         }
     }
 
@@ -88,10 +111,16 @@ impl BitVec {
 
     #[inline]
     pub fn set(&mut self, i: usize, v: bool) {
-        debug_assert!(i < self.len);
+        debug_assert!(i < self.len, "set out of range: {i} >= {}", self.len);
         let (w, b) = (i / 64, i % 64);
         if v {
             self.words[w] |= 1u64 << b;
+            // Release builds compile the assert away; masking keeps an
+            // out-of-range set from planting padding bits (same hazard as
+            // `flip`). Clearing a bit can never create one.
+            if w + 1 == self.words.len() {
+                self.words[w] &= Self::last_word_mask(self.len);
+            }
         } else {
             self.words[w] &= !(1u64 << b);
         }
@@ -99,8 +128,15 @@ impl BitVec {
 
     /// Flips bit `i`.
     pub fn flip(&mut self, i: usize) {
+        debug_assert!(i < self.len, "flip out of range: {i} >= {}", self.len);
         let (w, b) = (i / 64, i % 64);
         self.words[w] ^= 1u64 << b;
+        // In release builds the assert above compiles away; masking the last
+        // word keeps an out-of-range flip from setting padding bits, which
+        // would silently corrupt `count_ones`, `hamming`, and `Hash`.
+        if w + 1 == self.words.len() {
+            self.words[w] &= Self::last_word_mask(self.len);
+        }
     }
 
     /// Number of set bits.
@@ -110,20 +146,40 @@ impl BitVec {
 
     /// Hamming distance via XOR + popcount — the hot path of the whole
     /// system (both the oracle and feature space live here).
+    ///
+    /// Panics (in release builds too) on unequal widths: the old
+    /// `zip`-truncating behavior silently under-counted, which is a data
+    /// bug, not a programming convenience.
     #[inline]
     pub fn hamming(&self, other: &BitVec) -> u32 {
-        debug_assert_eq!(self.len, other.len, "hamming on unequal widths");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        assert_eq!(self.len, other.len, "hamming on unequal widths");
+        xor_popcount(&self.words, &other.words)
+    }
+
+    /// Batched Hamming distances `self ↔ others[i]`, one output per input.
+    ///
+    /// Same word-parallel XOR+popcount as [`BitVec::hamming`], but the
+    /// query's words stay hot across the whole batch — this is the scan
+    /// shape of the sampler baselines (DB-US/DB-SE key computation), where
+    /// one query is compared against every retained sample record.
+    pub fn hamming_many<'a, I>(&self, others: I) -> Vec<u32>
+    where
+        I: IntoIterator<Item = &'a BitVec>,
+    {
+        others
+            .into_iter()
+            .map(|other| {
+                assert_eq!(self.len, other.len, "hamming on unequal widths");
+                xor_popcount(&self.words, &other.words)
+            })
+            .collect()
     }
 
     /// Hamming distance, but stops early once it exceeds `bound`.
     /// Selection queries with a threshold use this to skip hopeless records.
     #[inline]
     pub fn hamming_within(&self, other: &BitVec, bound: u32) -> Option<u32> {
+        assert_eq!(self.len, other.len, "hamming on unequal widths");
         let mut total = 0;
         for (a, b) in self.words.iter().zip(&other.words) {
             total += (a ^ b).count_ones();
@@ -179,10 +235,35 @@ impl BitVec {
     }
 }
 
+/// XOR + popcount over two equal-length word slices, 4-way unrolled so the
+/// partial counts live in independent registers (the compiler folds each
+/// `count_ones` to a `popcnt`; the unroll hides its latency). Addition of
+/// counts is integer, so any grouping gives the same total.
+#[inline]
+fn xor_popcount(a: &[u64], b: &[u64]) -> u32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let mut acc = [0u32; 4];
+    for (wa, wb) in (&mut ca).zip(&mut cb) {
+        acc[0] += (wa[0] ^ wb[0]).count_ones();
+        acc[1] += (wa[1] ^ wb[1]).count_ones();
+        acc[2] += (wa[2] ^ wb[2]).count_ones();
+        acc[3] += (wa[3] ^ wb[3]).count_ones();
+    }
+    let mut total = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (wa, wb) in ca.remainder().iter().zip(cb.remainder()) {
+        total += (wa ^ wb).count_ones();
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
 
     #[test]
     fn from_bits_roundtrip() {
@@ -274,6 +355,150 @@ mod tests {
             match a.hamming_within(&b, bound) {
                 Some(d) => { prop_assert_eq!(d, exact); prop_assert!(d <= bound); }
                 None => prop_assert!(exact > bound),
+            }
+        }
+
+        /// `hamming_many` is a batched `hamming`: same distances, same order.
+        /// Widths span several words so the 4-way unrolled popcount loop and
+        /// its remainder both run.
+        #[test]
+        fn hamming_many_agrees_with_hamming(
+            bits_q in prop::collection::vec(any::<bool>(), 1..400),
+            flip_sets in prop::collection::vec(
+                prop::collection::vec(any::<prop::sample::Index>(), 0..12), 0..8),
+        ) {
+            let q = BitVec::from_bits(bits_q.iter().copied());
+            let others: Vec<BitVec> = flip_sets.iter().map(|flips| {
+                let mut o = q.clone();
+                for f in flips { o.flip(f.index(bits_q.len())); }
+                o
+            }).collect();
+            let batched = q.hamming_many(others.iter());
+            prop_assert_eq!(batched.len(), others.len());
+            for (got, o) in batched.iter().zip(&others) {
+                prop_assert_eq!(*got, q.hamming(o));
+            }
+        }
+    }
+
+    /// Representation invariants behind derived `PartialEq`/`Hash`:
+    /// word count tracks `len` exactly, padding bits beyond `len` stay zero.
+    fn assert_invariants(bv: &BitVec, what: &str) {
+        assert_eq!(
+            bv.words().len(),
+            bv.len().div_ceil(64),
+            "{what}: word count does not match len {}",
+            bv.len()
+        );
+        if let Some(&last) = bv.words().last() {
+            assert_eq!(
+                last & !BitVec::last_word_mask(bv.len()),
+                0,
+                "{what}: padding bits set beyond len {}",
+                bv.len()
+            );
+        }
+    }
+
+    fn hash_of(bv: &BitVec) -> u64 {
+        let mut h = DefaultHasher::new();
+        bv.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn empty_constructors_are_equal_and_hash_equal() {
+        // Regression: `from_u64(v, 0)` used to allocate one word while
+        // `zeros(0)` allocated none, splitting logically equal vectors under
+        // derived `PartialEq`/`Hash` (a cache-key and dedup hazard).
+        let a = BitVec::from_u64(0xDEAD_BEEF, 0);
+        let b = BitVec::zeros(0);
+        let c = BitVec::from_bits(std::iter::empty());
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_eq!(hash_of(&a), hash_of(&b));
+        assert_eq!(hash_of(&a), hash_of(&c));
+        assert_invariants(&a, "from_u64(_, 0)");
+        assert_invariants(&b, "zeros(0)");
+        assert_invariants(&c, "from_bits(empty)");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "flip out of range")]
+    fn flip_rejects_out_of_range_index() {
+        let mut bv = BitVec::zeros(10);
+        bv.flip(10);
+    }
+
+    #[test]
+    #[should_panic(expected = "hamming on unequal widths")]
+    fn hamming_rejects_unequal_widths_in_release_too() {
+        let a = BitVec::zeros(65);
+        let b = BitVec::zeros(64);
+        let _ = a.hamming(&b);
+    }
+
+    proptest! {
+        /// Every constructor/mutator sequence preserves the representation
+        /// invariants, and vectors with identical logical bits — however
+        /// they were built — are `Eq` with equal hashes (and vice versa).
+        #[test]
+        fn padding_invariant_and_eq_hash_after_any_op_sequence(
+            bits in prop::collection::vec(any::<bool>(), 0..150),
+            word in any::<u64>(),
+            word_len in 0usize..=64,
+            op_codes in prop::collection::vec(0usize..3, 0..24),
+            op_idxs in prop::collection::vec(any::<prop::sample::Index>(), 0..24),
+            op_vals in prop::collection::vec(any::<bool>(), 0..24),
+        ) {
+            let mut bv = BitVec::from_bits(bits.iter().copied());
+            let mut mirror = bits.clone();
+            assert_invariants(&bv, "from_bits");
+
+            // Zip truncates to the shortest stream — each draw is still an
+            // arbitrary (op, index, value) triple.
+            for ((&op, &idx), &v) in op_codes.iter().zip(&op_idxs).zip(&op_vals) {
+                match op {
+                    0 if !mirror.is_empty() => {
+                        let i = idx.index(mirror.len());
+                        bv.set(i, v);
+                        mirror[i] = v;
+                    }
+                    1 if !mirror.is_empty() => {
+                        let i = idx.index(mirror.len());
+                        bv.flip(i);
+                        mirror[i] = !mirror[i];
+                    }
+                    2 => {
+                        let tail = BitVec::from_u64(word, word_len);
+                        assert_invariants(&tail, "from_u64");
+                        bv = bv.concat(&tail);
+                        mirror.extend((0..word_len).map(|b| (word >> b) & 1 == 1));
+                    }
+                    _ => {}
+                }
+                assert_invariants(&bv, "after mutator");
+            }
+
+            // Logical bits survived the whole sequence.
+            prop_assert_eq!(bv.len(), mirror.len());
+            for (i, &b) in mirror.iter().enumerate() {
+                prop_assert_eq!(bv.get(i), b);
+            }
+
+            // A structurally fresh rebuild of the same logical bits is Eq
+            // with an equal hash — i.e. Eq/Hash agree with bitwise equality
+            // regardless of construction path.
+            let rebuilt = BitVec::from_bits(mirror.iter().copied());
+            prop_assert_eq!(&bv, &rebuilt);
+            prop_assert_eq!(hash_of(&bv), hash_of(&rebuilt));
+
+            // And a single-bit difference breaks Eq.
+            if !mirror.is_empty() {
+                let mut other = rebuilt.clone();
+                other.flip(0);
+                prop_assert_ne!(&bv, &other);
             }
         }
     }

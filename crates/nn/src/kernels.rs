@@ -18,20 +18,149 @@
 //!   same blocked code on one thread, so the result is independent of the
 //!   worker count.
 //!
+//! * the *SIMD* kernels ([`KernelBackend::Simd`]) run the same tiles through
+//!   explicit `core::arch` AVX2 / AVX-512F intrinsics behind runtime feature
+//!   detection. Vector **lanes are output columns**, never partial sums of
+//!   one element: each lane accumulates its own output element with one
+//!   `mul` + one `add` per ascending-`k` step, so no horizontal reduction
+//!   exists to reorder — the per-element operation sequence is the scalar
+//!   one, instruction for instruction (and the intrinsics never use FMA,
+//!   whose single rounding would change bits). `matmul_t`, whose scalar form
+//!   is a dot product along `k`, is packed through a transpose first so its
+//!   SIMD form also vectorizes across output columns instead of reducing
+//!   across lanes.
+//!
 //! Floating-point addition is deterministic for a fixed operand order, so
 //! "same per-element order" ⇒ "same bits" — for finite values, signed zeros,
 //! and NaN/∞ alike. The property tests in `tests/kernel_identity.rs` pin this
-//! across rectangular and degenerate shapes, thread counts, and non-finite
-//! inputs; `exp_kernel_bench` gates it again at benchmark scale.
+//! across backends × thread counts (including non-finite inputs);
+//! `exp_kernel_bench` gates it again at benchmark scale.
 //!
 //! [`Parallelism`] is the knob the rest of the system plumbs through
 //! (trainer minibatches, CardNet batch estimation, the serve worker pool,
 //! `report::evaluate`): a worker-count hint that the kernels clamp by the
 //! number of output rows and by a minimum useful work size, so callers can
 //! pass one config everywhere without tiny products paying thread-spawn
-//! overhead.
+//! overhead — plus an optional pinned [`KernelBackend`]. Unpinned configs
+//! resolve the backend once per process: the `CARDEST_KERNEL_BACKEND` env
+//! var (`scalar` | `blocked` | `simd` | `auto`) if set, else the best the
+//! CPU supports.
 
 use crate::matrix::Matrix;
+use std::sync::OnceLock;
+
+/// Which compute-kernel implementation tier to run.
+///
+/// All three produce **bit-identical** outputs for every input — the choice
+/// is purely a throughput decision, which is what makes it safe to resolve
+/// from an env var or CPU detection at runtime.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelBackend {
+    /// The reference scalar loops (restricted to each worker's row range).
+    /// The slowest tier, kept selectable as the trust anchor and as the
+    /// forced fallback for CI's no-SIMD leg.
+    Scalar,
+    /// Cache-blocked register micro-tiles relying on LLVM auto-vectorization
+    /// (the PR 4 kernels).
+    Blocked,
+    /// Explicit AVX2 / AVX-512F tiles via `core::arch`, chosen by runtime
+    /// feature detection. Falls back to [`KernelBackend::Blocked`] code on
+    /// CPUs (or architectures) without AVX2 — selecting `Simd` is always
+    /// safe.
+    Simd,
+}
+
+/// The instruction-set tier the SIMD backend resolved to on this CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SimdLevel {
+    None,
+    Avx2,
+    Avx512,
+}
+
+fn simd_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+        *LEVEL.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                SimdLevel::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                SimdLevel::Avx2
+            } else {
+                SimdLevel::None
+            }
+        })
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    SimdLevel::None
+}
+
+impl KernelBackend {
+    /// Whether this CPU has an explicit-SIMD path (AVX2 or better).
+    pub fn simd_available() -> bool {
+        simd_level() != SimdLevel::None
+    }
+
+    /// The instruction set the SIMD backend dispatches to on this CPU:
+    /// `"avx512"`, `"avx2"`, or `"none"` (benchmark reports and logs).
+    pub fn simd_support() -> &'static str {
+        match simd_level() {
+            SimdLevel::Avx512 => "avx512",
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::None => "none",
+        }
+    }
+
+    /// The best backend this CPU supports: [`KernelBackend::Simd`] when AVX2
+    /// (or better) is detected, else [`KernelBackend::Blocked`].
+    pub fn detect() -> KernelBackend {
+        if KernelBackend::simd_available() {
+            KernelBackend::Simd
+        } else {
+            KernelBackend::Blocked
+        }
+    }
+
+    /// Parses a backend name: `scalar` | `blocked` | `simd` | `auto`
+    /// (case-insensitive; `auto` resolves through [`KernelBackend::detect`]).
+    pub fn parse(s: &str) -> Option<KernelBackend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(KernelBackend::Scalar),
+            "blocked" => Some(KernelBackend::Blocked),
+            "simd" => Some(KernelBackend::Simd),
+            "auto" => Some(KernelBackend::detect()),
+            _ => None,
+        }
+    }
+
+    /// The process-wide default for [`Parallelism`] configs that do not pin
+    /// a backend: the `CARDEST_KERNEL_BACKEND` env var if set and valid
+    /// (this is how CI forces the scalar-fallback leg without touching any
+    /// call site), else [`KernelBackend::detect`]. Resolved once and cached.
+    pub fn default_backend() -> KernelBackend {
+        static DEFAULT: OnceLock<KernelBackend> = OnceLock::new();
+        *DEFAULT.get_or_init(|| match std::env::var("CARDEST_KERNEL_BACKEND") {
+            Ok(v) if !v.trim().is_empty() => KernelBackend::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "CARDEST_KERNEL_BACKEND=`{v}` not recognized \
+                     (want scalar|blocked|simd|auto); using auto-detection"
+                );
+                KernelBackend::detect()
+            }),
+            _ => KernelBackend::detect(),
+        })
+    }
+
+    /// Short stable name (CLI/bench/JSON vocabulary).
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Blocked => "blocked",
+            KernelBackend::Simd => "simd",
+        }
+    }
+}
 
 /// Rows per register micro-tile in the blocked `matmul`.
 const MR: usize = 4;
@@ -48,18 +177,23 @@ const NR: usize = 16;
 /// [`Parallelism::exact_threads`] or partition above the kernel layer.
 const MIN_WORK_PER_THREAD: usize = 4_000_000;
 
-/// How many worker threads the compute kernels may use.
+/// How many worker threads the compute kernels may use, and optionally
+/// which [`KernelBackend`] they run.
 ///
 /// A `Parallelism` is a *hint*: kernels clamp it by the number of output rows
 /// (each row is computed entirely by one worker — that is what makes the
 /// result bit-identical) and, unless constructed with
 /// [`Parallelism::exact_threads`], by a minimum-work-per-thread threshold so
-/// small products stay serial.
+/// small products stay serial. The backend is `None` by default, meaning
+/// "resolve [`KernelBackend::default_backend`] at dispatch" — pin one with
+/// [`Parallelism::with_backend`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Parallelism {
     threads: usize,
     /// Skip the minimum-work clamp (tests and micro-benchmarks).
     force: bool,
+    /// Pinned kernel tier; `None` defers to the process-wide default.
+    backend: Option<KernelBackend>,
 }
 
 impl Default for Parallelism {
@@ -74,6 +208,7 @@ impl Parallelism {
         Parallelism {
             threads: 1,
             force: false,
+            backend: None,
         }
     }
 
@@ -82,6 +217,7 @@ impl Parallelism {
         Parallelism {
             threads: n.max(1),
             force: false,
+            backend: None,
         }
     }
 
@@ -102,6 +238,47 @@ impl Parallelism {
         Parallelism {
             threads: n.max(1),
             force: true,
+            backend: None,
+        }
+    }
+
+    /// Pins the kernel backend (builder form). Every backend is
+    /// bit-identical, so this is a throughput knob like the thread count.
+    pub const fn with_backend(mut self, backend: KernelBackend) -> Parallelism {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// [`Parallelism::with_backend`] over an optional pin — the shape every
+    /// config struct stores (`None` = resolve the process default).
+    pub const fn with_backend_opt(mut self, backend: Option<KernelBackend>) -> Parallelism {
+        if backend.is_some() {
+            self.backend = backend;
+        }
+        self
+    }
+
+    /// The backend kernels will dispatch to: the pinned one, else the
+    /// process-wide [`KernelBackend::default_backend`].
+    pub fn backend(&self) -> KernelBackend {
+        match self.backend {
+            Some(b) => b,
+            None => KernelBackend::default_backend(),
+        }
+    }
+
+    /// The explicitly pinned backend, if any (config merging / display).
+    pub fn pinned_backend(&self) -> Option<KernelBackend> {
+        self.backend
+    }
+
+    /// A one-thread copy that keeps the pinned backend — what coarse row
+    /// fan-outs hand to the kernels inside each worker.
+    pub fn serial_worker(&self) -> Parallelism {
+        Parallelism {
+            threads: 1,
+            force: false,
+            backend: self.backend,
         }
     }
 
@@ -115,11 +292,13 @@ impl Parallelism {
     }
 
     /// The larger of two hints (config merging: an estimator's own setting
-    /// vs. a per-call override).
+    /// vs. a per-call override). A backend pinned on `self` wins over one
+    /// pinned on `other`; either wins over "resolve the default".
     pub fn max(self, other: Parallelism) -> Parallelism {
         Parallelism {
             threads: self.threads.max(other.threads),
             force: self.force || other.force,
+            backend: self.backend.or(other.backend),
         }
     }
 
@@ -192,29 +371,27 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows(), other.cols());
         let n = other.cols();
         let k = self.cols();
-        // Per-call kernel choice — both orders are bit-identical, so this is
+        let backend = par.backend();
+        // Per-call kernel choice — all orders are bit-identical, so this is
         // purely a throughput decision: a sparse left operand (binary
         // features, post-ReLU activations) favors the saxpy order whose zero
         // skip drops whole rows of work; a dense one favors register tiles.
-        let sparse_left = skip_zeros && {
+        // The scalar backend *is* the saxpy order, so it skips the count.
+        let sparse_left = backend != KernelBackend::Scalar && skip_zeros && {
             let nonzero = self.as_slice().iter().filter(|&&v| v != 0.0).count();
             4 * nonzero < 3 * self.len().max(1)
         };
         let work = self.rows() * k * n;
         let workers = par.workers(self.rows(), work);
         partition_rows(out.as_mut_slice(), n, workers, |first_row, chunk| {
-            if sparse_left {
-                matmul_rows_saxpy(self.as_slice(), k, other.as_slice(), n, first_row, chunk);
-            } else {
-                matmul_rows(
-                    self.as_slice(),
-                    k,
-                    other.as_slice(),
-                    n,
-                    first_row,
-                    chunk,
-                    skip_zeros,
-                );
+            let (ad, bd) = (self.as_slice(), other.as_slice());
+            match backend {
+                KernelBackend::Scalar => {
+                    matmul_rows_saxpy(ad, k, bd, n, first_row, chunk, skip_zeros)
+                }
+                _ if sparse_left => matmul_rows_saxpy(ad, k, bd, n, first_row, chunk, true),
+                KernelBackend::Blocked => matmul_rows(ad, k, bd, n, first_row, chunk, skip_zeros),
+                KernelBackend::Simd => matmul_rows_simd(ad, k, bd, n, first_row, chunk, skip_zeros),
             }
         });
         out
@@ -231,17 +408,33 @@ impl Matrix {
         let samples = self.rows();
         let work = samples * k * n;
         let workers = par.workers(k, work);
+        let backend = par.backend();
         partition_rows(out.as_mut_slice(), n, workers, |first_row, chunk| {
-            t_matmul_rows(
-                self.as_slice(),
-                k,
-                other.as_slice(),
-                n,
-                samples,
-                first_row,
-                chunk,
-                skip_zeros,
-            );
+            // The blocked t_matmul already *is* the scalar loop restricted to
+            // a row range, so Scalar and Blocked share one body; Simd
+            // vectorizes its inner saxpy across output columns.
+            match backend {
+                KernelBackend::Simd => t_matmul_rows_simd(
+                    self.as_slice(),
+                    k,
+                    other.as_slice(),
+                    n,
+                    samples,
+                    first_row,
+                    chunk,
+                    skip_zeros,
+                ),
+                _ => t_matmul_rows(
+                    self.as_slice(),
+                    k,
+                    other.as_slice(),
+                    n,
+                    samples,
+                    first_row,
+                    chunk,
+                    skip_zeros,
+                ),
+            }
         });
         out
     }
@@ -253,10 +446,43 @@ impl Matrix {
         let mut out = Matrix::zeros(self.rows(), other.rows());
         let n = other.rows();
         let k = self.cols();
+        let backend = par.backend();
         let work = self.rows() * k * n;
         let workers = par.workers(self.rows(), work);
+        // The scalar matmul_t is a dot product along `k` — vectorizing *that*
+        // would need a horizontal reduction, which reorders the additions.
+        // The SIMD path instead packs `otherᵀ` once (shared, read-only across
+        // workers) and runs the column-vectorized dense kernel over it: each
+        // lane owns one output element, accumulated in ascending `k` exactly
+        // like the scalar dot product. The packing cost is O(n·k) against an
+        // O(m·n·k) product — and only worth paying when a SIMD tile kernel
+        // actually exists on this CPU; otherwise the Simd pin falls straight
+        // through to the direct blocked t-kernel.
+        let packed = match backend {
+            KernelBackend::Simd if n > 0 && k > 0 && KernelBackend::simd_available() => {
+                Some(other.transpose())
+            }
+            _ => None,
+        };
         partition_rows(out.as_mut_slice(), n, workers, |first_row, chunk| {
-            matmul_t_rows(self.as_slice(), k, other.as_slice(), n, first_row, chunk);
+            match (&packed, backend) {
+                (Some(bt), _) => {
+                    // Dense (no zero skip): the scalar matmul_t never skips.
+                    matmul_rows_simd(
+                        self.as_slice(),
+                        k,
+                        bt.as_slice(),
+                        n,
+                        first_row,
+                        chunk,
+                        false,
+                    )
+                }
+                (None, KernelBackend::Scalar) => {
+                    matmul_t_rows_scalar(self.as_slice(), k, other.as_slice(), n, first_row, chunk)
+                }
+                _ => matmul_t_rows(self.as_slice(), k, other.as_slice(), n, first_row, chunk),
+            }
         });
         out
     }
@@ -308,11 +534,45 @@ fn matmul_rows(
     }
 }
 
-/// The reference kernel's i-k-j saxpy order restricted to a row range (the
-/// sparse-left dispatch of [`Matrix::matmul_with`]). Zero skip always on —
-/// this path is only chosen when `other` is all-finite. Per-element
-/// accumulation order matches [`Matrix::matmul`] exactly.
+/// The reference kernel's i-k-j saxpy order restricted to a row range: the
+/// [`KernelBackend::Scalar`] body and the sparse-left dispatch of
+/// [`Matrix::matmul_with`]. With `skip_zeros` it is the sparse reference
+/// order, without it the dense one — per-element accumulation matches
+/// [`Matrix::matmul`] exactly either way.
+#[allow(clippy::too_many_arguments)] // slice+dims boundary, see matmul_rows
 fn matmul_rows_saxpy(
+    ad: &[f32],
+    kk: usize,
+    bd: &[f32],
+    n: usize,
+    first_row: usize,
+    out: &mut [f32],
+    skip_zeros: bool,
+) {
+    if n == 0 {
+        return;
+    }
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let a_row = &ad[(first_row + r) * kk..(first_row + r + 1) * kk];
+        let out_row = &mut out[r * n..(r + 1) * n];
+        for (k, &av) in a_row.iter().enumerate() {
+            if skip_zeros && av == 0.0 {
+                continue;
+            }
+            let b_row = &bd[k * n..k * n + n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// The reference `a @ bᵀ` loop restricted to a row range — the
+/// [`KernelBackend::Scalar`] body of [`Matrix::matmul_t_with`]: one
+/// ascending-`k` dot product per output element, exactly like
+/// [`Matrix::matmul_t`].
+fn matmul_t_rows_scalar(
     ad: &[f32],
     kk: usize,
     bd: &[f32],
@@ -327,14 +587,13 @@ fn matmul_rows_saxpy(
     for r in 0..rows {
         let a_row = &ad[(first_row + r) * kk..(first_row + r + 1) * kk];
         let out_row = &mut out[r * n..(r + 1) * n];
-        for (k, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        for (j, o) in out_row.iter_mut().enumerate() {
+            let b_row = &bd[j * kk..(j + 1) * kk];
+            let mut acc = 0.0f32;
+            for (&av, &bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
             }
-            let b_row = &bd[k * n..k * n + n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
+            *o = acc;
         }
     }
 }
@@ -376,23 +635,39 @@ fn matmul_row_block<const M: usize>(
         j0 += NR;
     }
     if j0 < n {
-        let jw = n - j0;
-        let mut acc = [[0.0f32; NR]; M];
-        for k in 0..kk {
-            let bt = &bd[k * n + j0..k * n + j0 + jw];
-            for (acc_row, a_row) in acc.iter_mut().zip(&a_rows) {
-                let av = a_row[k];
-                if skip_zeros && av == 0.0 {
-                    continue;
-                }
-                for (o, &bv) in acc_row[..jw].iter_mut().zip(bt) {
-                    *o += av * bv;
-                }
+        matmul_row_tail(a_rows, bd, kk, n, j0, out, skip_zeros);
+    }
+}
+
+/// The dynamic-width last column tile of a row block (columns `j0..n`,
+/// `n - j0 < NR`), shared by the blocked and SIMD kernels — register
+/// accumulators, ascending `k`, the scalar zero-skip decision per `(row, k)`.
+fn matmul_row_tail<const M: usize>(
+    a_rows: [&[f32]; M],
+    bd: &[f32],
+    kk: usize,
+    n: usize,
+    j0: usize,
+    out: &mut [f32],
+    skip_zeros: bool,
+) {
+    let jw = n - j0;
+    debug_assert!(jw < NR);
+    let mut acc = [[0.0f32; NR]; M];
+    for k in 0..kk {
+        let bt = &bd[k * n + j0..k * n + j0 + jw];
+        for (acc_row, a_row) in acc.iter_mut().zip(&a_rows) {
+            let av = a_row[k];
+            if skip_zeros && av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in acc_row[..jw].iter_mut().zip(bt) {
+                *o += av * bv;
             }
         }
-        for (i, acc_row) in acc.iter().enumerate() {
-            out[i * n + j0..i * n + j0 + jw].copy_from_slice(&acc_row[..jw]);
-        }
+    }
+    for (i, acc_row) in acc.iter().enumerate() {
+        out[i * n + j0..i * n + j0 + jw].copy_from_slice(&acc_row[..jw]);
     }
 }
 
@@ -478,6 +753,343 @@ fn matmul_t_rows(ad: &[f32], kk: usize, bd: &[f32], n: usize, first_row: usize, 
     }
 }
 
+/// [`matmul_rows`] through the explicit-SIMD tile kernel when this CPU has
+/// one, else the blocked kernel — bit-identical either way, so selecting
+/// [`KernelBackend::Simd`] is always safe.
+#[allow(clippy::too_many_arguments)] // slice+dims boundary, see matmul_rows
+fn matmul_rows_simd(
+    ad: &[f32],
+    kk: usize,
+    bd: &[f32],
+    n: usize,
+    first_row: usize,
+    out: &mut [f32],
+    skip_zeros: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        // SAFETY: dispatch is gated on runtime CPU feature detection.
+        SimdLevel::Avx512 => {
+            return unsafe { x86::matmul_rows_avx512(ad, kk, bd, n, first_row, out, skip_zeros) }
+        }
+        SimdLevel::Avx2 => {
+            return unsafe { x86::matmul_rows_avx2(ad, kk, bd, n, first_row, out, skip_zeros) }
+        }
+        SimdLevel::None => {}
+    }
+    matmul_rows(ad, kk, bd, n, first_row, out, skip_zeros)
+}
+
+/// [`t_matmul_rows`] through the explicit-SIMD saxpy kernel when this CPU
+/// has one, else the blocked kernel — bit-identical either way.
+#[allow(clippy::too_many_arguments)] // slice+dims boundary, see matmul_rows
+fn t_matmul_rows_simd(
+    ad: &[f32],
+    kk: usize,
+    bd: &[f32],
+    n: usize,
+    samples: usize,
+    first_row: usize,
+    out: &mut [f32],
+    skip_zeros: bool,
+) {
+    #[cfg(target_arch = "x86_64")]
+    match simd_level() {
+        // SAFETY: dispatch is gated on runtime CPU feature detection.
+        SimdLevel::Avx512 => {
+            return unsafe {
+                x86::t_matmul_rows_avx512(ad, kk, bd, n, samples, first_row, out, skip_zeros)
+            }
+        }
+        SimdLevel::Avx2 => {
+            return unsafe {
+                x86::t_matmul_rows_avx2(ad, kk, bd, n, samples, first_row, out, skip_zeros)
+            }
+        }
+        SimdLevel::None => {}
+    }
+    t_matmul_rows(ad, kk, bd, n, samples, first_row, out, skip_zeros)
+}
+
+/// Explicit `core::arch::x86_64` kernels (AVX2 and AVX-512F).
+///
+/// The bit-identity recipe, shared by every function here:
+///
+/// * **lanes are output columns** — lane `l` of an accumulator vector owns
+///   output element `j0 + l` and nothing else, so there is no horizontal
+///   reduction anywhere and no operand reassociation to worry about;
+/// * per ascending-`k` step each lane performs exactly `mul` then `add`
+///   (`_mm256_mul_ps` + `_mm256_add_ps`, never an FMA, whose single
+///   rounding would differ from the scalar two-rounding sequence);
+/// * packed x86 `mulps`/`addps` follow the same IEEE-754 and NaN
+///   propagation rules as their scalar `mulss`/`addss` forms, so non-finite
+///   inputs produce the same bits lane-wise;
+/// * the sparse zero-skip is decided per `(row, k)` on the scalar `a` value,
+///   exactly like the reference kernel;
+/// * column tails (`n % NR`) and row tails (`rows % MR`) fall back to the
+///   shared scalar tail bodies, which keep the same per-element order.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{matmul_row_tail, MR, NR};
+    use core::arch::x86_64::*;
+
+    /// AVX2 `matmul` over a row chunk: `MR`-row blocks × `NR`-column tiles,
+    /// two 256-bit accumulators per row.
+    ///
+    /// # Safety
+    /// AVX2 must be available (callers dispatch on runtime detection).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn matmul_rows_avx2(
+        ad: &[f32],
+        kk: usize,
+        bd: &[f32],
+        n: usize,
+        first_row: usize,
+        out: &mut [f32],
+        skip_zeros: bool,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let rows = out.len() / n;
+        let a_row = |r: usize| -> &[f32] { &ad[r * kk..(r + 1) * kk] };
+        let mut r = 0;
+        while r + MR <= rows {
+            let a_rows: [&[f32]; MR] = std::array::from_fn(|i| a_row(first_row + r + i));
+            row_block_avx2::<MR>(a_rows, bd, kk, n, &mut out[r * n..(r + MR) * n], skip_zeros);
+            r += MR;
+        }
+        while r < rows {
+            row_block_avx2::<1>(
+                [a_row(first_row + r)],
+                bd,
+                kk,
+                n,
+                &mut out[r * n..(r + 1) * n],
+                skip_zeros,
+            );
+            r += 1;
+        }
+    }
+
+    /// `M` rows of `a @ b` with two `__m256` accumulators per row (one
+    /// `NR = 16` column tile). Mirrors [`super::matmul_row_block`] op for op.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::needless_range_loop)] // lockstep over three register arrays
+    unsafe fn row_block_avx2<const M: usize>(
+        a_rows: [&[f32]; M],
+        bd: &[f32],
+        kk: usize,
+        n: usize,
+        out: &mut [f32],
+        skip_zeros: bool,
+    ) {
+        let bp = bd.as_ptr();
+        let mut j0 = 0;
+        while j0 + NR <= n {
+            let mut acc_lo = [_mm256_setzero_ps(); M];
+            let mut acc_hi = [_mm256_setzero_ps(); M];
+            for k in 0..kk {
+                let tile = bp.add(k * n + j0);
+                let b_lo = _mm256_loadu_ps(tile);
+                let b_hi = _mm256_loadu_ps(tile.add(8));
+                for i in 0..M {
+                    let av = *a_rows[i].get_unchecked(k);
+                    if skip_zeros && av == 0.0 {
+                        continue;
+                    }
+                    let va = _mm256_set1_ps(av);
+                    acc_lo[i] = _mm256_add_ps(acc_lo[i], _mm256_mul_ps(va, b_lo));
+                    acc_hi[i] = _mm256_add_ps(acc_hi[i], _mm256_mul_ps(va, b_hi));
+                }
+            }
+            for i in 0..M {
+                let op = out.as_mut_ptr().add(i * n + j0);
+                _mm256_storeu_ps(op, acc_lo[i]);
+                _mm256_storeu_ps(op.add(8), acc_hi[i]);
+            }
+            j0 += NR;
+        }
+        if j0 < n {
+            matmul_row_tail(a_rows, bd, kk, n, j0, out, skip_zeros);
+        }
+    }
+
+    /// AVX-512F `matmul` over a row chunk: one 512-bit accumulator per row
+    /// covers a full `NR = 16` column tile.
+    ///
+    /// # Safety
+    /// AVX-512F must be available (callers dispatch on runtime detection).
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn matmul_rows_avx512(
+        ad: &[f32],
+        kk: usize,
+        bd: &[f32],
+        n: usize,
+        first_row: usize,
+        out: &mut [f32],
+        skip_zeros: bool,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let rows = out.len() / n;
+        let a_row = |r: usize| -> &[f32] { &ad[r * kk..(r + 1) * kk] };
+        let mut r = 0;
+        while r + MR <= rows {
+            let a_rows: [&[f32]; MR] = std::array::from_fn(|i| a_row(first_row + r + i));
+            row_block_avx512::<MR>(a_rows, bd, kk, n, &mut out[r * n..(r + MR) * n], skip_zeros);
+            r += MR;
+        }
+        while r < rows {
+            row_block_avx512::<1>(
+                [a_row(first_row + r)],
+                bd,
+                kk,
+                n,
+                &mut out[r * n..(r + 1) * n],
+                skip_zeros,
+            );
+            r += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::needless_range_loop)] // lockstep over two register arrays
+    unsafe fn row_block_avx512<const M: usize>(
+        a_rows: [&[f32]; M],
+        bd: &[f32],
+        kk: usize,
+        n: usize,
+        out: &mut [f32],
+        skip_zeros: bool,
+    ) {
+        let bp = bd.as_ptr();
+        let mut j0 = 0;
+        while j0 + NR <= n {
+            let mut acc = [_mm512_setzero_ps(); M];
+            for k in 0..kk {
+                let b = _mm512_loadu_ps(bp.add(k * n + j0));
+                for i in 0..M {
+                    let av = *a_rows[i].get_unchecked(k);
+                    if skip_zeros && av == 0.0 {
+                        continue;
+                    }
+                    acc[i] = _mm512_add_ps(acc[i], _mm512_mul_ps(_mm512_set1_ps(av), b));
+                }
+            }
+            for i in 0..M {
+                _mm512_storeu_ps(out.as_mut_ptr().add(i * n + j0), acc[i]);
+            }
+            j0 += NR;
+        }
+        if j0 < n {
+            matmul_row_tail(a_rows, bd, kk, n, j0, out, skip_zeros);
+        }
+    }
+
+    /// AVX2 `t_matmul` over a row chunk: the reference sample-major saxpy
+    /// with its inner column loop vectorized (each lane owns one output
+    /// column; accumulation per element stays ascending sample order `r`).
+    ///
+    /// # Safety
+    /// AVX2 must be available (callers dispatch on runtime detection).
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn t_matmul_rows_avx2(
+        ad: &[f32],
+        kk: usize,
+        bd: &[f32],
+        n: usize,
+        samples: usize,
+        first_row: usize,
+        out: &mut [f32],
+        skip_zeros: bool,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let rows_here = out.len() / n;
+        if rows_here == 0 {
+            return;
+        }
+        for r in 0..samples {
+            let a_seg = &ad[r * kk + first_row..r * kk + first_row + rows_here];
+            let b_row = bd.as_ptr().add(r * n);
+            for (k_local, &av) in a_seg.iter().enumerate() {
+                if skip_zeros && av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[k_local * n..k_local * n + n];
+                let op = out_row.as_mut_ptr();
+                let va = _mm256_set1_ps(av);
+                let mut j = 0;
+                while j + 8 <= n {
+                    let o = _mm256_loadu_ps(op.add(j));
+                    let b = _mm256_loadu_ps(b_row.add(j));
+                    _mm256_storeu_ps(op.add(j), _mm256_add_ps(o, _mm256_mul_ps(va, b)));
+                    j += 8;
+                }
+                while j < n {
+                    *op.add(j) += av * *b_row.add(j);
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// AVX-512F `t_matmul` over a row chunk (16-lane inner loop, then the
+    /// scalar column tail).
+    ///
+    /// # Safety
+    /// AVX-512F must be available (callers dispatch on runtime detection).
+    #[target_feature(enable = "avx512f")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn t_matmul_rows_avx512(
+        ad: &[f32],
+        kk: usize,
+        bd: &[f32],
+        n: usize,
+        samples: usize,
+        first_row: usize,
+        out: &mut [f32],
+        skip_zeros: bool,
+    ) {
+        if n == 0 {
+            return;
+        }
+        let rows_here = out.len() / n;
+        if rows_here == 0 {
+            return;
+        }
+        for r in 0..samples {
+            let a_seg = &ad[r * kk + first_row..r * kk + first_row + rows_here];
+            let b_row = bd.as_ptr().add(r * n);
+            for (k_local, &av) in a_seg.iter().enumerate() {
+                if skip_zeros && av == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out[k_local * n..k_local * n + n];
+                let op = out_row.as_mut_ptr();
+                let va = _mm512_set1_ps(av);
+                let mut j = 0;
+                while j + 16 <= n {
+                    let o = _mm512_loadu_ps(op.add(j));
+                    let b = _mm512_loadu_ps(b_row.add(j));
+                    _mm512_storeu_ps(op.add(j), _mm512_add_ps(o, _mm512_mul_ps(va, b)));
+                    j += 16;
+                }
+                while j < n {
+                    *op.add(j) += av * *b_row.add(j);
+                    j += 1;
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -509,6 +1121,94 @@ mod tests {
         assert_eq!(Parallelism::exact_threads(8).workers(100, 1000), 8);
         assert_eq!(Parallelism::exact_threads(8).workers(3, 1000), 3);
         assert_eq!(Parallelism::threads(8).workers(100, 64_000_000), 8);
+    }
+
+    #[test]
+    fn backend_parsing_and_labels_roundtrip() {
+        for b in [
+            KernelBackend::Scalar,
+            KernelBackend::Blocked,
+            KernelBackend::Simd,
+        ] {
+            assert_eq!(KernelBackend::parse(b.label()), Some(b));
+        }
+        assert_eq!(KernelBackend::parse(" SIMD "), Some(KernelBackend::Simd));
+        assert_eq!(KernelBackend::parse("auto"), Some(KernelBackend::detect()));
+        assert_eq!(KernelBackend::parse("mmx"), None);
+        // detect() never picks Scalar, and only picks Simd when the CPU has it.
+        match KernelBackend::detect() {
+            KernelBackend::Simd => assert!(KernelBackend::simd_available()),
+            KernelBackend::Blocked => assert!(!KernelBackend::simd_available()),
+            KernelBackend::Scalar => panic!("detect() must not choose Scalar"),
+        }
+        assert!(["avx512", "avx2", "none"].contains(&KernelBackend::simd_support()));
+    }
+
+    #[test]
+    fn backend_pinning_merges_and_survives_serial_worker() {
+        let pinned = Parallelism::threads(2).with_backend(KernelBackend::Scalar);
+        assert_eq!(pinned.backend(), KernelBackend::Scalar);
+        assert_eq!(pinned.pinned_backend(), Some(KernelBackend::Scalar));
+        assert_eq!(Parallelism::serial().pinned_backend(), None);
+        // Unpinned resolves the process default.
+        assert_eq!(
+            Parallelism::serial().backend(),
+            KernelBackend::default_backend()
+        );
+        // max(): self's pin wins, any pin beats none; serial_worker keeps it.
+        let merged = pinned.max(Parallelism::threads(8));
+        assert_eq!(merged.thread_count(), 8);
+        assert_eq!(merged.pinned_backend(), Some(KernelBackend::Scalar));
+        let other = Parallelism::threads(8).with_backend(KernelBackend::Blocked);
+        assert_eq!(
+            pinned.max(other).pinned_backend(),
+            Some(KernelBackend::Scalar)
+        );
+        assert_eq!(
+            Parallelism::threads(8).max(other).pinned_backend(),
+            Some(KernelBackend::Blocked)
+        );
+        let worker = merged.serial_worker();
+        assert!(worker.is_serial());
+        assert_eq!(worker.pinned_backend(), Some(KernelBackend::Scalar));
+    }
+
+    #[test]
+    fn every_backend_matches_scalar_reference() {
+        let a = filled(11, 19, |r, c| {
+            if (r + c) % 3 == 0 {
+                0.0
+            } else {
+                (r as f32).mul_add(0.7, -(c as f32) * 0.2)
+            }
+        });
+        let b = filled(19, 18, |r, c| (r as f32 - c as f32) * 0.05);
+        let want_mm = a.matmul(&b);
+        let bt = b.transpose();
+        let want_mmt = a.matmul_t(&bt);
+        let at = a.transpose();
+        let want_tmm = at.t_matmul(&b);
+        for backend in [
+            KernelBackend::Scalar,
+            KernelBackend::Blocked,
+            KernelBackend::Simd,
+        ] {
+            for t in [1, 3] {
+                let par = Parallelism::exact_threads(t).with_backend(backend);
+                let what = format!("{}/t={t}", backend.label());
+                assert_bits_eq(&want_mm, &a.matmul_with(&b, par), &format!("matmul {what}"));
+                assert_bits_eq(
+                    &want_mmt,
+                    &a.matmul_t_with(&bt, par),
+                    &format!("matmul_t {what}"),
+                );
+                assert_bits_eq(
+                    &want_tmm,
+                    &at.t_matmul_with(&b, par),
+                    &format!("t_matmul {what}"),
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //!
 //! * [`matrix::Matrix`] — contiguous row-major `f32` matrices with the handful
 //!   of BLAS-like kernels the models need,
-//! * [`kernels`] — cache-blocked and multi-threaded variants of those
-//!   kernels, bit-identical to the scalar reference by construction, behind
-//!   the [`kernels::Parallelism`] config,
+//! * [`kernels`] — cache-blocked, explicit-SIMD (AVX2/AVX-512 with runtime
+//!   dispatch), and multi-threaded variants of those kernels, bit-identical
+//!   to the scalar reference by construction, behind the
+//!   [`kernels::Parallelism`] + [`kernels::KernelBackend`] config,
 //! * [`tape::Tape`] — a dynamic reverse-mode autodiff tape over matrices,
 //! * [`params::ParamStore`] — named trainable parameters plus their gradients,
 //! * [`optim`] — Adam and SGD,
@@ -34,7 +35,7 @@ pub mod rng;
 pub mod tape;
 pub mod vae;
 
-pub use kernels::Parallelism;
+pub use kernels::{KernelBackend, Parallelism};
 pub use layers::{Activation, Dense, Mlp};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};

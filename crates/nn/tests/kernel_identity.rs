@@ -1,14 +1,18 @@
-//! Property tests pinning the kernel-layer contract: the blocked and
-//! threaded variants of `matmul` / `t_matmul` / `matmul_t` produce outputs
-//! **bit-identical** to the scalar reference kernels — across rectangular
-//! and degenerate shapes (0×n, 1×1, non-square), across 1/2/4 workers, and
-//! with non-finite inputs (NaN, ±∞, ±0.0) in the mix.
+//! Property tests pinning the kernel-layer contract: every backend tier
+//! (scalar row kernels, blocked micro-tiles, explicit AVX2/AVX-512 SIMD)
+//! and every threading variant of `matmul` / `t_matmul` / `matmul_t`
+//! produces outputs **bit-identical** to the scalar reference kernels —
+//! across rectangular and degenerate shapes (0×n, 1×1, non-square), across
+//! backends × 1/2/4 workers, and with non-finite inputs (NaN, ±∞, ±0.0) in
+//! the mix.
 //!
 //! Bitwise comparison (not approximate) is the point: the serving cache,
 //! the snapshot system, and the train-serial-vs-threaded guarantee all rely
-//! on "thread count changes wall clock, never bits".
+//! on "backend and thread count change wall clock, never bits". On CPUs
+//! without AVX2 the `simd` variants exercise the runtime-dispatch fallback
+//! instead — selecting the SIMD backend must be safe everywhere.
 
-use cardest_nn::kernels::Parallelism;
+use cardest_nn::kernels::{KernelBackend, Parallelism};
 use cardest_nn::Matrix;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -48,16 +52,24 @@ fn assert_bits_eq(want: &Matrix, got: &Matrix, what: &str) {
     }
 }
 
-/// The worker configurations under test: serial/blocked, plus forced 1-, 2-
-/// and 4-thread partitions (forced so tiny shapes still exercise the real
-/// partitioning code paths).
-fn variants() -> [(&'static str, Parallelism); 4] {
-    [
-        ("blocked/serial", Parallelism::serial()),
-        ("threads=1", Parallelism::exact_threads(1)),
-        ("threads=2", Parallelism::exact_threads(2)),
-        ("threads=4", Parallelism::exact_threads(4)),
-    ]
+/// The configurations under test: the process-default backend on the serial
+/// path, then every pinned backend × forced 1-, 2- and 4-thread partitions
+/// (forced so tiny shapes still exercise the real partitioning code paths).
+fn variants() -> Vec<(String, Parallelism)> {
+    let mut v = vec![("default/serial".to_string(), Parallelism::serial())];
+    for backend in [
+        KernelBackend::Scalar,
+        KernelBackend::Blocked,
+        KernelBackend::Simd,
+    ] {
+        for t in [1, 2, 4] {
+            v.push((
+                format!("{}/threads={t}", backend.label()),
+                Parallelism::exact_threads(t).with_backend(backend),
+            ));
+        }
+    }
+    v
 }
 
 fn check_all_kernels(m: usize, k: usize, n: usize, seed: u64, nonfinite: bool) {

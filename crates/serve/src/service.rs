@@ -64,6 +64,13 @@ pub struct ServeConfig {
     /// already runs `workers` batches concurrently, so intra-batch threading
     /// pays off mainly for large batches on big machines.
     pub kernel_threads: usize,
+    /// Pinned compute-kernel backend for the micro-batch kernels; `None`
+    /// (default) resolves [`cardest_core::KernelBackend::default_backend`]
+    /// — the `CARDEST_KERNEL_BACKEND` env override, else the best tier the
+    /// CPU supports (explicit AVX2/AVX-512 SIMD where available). Every
+    /// backend is bit-identical, so this too can never change a served
+    /// estimate or a cache entry.
+    pub kernel_backend: Option<cardest_core::KernelBackend>,
 }
 
 impl Default for ServeConfig {
@@ -78,7 +85,18 @@ impl Default for ServeConfig {
             bound_tolerance: 0.0,
             cache_curve_points: 0,
             kernel_threads: 1,
+            kernel_backend: None,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The per-micro-batch kernel budget handed to the estimator's batched
+    /// paths: [`ServeConfig::kernel_threads`] workers, with
+    /// [`ServeConfig::kernel_backend`] pinned when set.
+    pub fn kernel_parallelism(&self) -> cardest_core::Parallelism {
+        cardest_core::Parallelism::threads(self.kernel_threads)
+            .with_backend_opt(self.kernel_backend)
     }
 }
 
@@ -513,7 +531,7 @@ fn serve_group(
         // from curve-derived brackets or exact hits.
         let refs: Vec<&PreparedQuery> = unique.iter().map(|&i| &pending[i].prepared).collect();
         estimator
-            .curve_batch_par(&refs, cfg.kernel_threads)
+            .curve_batch_par(&refs, cfg.kernel_parallelism())
             .into_iter()
             .zip(&unique)
             .map(|(curve, &i)| {
@@ -529,7 +547,7 @@ fn serve_group(
         let refs: Vec<&PreparedQuery> = unique.iter().map(|&i| &pending[i].prepared).collect();
         let thetas: Vec<f64> = unique.iter().map(|&i| pending[i].job.req.theta).collect();
         estimator
-            .estimate_batch_par(&refs, &thetas, cfg.kernel_threads)
+            .estimate_batch_par(&refs, &thetas, cfg.kernel_parallelism())
             .into_iter()
             .map(|e| RowResult::Scalar(e.value))
             .collect()
@@ -604,6 +622,7 @@ mod tests {
             bound_tolerance: 0.0,
             cache_curve_points: 0,
             kernel_threads: 1,
+            kernel_backend: None,
         }
     }
 
@@ -714,6 +733,7 @@ mod tests {
                 // the rest of the sweep is exact hits.
                 cache_curve_points: tau_max + 1,
                 kernel_threads: 1,
+                kernel_backend: None,
             },
         );
         let first = service
@@ -760,6 +780,7 @@ mod tests {
                 bound_tolerance: 0.0,
                 cache_curve_points: 2,
                 kernel_threads: 1,
+                kernel_backend: None,
             },
         );
         // A whole θ-sweep of one query submitted before draining: every τ is
@@ -827,6 +848,7 @@ mod tests {
                 bound_tolerance: 0.0,
                 cache_curve_points: 0,
                 kernel_threads: 1,
+                kernel_backend: None,
             },
         );
         // 16 distinct queries submitted before any response is drained: the
@@ -869,6 +891,7 @@ mod tests {
                 bound_tolerance: 0.0,
                 cache_curve_points: 0,
                 kernel_threads: 1,
+                kernel_backend: None,
             },
         );
         let q = Arc::new(ds.records[2].clone());

@@ -63,6 +63,7 @@ fn play(
             bound_tolerance: 0.0,
             cache_curve_points: 0,
             kernel_threads: 1,
+            kernel_backend: None,
         },
     );
     let receivers: Vec<_> = stream
@@ -150,6 +151,7 @@ fn hot_swap_mid_stream_is_atomic_and_epoch_tagged() {
             bound_tolerance: 0.0,
             cache_curve_points: 0,
             kernel_threads: 1,
+            kernel_backend: None,
         },
     );
 
