@@ -14,7 +14,11 @@
 //! `serve` answers `<record-index> <theta>` request lines from stdin with one
 //! estimate line each on stdout (a summary of the service counters goes to
 //! stderr at EOF); `estimate --queries` runs the same request format from a
-//! file through the serving layer's micro-batching path.
+//! file through the serving layer's micro-batching path. With `--listen
+//! [ADDR]`, `serve` instead opens the framed TCP ingress (`cardest-serve`'s
+//! wire protocol, see the README's Serving section) with admission control
+//! and load shedding; it prints the bound address, runs until stdin closes,
+//! then drains gracefully.
 //!
 //! (Argument parsing is hand-rolled: the workspace's dependency policy has no
 //! CLI-parser crate, and a handful of subcommands does not justify one.)
@@ -26,9 +30,10 @@ use cardest_core::train::{train_cardnet, TrainerOptions};
 use cardest_core::CardNetEstimator;
 use cardest_core::{KernelBackend, Parallelism};
 use cardest_data::synth::{self, SynthConfig};
+use cardest_data::Record;
 use cardest_data::{io as dio, Dataset, Workload};
 use cardest_fx::build_extractor;
-use cardest_serve::{ModelRegistry, Request, ServeConfig, Service};
+use cardest_serve::{ModelRegistry, NetConfig, NetServer, Request, ServeConfig, Service};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -76,6 +81,11 @@ const USAGE: &str = "usage:
                        [--cache-curve-points <n>] [--pipeline <n outstanding>]
                        [--kernel-threads <n per micro-batch>]
                        [--kernel-backend <scalar|blocked|simd|auto>]
+                       [--listen [ADDR]] [--max-conns <n; 0 = unlimited>]
+                       [--queue-limit <in-flight requests; 0 = unbounded>]
+                       [--deadline-ms <per-request default; 0 = none>]
+                       [--client-quota <outstanding per client id; 0 = unlimited>]
+                       [--frame-timeout-ms <slow-loris cutoff>]
   cardest_cli stats    --data <file>
 
 Thread counts and kernel backends only change wall clock: every kernel tier
@@ -352,9 +362,82 @@ fn cmd_estimate_batch(flags: &Flags, queries_path: &Path) -> Result<(), String> 
     Ok(())
 }
 
+fn net_config_from_flags(flags: &Flags) -> Result<NetConfig, String> {
+    let defaults = NetConfig::default();
+    let deadline_ms: u64 = parsed(flags, "deadline-ms", 0u64)?;
+    Ok(NetConfig {
+        max_connections: parsed(flags, "max-conns", defaults.max_connections)?,
+        queue_limit: parsed(flags, "queue-limit", defaults.queue_limit)?,
+        default_deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+        client_quota: parsed(flags, "client-quota", defaults.client_quota)?,
+        frame_timeout: Duration::from_millis(parsed(
+            flags,
+            "frame-timeout-ms",
+            defaults.frame_timeout.as_millis() as u64,
+        )?),
+        default_model: defaults.default_model,
+    })
+}
+
+/// Socket serve mode (`--listen`): the framed TCP ingress with admission
+/// control. Prints the bound address on stdout (so scripts can scrape an
+/// ephemeral `:0` port), runs until stdin reaches EOF, then drains in-flight
+/// work and exits.
+fn cmd_serve_socket(flags: &Flags, ds: Dataset, est: CardNetEstimator) -> Result<(), String> {
+    let addr_flag = required(flags, "listen")?;
+    // A bare `--listen` parses as "true": serve on an ephemeral local port.
+    let addr = if addr_flag == "true" {
+        "127.0.0.1:0"
+    } else {
+        addr_flag
+    };
+    let monotone = est.is_monotonic();
+    let registry = Arc::new(ModelRegistry::new());
+    let epoch = registry.publish("default", est);
+    let config = serve_config_from_flags(flags)?;
+    let net = net_config_from_flags(flags)?;
+    let service = Service::start(registry, config);
+    let records: Vec<Arc<Record>> = ds.records.iter().cloned().map(Arc::new).collect();
+    let server = NetServer::bind(addr, service, records, net)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!("listening on {}", server.addr());
+    std::io::stdout().flush().ok();
+    eprintln!(
+        "serving `{}` ({} records) over TCP (model epoch {epoch}, monotone: {monotone}); \
+         close stdin to drain and exit",
+        ds.name,
+        ds.len(),
+    );
+    // Park until the controlling stdin closes; the accept loop and the
+    // per-connection threads do all the work.
+    for line in std::io::stdin().lock().lines() {
+        if line.is_err() {
+            break;
+        }
+    }
+    let snap = server.service().stats();
+    server.shutdown();
+    eprintln!(
+        "served {} requests ({} errors): cache hits {:.1}%, degraded sheds {}, \
+         rejects {} overload + {} quota, p50 {:?}, p99 {:?}",
+        snap.requests,
+        snap.errors,
+        snap.hit_rate() * 100.0,
+        snap.shed_bracket,
+        snap.shed_rejected,
+        snap.quota_rejected,
+        snap.latency_quantile(0.50),
+        snap.latency_quantile(0.99),
+    );
+    Ok(())
+}
+
 /// Long-running serve mode: request lines on stdin, estimates on stdout.
 fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let (ds, est) = load_estimator(flags)?;
+    if flags.contains_key("listen") {
+        return cmd_serve_socket(flags, ds, est);
+    }
     let monotone = est.is_monotonic();
     let registry = Arc::new(ModelRegistry::new());
     let epoch = registry.publish("default", est);

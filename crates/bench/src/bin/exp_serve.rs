@@ -13,6 +13,15 @@
 //!    `(epoch, fingerprint, τ)` cache and intra-batch coalescing absorb a
 //!    large fraction of the model work, with estimates still bit-identical.
 //!
+//! With `--listen [ADDR]` the binary instead self-hosts a socket ingress
+//! ([`NetServer`]) and turns into a protocol-level load generator:
+//! open-loop Poisson arrivals over Zipf-skewed keys measure end-to-end
+//! latency percentiles against an SLO, and a deliberately overloaded
+//! 1-worker server demonstrates bracket-answering load shedding with
+//! client-observed counts reconciled against server counters. The socket
+//! run writes its report to `BENCH_serve.json` (path overridable via
+//! `CARDEST_BENCH_OUT`).
+//!
 //! Honors `CARDEST_SCALE` (`quick` | `full`) like every other binary.
 
 use cardest_bench::Scale;
@@ -22,9 +31,12 @@ use cardest_core::train::{train_cardnet, TrainerOptions};
 use cardest_core::CardNetEstimator;
 use cardest_data::synth::{hm_imagenet, SynthConfig};
 use cardest_data::zipf::Zipf;
-use cardest_data::{Record, Workload};
+use cardest_data::{Dataset, Record, Workload};
 use cardest_fx::build_extractor;
-use cardest_serve::{ModelRegistry, Request, ServeConfig, Service, StatsSnapshot};
+use cardest_serve::{
+    Decoder, ErrorCode, Frame, ModelRegistry, NetClient, NetConfig, NetServer, Request,
+    RequestFrame, ServeConfig, Service, StatsSnapshot, WireQuery, WireSource,
+};
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -36,14 +48,28 @@ type StreamItem = (usize, f64, Arc<Record>);
 
 fn main() -> ExitCode {
     let scale = Scale::from_env();
-    let n_requests = if scale.label() == "full" { 6000 } else { 2400 };
-    eprintln!(
-        "# exp_serve (serving throughput/latency), scale = {}",
-        scale.label()
-    );
+    let mut args = std::env::args().skip(1);
+    let mut listen: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => {
+                listen = Some(args.next().unwrap_or_else(|| "127.0.0.1:0".into()));
+            }
+            other => {
+                eprintln!("unknown argument: {other} (usage: exp_serve [--listen [ADDR]])");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match listen {
+        Some(addr) => socket_mode(&scale, &addr),
+        None => in_process_mode(&scale),
+    }
+}
 
-    // One quickly trained CardNet; serving performance does not care about
-    // accuracy, only about the real inference cost of a real model.
+/// One quickly trained CardNet; serving performance does not care about
+/// accuracy, only about the real inference cost of a real model.
+fn trained_model(scale: &Scale) -> (Dataset, CardNetEstimator) {
     let ds = hm_imagenet(SynthConfig::new(scale.n_records, scale.seed));
     let fx = build_extractor(&ds, scale.tau_max, 1);
     let split = Workload::sample_from(&ds, 0.10, 10, 3).split(5);
@@ -54,7 +80,17 @@ fn main() -> ExitCode {
         ..TrainerOptions::quick()
     };
     let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
-    let est = CardNetEstimator::from_trainer(fx, trainer);
+    (ds, CardNetEstimator::from_trainer(fx, trainer))
+}
+
+fn in_process_mode(scale: &Scale) -> ExitCode {
+    let n_requests = if scale.label() == "full" { 6000 } else { 2400 };
+    eprintln!(
+        "# exp_serve (serving throughput/latency), scale = {}",
+        scale.label()
+    );
+
+    let (ds, est) = trained_model(scale);
 
     let registry = Arc::new(ModelRegistry::new());
     registry.publish("default", est);
@@ -373,4 +409,663 @@ fn recv_estimate(
         .expect("service alive")
         .expect("request served")
         .estimate
+}
+
+// ───────────────────────── socket loadgen (`--listen`) ─────────────────────
+
+/// End-to-end p99 SLO for the sustained phase. Deliberately generous: the
+/// point is catching pathological queueing (seconds), not scheduler jitter
+/// on a loaded CI box.
+const SLO_US: u64 = 200_000;
+
+/// Per-client tallies from one socket loadgen connection.
+#[derive(Default)]
+struct ClientOutcome {
+    /// Send-to-receive latency per answered request, microseconds.
+    latencies_us: Vec<u64>,
+    /// Full-fidelity responses whose estimate was bit-identical to the
+    /// single-thread, unbatched reference.
+    identical: usize,
+    /// Full-fidelity responses compared against the reference.
+    compared: usize,
+    /// Degraded (shed-bracket) responses.
+    degraded: usize,
+    /// Typed error frames (e.g. `Overloaded`).
+    errors: usize,
+    /// Wire-level violations: decode failures, out-of-order ids, unexpected
+    /// frame kinds, short reads.
+    protocol_errors: usize,
+}
+
+fn socket_mode(scale: &Scale, addr: &str) -> ExitCode {
+    let n_requests = if scale.label() == "full" { 4000 } else { 1200 };
+    let clients = 4usize;
+    eprintln!(
+        "# exp_serve --listen (socket loadgen), scale = {}",
+        scale.label()
+    );
+
+    let (ds, est) = trained_model(scale);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("default", est);
+    let live = registry.get("default").expect("just published");
+    let records: Vec<Arc<Record>> = ds.records.iter().cloned().map(Arc::new).collect();
+
+    // Single-thread, unbatched reference answers for every distinct query in
+    // the stream: the socket path must reproduce these bit-for-bit.
+    let stream = zipf_stream(&ds, n_requests, scale.seed ^ 0x50C7);
+    let mut reference: HashMap<(usize, u64), f64> = HashMap::new();
+    for (idx, theta, rec) in &stream {
+        reference
+            .entry((*idx, theta.to_bits()))
+            .or_insert_with(|| live.estimator.estimate(rec, *theta));
+    }
+
+    // ── Phase A: sustained open-loop load within capacity ────────────────
+    let cores = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let workers = cores.clamp(2, 4);
+    let service = Service::start(
+        Arc::clone(&registry),
+        ServeConfig {
+            workers,
+            batch_max: 64,
+            batch_window: Duration::from_micros(500),
+            cache_capacity: 4096,
+            bound_tolerance: 0.0,
+            cache_curve_points: 0,
+            kernel_threads: 1,
+            kernel_backend: None,
+        },
+    );
+    let server = match NetServer::bind(
+        addr,
+        service,
+        records.clone(),
+        NetConfig {
+            queue_limit: 4096,
+            ..NetConfig::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "listening on {} ({workers} workers); {} requests over {clients} clients",
+        server.addr(),
+        stream.len(),
+    );
+
+    // Closed-loop capacity probe over one pipelined connection, so the
+    // open-loop arrival rate lands safely inside capacity on any machine.
+    let probe_n = 200.min(stream.len());
+    let probe_t0 = Instant::now();
+    {
+        let mut c = NetClient::connect(server.addr()).expect("probe connect");
+        for (i, (idx, theta, _)) in stream[..probe_n].iter().enumerate() {
+            c.send(&Frame::Request(RequestFrame {
+                request_id: i as u64,
+                client_id: 1,
+                theta: *theta,
+                deadline_us: 0,
+                model: String::new(),
+                query: WireQuery::Index(*idx as u64),
+            }))
+            .expect("probe send");
+        }
+        for _ in 0..probe_n {
+            c.recv().expect("probe recv");
+        }
+    }
+    let capacity_rps = probe_n as f64 / probe_t0.elapsed().as_secs_f64();
+    let offered_rps = (capacity_rps * 0.30).clamp(200.0, 20_000.0);
+    println!(
+        "capacity probe: {capacity_rps:.0} req/s closed-loop; offering {offered_rps:.0} req/s \
+         (Poisson arrivals, Zipf keys)"
+    );
+
+    let lambda = offered_rps / clients as f64;
+    let chunk = stream.len().div_ceil(clients);
+    let run_t0 = Instant::now();
+    let mut outcomes: Vec<ClientOutcome> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (client, slice) in stream.chunks(chunk).enumerate() {
+            let reference = &reference;
+            let server_addr = server.addr();
+            let seed = scale.seed;
+            handles.push(scope.spawn(move || {
+                run_socket_client(server_addr, client, slice, lambda, reference, seed)
+            }));
+        }
+        for handle in handles {
+            outcomes.push(handle.join().expect("loadgen client thread"));
+        }
+    });
+    let run_elapsed = run_t0.elapsed();
+    let snap = server.service().stats();
+    server.shutdown();
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let identical: usize = outcomes.iter().map(|o| o.identical).sum();
+    let compared: usize = outcomes.iter().map(|o| o.compared).sum();
+    let degraded: usize = outcomes.iter().map(|o| o.degraded).sum();
+    let errors: usize = outcomes.iter().map(|o| o.errors).sum();
+    let protocol_errors: usize = outcomes.iter().map(|o| o.protocol_errors).sum();
+    let p50_us = quantile_us(&latencies, 0.50);
+    let p99_us = quantile_us(&latencies, 0.99);
+    let throughput_rps = latencies.len() as f64 / run_elapsed.as_secs_f64();
+    let shed_rate = (degraded + errors) as f64 / stream.len().max(1) as f64;
+
+    let bit_identity = compared > 0 && identical == compared;
+    let slo_pass = p99_us <= SLO_US;
+    let proto_pass = protocol_errors == 0;
+    println!(
+        "sustained: {throughput_rps:.0} req/s achieved, p50 {p50_us} us, p99 {p99_us} us \
+         (SLO {SLO_US} us), shed rate {shed_rate:.4}"
+    );
+    println!(
+        "(a) bit-identity over the socket: {identical}/{compared} [{}]",
+        if bit_identity { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "(b) p99 <= SLO: [{}]   protocol errors: {protocol_errors} [{}]",
+        if slo_pass { "PASS" } else { "FAIL" },
+        if proto_pass { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "    server counters: {} requests, exact hits {:.1}%, coalesced {:.1}%, computed {:.1}%",
+        snap.requests,
+        pct(snap.exact_hits, &snap),
+        pct(snap.coalesced, &snap),
+        pct(snap.computed, &snap),
+    );
+
+    // ── Phase B: overload a 1-worker server; sheds answer from brackets ──
+    let over = run_overload_phase(&registry, &ds, records, &live.estimator);
+
+    println!(
+        "\noverload: {} flood requests -> {} full-fidelity, {} degraded brackets, {} rejected",
+        over.flood_total, over.served_full, over.degraded, over.rejected
+    );
+    println!(
+        "(c) shedding observed with valid brackets: [{}]   counters reconcile: [{}]",
+        if over.brackets_valid { "PASS" } else { "FAIL" },
+        if over.reconcile { "PASS" } else { "FAIL" }
+    );
+
+    let gates_pass = bit_identity
+        && slo_pass
+        && proto_pass
+        && over.brackets_valid
+        && over.reconcile
+        && over.identity
+        && over.protocol_errors == 0;
+
+    let json = render_json(
+        scale,
+        &server_report(
+            stream.len(),
+            clients,
+            offered_rps,
+            throughput_rps,
+            p50_us,
+            p99_us,
+            slo_pass,
+            identical,
+            compared,
+            degraded,
+            shed_rate,
+            protocol_errors,
+        ),
+        &over,
+        bit_identity,
+        proto_pass,
+        gates_pass,
+    );
+    let out = std::env::var("CARDEST_BENCH_OUT").unwrap_or_else(|_| "BENCH_serve.json".into());
+    match std::fs::write(&out, json) {
+        Ok(()) => println!("\nwrote {out}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if gates_pass {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// One loadgen connection: a paced sender and a concurrent receiver over the
+/// same socket. Responses are FIFO per connection, so the receiver pairs
+/// each frame with the matching send timestamp (and expected answer) by
+/// position.
+fn run_socket_client(
+    addr: std::net::SocketAddr,
+    client: usize,
+    slice: &[StreamItem],
+    lambda: f64,
+    reference: &HashMap<(usize, u64), f64>,
+    seed: u64,
+) -> ClientOutcome {
+    use std::io::{Read, Write};
+    let writer = std::net::TcpStream::connect(addr).expect("loadgen connect");
+    writer.set_nodelay(true).ok();
+    let mut reader = writer.try_clone().expect("clone socket");
+    let mut writer = writer;
+    let (sent_tx, sent_rx) = std::sync::mpsc::channel::<Instant>();
+    let expected = slice.len();
+
+    let mut outcome = ClientOutcome::default();
+    std::thread::scope(|scope| {
+        let recv = scope.spawn(move || {
+            let mut out = ClientOutcome::default();
+            let mut dec = Decoder::new();
+            let mut buf = [0u8; 16384];
+            let mut got = 0usize;
+            'read: while got < expected {
+                let n = match reader.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => n,
+                };
+                dec.extend(&buf[..n]);
+                loop {
+                    match dec.next_frame() {
+                        Ok(Some(frame)) => {
+                            let sent = sent_rx.recv().expect("sender timestamps every frame");
+                            out.latencies_us.push(sent.elapsed().as_micros() as u64);
+                            let (idx, theta, _) = &slice[got];
+                            match frame {
+                                Frame::Response(r) => {
+                                    if r.request_id != got as u64 {
+                                        out.protocol_errors += 1;
+                                    } else if r.degraded {
+                                        out.degraded += 1;
+                                    } else {
+                                        out.compared += 1;
+                                        let want = reference[&(*idx, theta.to_bits())];
+                                        if r.estimate.to_bits() == want.to_bits() {
+                                            out.identical += 1;
+                                        }
+                                    }
+                                }
+                                Frame::Error(_) => out.errors += 1,
+                                _ => out.protocol_errors += 1,
+                            }
+                            got += 1;
+                            if got == expected {
+                                break 'read;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => {
+                            out.protocol_errors += 1;
+                            break 'read;
+                        }
+                    }
+                }
+            }
+            // Unanswered requests are protocol failures too: the server owes
+            // exactly one frame per request.
+            out.protocol_errors += expected - got;
+            out
+        });
+
+        // Open-loop Poisson sender: arrival times are drawn up front from
+        // the schedule, never from service feedback — a slow server makes
+        // the queue grow instead of slowing the offered load.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xA551_0000 ^ (client as u64) << 8);
+        let mut due = Instant::now();
+        for (i, (idx, theta, rec)) in slice.iter().enumerate() {
+            let gap = -(1.0 - rng.gen::<f64>()).ln() / lambda;
+            due += Duration::from_secs_f64(gap);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+            // Mostly index queries; every 7th ships the record inline to
+            // keep the `Bits` wire path hot under load as well.
+            let query = if i % 7 == 3 {
+                WireQuery::Bits(rec.as_bits().clone())
+            } else {
+                WireQuery::Index(*idx as u64)
+            };
+            let frame = Frame::Request(RequestFrame {
+                request_id: i as u64,
+                client_id: 10 + client as u64,
+                theta: *theta,
+                deadline_us: 0,
+                model: String::new(),
+                query,
+            });
+            let stamp = Instant::now();
+            if writer.write_all(&frame.encode()).is_err() {
+                break;
+            }
+            if sent_tx.send(stamp).is_err() {
+                break;
+            }
+        }
+        drop(sent_tx);
+        outcome = recv.join().expect("receiver thread");
+    });
+    outcome
+}
+
+/// Results of the overload phase.
+struct OverloadReport {
+    flood_total: usize,
+    served_full: usize,
+    degraded: usize,
+    rejected: usize,
+    protocol_errors: usize,
+    /// Sheds happened, every degraded answer was a `ShedBracket` whose
+    /// `[lo, hi]` is bit-identical to the independently computed bracket.
+    brackets_valid: bool,
+    /// Client-observed degraded/rejected counts equal the server's
+    /// `shed_bracket`/`shed_rejected` counters.
+    reconcile: bool,
+    /// Every full-fidelity answer (admitted during overload or served after
+    /// the flood drained) was bit-identical to the reference.
+    identity: bool,
+    shed_rate: f64,
+}
+
+/// Saturate a 1-worker server behind a `queue_limit = 8` ingress: fill the
+/// queue with cold queries while the worker stalls in a long batch window,
+/// then flood. Cold overflow must be rejected `Overloaded`; hot overflow
+/// must be answered degraded from the pre-warmed monotone bracket.
+fn run_overload_phase(
+    registry: &Arc<ModelRegistry>,
+    ds: &Dataset,
+    records: Vec<Arc<Record>>,
+    reference: &CardNetEstimator,
+) -> OverloadReport {
+    const ADMIT: usize = 8; // == queue_limit: exactly fills the bounded queue
+    const COLD_SHED: usize = 8;
+    const HOT_SHED: usize = 40;
+    let flood_total = ADMIT + COLD_SHED + HOT_SHED;
+
+    let hot = ds.len() - 1;
+    let tau_max = reference.extractor().tau_max();
+    let theta_of = |tau: usize| ds.theta_max * (tau as f64 + 0.5) / tau_max as f64;
+    let (theta_lo, theta_mid, theta_hi) =
+        (theta_of(1), theta_of(tau_max / 2), theta_of(tau_max - 1));
+    let expected_lo = reference.estimate(&ds.records[hot], theta_lo);
+    let expected_hi = reference.estimate(&ds.records[hot], theta_hi);
+
+    let service = Service::start(
+        Arc::clone(registry),
+        ServeConfig {
+            workers: 1,
+            batch_max: 64,
+            // Long window: the worker stalls collecting its batch, so the
+            // flood lands against a full queue deterministically.
+            batch_window: Duration::from_millis(400),
+            cache_capacity: 1024,
+            bound_tolerance: 0.0,
+            cache_curve_points: 0,
+            kernel_threads: 1,
+            kernel_backend: None,
+        },
+    );
+    let over = NetServer::bind(
+        "127.0.0.1:0",
+        service,
+        records,
+        NetConfig {
+            queue_limit: ADMIT,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind overload server");
+
+    let mut report = OverloadReport {
+        flood_total,
+        served_full: 0,
+        degraded: 0,
+        rejected: 0,
+        protocol_errors: 0,
+        brackets_valid: false,
+        reconcile: false,
+        identity: true,
+        shed_rate: 0.0,
+    };
+
+    // Pre-warm the hot record's bracket endpoints (one pipelined batch).
+    {
+        let mut c = NetClient::connect(over.addr()).expect("prewarm connect");
+        for (i, theta) in [theta_lo, theta_hi].into_iter().enumerate() {
+            c.send(&Frame::Request(RequestFrame {
+                request_id: i as u64,
+                client_id: 1,
+                theta,
+                deadline_us: 0,
+                model: String::new(),
+                query: WireQuery::Index(hot as u64),
+            }))
+            .expect("prewarm send");
+        }
+        for _ in 0..2 {
+            match c.recv() {
+                Ok(Frame::Response(r)) if !r.degraded => {}
+                other => {
+                    eprintln!("prewarm failed: {other:?}");
+                    report.protocol_errors += 1;
+                }
+            }
+        }
+    }
+
+    // The flood, pipelined on one connection: ADMIT cold queries fill the
+    // queue, COLD_SHED more cold queries overflow it (no cached bracket →
+    // rejected), HOT_SHED hot queries overflow it (bracket → degraded).
+    let flood_idx = |i: usize| -> usize {
+        if i < ADMIT + COLD_SHED {
+            i % hot // distinct cold records, never the hot one
+        } else {
+            hot
+        }
+    };
+    let mut bad_bracket = 0usize;
+    {
+        let mut c = NetClient::connect(over.addr()).expect("flood connect");
+        for i in 0..flood_total {
+            c.send(&Frame::Request(RequestFrame {
+                request_id: i as u64,
+                client_id: 42,
+                theta: theta_mid,
+                deadline_us: 0,
+                model: String::new(),
+                query: WireQuery::Index(flood_idx(i) as u64),
+            }))
+            .expect("flood send");
+        }
+        for i in 0..flood_total {
+            match c.recv() {
+                Ok(Frame::Response(r)) => {
+                    if r.degraded {
+                        report.degraded += 1;
+                        let ok = r.source == WireSource::ShedBracket
+                            && r.lo.to_bits() == expected_lo.to_bits()
+                            && r.hi.to_bits() == expected_hi.to_bits()
+                            && r.lo <= r.estimate
+                            && r.estimate <= r.hi;
+                        if !ok {
+                            bad_bracket += 1;
+                        }
+                    } else {
+                        report.served_full += 1;
+                        let idx = flood_idx(r.request_id as usize);
+                        let want = reference.estimate(&ds.records[idx], theta_mid);
+                        if r.estimate.to_bits() != want.to_bits() {
+                            report.identity = false;
+                        }
+                    }
+                }
+                Ok(Frame::Error(e)) if e.code == ErrorCode::Overloaded => report.rejected += 1,
+                Ok(other) => {
+                    eprintln!("flood: unexpected frame {other:?}");
+                    report.protocol_errors += 1;
+                }
+                Err(e) => {
+                    eprintln!("flood: connection died: {e}");
+                    report.protocol_errors += flood_total - i;
+                    break;
+                }
+            }
+        }
+    }
+
+    // After the flood drains, the same hot query must be served at full
+    // fidelity again — shedding is a mode, not a latch.
+    {
+        let mut c = NetClient::connect(over.addr()).expect("drain connect");
+        match c.call(RequestFrame {
+            request_id: 99,
+            client_id: 1,
+            theta: theta_mid,
+            deadline_us: 0,
+            model: String::new(),
+            query: WireQuery::Index(hot as u64),
+        }) {
+            Ok(Frame::Response(r)) if !r.degraded => {
+                let want = reference.estimate(&ds.records[hot], theta_mid);
+                if r.estimate.to_bits() != want.to_bits() {
+                    report.identity = false;
+                }
+            }
+            other => {
+                eprintln!("post-drain request failed: {other:?}");
+                report.protocol_errors += 1;
+            }
+        }
+    }
+
+    let snap = over.service().stats();
+    over.shutdown();
+    report.brackets_valid = report.degraded > 0 && bad_bracket == 0;
+    report.reconcile = snap.shed_bracket == report.degraded as u64
+        && snap.shed_rejected == report.rejected as u64
+        && report.rejected > 0;
+    report.shed_rate = (report.degraded + report.rejected) as f64 / flood_total as f64;
+    report
+}
+
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let pos = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[pos.min(sorted.len() - 1)]
+}
+
+/// Sustained-phase numbers destined for the JSON report.
+struct SustainedReport {
+    requests: usize,
+    clients: usize,
+    offered_rps: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    slo_pass: bool,
+    identical: usize,
+    compared: usize,
+    degraded: usize,
+    shed_rate: f64,
+    protocol_errors: usize,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn server_report(
+    requests: usize,
+    clients: usize,
+    offered_rps: f64,
+    throughput_rps: f64,
+    p50_us: u64,
+    p99_us: u64,
+    slo_pass: bool,
+    identical: usize,
+    compared: usize,
+    degraded: usize,
+    shed_rate: f64,
+    protocol_errors: usize,
+) -> SustainedReport {
+    SustainedReport {
+        requests,
+        clients,
+        offered_rps,
+        throughput_rps,
+        p50_us,
+        p99_us,
+        slo_pass,
+        identical,
+        compared,
+        degraded,
+        shed_rate,
+        protocol_errors,
+    }
+}
+
+fn render_json(
+    scale: &Scale,
+    sustained: &SustainedReport,
+    over: &OverloadReport,
+    bit_identity: bool,
+    proto_pass: bool,
+    gates_pass: bool,
+) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"bench\": \"serve_socket\",");
+    let _ = writeln!(s, "  \"scale\": \"{}\",", scale.label());
+    let _ = writeln!(s, "  \"slo_us\": {SLO_US},");
+    let _ = writeln!(s, "  \"sustained\": {{");
+    let _ = writeln!(s, "    \"requests\": {},", sustained.requests);
+    let _ = writeln!(s, "    \"clients\": {},", sustained.clients);
+    let _ = writeln!(s, "    \"offered_rps\": {:.1},", sustained.offered_rps);
+    let _ = writeln!(
+        s,
+        "    \"throughput_rps\": {:.1},",
+        sustained.throughput_rps
+    );
+    let _ = writeln!(s, "    \"p50_us\": {},", sustained.p50_us);
+    let _ = writeln!(s, "    \"p99_us\": {},", sustained.p99_us);
+    let _ = writeln!(s, "    \"slo_pass\": {},", sustained.slo_pass);
+    let _ = writeln!(s, "    \"bit_identical\": {},", sustained.identical);
+    let _ = writeln!(s, "    \"compared\": {},", sustained.compared);
+    let _ = writeln!(s, "    \"degraded\": {},", sustained.degraded);
+    let _ = writeln!(s, "    \"shed_rate\": {:.6},", sustained.shed_rate);
+    let _ = writeln!(s, "    \"protocol_errors\": {}", sustained.protocol_errors);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"overload\": {{");
+    let _ = writeln!(s, "    \"requests\": {},", over.flood_total);
+    let _ = writeln!(s, "    \"served_full\": {},", over.served_full);
+    let _ = writeln!(s, "    \"degraded\": {},", over.degraded);
+    let _ = writeln!(s, "    \"rejected\": {},", over.rejected);
+    let _ = writeln!(s, "    \"shed_rate\": {:.6},", over.shed_rate);
+    let _ = writeln!(s, "    \"brackets_valid\": {},", over.brackets_valid);
+    let _ = writeln!(s, "    \"counters_reconcile\": {},", over.reconcile);
+    let _ = writeln!(s, "    \"protocol_errors\": {}", over.protocol_errors);
+    let _ = writeln!(s, "  }},");
+    let _ = writeln!(s, "  \"gates\": {{");
+    let _ = writeln!(s, "    \"bit_identity\": {bit_identity},");
+    let _ = writeln!(s, "    \"zero_protocol_errors\": {proto_pass},");
+    let _ = writeln!(s, "    \"slo\": {},", sustained.slo_pass);
+    let _ = writeln!(s, "    \"shedding_observed\": {},", over.brackets_valid);
+    let _ = writeln!(s, "    \"counters_reconcile\": {},", over.reconcile);
+    let _ = writeln!(s, "    \"all\": {gates_pass}");
+    let _ = writeln!(s, "  }}");
+    let _ = writeln!(s, "}}");
+    s
 }

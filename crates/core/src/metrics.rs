@@ -18,6 +18,8 @@ thread_local! {
     static EXTRACTIONS: Cell<u64> = const { Cell::new(0) };
     static ENCODER_PASSES: Cell<u64> = const { Cell::new(0) };
     static DECODER_CALLS: Cell<u64> = const { Cell::new(0) };
+    static SHEDS: Cell<u64> = const { Cell::new(0) };
+    static DEGRADED_ANSWERS: Cell<u64> = const { Cell::new(0) };
 }
 
 /// Records one `h_rec` feature extraction (record → bit vector).
@@ -36,12 +38,30 @@ pub fn record_decoder_calls(n: u64) {
     DECODER_CALLS.with(|c| c.set(c.get() + n));
 }
 
+/// Records one load-shed decision: a request refused a model run by
+/// admission control or an expired deadline (whether or not a degraded
+/// answer was still possible).
+pub fn record_shed() {
+    SHEDS.with(|c| c.set(c.get() + 1));
+}
+
+/// Records one **degraded** answer: a shed request answered from a monotone
+/// cache bracket instead of a model run. Always ≤ [`record_shed`]'s count —
+/// the difference is hard rejects.
+pub fn record_degraded_answer() {
+    DEGRADED_ANSWERS.with(|c| c.set(c.get() + 1));
+}
+
 /// A point-in-time snapshot of the calling thread's counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ApiCounters {
     pub extractions: u64,
     pub encoder_passes: u64,
     pub decoder_calls: u64,
+    /// Load-shed decisions (serving layer: admission control / deadlines).
+    pub sheds: u64,
+    /// Degraded answers served from a monotone cache bracket.
+    pub degraded_answers: u64,
 }
 
 impl ApiCounters {
@@ -51,6 +71,8 @@ impl ApiCounters {
             extractions: EXTRACTIONS.with(Cell::get),
             encoder_passes: ENCODER_PASSES.with(Cell::get),
             decoder_calls: DECODER_CALLS.with(Cell::get),
+            sheds: SHEDS.with(Cell::get),
+            degraded_answers: DEGRADED_ANSWERS.with(Cell::get),
         }
     }
 
@@ -60,6 +82,8 @@ impl ApiCounters {
             extractions: self.extractions - earlier.extractions,
             encoder_passes: self.encoder_passes - earlier.encoder_passes,
             decoder_calls: self.decoder_calls - earlier.decoder_calls,
+            sheds: self.sheds - earlier.sheds,
+            degraded_answers: self.degraded_answers - earlier.degraded_answers,
         }
     }
 }
@@ -75,11 +99,16 @@ mod tests {
         record_encoder_pass();
         record_encoder_pass();
         record_decoder_calls(3);
+        record_shed();
+        record_shed();
+        record_degraded_answer();
         let delta = ApiCounters::snapshot().delta_since(&before);
         // Exact equality is safe: counters are thread-local and this test's
         // thread performs no other estimation work.
         assert_eq!(delta.extractions, 1);
         assert_eq!(delta.encoder_passes, 2);
         assert_eq!(delta.decoder_calls, 3);
+        assert_eq!(delta.sheds, 2);
+        assert_eq!(delta.degraded_answers, 1);
     }
 }

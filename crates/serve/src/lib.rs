@@ -26,7 +26,14 @@
 //!   the cache with whole threshold-curve points, turning repeat θ-sweeps
 //!   into exact hits.
 //! * [`stats::ServiceStats`] — lock-free counters: throughput, p50/p99
-//!   latency, cache hit/bound-hit rates, and a batch-size histogram.
+//!   latency, cache hit/bound-hit rates, shed/quota counters, and a
+//!   batch-size histogram.
+//! * [`wire`] + [`net`] — the network edge: a length-prefixed binary frame
+//!   codec (versioned header, request ids, τ, degraded flag) and a std-only
+//!   TCP front-end with per-connection reader/writer threads, bounded-queue
+//!   admission control, per-client quotas, and load shedding that falls back
+//!   to the monotone cache's `[lo, hi]` bracket instead of queuing without
+//!   bound.
 //!
 //! ```no_run
 //! use cardest_serve::{ModelRegistry, ServeConfig, Service};
@@ -41,16 +48,23 @@
 //! ```
 
 pub mod cache;
+pub mod net;
 pub mod registry;
 pub mod service;
 pub mod stats;
+pub mod wire;
 
 #[cfg(test)]
 pub(crate) mod testutil;
 
 pub use cache::{CacheLookup, EstimateCache};
+pub use net::{NetClient, NetConfig, NetServer};
 pub use registry::{ModelRegistry, RegistryReader, ServeModel};
 pub use service::{
     EstimateSource, Request, Response, ServeConfig, ServeError, Service, ServiceClient,
 };
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use stats::{ClientStats, ServiceStats, StatsSnapshot};
+pub use wire::{
+    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, WireError, WireQuery,
+    WireSource,
+};

@@ -126,6 +126,19 @@ pub enum EstimateSource {
     /// Monotone bracket `[lo, hi]` was tight enough to answer without the
     /// model.
     CacheBounds { lo: f64, hi: f64 },
+    /// Load-shed **degraded** answer: the request was refused a model run
+    /// (admission control or an expired deadline) and answered from the
+    /// monotone cache bracket `[lo, hi]` instead. The point value is the
+    /// bracket's [`Estimate::from_bracket`] value; clients should trust the
+    /// bounds, not the point.
+    ShedBracket { lo: f64, hi: f64 },
+}
+
+impl EstimateSource {
+    /// Whether this answer is a degraded (load-shed) one.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, EstimateSource::ShedBracket { .. })
+    }
 }
 
 /// A served estimate, tagged with the epoch of the model that produced it —
@@ -144,6 +157,12 @@ pub enum ServeError {
     UnknownModel(String),
     /// The service shut down before (or while) answering.
     ServiceStopped,
+    /// The request sat queued past its deadline and no cache bracket was
+    /// available for a degraded answer.
+    DeadlineExceeded,
+    /// Admission control refused the request (bounded queue full) and no
+    /// cache bracket was available for a degraded answer.
+    Overloaded,
 }
 
 impl std::fmt::Display for ServeError {
@@ -151,6 +170,8 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::UnknownModel(name) => write!(f, "no model published as `{name}`"),
             ServeError::ServiceStopped => write!(f, "service stopped"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded while queued"),
+            ServeError::Overloaded => write!(f, "service overloaded, request shed"),
         }
     }
 }
@@ -161,6 +182,9 @@ struct Job {
     req: Request,
     resp: Sender<Result<Response, ServeError>>,
     enqueued: Instant,
+    /// Load-shed horizon: a job still unserved past this instant is answered
+    /// from the cache bracket (degraded) or refused, never computed.
+    deadline: Option<Instant>,
 }
 
 /// A cloneable submission handle; cheap to hand to every client thread.
@@ -175,12 +199,27 @@ impl ServiceClient {
     /// Submitting many requests before draining any is how a client opts
     /// into pipelining (and gives workers batches to chew on).
     pub fn submit(&self, req: Request) -> Receiver<Result<Response, ServeError>> {
+        self.submit_with_deadline(req, None)
+    }
+
+    /// [`ServiceClient::submit`] with a load-shed budget: if the request is
+    /// still queued once `deadline` has elapsed, a worker answers it from
+    /// the monotone cache bracket (degraded, [`EstimateSource::ShedBracket`])
+    /// or with [`ServeError::DeadlineExceeded`] — it never spends model time
+    /// on an answer the caller has already given up on.
+    pub fn submit_with_deadline(
+        &self,
+        req: Request,
+        deadline: Option<Duration>,
+    ) -> Receiver<Result<Response, ServeError>> {
         self.stats.record_request();
         let (resp_tx, resp_rx) = channel();
+        let now = Instant::now();
         let job = Job {
             req,
             resp: resp_tx,
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
         };
         if let Err(send_err) = self.tx.send(job) {
             // Queue closed: answer the caller directly instead of hanging.
@@ -282,6 +321,61 @@ impl Service {
 
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// The live counters themselves (the ingress layer shares them so shed
+    /// and quota events land in the same snapshot as served traffic).
+    pub fn stats_handle(&self) -> &Arc<ServiceStats> {
+        &self.stats
+    }
+
+    /// Admission-control fallback: answers `query`@`theta` from the cache
+    /// **without touching the request queue** — the saturation path.
+    ///
+    /// * An exact `(epoch, fp, τ)` entry answers at full fidelity
+    ///   ([`EstimateSource::CacheExact`]): saturation never degrades a
+    ///   request the cache can answer outright.
+    /// * A monotone bracket answers degraded
+    ///   ([`EstimateSource::ShedBracket`]) — the trade the monotonicity
+    ///   guarantee makes possible: a bounded-error estimate at zero model
+    ///   cost while the queue is full.
+    /// * `Ok(None)` means nothing was cached; the caller rejects with
+    ///   [`ServeError::Overloaded`].
+    pub fn shed_answer(
+        &self,
+        model: &str,
+        query: &Arc<Record>,
+        theta: f64,
+    ) -> Result<Option<Response>, ServeError> {
+        let Some(model) = self.registry.get(model) else {
+            return Err(ServeError::UnknownModel(model.to_string()));
+        };
+        let estimator = &model.estimator;
+        let prepared = estimator.prepare_shared(query);
+        let fp = fingerprint(prepared.bits().expect("CardNet prepare extracts"));
+        let tau = estimator.threshold_step(theta);
+        match self.cache.lookup(model.epoch, fp, tau) {
+            CacheLookup::Exact(value) => {
+                self.stats.record_exact_hit();
+                Ok(Some(Response {
+                    estimate: value,
+                    epoch: model.epoch,
+                    source: EstimateSource::CacheExact,
+                }))
+            }
+            CacheLookup::Bounds { lo, hi } if model.monotone => {
+                let bracket = Estimate::from_bracket(lo, hi);
+                self.stats.record_shed_bracket();
+                cardest_core::metrics::record_shed();
+                cardest_core::metrics::record_degraded_answer();
+                Ok(Some(Response {
+                    estimate: bracket.value,
+                    epoch: model.epoch,
+                    source: EstimateSource::ShedBracket { lo, hi },
+                }))
+            }
+            _ => Ok(None),
+        }
     }
 
     pub fn config(&self) -> &ServeConfig {
@@ -451,6 +545,12 @@ fn serve_group(
         let prepared = estimator.prepare_shared(&job.req.query);
         let fp = fingerprint(prepared.bits().expect("CardNet prepare extracts"));
         let tau = estimator.threshold_step(job.req.theta);
+        // A job queued past its deadline is load-shed: a cache answer is
+        // still free (exact hits below cost nothing), but it will not be
+        // granted a model run.
+        let expired = job
+            .deadline
+            .is_some_and(|deadline| Instant::now() > deadline);
         match cache.lookup(epoch, fp, tau) {
             CacheLookup::Exact(value) => {
                 stats.record_exact_hit();
@@ -476,6 +576,20 @@ fn serve_group(
                         EstimateSource::CacheBounds { lo, hi },
                         stats,
                     );
+                } else if expired {
+                    // The deadline passed while queued, but monotonicity
+                    // still buys a degraded answer: the bracket's midpoint
+                    // with honest `[lo, hi]` bounds, no model time spent.
+                    stats.record_shed_bracket();
+                    cardest_core::metrics::record_shed();
+                    cardest_core::metrics::record_degraded_answer();
+                    respond(
+                        job,
+                        bracket.value,
+                        epoch,
+                        EstimateSource::ShedBracket { lo, hi },
+                        stats,
+                    );
                 } else {
                     pending.push(Pending {
                         job,
@@ -484,6 +598,14 @@ fn serve_group(
                         prepared,
                     });
                 }
+            }
+            _ if expired => {
+                // Nothing cached to degrade onto: refuse rather than spend
+                // model time past the caller's budget.
+                stats.record_shed_reject();
+                cardest_core::metrics::record_shed();
+                stats.record_latency(job.enqueued.elapsed());
+                let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
             }
             _ => pending.push(Pending {
                 job,
@@ -817,6 +939,141 @@ mod tests {
             (snap.mean_batch_size() - 1.0).abs() < 1e-9,
             "one unique curve row"
         );
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_with_warm_bracket_sheds_a_degraded_answer() {
+        let (ds, est) = tiny_setup(31);
+        let fx_tau_max = est.extractor().tau_max();
+        let theta_of = {
+            let theta_max = ds.theta_max;
+            move |tau: usize| theta_max * (tau as f64 + 0.5) / (fx_tau_max as f64)
+        };
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(registry, ServeConfig::default());
+        let q = Arc::new(ds.records[9].clone());
+        // Warm the cache on either side of the τ we will shed at.
+        let lo = service.estimate("m", Arc::clone(&q), theta_of(1)).unwrap();
+        let hi = service.estimate("m", Arc::clone(&q), theta_of(6)).unwrap();
+        // An already-expired deadline: the worker must not spend model time.
+        let resp = service
+            .client()
+            .submit_with_deadline(
+                Request {
+                    model: "m".into(),
+                    query: Arc::clone(&q),
+                    theta: theta_of(3),
+                },
+                Some(Duration::ZERO),
+            )
+            .recv()
+            .expect("service alive")
+            .expect("degraded answer");
+        match resp.source {
+            EstimateSource::ShedBracket { lo: l, hi: h } => {
+                assert_eq!(l.to_bits(), lo.estimate.to_bits());
+                assert_eq!(h.to_bits(), hi.estimate.to_bits());
+                assert!(l <= resp.estimate && resp.estimate <= h);
+                assert!(resp.source.is_degraded());
+            }
+            other => panic!("expected a shed-bracket answer, got {other:?}"),
+        }
+        let snap = service.stats();
+        assert_eq!(snap.shed_bracket, 1);
+        assert_eq!(snap.shed_rejected, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_with_cold_cache_is_refused() {
+        let (ds, est) = tiny_setup(32);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(registry, ServeConfig::default());
+        let q = Arc::new(ds.records[11].clone());
+        let err = service
+            .client()
+            .submit_with_deadline(
+                Request {
+                    model: "m".into(),
+                    query: Arc::clone(&q),
+                    theta: 5.0,
+                },
+                Some(Duration::ZERO),
+            )
+            .recv()
+            .expect("service alive")
+            .expect_err("nothing cached to degrade onto");
+        assert_eq!(err, ServeError::DeadlineExceeded);
+        let snap = service.stats();
+        assert_eq!(snap.shed_rejected, 1);
+        assert_eq!(snap.shed_bracket, 0);
+        // A generous deadline is never shed.
+        let ok = service
+            .client()
+            .submit_with_deadline(
+                Request {
+                    model: "m".into(),
+                    query: q,
+                    theta: 5.0,
+                },
+                Some(Duration::from_secs(30)),
+            )
+            .recv()
+            .expect("service alive")
+            .expect("served");
+        assert!(matches!(ok.source, EstimateSource::Computed { .. }));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shed_answer_prefers_exact_hits_and_falls_back_to_brackets() {
+        let (ds, est) = tiny_setup(33);
+        let fx_tau_max = est.extractor().tau_max();
+        let theta_of = {
+            let theta_max = ds.theta_max;
+            move |tau: usize| theta_max * (tau as f64 + 0.5) / (fx_tau_max as f64)
+        };
+        let registry = Arc::new(ModelRegistry::new());
+        registry.publish("m", est);
+        let service = Service::start(registry, ServeConfig::default());
+        let q = Arc::new(ds.records[5].clone());
+        let lo = service.estimate("m", Arc::clone(&q), theta_of(2)).unwrap();
+        let hi = service.estimate("m", Arc::clone(&q), theta_of(7)).unwrap();
+
+        // Exact τ: full-fidelity cache answer even under saturation.
+        let exact = service
+            .shed_answer("m", &q, theta_of(2))
+            .expect("model known")
+            .expect("cached");
+        assert_eq!(exact.source, EstimateSource::CacheExact);
+        assert_eq!(exact.estimate.to_bits(), lo.estimate.to_bits());
+
+        // Bracketed τ: degraded monotone-bounds answer.
+        let shed = service
+            .shed_answer("m", &q, theta_of(4))
+            .expect("model known")
+            .expect("bracketed");
+        match shed.source {
+            EstimateSource::ShedBracket { lo: l, hi: h } => {
+                assert_eq!(l.to_bits(), lo.estimate.to_bits());
+                assert_eq!(h.to_bits(), hi.estimate.to_bits());
+            }
+            other => panic!("expected shed bracket, got {other:?}"),
+        }
+
+        // A query the cache has never seen: nothing to shed onto.
+        let cold = Arc::new(ds.records[50].clone());
+        assert!(service
+            .shed_answer("m", &cold, theta_of(4))
+            .expect("model known")
+            .is_none());
+        assert!(matches!(
+            service.shed_answer("ghost", &q, 1.0),
+            Err(ServeError::UnknownModel(_))
+        ));
         service.shutdown();
     }
 

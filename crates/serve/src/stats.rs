@@ -1,8 +1,15 @@
-//! Lock-free service counters: request totals, cache effectiveness, the
-//! micro-batch size distribution, and a log-bucketed latency histogram from
-//! which p50/p99 are read without ever locking the hot path.
+//! Lock-free service counters: request totals, cache effectiveness, load
+//! shedding, the micro-batch size distribution, and a log-bucketed latency
+//! histogram from which p50/p99 are read without ever locking the hot path.
+//!
+//! The one exception to "lock-free" is the per-client quota table: client
+//! identities arrive at the network edge, so the table is touched once per
+//! ingress request (never by workers) and a short mutex there is fine —
+//! admission control is exactly where backpressure is supposed to live.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Latency buckets: bucket `b` covers `[2^b, 2^{b+1})` nanoseconds. 48
@@ -28,12 +35,35 @@ pub struct ServiceStats {
     coalesced: AtomicU64,
     /// Failed (unknown model name).
     errors: AtomicU64,
+    /// Load-shed but still answered: degraded monotone-bracket responses
+    /// (admission control or expired deadline, no model run).
+    shed_bracket: AtomicU64,
+    /// Load-shed and refused: nothing cached to degrade onto.
+    shed_rejected: AtomicU64,
+    /// Refused at ingress because the client exceeded its quota.
+    quota_rejected: AtomicU64,
     /// Micro-batches executed (model runs, not request groups).
     batches: AtomicU64,
     /// Sum of micro-batch sizes (mean batch = this / batches).
     batch_size_sum: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS],
     latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    /// Per-client accounting (requests, outstanding, shed, rejects), keyed
+    /// by the wire protocol's client id. Touched only at the network edge.
+    clients: Mutex<HashMap<u64, ClientStats>>,
+}
+
+/// Per-client counters behind the quota table.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests this client presented at ingress (admitted or not).
+    pub requests: u64,
+    /// Requests currently in flight (admitted, not yet answered).
+    pub outstanding: u64,
+    /// Degraded (shed-bracket) answers this client received.
+    pub shed: u64,
+    /// Requests refused for exceeding the client's outstanding quota.
+    pub quota_rejected: u64,
 }
 
 impl Default for ServiceStats {
@@ -51,10 +81,14 @@ impl ServiceStats {
             computed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed_bracket: AtomicU64::new(0),
+            shed_rejected: AtomicU64::new(0),
+            quota_rejected: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batch_size_sum: AtomicU64::new(0),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            clients: Mutex::new(HashMap::new()),
         }
     }
 
@@ -76,6 +110,61 @@ impl ServiceStats {
 
     pub fn record_error(&self) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One degraded answer from the monotone cache bracket.
+    pub fn record_shed_bracket(&self) {
+        self.shed_bracket.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One hard shed (nothing cached to degrade onto).
+    pub fn record_shed_reject(&self) {
+        self.shed_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // ── Per-client quota accounting (network-edge only) ──────────────────
+
+    /// Registers an arriving request for `client_id` and admits it against
+    /// `quota` (`0` = unlimited outstanding). On admission the client's
+    /// outstanding count is incremented and must be released by
+    /// [`ServiceStats::client_end`]; a refusal bumps the quota-reject
+    /// counters instead.
+    pub fn client_begin(&self, client_id: u64, quota: usize) -> bool {
+        let mut table = self.clients.lock().expect("client table poisoned");
+        let entry = table.entry(client_id).or_default();
+        entry.requests += 1;
+        if quota > 0 && entry.outstanding >= quota as u64 {
+            entry.quota_rejected += 1;
+            drop(table);
+            self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        entry.outstanding += 1;
+        true
+    }
+
+    /// Releases one admitted request for `client_id`.
+    pub fn client_end(&self, client_id: u64) {
+        let mut table = self.clients.lock().expect("client table poisoned");
+        if let Some(entry) = table.get_mut(&client_id) {
+            entry.outstanding = entry.outstanding.saturating_sub(1);
+        }
+    }
+
+    /// Attributes one degraded answer to `client_id`.
+    pub fn client_shed(&self, client_id: u64) {
+        let mut table = self.clients.lock().expect("client table poisoned");
+        table.entry(client_id).or_default().shed += 1;
+    }
+
+    /// Point-in-time copy of one client's counters.
+    pub fn client_stats(&self, client_id: u64) -> ClientStats {
+        self.clients
+            .lock()
+            .expect("client table poisoned")
+            .get(&client_id)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// One model run over `size` stacked queries.
@@ -103,6 +192,14 @@ impl ServiceStats {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
+        let mut clients: Vec<(u64, ClientStats)> = self
+            .clients
+            .lock()
+            .expect("client table poisoned")
+            .iter()
+            .map(|(&id, &c)| (id, c))
+            .collect();
+        clients.sort_by_key(|&(id, _)| id);
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             exact_hits: self.exact_hits.load(Ordering::Relaxed),
@@ -110,6 +207,10 @@ impl ServiceStats {
             computed: self.computed.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            shed_bracket: self.shed_bracket.load(Ordering::Relaxed),
+            shed_rejected: self.shed_rejected.load(Ordering::Relaxed),
+            quota_rejected: self.quota_rejected.load(Ordering::Relaxed),
+            clients,
             batches: self.batches.load(Ordering::Relaxed),
             batch_size_sum: self.batch_size_sum.load(Ordering::Relaxed),
             batch_hist: self
@@ -138,6 +239,14 @@ pub struct StatsSnapshot {
     pub computed: u64,
     pub coalesced: u64,
     pub errors: u64,
+    /// Degraded monotone-bracket answers (load shed, still answered).
+    pub shed_bracket: u64,
+    /// Hard sheds (refused: no cached bracket to degrade onto).
+    pub shed_rejected: u64,
+    /// Requests refused for exceeding a per-client quota.
+    pub quota_rejected: u64,
+    /// Per-client counters, sorted by client id.
+    pub clients: Vec<(u64, ClientStats)>,
     pub batches: u64,
     pub batch_size_sum: u64,
     /// Count of micro-batches whose size fell in `[2^b, 2^{b+1})`.
@@ -147,9 +256,20 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    /// Successfully answered requests, across every response source.
+    /// Successfully answered requests, across every response source
+    /// (degraded shed-bracket answers included — the client got bounds).
     pub fn answered(&self) -> u64 {
-        self.exact_hits + self.bound_hits + self.coalesced + self.computed
+        self.exact_hits + self.bound_hits + self.coalesced + self.computed + self.shed_bracket
+    }
+
+    /// Fraction of ingress traffic that was load-shed (degraded answers
+    /// plus hard rejects) — the saturation signal an operator watches.
+    pub fn shed_rate(&self) -> f64 {
+        let shed = self.shed_bracket + self.shed_rejected;
+        if self.requests == 0 {
+            return 0.0;
+        }
+        shed as f64 / self.requests as f64
     }
 
     /// Fraction of answered requests served from cache (exact or bounds).
@@ -256,6 +376,46 @@ mod tests {
         assert_eq!(rows.len(), 2); // bucket "1" and bucket "4-7"
         assert_eq!(rows[0], ("1".to_string(), 1));
         assert_eq!(rows[1], ("4-7".to_string(), 1));
+    }
+
+    #[test]
+    fn shed_counters_and_quota_table_reconcile() {
+        let stats = ServiceStats::new();
+        // Client 7 has quota 2: two admissions, then rejects until released.
+        assert!(stats.client_begin(7, 2));
+        assert!(stats.client_begin(7, 2));
+        assert!(!stats.client_begin(7, 2));
+        assert!(!stats.client_begin(7, 2));
+        stats.client_end(7);
+        assert!(stats.client_begin(7, 2));
+        // Client 8 is unlimited (quota 0).
+        for _ in 0..5 {
+            assert!(stats.client_begin(8, 0));
+        }
+        stats.record_shed_bracket();
+        stats.record_shed_bracket();
+        stats.client_shed(7);
+        stats.record_shed_reject();
+        for _ in 0..10 {
+            stats.record_request();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.shed_bracket, 2);
+        assert_eq!(snap.shed_rejected, 1);
+        assert_eq!(snap.quota_rejected, 2);
+        assert!((snap.shed_rate() - 0.3).abs() < 1e-12);
+        // Degraded answers count as answered.
+        assert_eq!(snap.answered(), 2);
+        let c7 = stats.client_stats(7);
+        assert_eq!(c7.requests, 5);
+        assert_eq!(c7.outstanding, 2);
+        assert_eq!(c7.quota_rejected, 2);
+        assert_eq!(c7.shed, 1);
+        let c8 = stats.client_stats(8);
+        assert_eq!((c8.requests, c8.outstanding), (5, 5));
+        assert_eq!(stats.client_stats(99), ClientStats::default());
+        let ids: Vec<u64> = snap.clients.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![7, 8], "snapshot sorted by client id");
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! Fault injection against the socket ingress: hostile or broken clients —
+//! truncated frames, oversized length prefixes, garbage headers, mid-request
+//! disconnects, slow-loris writers — must fail **per connection**, with a
+//! typed error frame where one can still be delivered, and must never poison
+//! the worker pool: a well-behaved client on the same server keeps getting
+//! bit-identical answers throughout.
+
+use cardest_core::estimator::CardinalityEstimator;
+use cardest_core::model::CardNetConfig;
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_core::CardNetEstimator;
+use cardest_data::synth::{hm_imagenet, SynthConfig};
+use cardest_data::{Dataset, Record, Workload};
+use cardest_fx::build_extractor;
+use cardest_serve::wire::MAX_PAYLOAD;
+use cardest_serve::{
+    ErrorCode, Frame, ModelRegistry, NetClient, NetConfig, NetServer, RequestFrame, ResponseFrame,
+    ServeConfig, Service, WireQuery,
+};
+use std::io::Write;
+use std::net::Shutdown;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Same tiny-model recipe as the serve crate's internal fixtures: accuracy
+/// is irrelevant, determinism is what the assertions use.
+fn tiny_setup(seed: u64) -> (Dataset, CardNetEstimator) {
+    let ds = hm_imagenet(SynthConfig::new(120, seed));
+    let fx = build_extractor(&ds, 8, 1);
+    let split = Workload::sample_from(&ds, 0.3, 6, 2).split(3);
+    let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+    cfg.phi_hidden = vec![16];
+    cfg.z_dim = 8;
+    cfg = cfg.without_vae();
+    let opts = TrainerOptions {
+        epochs: 2,
+        vae_epochs: 0,
+        ..TrainerOptions::quick()
+    };
+    let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+    (ds, CardNetEstimator::from_trainer(fx, trainer))
+}
+
+fn start_server(net_cfg: NetConfig) -> (NetServer, Dataset, Vec<f64>) {
+    let (ds, est) = tiny_setup(61);
+    // Reference answers for the probe queries a well-behaved client sends
+    // between fault injections.
+    let reference: Vec<f64> = (0..8)
+        .map(|i| est.estimate(&ds.records[i * 3], 5.0))
+        .collect();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.publish("default", est);
+    let service = Service::start(registry, ServeConfig::default());
+    let records: Vec<Arc<Record>> = ds.records.iter().cloned().map(Arc::new).collect();
+    let server = NetServer::bind("127.0.0.1:0", service, records, net_cfg).expect("bind loopback");
+    (server, ds, reference)
+}
+
+fn probe(server: &NetServer, reference: &[f64], i: usize) {
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let resp = client
+        .call(RequestFrame {
+            request_id: 1,
+            client_id: 0,
+            theta: 5.0,
+            deadline_us: 0,
+            model: String::new(),
+            query: WireQuery::Index((i * 3) as u64),
+        })
+        .expect("healthy server answers");
+    match resp {
+        Frame::Response(ResponseFrame { estimate, .. }) => assert_eq!(
+            estimate.to_bits(),
+            reference[i].to_bits(),
+            "worker pool degraded after a fault injection"
+        ),
+        other => panic!("expected a response, got {other:?}"),
+    }
+}
+
+fn expect_malformed_then_close(client: &mut NetClient) {
+    match client.recv().expect("error frame before close") {
+        Frame::Error(e) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    assert!(
+        client.recv().is_err(),
+        "connection must close after a framing fault"
+    );
+}
+
+#[test]
+fn framing_faults_poison_only_their_own_connection() {
+    let (server, _ds, reference) = start_server(NetConfig {
+        frame_timeout: Duration::from_millis(250),
+        ..NetConfig::default()
+    });
+    probe(&server, &reference, 0);
+
+    // 1. Oversized length prefix: rejected before any buffering.
+    {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        let huge = (MAX_PAYLOAD as u32 + 1).to_le_bytes();
+        c.stream().write_all(&huge).expect("send prefix");
+        expect_malformed_then_close(&mut c);
+    }
+    probe(&server, &reference, 1);
+
+    // 2. Garbage header: plausible length, nonsense bytes.
+    {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        let mut bytes = 8u32.to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0xAA; 8]);
+        c.stream().write_all(&bytes).expect("send garbage");
+        expect_malformed_then_close(&mut c);
+    }
+    probe(&server, &reference, 2);
+
+    // 3. Truncated frame: a valid frame cut short, then a clean disconnect.
+    //    No error frame is owed (the bytes could still have been on their
+    //    way); the connection just ends without tying up anything.
+    {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        let full = Frame::Ping(1).encode();
+        c.stream()
+            .write_all(&full[..full.len() - 2])
+            .expect("send partial");
+        c.stream()
+            .shutdown(Shutdown::Both)
+            .expect("disconnect mid-frame");
+    }
+    probe(&server, &reference, 3);
+
+    // 4. Slow loris: a frame that starts and then stalls must be timed out
+    //    and answered with a typed error.
+    {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        let full = Frame::Ping(2).encode();
+        c.stream().write_all(&full[..3]).expect("send trickle");
+        // Stall past frame_timeout (250ms) without completing the frame.
+        expect_malformed_then_close(&mut c);
+    }
+    probe(&server, &reference, 4);
+
+    // 5. Protocol-role violation: a client sending server-side frame kinds.
+    {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        c.send(&Frame::Pong(3)).expect("send wrong-role frame");
+        expect_malformed_then_close(&mut c);
+    }
+    probe(&server, &reference, 5);
+
+    server.shutdown();
+}
+
+#[test]
+fn mid_request_disconnect_releases_admission_state() {
+    let (server, _ds, reference) = start_server(NetConfig {
+        queue_limit: 2,
+        ..NetConfig::default()
+    });
+    // Submit two valid requests (filling the bounded queue) and vanish
+    // without reading the answers.
+    {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        for i in 0..2u64 {
+            c.send(&Frame::Request(RequestFrame {
+                request_id: i,
+                client_id: 0,
+                theta: 5.0,
+                deadline_us: 0,
+                model: String::new(),
+                query: WireQuery::Index(i),
+            }))
+            .expect("send");
+        }
+        c.stream().shutdown(Shutdown::Both).expect("vanish");
+    }
+    // The in-flight gauge must drain once the service answers into the dead
+    // connection, or every later request would be shed forever. `probe`
+    // sends full-fidelity requests that would fail if the gauge leaked.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        let got = c.call(RequestFrame {
+            request_id: 9,
+            client_id: 0,
+            theta: 5.0,
+            deadline_us: 0,
+            model: String::new(),
+            query: WireQuery::Index(0),
+        });
+        match got {
+            Ok(Frame::Response(r)) if !r.degraded => {
+                assert_eq!(r.estimate.to_bits(), reference[0].to_bits());
+                break;
+            }
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25))
+            }
+            other => panic!("admission state leaked after disconnect: {other:?}"),
+        }
+    }
+    probe(&server, &reference, 1);
+    server.shutdown();
+}

@@ -1,0 +1,187 @@
+//! Property tests for the wire codec (`cardest_serve::wire`).
+//!
+//! Two contracts a network-facing codec must hold unconditionally:
+//!
+//! 1. **Round-trip**: `decode(encode(f)) == f` for *every* representable
+//!    frame — floats by bit pattern (NaN included), empty strings, empty
+//!    and multi-word bit vectors.
+//! 2. **Totality**: the decoder never panics, whatever bytes arrive and in
+//!    whatever chunk sizes — hostile input maps to typed `WireError`s.
+//!
+//! Plus the property that makes round-trips exact: encoding is
+//! **canonical**, so any payload the decoder accepts re-encodes to the
+//! identical bytes.
+
+use cardest_data::BitVec;
+use cardest_serve::wire::{decode_payload, MAX_PAYLOAD};
+use cardest_serve::{
+    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, WireQuery, WireSource,
+};
+use proptest::prelude::*;
+
+fn source_of(tag: u8) -> WireSource {
+    match tag % 5 {
+        0 => WireSource::Computed,
+        1 => WireSource::Coalesced,
+        2 => WireSource::CacheExact,
+        3 => WireSource::CacheBounds,
+        _ => WireSource::ShedBracket,
+    }
+}
+
+fn code_of(tag: u8) -> ErrorCode {
+    match tag % 8 {
+        0 => ErrorCode::Malformed,
+        1 => ErrorCode::UnknownModel,
+        2 => ErrorCode::BadQuery,
+        3 => ErrorCode::Overloaded,
+        4 => ErrorCode::QuotaExceeded,
+        5 => ErrorCode::ShuttingDown,
+        6 => ErrorCode::DeadlineExceeded,
+        _ => ErrorCode::ConnLimit,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Requests round-trip bit-exactly: θ as an arbitrary f64 bit pattern
+    /// (NaN included), query either an index or an inline bit vector of
+    /// arbitrary width (word-boundary widths included via 0..200).
+    #[test]
+    fn request_frames_round_trip(
+        request_id in any::<u64>(),
+        client_id in any::<u64>(),
+        theta_bits in any::<u64>(),
+        deadline_us in any::<u32>(),
+        model in "[a-z0-9_]{0,12}",
+        by_index in any::<bool>(),
+        index in any::<u64>(),
+        bits in prop::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let query = if by_index {
+            WireQuery::Index(index)
+        } else {
+            WireQuery::Bits(BitVec::from_bits(bits.iter().copied()))
+        };
+        let frame = Frame::Request(RequestFrame {
+            request_id,
+            client_id,
+            theta: f64::from_bits(theta_bits),
+            deadline_us,
+            model,
+            query,
+        });
+        let bytes = frame.encode();
+        prop_assert!(bytes.len() <= 4 + MAX_PAYLOAD);
+        let back = decode_payload(&bytes[4..]).expect("own encoding decodes");
+        prop_assert_eq!(&back, &frame);
+        // Canonical: the accepted payload re-encodes to identical bytes.
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// Responses and errors round-trip, including every source/code tag and
+    /// the degraded flag in both states.
+    #[test]
+    fn response_and_error_frames_round_trip(
+        request_id in any::<u64>(),
+        epoch in any::<u64>(),
+        estimate_bits in any::<u64>(),
+        lo_bits in any::<u64>(),
+        hi_bits in any::<u64>(),
+        source_tag in any::<u8>(),
+        batch in any::<u32>(),
+        degraded in any::<bool>(),
+        code_tag in any::<u8>(),
+        message in "[ -~]{0,40}",
+        token in any::<u64>(),
+    ) {
+        let frames = [
+            Frame::Response(ResponseFrame {
+                request_id,
+                epoch,
+                estimate: f64::from_bits(estimate_bits),
+                lo: f64::from_bits(lo_bits),
+                hi: f64::from_bits(hi_bits),
+                source: source_of(source_tag),
+                batch,
+                degraded,
+            }),
+            Frame::Error(ErrorFrame {
+                request_id,
+                code: code_of(code_tag),
+                message,
+            }),
+            Frame::Ping(token),
+            Frame::Pong(token),
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            let back = decode_payload(&bytes[4..]).expect("own encoding decodes");
+            prop_assert_eq!(&back, &frame);
+            prop_assert_eq!(back.encode(), bytes);
+        }
+    }
+
+    /// The incremental decoder is total: arbitrary bytes, fed in arbitrary
+    /// chunk sizes, produce frames or typed errors — never a panic. On the
+    /// first error the stream is unrecoverable and callers close the
+    /// connection, so the drain stops there (mirroring the server).
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(
+        bytes in prop::collection::vec(any::<u8>(), 0..600),
+        cuts in prop::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let mut offsets: Vec<usize> = cuts.iter().map(|c| c.index(bytes.len().max(1))).collect();
+        offsets.push(0);
+        offsets.push(bytes.len());
+        offsets.sort_unstable();
+        let mut dec = Decoder::new();
+        'feed: for pair in offsets.windows(2) {
+            dec.extend(&bytes[pair[0]..pair[1]]);
+            // Drain everything decodable right now; errors are data, not
+            // panics.
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => break 'feed,
+                }
+            }
+            // `mid_frame`/`buffered` must also stay total.
+            let _ = dec.mid_frame();
+            let _ = dec.buffered();
+        }
+    }
+
+    /// A single corrupted byte in a valid frame either still decodes (the
+    /// byte was value-bearing) — in which case the result re-encodes
+    /// canonically — or raises a typed error. Never a panic, never an
+    /// accepted-but-noncanonical payload.
+    #[test]
+    fn bitflips_decode_canonically_or_error(
+        theta_bits in any::<u64>(),
+        bits in prop::collection::vec(any::<bool>(), 1..100),
+        flip_at in any::<prop::sample::Index>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let frame = Frame::Request(RequestFrame {
+            request_id: 7,
+            client_id: 1,
+            theta: f64::from_bits(theta_bits),
+            deadline_us: 250,
+            model: "default".into(),
+            query: WireQuery::Bits(BitVec::from_bits(bits.iter().copied())),
+        });
+        let mut bytes = frame.encode();
+        // Corrupt one payload byte (leave the length prefix alone so the
+        // frame still frames).
+        let at = 4 + flip_at.index(bytes.len() - 4);
+        bytes[at] ^= flip_mask;
+        // A typed rejection is equally fine; only acceptance has to be
+        // canonical.
+        if let Ok(decoded) = decode_payload(&bytes[4..]) {
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! End-to-end socket-ingress tests: loopback client/server round trips over
+//! the wire protocol must be **bit-identical** to in-process estimation,
+//! under concurrency, hot-swap, quotas, and load shedding.
+//!
+//! The serving invariant being defended: batching, caching, framing, and
+//! admission control may change *when* and *whether* the model runs, but
+//! never the bits of a full-fidelity answer — and a degraded (shed) answer
+//! must carry exactly the monotone cache bracket, never a made-up number.
+
+use cardest_core::estimator::{CardNetEstimator, CardinalityEstimator};
+use cardest_core::model::CardNetConfig;
+use cardest_core::train::{train_cardnet, TrainerOptions};
+use cardest_data::synth::{hm_imagenet, SynthConfig};
+use cardest_data::zipf::Zipf;
+use cardest_data::{Dataset, Record, Workload};
+use cardest_fx::build_extractor;
+use cardest_serve::{
+    ErrorCode, Frame, ModelRegistry, NetClient, NetConfig, NetServer, RequestFrame, ResponseFrame,
+    ServeConfig, Service, WireQuery, WireSource,
+};
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn small_model(ds: &Dataset, epochs: usize) -> CardNetEstimator {
+    let fx = build_extractor(ds, 10, 1);
+    let split = Workload::sample_from(ds, 0.25, 8, 2).split(3);
+    let mut cfg = CardNetConfig::new(fx.dim(), fx.tau_max() + 1);
+    cfg.phi_hidden = vec![24, 16];
+    cfg.z_dim = 12;
+    cfg = cfg.without_vae();
+    let opts = TrainerOptions {
+        epochs,
+        vae_epochs: 0,
+        ..TrainerOptions::quick()
+    };
+    let (trainer, _) = train_cardnet(fx.as_ref(), &split.train, &split.valid, cfg, opts);
+    CardNetEstimator::from_trainer(fx, trainer)
+}
+
+fn shared_records(ds: &Dataset) -> Vec<Arc<Record>> {
+    ds.records.iter().cloned().map(Arc::new).collect()
+}
+
+fn start_server(
+    ds: &Dataset,
+    est: CardNetEstimator,
+    serve_cfg: ServeConfig,
+    net_cfg: NetConfig,
+) -> (NetServer, u64) {
+    let registry = Arc::new(ModelRegistry::new());
+    let epoch = registry.publish("default", est);
+    let service = Service::start(registry, serve_cfg);
+    let server = NetServer::bind("127.0.0.1:0", service, shared_records(ds), net_cfg)
+        .expect("bind loopback");
+    (server, epoch)
+}
+
+fn index_request(id: u64, client_id: u64, idx: usize, theta: f64) -> RequestFrame {
+    RequestFrame {
+        request_id: id,
+        client_id,
+        theta,
+        deadline_us: 0,
+        model: String::new(), // empty selects the configured default
+        query: WireQuery::Index(idx as u64),
+    }
+}
+
+fn expect_response(frame: Frame) -> ResponseFrame {
+    match frame {
+        Frame::Response(r) => r,
+        other => panic!("expected a response frame, got {other:?}"),
+    }
+}
+
+fn wait_until(limit: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < limit {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn socket_round_trips_are_bit_identical_to_in_process_estimation() {
+    let ds = hm_imagenet(SynthConfig::new(300, 191));
+    let est = small_model(&ds, 3);
+    let queries: Vec<(usize, f64)> = (0..60)
+        .map(|i| (i * 5 % ds.len(), ds.theta_max * (i % 16) as f64 / 15.0))
+        .collect();
+    // Ground truth from the plain single-thread estimator, computed before
+    // the model moves into the registry.
+    let reference: Vec<f64> = queries
+        .iter()
+        .map(|&(idx, theta)| est.estimate(&ds.records[idx], theta))
+        .collect();
+
+    let (server, epoch) = start_server(&ds, est, ServeConfig::default(), NetConfig::default());
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+
+    // Fully pipelined: send the whole stream, then drain in order.
+    for (i, &(idx, theta)) in queries.iter().enumerate() {
+        client
+            .send(&Frame::Request(index_request(i as u64, 0, idx, theta)))
+            .expect("send");
+    }
+    for (i, want) in reference.iter().enumerate() {
+        let resp = expect_response(client.recv().expect("answered"));
+        assert_eq!(resp.request_id, i as u64, "responses arrive in order");
+        assert_eq!(resp.epoch, epoch);
+        assert!(!resp.degraded, "no shedding at this load");
+        assert_eq!(
+            resp.estimate.to_bits(),
+            want.to_bits(),
+            "socket answer diverged from the direct path at request {i}"
+        );
+        assert!(resp.lo <= resp.estimate && resp.estimate <= resp.hi);
+    }
+
+    // The same queries as inline bit vectors (a client that does not share
+    // the dataset) must answer identically to the index form.
+    for (i, (&(idx, theta), want)) in queries.iter().zip(&reference).enumerate() {
+        let req = RequestFrame {
+            request_id: 1000 + i as u64,
+            client_id: 0,
+            theta,
+            deadline_us: 0,
+            model: String::new(),
+            query: WireQuery::Bits(ds.records[idx].as_bits().clone()),
+        };
+        let resp = expect_response(client.call(req).expect("answered"));
+        assert_eq!(
+            resp.estimate.to_bits(),
+            want.to_bits(),
+            "inline-bits answer diverged at request {i}"
+        );
+    }
+
+    // And the in-process path sees the very same service.
+    let (idx, theta) = queries[7];
+    let inproc = server
+        .service()
+        .estimate("default", Arc::new(ds.records[idx].clone()), theta)
+        .expect("served");
+    assert_eq!(inproc.estimate.to_bits(), reference[7].to_bits());
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_socket_clients_are_deterministic() {
+    let ds = hm_imagenet(SynthConfig::new(300, 192));
+    let est = small_model(&ds, 3);
+    // Zipf-skewed per-client streams: repeats exercise the cache, distinct
+    // queries exercise batching across connections.
+    let streams: Vec<Vec<(usize, f64)>> = (0..4)
+        .map(|c| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(400 + c);
+            let hot = Zipf::new(60.min(ds.len()), 1.1);
+            (0..100)
+                .map(|_| {
+                    let idx = hot.sample(&mut rng);
+                    let theta = ds.theta_max * (rng.gen_range(0..16) as f64) / 15.0;
+                    (idx, theta)
+                })
+                .collect()
+        })
+        .collect();
+    let reference: Vec<Vec<f64>> = streams
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|&(idx, theta)| est.estimate(&ds.records[idx], theta))
+                .collect()
+        })
+        .collect();
+
+    let (server, _) = start_server(&ds, est, ServeConfig::default(), NetConfig::default());
+    let addr = server.addr();
+    let handles: Vec<_> = streams
+        .iter()
+        .cloned()
+        .map(|stream| {
+            std::thread::spawn(move || {
+                let mut client = NetClient::connect(addr).expect("connect");
+                for (i, &(idx, theta)) in stream.iter().enumerate() {
+                    client
+                        .send(&Frame::Request(index_request(i as u64, 0, idx, theta)))
+                        .expect("send");
+                }
+                (0..stream.len())
+                    .map(|_| expect_response(client.recv().expect("answered")).estimate)
+                    .collect::<Vec<f64>>()
+            })
+        })
+        .collect();
+    for (c, handle) in handles.into_iter().enumerate() {
+        let got = handle.join().expect("client thread");
+        for (i, (g, want)) in got.iter().zip(&reference[c]).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                want.to_bits(),
+                "client {c} request {i} diverged under concurrency"
+            );
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hot_swap_under_load_keeps_every_answer_epoch_consistent() {
+    let ds = hm_imagenet(SynthConfig::new(300, 193));
+    let model_a = small_model(&ds, 2);
+    let model_b = small_model(&ds, 6); // different weights on purpose
+    let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+    let stream: Vec<(usize, f64)> = (0..300)
+        .map(|_| {
+            let idx = rng.gen_range(0..ds.len());
+            let theta = ds.theta_max * (rng.gen_range(0..16) as f64) / 15.0;
+            (idx, theta)
+        })
+        .collect();
+    // Reference answers for both generations, before they move.
+    let mut expect_a: HashMap<(usize, u64), f64> = HashMap::new();
+    let mut expect_b: HashMap<(usize, u64), f64> = HashMap::new();
+    for &(idx, theta) in &stream {
+        expect_a
+            .entry((idx, theta.to_bits()))
+            .or_insert_with(|| model_a.estimate(&ds.records[idx], theta));
+        expect_b
+            .entry((idx, theta.to_bits()))
+            .or_insert_with(|| model_b.estimate(&ds.records[idx], theta));
+    }
+
+    let (server, epoch_a) =
+        start_server(&ds, model_a, ServeConfig::default(), NetConfig::default());
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    let half = stream.len() / 2;
+    for (i, &(idx, theta)) in stream[..half].iter().enumerate() {
+        client
+            .send(&Frame::Request(index_request(i as u64, 0, idx, theta)))
+            .expect("send");
+    }
+    // Force one pre-swap answer so generation A provably served traffic…
+    let first = expect_response(client.recv().expect("answered"));
+    assert_eq!(first.epoch, epoch_a, "pre-swap answer must be model A's");
+    // …then hot-swap through the server's own service handle while the rest
+    // of the first half is in flight.
+    let epoch_b = server.service().registry().publish("default", model_b);
+    assert!(epoch_b > epoch_a, "swap must bump the epoch");
+    for (i, &(idx, theta)) in stream[half..].iter().enumerate() {
+        client
+            .send(&Frame::Request(index_request(
+                (half + i) as u64,
+                0,
+                idx,
+                theta,
+            )))
+            .expect("send");
+    }
+
+    let mut saw = [0usize, 0];
+    for &(idx, theta) in &stream[1..] {
+        let resp = expect_response(client.recv().expect("answered"));
+        // Every answer belongs entirely to one published generation: the
+        // epoch tag says which, and the bit-exact match against that
+        // generation's reference proves no torn model ever served.
+        let expect = if resp.epoch == epoch_a {
+            saw[0] += 1;
+            &expect_a
+        } else {
+            assert_eq!(resp.epoch, epoch_b, "unknown epoch {}", resp.epoch);
+            saw[1] += 1;
+            &expect_b
+        };
+        let want = expect[&(idx, theta.to_bits())];
+        assert_eq!(
+            resp.estimate.to_bits(),
+            want.to_bits(),
+            "epoch {} answer diverged from that generation's reference",
+            resp.epoch
+        );
+    }
+    // A post-swap request must answer from B (the swap is already visible:
+    // all queued work above has drained through this connection).
+    let resp = expect_response(
+        client
+            .call(index_request(9999, 0, stream[0].0, stream[0].1))
+            .expect("answered"),
+    );
+    assert_eq!(resp.epoch, epoch_b, "post-drain answers come from model B");
+    assert!(saw[1] > 0, "model B must have served part of the stream");
+    server.shutdown();
+}
+
+/// Saturates a 1-worker server whose queue admits only 4 requests: the
+/// overflow must be answered **degraded** from the exact monotone cache
+/// bracket (or refused when nothing is cached), and every shed the clients
+/// observed must reconcile with the server's counters.
+#[test]
+fn load_shedding_answers_from_brackets_and_counters_reconcile() {
+    let ds = hm_imagenet(SynthConfig::new(200, 194));
+    let est = small_model(&ds, 2);
+    let tau_max = est.extractor().tau_max();
+    let theta_of = |tau: usize| ds.theta_max * (tau as f64 + 0.5) / (tau_max as f64);
+    let hot_idx = 9usize;
+    // Direct-path references: the cache entries the pre-warm creates are
+    // bit-identical to these (that is the serving invariant), so the shed
+    // brackets must carry exactly these bits.
+    let expected_lo = est.estimate(&ds.records[hot_idx], theta_of(1));
+    let expected_hi = est.estimate(&ds.records[hot_idx], theta_of(7));
+    let stalled_queries: Vec<(usize, f64)> = (0..4).map(|i| (40 + i, theta_of(3))).collect();
+    let stalled_reference: Vec<f64> = stalled_queries
+        .iter()
+        .map(|&(idx, theta)| est.estimate(&ds.records[idx], theta))
+        .collect();
+
+    let window = Duration::from_millis(1500);
+    let (server, epoch) = start_server(
+        &ds,
+        est,
+        ServeConfig {
+            workers: 1,
+            batch_max: 64,
+            batch_window: window, // one slow batch stalls all admitted work
+            cache_capacity: 1024,
+            bound_tolerance: 0.0,
+            cache_curve_points: 0,
+            kernel_threads: 1,
+            kernel_backend: None,
+        },
+        NetConfig {
+            queue_limit: 4,
+            ..NetConfig::default()
+        },
+    );
+
+    // Pre-warm the cache at τ=1 and τ=7 for the hot query.
+    let mut warm = NetClient::connect(server.addr()).expect("connect");
+    warm.send(&Frame::Request(index_request(1, 0, hot_idx, theta_of(1))))
+        .expect("send");
+    warm.send(&Frame::Request(index_request(2, 0, hot_idx, theta_of(7))))
+        .expect("send");
+    let w1 = expect_response(warm.recv().expect("warm lo"));
+    let w2 = expect_response(warm.recv().expect("warm hi"));
+    assert_eq!(w1.estimate.to_bits(), expected_lo.to_bits());
+    assert_eq!(w2.estimate.to_bits(), expected_hi.to_bits());
+
+    // Fill the queue: 4 fresh queries stall in the worker's batch window.
+    let mut stall = NetClient::connect(server.addr()).expect("connect");
+    for (i, &(idx, theta)) in stalled_queries.iter().enumerate() {
+        stall
+            .send(&Frame::Request(index_request(10 + i as u64, 0, idx, theta)))
+            .expect("send");
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            server.service().stats().requests >= 6
+        }),
+        "stalled requests must reach the service queue"
+    );
+
+    // Overflow client (id 42): 6 requests at a bracketed τ — degraded
+    // bracket answers — and one for a never-seen query — a hard reject.
+    let mut shed = NetClient::connect(server.addr()).expect("connect");
+    for i in 0..6 {
+        shed.send(&Frame::Request(index_request(
+            20 + i,
+            42,
+            hot_idx,
+            theta_of(4),
+        )))
+        .expect("send");
+    }
+    shed.send(&Frame::Request(index_request(30, 42, 150, theta_of(4))))
+        .expect("send");
+
+    for i in 0..6 {
+        let resp = expect_response(shed.recv().expect("degraded answer"));
+        assert_eq!(resp.request_id, 20 + i);
+        assert!(resp.degraded, "shed answers carry the degraded flag");
+        assert_eq!(resp.source, WireSource::ShedBracket);
+        assert_eq!(resp.epoch, epoch);
+        assert_eq!(
+            resp.lo.to_bits(),
+            expected_lo.to_bits(),
+            "bracket lo must be the cached τ=1 value, bit-exactly"
+        );
+        assert_eq!(
+            resp.hi.to_bits(),
+            expected_hi.to_bits(),
+            "bracket hi must be the cached τ=7 value, bit-exactly"
+        );
+        assert!(resp.lo <= resp.estimate && resp.estimate <= resp.hi);
+    }
+    match shed.recv().expect("reject frame") {
+        Frame::Error(e) => {
+            assert_eq!(e.request_id, 30);
+            assert_eq!(e.code, ErrorCode::Overloaded, "cold query cannot degrade");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+
+    // The stalled work still completes at full fidelity.
+    for (i, want) in stalled_reference.iter().enumerate() {
+        let resp = expect_response(stall.recv().expect("computed answer"));
+        assert_eq!(resp.request_id, 10 + i as u64);
+        assert!(!resp.degraded);
+        assert_eq!(
+            resp.estimate.to_bits(),
+            want.to_bits(),
+            "admitted request {i} diverged despite the overload"
+        );
+    }
+
+    // Counters reconcile with what the clients observed.
+    let snap = server.service().stats();
+    assert_eq!(snap.shed_bracket, 6, "six degraded answers were observed");
+    assert_eq!(snap.shed_rejected, 1, "one hard reject was observed");
+    assert_eq!(snap.quota_rejected, 0);
+    assert_eq!(snap.requests, 2 + 4 + 7);
+    let client42 = snap
+        .clients
+        .iter()
+        .find(|(id, _)| *id == 42)
+        .map(|&(_, c)| c)
+        .expect("client 42 tracked");
+    assert_eq!(client42.requests, 7);
+    assert_eq!(client42.shed, 6);
+    assert_eq!(client42.outstanding, 0, "every slot was released");
+    server.shutdown();
+}
+
+/// Per-client quotas bound *outstanding* requests: with a quota of 2 and a
+/// stalled worker, a burst of 4 yields two served answers and two typed
+/// quota rejects, tracked per client id.
+#[test]
+fn per_client_quota_rejects_excess_outstanding_requests() {
+    let ds = hm_imagenet(SynthConfig::new(200, 195));
+    let est = small_model(&ds, 2);
+    let reference: Vec<f64> = (0..2).map(|i| est.estimate(&ds.records[i], 4.0)).collect();
+    let (server, _) = start_server(
+        &ds,
+        est,
+        ServeConfig {
+            workers: 1,
+            batch_max: 64,
+            batch_window: Duration::from_millis(800),
+            cache_capacity: 0,
+            bound_tolerance: 0.0,
+            cache_curve_points: 0,
+            kernel_threads: 1,
+            kernel_backend: None,
+        },
+        NetConfig {
+            client_quota: 2,
+            ..NetConfig::default()
+        },
+    );
+    let mut client = NetClient::connect(server.addr()).expect("connect");
+    for i in 0..4u64 {
+        client
+            .send(&Frame::Request(index_request(i, 7, i as usize % 2, 4.0)))
+            .expect("send");
+    }
+    // In-order responses: two pending answers (after the batch window),
+    // then the two rejects that were refused at ingress.
+    let mut served = Vec::new();
+    let mut rejects = 0;
+    for _ in 0..4 {
+        match client.recv().expect("answered") {
+            Frame::Response(r) => served.push(r),
+            Frame::Error(e) => {
+                assert_eq!(e.code, ErrorCode::QuotaExceeded);
+                rejects += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert_eq!(served.len(), 2);
+    assert_eq!(rejects, 2);
+    for (r, want) in served.iter().zip(&reference) {
+        assert_eq!(r.estimate.to_bits(), want.to_bits());
+    }
+    let snap = server.service().stats();
+    assert_eq!(snap.quota_rejected, 2);
+    let client7 = snap
+        .clients
+        .iter()
+        .find(|(id, _)| *id == 7)
+        .map(|&(_, c)| c)
+        .expect("client 7 tracked");
+    assert_eq!(client7.requests, 4);
+    assert_eq!(client7.quota_rejected, 2);
+    assert_eq!(client7.outstanding, 0);
+    server.shutdown();
+}
