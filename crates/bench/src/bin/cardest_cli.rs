@@ -86,6 +86,7 @@ const USAGE: &str = "usage:
                        [--deadline-ms <per-request default; 0 = none>]
                        [--client-quota <outstanding per client id; 0 = unlimited>]
                        [--frame-timeout-ms <slow-loris cutoff>]
+                       [--idle-timeout-ms <idle-connection cutoff; 0 = none>]
   cardest_cli stats    --data <file>
 
 Thread counts and kernel backends only change wall clock: every kernel tier
@@ -375,6 +376,14 @@ fn net_config_from_flags(flags: &Flags) -> Result<NetConfig, String> {
             "frame-timeout-ms",
             defaults.frame_timeout.as_millis() as u64,
         )?),
+        idle_timeout: {
+            // 0 disables the idle guard.
+            let default_ms = defaults
+                .idle_timeout
+                .map_or(0, |d| d.as_millis() as u64);
+            let ms: u64 = parsed(flags, "idle-timeout-ms", default_ms)?;
+            (ms > 0).then(|| Duration::from_millis(ms))
+        },
         default_model: defaults.default_model,
     })
 }

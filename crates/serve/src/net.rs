@@ -32,8 +32,11 @@
 //! slow-loris half-frames past [`NetConfig::frame_timeout`]) poison only
 //! their own connection: the reader answers with one
 //! [`ErrorCode::Malformed`] frame and closes; the worker pool never sees
-//! the bytes. Shutdown is a graceful drain — readers stop consuming,
-//! writers flush every response already in flight, then the service joins.
+//! the bytes. Connections silent between frames past
+//! [`NetConfig::idle_timeout`] are closed quietly, so idle connects cannot
+//! pin connection slots. Shutdown is a graceful drain — readers stop
+//! consuming, writers flush every response already in flight, then the
+//! service joins.
 
 use crate::service::{EstimateSource, Request, Response, ServeError, Service};
 use crate::wire::{
@@ -76,6 +79,10 @@ pub struct NetConfig {
     /// Slow-loris guard: a connection that leaves a frame half-sent this
     /// long is answered [`ErrorCode::Malformed`] and closed.
     pub frame_timeout: Duration,
+    /// Idle guard: a connection with no traffic for this long *between*
+    /// frames is closed, so idle connects cannot pin
+    /// [`NetConfig::max_connections`] slots forever. `None` disables it.
+    pub idle_timeout: Option<Duration>,
     /// Model served when a request's model name is empty.
     pub default_model: String,
 }
@@ -88,6 +95,7 @@ impl Default for NetConfig {
             default_deadline: None,
             client_quota: 0,
             frame_timeout: Duration::from_secs(10),
+            idle_timeout: Some(Duration::from_secs(60)),
             default_model: "default".into(),
         }
     }
@@ -236,10 +244,12 @@ fn accept_loop(
                     handle_connection(&shared, stream, conn_id);
                     shared.conns.fetch_sub(1, Ordering::AcqRel);
                 });
-                conn_joins
-                    .lock()
-                    .expect("conn join list poisoned")
-                    .push(handle);
+                let mut joins = conn_joins.lock().expect("conn join list poisoned");
+                // Reap finished threads while we are here, so a long-running
+                // server churning short connections does not accumulate dead
+                // JoinHandles without bound.
+                joins.retain(|h| !h.is_finished());
+                joins.push(handle);
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL_TICK),
             Err(_) => std::thread::sleep(POLL_TICK),
@@ -306,14 +316,24 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
                 }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                if dec.mid_frame() && last_byte.elapsed() > shared.config.frame_timeout {
-                    send_error(
-                        &wtx,
-                        0,
-                        ErrorCode::Malformed,
-                        "frame timed out mid-transfer",
-                    );
-                    break;
+                if dec.mid_frame() {
+                    if last_byte.elapsed() > shared.config.frame_timeout {
+                        send_error(
+                            &wtx,
+                            0,
+                            ErrorCode::Malformed,
+                            "frame timed out mid-transfer",
+                        );
+                        break;
+                    }
+                } else if let Some(idle) = shared.config.idle_timeout {
+                    // Between frames: a silent peer eventually loses its
+                    // connection slot (idle connects must not exhaust
+                    // `max_connections`). A quiet close, not a protocol
+                    // error — the client did nothing malformed.
+                    if last_byte.elapsed() > idle {
+                        break;
+                    }
                 }
             }
             Err(e) if e.kind() == ErrorKind::Interrupted => {}
@@ -490,10 +510,11 @@ fn writer_loop(mut stream: TcpStream, wrx: &Receiver<WriterMsg>, shared: &Arc<Sh
                 rx,
             } => {
                 let result = rx.recv().unwrap_or(Err(ServeError::ServiceStopped));
-                shared.inflight.fetch_sub(1, Ordering::AcqRel);
-                stats.client_end(client_key);
-                match result {
+                let frame = match result {
                     Ok(resp) => {
+                        // Attribute the shed *before* releasing the quota
+                        // slot: a zero-outstanding entry is evictable from
+                        // the bounded client table.
                         if resp.source.is_degraded() {
                             stats.client_shed(client_key);
                         }
@@ -504,7 +525,10 @@ fn writer_loop(mut stream: TcpStream, wrx: &Receiver<WriterMsg>, shared: &Arc<Sh
                         code: error_code(&e),
                         message: e.to_string(),
                     }),
-                }
+                };
+                shared.inflight.fetch_sub(1, Ordering::AcqRel);
+                stats.client_end(client_key);
+                frame
             }
         };
         if !dead && frame.write_to(&mut stream).is_err() {

@@ -5,7 +5,9 @@
 //! The one exception to "lock-free" is the per-client quota table: client
 //! identities arrive at the network edge, so the table is touched once per
 //! ingress request (never by workers) and a short mutex there is fine —
-//! admission control is exactly where backpressure is supposed to live.
+//! admission control is exactly where backpressure is supposed to live. The
+//! table is bounded at [`MAX_TRACKED_CLIENTS`] entries (client ids are an
+//! attacker-chosen wire field), evicting idle entries at the cap.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,6 +20,13 @@ const LATENCY_BUCKETS: usize = 48;
 /// Batch-size buckets: bucket `b` holds batches of `2^b ..= 2^{b+1} - 1`
 /// requests (bucket 0 = singletons).
 const BATCH_BUCKETS: usize = 12;
+/// Hard cap on distinct client ids the quota table tracks. `client_id` is an
+/// arbitrary attacker-chosen wire field, so the table must be bounded: at
+/// the cap, a new id first evicts an idle (zero-outstanding) entry, and if
+/// every tracked client has requests in flight the newcomer is refused as a
+/// quota reject. Eviction loses only per-client attribution — the aggregate
+/// counters live in the atomics and are never evicted.
+pub const MAX_TRACKED_CLIENTS: usize = 4096;
 
 /// Shared, atomically updated counters. One instance per [`crate::Service`];
 /// workers and the response path update it, reporters snapshot it.
@@ -131,6 +140,26 @@ impl ServiceStats {
     /// counters instead.
     pub fn client_begin(&self, client_id: u64, quota: usize) -> bool {
         let mut table = self.clients.lock().expect("client table poisoned");
+        // Bound the table before inserting a new id: random client ids must
+        // not grow server memory without limit.
+        if table.len() >= MAX_TRACKED_CLIENTS && !table.contains_key(&client_id) {
+            let idle = table
+                .iter()
+                .find(|(_, c)| c.outstanding == 0)
+                .map(|(&id, _)| id);
+            match idle {
+                Some(id) => {
+                    table.remove(&id);
+                }
+                None => {
+                    // Every tracked client is mid-flight (only possible when
+                    // total in-flight ≥ the cap): refuse rather than grow.
+                    drop(table);
+                    self.quota_rejected.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
         let entry = table.entry(client_id).or_default();
         entry.requests += 1;
         if quota > 0 && entry.outstanding >= quota as u64 {
@@ -151,10 +180,14 @@ impl ServiceStats {
         }
     }
 
-    /// Attributes one degraded answer to `client_id`.
+    /// Attributes one degraded answer to `client_id`. Only tracked clients
+    /// are credited — inserting here would let shed attribution re-grow the
+    /// bounded table past [`MAX_TRACKED_CLIENTS`].
     pub fn client_shed(&self, client_id: u64) {
         let mut table = self.clients.lock().expect("client table poisoned");
-        table.entry(client_id).or_default().shed += 1;
+        if let Some(entry) = table.get_mut(&client_id) {
+            entry.shed += 1;
+        }
     }
 
     /// Point-in-time copy of one client's counters.
@@ -416,6 +449,42 @@ mod tests {
         assert_eq!(stats.client_stats(99), ClientStats::default());
         let ids: Vec<u64> = snap.clients.iter().map(|&(id, _)| id).collect();
         assert_eq!(ids, vec![7, 8], "snapshot sorted by client id");
+    }
+
+    #[test]
+    fn quota_table_stays_bounded_under_random_client_ids() {
+        let stats = ServiceStats::new();
+        // A hostile client presenting a fresh id per request: every request
+        // is admitted (its predecessor is idle and gets evicted) but the
+        // table never grows past the cap.
+        for id in 0..(MAX_TRACKED_CLIENTS as u64 + 500) {
+            assert!(stats.client_begin(id, 4));
+            stats.client_end(id);
+        }
+        let snap = stats.snapshot();
+        assert!(snap.clients.len() <= MAX_TRACKED_CLIENTS);
+        assert_eq!(snap.quota_rejected, 0);
+        // Shed attribution for an evicted (untracked) id must not re-insert.
+        stats.client_shed(0);
+        assert!(stats.snapshot().clients.len() <= MAX_TRACKED_CLIENTS);
+    }
+
+    #[test]
+    fn full_quota_table_of_inflight_clients_refuses_newcomers() {
+        let stats = ServiceStats::new();
+        for id in 0..MAX_TRACKED_CLIENTS as u64 {
+            assert!(stats.client_begin(id, 0));
+        }
+        // Every tracked client is mid-flight: a newcomer is refused, counted
+        // as a quota reject, and the table does not grow.
+        assert!(!stats.client_begin(u64::MAX, 0));
+        let snap = stats.snapshot();
+        assert_eq!(snap.clients.len(), MAX_TRACKED_CLIENTS);
+        assert_eq!(snap.quota_rejected, 1);
+        // Releasing one slot readmits new ids.
+        stats.client_end(3);
+        assert!(stats.client_begin(u64::MAX, 0));
+        assert_eq!(stats.snapshot().clients.len(), MAX_TRACKED_CLIENTS);
     }
 
     #[test]

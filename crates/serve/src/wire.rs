@@ -263,16 +263,35 @@ impl std::error::Error for WireError {}
 
 // ── Encoding ─────────────────────────────────────────────────────────────
 
-fn put_str8(out: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= u8::MAX as usize, "model name over 255 bytes");
-    out.push(s.len().min(u8::MAX as usize) as u8);
-    out.extend_from_slice(&s.as_bytes()[..s.len().min(u8::MAX as usize)]);
+/// Longest prefix of `s` at most `max` bytes that ends on a char boundary —
+/// truncating an over-long string must never split a multi-byte character,
+/// or the receiver would reject the frame as [`WireError::BadUtf8`].
+fn utf8_prefix(s: &str, max: usize) -> &str {
+    if s.len() <= max {
+        return s;
+    }
+    let mut end = max;
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    &s[..end]
 }
 
+fn put_str8(out: &mut Vec<u8>, s: &str) {
+    let s = utf8_prefix(s, u8::MAX as usize);
+    out.push(s.len() as u8);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Byte budget for a str16 field: the longest message that still leaves an
+/// error frame (header, request id, code, length prefix) within
+/// [`MAX_PAYLOAD`], so truncated encodes always produce acceptable frames.
+const MAX_STR16: usize = MAX_PAYLOAD - 32;
+
 fn put_str16(out: &mut Vec<u8>, s: &str) {
-    let n = s.len().min(u16::MAX as usize);
-    out.extend_from_slice(&(n as u16).to_le_bytes());
-    out.extend_from_slice(&s.as_bytes()[..n]);
+    let s = utf8_prefix(s, MAX_STR16);
+    out.extend_from_slice(&(s.len() as u16).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
 }
 
 impl Frame {
@@ -441,6 +460,15 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
                 1 => {
                     let len = body.u32()? as usize;
                     let n_words = len.div_ceil(64);
+                    // The bit count is attacker-controlled: before allocating
+                    // anything proportional to it, require the payload to
+                    // actually carry the words it promises. This caps the
+                    // allocation at the payload size (≤ MAX_PAYLOAD) instead
+                    // of the 512 MiB a hostile `len = u32::MAX` would claim.
+                    let promised = n_words.checked_mul(8).ok_or(WireError::Truncated)?;
+                    if promised > body.b.len() - body.pos {
+                        return Err(WireError::Truncated);
+                    }
                     let mut bits = BitVec::zeros(len);
                     for w in 0..n_words {
                         let word = body.u64()?;
@@ -673,6 +701,69 @@ mod tests {
         let long_len = (long.len() - 4) as u32;
         long[..4].copy_from_slice(&long_len.to_le_bytes());
         assert_eq!(decode_payload(&long[4..]), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn hostile_inline_bit_count_is_rejected_before_allocating() {
+        // A request whose inline query claims u32::MAX bits but carries no
+        // words: the decoder must reject it from the byte count alone, never
+        // allocating the ~512 MiB the claim implies.
+        let mut payload = vec![MAGIC, WIRE_VERSION, KIND_REQUEST, 0];
+        payload.extend_from_slice(&1u64.to_le_bytes()); // request_id
+        payload.extend_from_slice(&0u64.to_le_bytes()); // client_id
+        payload.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // theta
+        payload.extend_from_slice(&0u32.to_le_bytes()); // deadline_us
+        payload.push(0); // empty model name
+        payload.push(1); // inline-bits query tag
+        payload.extend_from_slice(&u32::MAX.to_le_bytes()); // hostile bit count
+        assert_eq!(decode_payload(&payload), Err(WireError::Truncated));
+        // Same through the incremental decoder (length prefix included).
+        let mut framed = (payload.len() as u32).to_le_bytes().to_vec();
+        framed.extend_from_slice(&payload);
+        let mut dec = Decoder::new();
+        dec.extend(&framed);
+        assert_eq!(dec.next_frame(), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn overlong_strings_truncate_on_char_boundaries() {
+        // 200 two-byte chars = 400 bytes: str8 must cut at ≤255 bytes
+        // without splitting a 'é', so the frame stays decodable.
+        let long_model: String = "é".repeat(200);
+        let frame = Frame::Request(RequestFrame {
+            request_id: 1,
+            client_id: 0,
+            theta: 1.0,
+            deadline_us: 0,
+            model: long_model.clone(),
+            query: WireQuery::Index(0),
+        });
+        let mut dec = Decoder::new();
+        dec.extend(&frame.encode());
+        match dec.next_frame().expect("valid utf8").expect("complete") {
+            Frame::Request(r) => {
+                assert!(r.model.len() <= 255);
+                assert_eq!(r.model, utf8_prefix(&long_model, 255));
+                assert!(r.model.chars().all(|c| c == 'é'));
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+        // Same for str16 error messages past the frame budget.
+        let long_msg: String = "漢".repeat(30_000); // 90_000 bytes of 3-byte chars
+        let frame = Frame::Error(ErrorFrame {
+            request_id: 2,
+            code: ErrorCode::Malformed,
+            message: long_msg.clone(),
+        });
+        let mut dec = Decoder::new();
+        dec.extend(&frame.encode());
+        match dec.next_frame().expect("valid utf8").expect("complete") {
+            Frame::Error(e) => {
+                assert!(e.message.len() <= MAX_STR16);
+                assert_eq!(e.message, utf8_prefix(&long_msg, MAX_STR16));
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -154,6 +154,47 @@ fn framing_faults_poison_only_their_own_connection() {
 }
 
 #[test]
+fn idle_connections_are_closed_and_release_their_slot() {
+    let (server, _ds, reference) = start_server(NetConfig {
+        max_connections: 1,
+        idle_timeout: Some(Duration::from_millis(200)),
+        ..NetConfig::default()
+    });
+    // An idle connect (no bytes at all) occupies the only slot…
+    let mut idler = NetClient::connect(server.addr()).expect("connect");
+    // …until the idle guard closes it: the read eventually reports EOF (or a
+    // reset), never a Malformed frame — silence is not a protocol error.
+    assert!(
+        idler.recv().is_err(),
+        "idle connection must be closed silently, not answered"
+    );
+    // The slot is free again: a real client connects and gets full-fidelity
+    // answers. Retry briefly to let the server reap the closed connection.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        match c.call(RequestFrame {
+            request_id: 1,
+            client_id: 0,
+            theta: 5.0,
+            deadline_us: 0,
+            model: String::new(),
+            query: WireQuery::Index(0),
+        }) {
+            Ok(Frame::Response(r)) => {
+                assert_eq!(r.estimate.to_bits(), reference[0].to_bits());
+                break;
+            }
+            _ if std::time::Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25))
+            }
+            other => panic!("idle connection pinned its slot: {other:?}"),
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
 fn mid_request_disconnect_releases_admission_state() {
     let (server, _ds, reference) = start_server(NetConfig {
         queue_limit: 2,
