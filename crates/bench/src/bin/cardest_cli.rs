@@ -33,7 +33,10 @@ use cardest_data::synth::{self, SynthConfig};
 use cardest_data::Record;
 use cardest_data::{io as dio, Dataset, Workload};
 use cardest_fx::build_extractor;
-use cardest_serve::{ModelRegistry, NetConfig, NetServer, Request, ServeConfig, Service};
+use cardest_serve::{
+    Frame, MetricsServer, ModelRegistry, NetClient, NetConfig, NetServer, Request, RequestFrame,
+    ServeConfig, Service, WireQuery,
+};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -87,7 +90,13 @@ const USAGE: &str = "usage:
                        [--client-quota <outstanding per client id; 0 = unlimited>]
                        [--frame-timeout-ms <slow-loris cutoff>]
                        [--idle-timeout-ms <idle-connection cutoff; 0 = none>]
+                       [--metrics-addr <ADDR for HTTP /metrics + /stats.json + /traces.json>]
+                       [--no-tracing] [--trace-sample <capture every nth trace>]
+                       [--slow-threshold-ms <slow-query log cutoff>]
   cardest_cli stats    --data <file>
+  cardest_cli stats    --connect <ADDR> [--loadgen <n requests first>]
+                       [--index-range <loadgen query indices, default 1>]
+                       [--theta <loadgen threshold, default 4>]
 
 Thread counts and kernel backends only change wall clock: every kernel tier
 (scalar, blocked, explicit SIMD) is bit-identical, so estimates and trained
@@ -276,6 +285,13 @@ fn serve_config_from_flags(flags: &Flags) -> Result<ServeConfig, String> {
         cache_curve_points: parsed(flags, "cache-curve-points", 0usize)?,
         kernel_threads: kernel_threads_flag(flags, "kernel-threads")?,
         kernel_backend: kernel_backend_flag(flags)?,
+        tracing: !flags.contains_key("no-tracing"),
+        trace_sample: parsed(flags, "trace-sample", defaults.trace_sample)?,
+        slow_threshold: Duration::from_millis(parsed(
+            flags,
+            "slow-threshold-ms",
+            defaults.slow_threshold.as_millis() as u64,
+        )?),
     })
 }
 
@@ -378,9 +394,7 @@ fn net_config_from_flags(flags: &Flags) -> Result<NetConfig, String> {
         )?),
         idle_timeout: {
             // 0 disables the idle guard.
-            let default_ms = defaults
-                .idle_timeout
-                .map_or(0, |d| d.as_millis() as u64);
+            let default_ms = defaults.idle_timeout.map_or(0, |d| d.as_millis() as u64);
             let ms: u64 = parsed(flags, "idle-timeout-ms", default_ms)?;
             (ms > 0).then(|| Duration::from_millis(ms))
         },
@@ -410,6 +424,22 @@ fn cmd_serve_socket(flags: &Flags, ds: Dataset, est: CardNetEstimator) -> Result
     let server = NetServer::bind(addr, service, records, net)
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     println!("listening on {}", server.addr());
+    // Optional HTTP observability endpoint: Prometheus text on /metrics,
+    // JSON on /stats.json and /traces.json — same unified registry the wire
+    // Stats frame reads.
+    let metrics = match flags.get("metrics-addr") {
+        Some(maddr) => {
+            let m = MetricsServer::bind(
+                maddr,
+                Arc::clone(server.service().stats_handle()),
+                Arc::clone(server.service().observer()),
+            )
+            .map_err(|e| format!("cannot bind metrics endpoint {maddr}: {e}"))?;
+            println!("metrics on {}", m.local_addr());
+            Some(m)
+        }
+        None => None,
+    };
     std::io::stdout().flush().ok();
     eprintln!(
         "serving `{}` ({} records) over TCP (model epoch {epoch}, monotone: {monotone}); \
@@ -425,6 +455,9 @@ fn cmd_serve_socket(flags: &Flags, ds: Dataset, est: CardNetEstimator) -> Result
         }
     }
     let snap = server.service().stats();
+    if let Some(m) = metrics {
+        m.shutdown();
+    }
     server.shutdown();
     eprintln!(
         "served {} requests ({} errors): cache hits {:.1}%, degraded sheds {}, \
@@ -541,6 +574,9 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
 }
 
 fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    if flags.contains_key("connect") {
+        return cmd_stats_remote(flags);
+    }
     let ds = dio::load_jsonl(Path::new(required(flags, "data")?)).map_err(|e| e.to_string())?;
     println!("name:      {}", ds.name);
     println!("distance:  {}", ds.kind.name());
@@ -548,5 +584,93 @@ fn cmd_stats(flags: &Flags) -> Result<(), String> {
     println!("l_max:     {}", ds.max_width());
     println!("l_avg:     {:.2}", ds.avg_width());
     println!("theta_max: {}", ds.theta_max);
+    Ok(())
+}
+
+/// `stats --connect`: pulls the unified counter snapshot from a running
+/// socket server over the wire protocol's `Stats` frame. With `--loadgen N`
+/// it first drives N index requests through the same connection and then
+/// **reconciles**: the server-side counter deltas must account for every
+/// frame this client sent and received, else the exit code is nonzero.
+fn cmd_stats_remote(flags: &Flags) -> Result<(), String> {
+    let addr = required(flags, "connect")?;
+    let loadgen: u64 = parsed(flags, "loadgen", 0u64)?;
+    let theta: f64 = parsed(flags, "theta", 4.0)?;
+    let index_range: u64 = parsed::<u64>(flags, "index-range", 1)?.max(1);
+    let sock = std::net::ToSocketAddrs::to_socket_addrs(addr)
+        .map_err(|e| format!("cannot resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("{addr} resolves to no address"))?;
+    let mut client =
+        NetClient::connect(sock).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+
+    let before = client.stats(1).map_err(|e| e.to_string())?;
+    let mut seen_responses = 0u64;
+    let mut seen_errors = 0u64;
+    for i in 0..loadgen {
+        client
+            .send(&Frame::Request(RequestFrame {
+                request_id: i,
+                client_id: 0xC11,
+                theta,
+                deadline_us: 0,
+                model: String::new(),
+                query: WireQuery::Index(i % index_range),
+            }))
+            .map_err(|e| e.to_string())?;
+    }
+    for _ in 0..loadgen {
+        match client.recv().map_err(|e| e.to_string())? {
+            Frame::Response(_) => seen_responses += 1,
+            Frame::Error(_) => seen_errors += 1,
+            other => return Err(format!("unexpected frame during loadgen: {other:?}")),
+        }
+    }
+    let after = client.stats(2).map_err(|e| e.to_string())?;
+
+    for (name, value) in &after.counters {
+        println!("{name} {value}");
+    }
+    if loadgen == 0 {
+        return Ok(());
+    }
+    eprintln!("loadgen: {loadgen} sent, {seen_responses} answered, {seen_errors} rejected");
+    // Deltas, not absolutes: other clients may be hitting the same server,
+    // which can only push the deltas *up* — so `>=` is the exact claim a
+    // shared connection can make, and any shortfall means a lost count.
+    let delta = |name: &str| {
+        after
+            .counter(name)
+            .unwrap_or(0)
+            .saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    let checks: [(&str, u64, u64); 3] = [
+        (
+            "cardest_requests_total",
+            delta("cardest_requests_total"),
+            loadgen,
+        ),
+        (
+            "cardest_answered_total",
+            delta("cardest_answered_total"),
+            seen_responses,
+        ),
+        (
+            "rejects (errors+shed+quota)",
+            delta("cardest_errors_total")
+                + delta("cardest_shed_rejected_total")
+                + delta("cardest_quota_rejected_total"),
+            seen_errors,
+        ),
+    ];
+    for (name, got, want) in checks {
+        if got < want {
+            return Err(format!(
+                "counter reconciliation failed: {name} moved by {got}, \
+                 but this client observed {want}"
+            ));
+        }
+    }
+    eprintln!("counters reconcile with client-side observations");
     Ok(())
 }

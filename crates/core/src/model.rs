@@ -14,6 +14,8 @@
 //! embeddings through a head matrix (Figure 4), cutting estimation cost from
 //! `O((τ+1)·|Φ|)` to `O(|Φ′|)`.
 
+use std::time::Instant;
+
 use cardest_nn::kernels::partition_rows;
 use cardest_nn::layers::{Activation, Dense, Mlp};
 use cardest_nn::{init, Matrix, Parallelism, ParamId, ParamStore, Tape, Vae, VaeConfig, Var};
@@ -422,6 +424,7 @@ impl CardNetModel {
     /// bit-identical for any `par`.
     pub fn encode_all_with(&self, store: &ParamStore, x: &Matrix, par: Parallelism) -> Matrix {
         crate::metrics::record_encoder_pass();
+        let t_enc = Instant::now();
         let n_out = self.config.n_out;
         let xprime = match &self.vae {
             Some(vae) => {
@@ -472,6 +475,7 @@ impl CardNetModel {
             }
             _ => unreachable!("model has exactly one encoder"),
         }
+        crate::metrics::record_encoder_time(t_enc.elapsed());
         z_all
     }
 
@@ -482,11 +486,14 @@ impl CardNetModel {
     pub fn decode_prefix(&self, store: &ParamStore, z_all: &Matrix, tau: usize) -> Vec<f32> {
         let tau = tau.min(self.config.n_out - 1);
         crate::metrics::record_decoder_calls(tau as u64 + 1);
+        let t_dec = Instant::now();
         let dec_w = store.value(self.dec_w);
         let dec_b = store.value(self.dec_b);
-        (0..=tau)
+        let out = (0..=tau)
             .map(|i| decode_row(z_all.row(i), dec_w, dec_b, i))
-            .collect()
+            .collect();
+        crate::metrics::record_decoder_time(t_dec.elapsed());
+        out
     }
 
     /// Batched per-distance inference across all decoders: `n × n_out`
@@ -542,6 +549,12 @@ impl CardNetModel {
     /// [`CardNetModel::infer_dist_batch_with`] funnel through here).
     fn infer_dist_batch_rows(&self, store: &ParamStore, x: &Matrix, par: Parallelism) -> Matrix {
         let n_out = self.config.n_out;
+        // Encoder vs decoder wall time, accumulated across the interleaved
+        // per-distance loop and recorded once at the end (two clock reads
+        // per distance value — noise next to the matmuls they bracket).
+        let mut enc_ns = 0u64;
+        let mut dec_ns = 0u64;
+        let t0 = Instant::now();
         let xprime = match &self.vae {
             Some(vae) => {
                 let mu = vae.latent_mean_with(store, x, par);
@@ -554,10 +567,12 @@ impl CardNetModel {
         let dec_b = store.value(self.dec_b);
         let n = x.rows();
         let mut out = Matrix::zeros(n, n_out);
+        enc_ns += t0.elapsed().as_nanos() as u64;
 
         match (&self.phi, &self.phi_a) {
             (Some(phi), _) => {
                 for i in 0..n_out {
+                    let t_enc = Instant::now();
                     let mut xi = Matrix::zeros(n, xprime.cols() + self.config.e_dim);
                     for r in 0..n {
                         let row = xi.row_mut(r);
@@ -565,6 +580,8 @@ impl CardNetModel {
                         row[xprime.cols()..].copy_from_slice(e.row(i));
                     }
                     let z = phi.infer_with(store, &xi, par);
+                    let t_dec = Instant::now();
+                    enc_ns += (t_dec - t_enc).as_nanos() as u64;
                     for r in 0..n {
                         let mut acc = dec_b.get(0, i);
                         for (zv, wv) in z.row(r).iter().zip(dec_w.row(i)) {
@@ -572,15 +589,19 @@ impl CardNetModel {
                         }
                         out.set(r, i, acc.max(0.0));
                     }
+                    dec_ns += t_dec.elapsed().as_nanos() as u64;
                 }
             }
             (None, Some(pa)) => {
+                let t_enc = Instant::now();
                 let mut h = xprime;
                 let mut blocks: Vec<Matrix> = Vec::with_capacity(pa.hidden.len());
                 for (layer, &head) in pa.hidden.iter().zip(&pa.heads) {
                     h = layer.infer_with(store, &h, par);
                     blocks.push(h.matmul_with(store.value(head), par));
                 }
+                enc_ns += t_enc.elapsed().as_nanos() as u64;
+                let t_dec = Instant::now();
                 for r in 0..n {
                     for i in 0..n_out {
                         let mut acc = dec_b.get(0, i);
@@ -595,9 +616,12 @@ impl CardNetModel {
                         out.set(r, i, acc.max(0.0));
                     }
                 }
+                dec_ns += t_dec.elapsed().as_nanos() as u64;
             }
             _ => unreachable!("model has exactly one encoder"),
         }
+        crate::metrics::record_encoder_time(std::time::Duration::from_nanos(enc_ns));
+        crate::metrics::record_decoder_time(std::time::Duration::from_nanos(dec_ns));
         out
     }
 }

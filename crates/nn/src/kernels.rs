@@ -49,6 +49,42 @@
 use crate::matrix::Matrix;
 use std::sync::OnceLock;
 
+/// Per-thread kernel timing: wall-clock nanoseconds and call counts for the
+/// three matrix-product entry points ([`Matrix::matmul_with`] and friends).
+///
+/// Thread-local `Cell`s, not atomics — the counters are bumped once per
+/// kernel *call* (not per element), and each thread reads only its own
+/// accumulation. The serving layer snapshots these around a batched model
+/// call to attribute model wall time to kernel work; benches can report
+/// aggregate kernel time per backend.
+pub mod timing {
+    use std::cell::Cell;
+    use std::time::Duration;
+
+    thread_local! {
+        static KERNEL_NS: Cell<u64> = const { Cell::new(0) };
+        static KERNEL_CALLS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// Record one kernel invocation of duration `d` on this thread.
+    #[inline]
+    pub fn record(d: Duration) {
+        let ns = d.as_nanos().min(u64::MAX as u128) as u64;
+        let _ = KERNEL_NS.try_with(|c| c.set(c.get().saturating_add(ns)));
+        let _ = KERNEL_CALLS.try_with(|c| c.set(c.get() + 1));
+    }
+
+    /// Total kernel nanoseconds accumulated on the calling thread.
+    pub fn thread_nanos() -> u64 {
+        KERNEL_NS.try_with(Cell::get).unwrap_or(0)
+    }
+
+    /// Total kernel invocations on the calling thread.
+    pub fn thread_calls() -> u64 {
+        KERNEL_CALLS.try_with(Cell::get).unwrap_or(0)
+    }
+}
+
 /// Which compute-kernel implementation tier to run.
 ///
 /// All three produce **bit-identical** outputs for every input — the choice
@@ -365,6 +401,7 @@ impl Matrix {
             other.rows(),
             other.cols()
         );
+        let t_kernel = std::time::Instant::now();
         // Same batch-level finiteness rule as the scalar kernel: the sparse
         // skip is only sound when no skipped term could hide a 0·NaN / 0·∞.
         let skip_zeros = other.all_finite();
@@ -394,6 +431,7 @@ impl Matrix {
                 KernelBackend::Simd => matmul_rows_simd(ad, k, bd, n, first_row, chunk, skip_zeros),
             }
         });
+        timing::record(t_kernel.elapsed());
         out
     }
 
@@ -401,6 +439,7 @@ impl Matrix {
     /// [`Matrix::t_matmul`] for every input.
     pub fn t_matmul_with(&self, other: &Matrix, par: Parallelism) -> Matrix {
         assert_eq!(self.rows(), other.rows(), "t_matmul shape mismatch");
+        let t_kernel = std::time::Instant::now();
         let skip_zeros = other.all_finite();
         let mut out = Matrix::zeros(self.cols(), other.cols());
         let n = other.cols();
@@ -436,6 +475,7 @@ impl Matrix {
                 ),
             }
         });
+        timing::record(t_kernel.elapsed());
         out
     }
 
@@ -443,6 +483,7 @@ impl Matrix {
     /// [`Matrix::matmul_t`] for every input.
     pub fn matmul_t_with(&self, other: &Matrix, par: Parallelism) -> Matrix {
         assert_eq!(self.cols(), other.cols(), "matmul_t shape mismatch");
+        let t_kernel = std::time::Instant::now();
         let mut out = Matrix::zeros(self.rows(), other.rows());
         let n = other.rows();
         let k = self.cols();
@@ -484,6 +525,7 @@ impl Matrix {
                 _ => matmul_t_rows(self.as_slice(), k, other.as_slice(), n, first_row, chunk),
             }
         });
+        timing::record(t_kernel.elapsed());
         out
     }
 }

@@ -1,0 +1,244 @@
+//! Unified metrics snapshot: an ordered, self-describing bag of counters,
+//! gauges, and histograms with Prometheus-style text exposition and a JSON
+//! rendering.
+//!
+//! The snapshot is deliberately schema-free (name → value pairs) so the
+//! wire protocol's `Stats` frame and the HTTP exposition endpoint can share
+//! one representation and new metrics never require a wire change.
+
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+
+/// Point-in-time view of every metric a process exports. Insertion order is
+/// preserved so renderings (and wire encodings) are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Append a monotonically-increasing counter.
+    pub fn push_counter(&mut self, name: impl Into<String>, value: u64) {
+        self.counters.push((name.into(), value));
+    }
+
+    /// Append an instantaneous gauge.
+    pub fn push_gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.gauges.push((name.into(), value));
+    }
+
+    /// Append a latency histogram (nanosecond buckets).
+    pub fn push_histogram(&mut self, name: impl Into<String>, hist: HistogramSnapshot) {
+        self.histograms.push((name.into(), hist));
+    }
+
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    pub fn gauges(&self) -> &[(String, f64)] {
+        &self.gauges
+    }
+
+    pub fn histograms(&self) -> &[(String, HistogramSnapshot)] {
+        &self.histograms
+    }
+
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by exact name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram by exact name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Prometheus text exposition format (version 0.0.4). Counters render
+    /// as `# TYPE <name> counter` + value, histograms as cumulative
+    /// `_bucket{le="..."}` series in **seconds** plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                let _ = writeln!(out, "{name} {}", *v as i64);
+            } else {
+                let _ = writeln!(out, "{name} {v}");
+            }
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (b, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cum += n;
+                // Upper bound of log2 bucket b is 2^{b+1} ns, in seconds.
+                let le = (1u128 << (b + 1)) as f64 * 1e-9;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum_ns as f64 * 1e-9);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+
+    /// Compact JSON object: counters/gauges as flat maps, histograms as
+    /// `{count, sum_ns, p50_ns, p99_ns}` summaries.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_str(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(name), json_f64(*v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum_ns\":{},\"mean_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                json_str(name),
+                h.count,
+                h.sum_ns,
+                json_f64(h.mean_ns()),
+                h.quantile_ns(0.5),
+                h.quantile_ns(0.99),
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal (ASCII control-safe).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render an f64 as a JSON number (finite guard: NaN/inf become 0).
+pub fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    fn sample() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.push_counter("cardest_requests_total", 42);
+        m.push_counter("cardest_sheds_total", 3);
+        m.push_gauge("cardest_inflight", 7.0);
+        let h = LogHistogram::new();
+        h.record_ns(1_000);
+        h.record_ns(1_000_000);
+        m.push_histogram("cardest_request_latency", h.snapshot());
+        m
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let m = sample();
+        assert_eq!(m.counter("cardest_requests_total"), Some(42));
+        assert_eq!(m.counter("missing"), None);
+        assert_eq!(m.gauge("cardest_inflight"), Some(7.0));
+        assert_eq!(m.histogram("cardest_request_latency").unwrap().count, 2);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE cardest_requests_total counter"));
+        assert!(text.contains("cardest_requests_total 42"));
+        assert!(text.contains("# TYPE cardest_inflight gauge"));
+        assert!(text.contains("cardest_inflight 7"));
+        assert!(text.contains("# TYPE cardest_request_latency histogram"));
+        assert!(text.contains("cardest_request_latency_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("cardest_request_latency_count 2"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_is_parseable_shape() {
+        let js = sample().render_json();
+        assert!(js.starts_with('{') && js.ends_with('}'));
+        assert!(js.contains("\"cardest_requests_total\":42"));
+        assert!(js.contains("\"p99_ns\":"));
+        // Balanced braces (cheap structural check without a JSON parser).
+        let open = js.matches('{').count();
+        let close = js.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_f64(f64::NAN), "0");
+        assert_eq!(json_f64(2.0), "2");
+        assert_eq!(json_f64(2.5), "2.5");
+    }
+}

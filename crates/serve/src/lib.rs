@@ -48,7 +48,9 @@
 //! ```
 
 pub mod cache;
+pub mod http;
 pub mod net;
+pub mod obs_export;
 pub mod registry;
 pub mod service;
 pub mod stats;
@@ -58,13 +60,16 @@ pub mod wire;
 pub(crate) mod testutil;
 
 pub use cache::{CacheLookup, EstimateCache};
+pub use http::MetricsServer;
 pub use net::{NetClient, NetConfig, NetServer};
+pub use obs_export::{metrics_snapshot, wire_counters};
 pub use registry::{ModelRegistry, RegistryReader, ServeModel};
 pub use service::{
     EstimateSource, Request, Response, ServeConfig, ServeError, Service, ServiceClient,
 };
 pub use stats::{ClientStats, ServiceStats, StatsSnapshot};
 pub use wire::{
-    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, WireError, WireQuery,
-    WireSource,
+    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, StatsFrame, TracesFrame,
+    WireError, WireQuery, WireSource, WireTrace, MAX_STATS_ENTRIES, MAX_TRACE_STAGES,
+    MAX_WIRE_TRACES,
 };

@@ -38,12 +38,14 @@
 //! consuming, writers flush every response already in flight, then the
 //! service joins.
 
+use crate::obs_export;
 use crate::service::{EstimateSource, Request, Response, ServeError, Service};
 use crate::wire::{
-    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, WireError, WireQuery,
-    WireSource,
+    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, StatsFrame, TracesFrame,
+    WireError, WireQuery, WireSource, WireTrace, MAX_WIRE_TRACES,
 };
 use cardest_data::Record;
+use cardest_obs::{Stage, TraceBuilder};
 use std::io::{ErrorKind, Read};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -291,9 +293,16 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
     };
 
     let client = shared.service.client();
+    let obs = Arc::clone(shared.service.observer());
+    let stats = Arc::clone(shared.service.stats_handle());
     let mut dec = Decoder::new();
     let mut buf = [0u8; 4096];
     let mut last_byte = Instant::now();
+    // Ingress accounting: the decoder counts complete frames / consumed
+    // bytes; deltas since the last report flow into the shared stats after
+    // every read, so a snapshot mid-stream reconciles with client totals.
+    let mut reported_bytes = 0u64;
+    let mut reported_frames = 0u64;
     'conn: while !shared.stop.load(Ordering::Acquire) {
         match stream.read(&mut buf) {
             Ok(0) => break, // clean EOF
@@ -301,9 +310,22 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
                 last_byte = Instant::now();
                 dec.extend(&buf[..n]);
                 loop {
-                    match dec.next_frame() {
+                    let t_decode = obs.enabled().then(Instant::now);
+                    let next = dec.next_frame();
+                    let decode_ns = t_decode
+                        .map(|t| t.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+                        .unwrap_or(0);
+                    // Report the delta *before* handling, so a `StatsRequest`
+                    // answers with its own frame already counted.
+                    stats.record_ingress(
+                        dec.bytes_consumed() - reported_bytes,
+                        dec.frames_decoded() - reported_frames,
+                    );
+                    reported_bytes = dec.bytes_consumed();
+                    reported_frames = dec.frames_decoded();
+                    match next {
                         Ok(Some(frame)) => {
-                            if !handle_frame(shared, &client, &wtx, frame, conn_id) {
+                            if !handle_frame(shared, &client, &wtx, frame, conn_id, decode_ns) {
                                 break 'conn;
                             }
                         }
@@ -348,26 +370,88 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
     let _ = stream.shutdown(Shutdown::Both);
 }
 
-/// Handles one decoded frame; `false` closes the connection.
+/// Handles one decoded frame; `false` closes the connection. `decode_ns` is
+/// the wall clock the reader spent decoding this frame: for requests it
+/// seeds the job's trace, for other kinds it feeds the decode histogram
+/// directly.
 fn handle_frame(
     shared: &Arc<Shared>,
     client: &crate::ServiceClient,
     wtx: &Sender<WriterMsg>,
     frame: Frame,
     conn_id: u64,
+    decode_ns: u64,
 ) -> bool {
     match frame {
         Frame::Ping(token) => {
+            shared
+                .service
+                .observer()
+                .record_stage_ns(Stage::Decode, decode_ns);
             let _ = wtx.send(WriterMsg::Immediate(Frame::Pong(token)));
             true
         }
         Frame::Request(req) => {
-            handle_request(shared, client, wtx, req, conn_id);
+            handle_request(shared, client, wtx, req, conn_id, decode_ns);
+            true
+        }
+        // Wire-level introspection pulls: answered inline from the shared
+        // stats + observer, never touching the request queue — metrics stay
+        // readable while the service is saturated.
+        Frame::StatsRequest(token) => {
+            let obs = shared.service.observer();
+            obs.record_stage_ns(Stage::Decode, decode_ns);
+            let counters = obs_export::wire_counters(&shared.service.stats(), obs);
+            let _ = wtx.send(WriterMsg::Immediate(Frame::Stats(StatsFrame {
+                token,
+                counters,
+            })));
+            true
+        }
+        Frame::TraceRequest { token, max } => {
+            let obs = shared.service.observer();
+            obs.record_stage_ns(Stage::Decode, decode_ns);
+            let cap = if max == 0 {
+                MAX_WIRE_TRACES
+            } else {
+                (max as usize).min(MAX_WIRE_TRACES)
+            };
+            // Slow queries first (the interesting ones survive truncation),
+            // then sampled traces fill the remainder; a trace that is both
+            // slow and sampled appears once.
+            let mut traces = obs.slow_traces(cap);
+            let slow_ids: Vec<u64> = traces.iter().map(|t| t.id).collect();
+            for t in obs.recent_traces(cap) {
+                if traces.len() >= cap {
+                    break;
+                }
+                if !slow_ids.contains(&t.id) {
+                    traces.push(t);
+                }
+            }
+            let traces = traces
+                .into_iter()
+                .map(|t| WireTrace {
+                    id: t.id,
+                    epoch: t.epoch,
+                    total_ns: t.total_ns,
+                    source: t.source,
+                    stages_ns: t.stages_ns.to_vec(),
+                })
+                .collect();
+            let _ = wtx.send(WriterMsg::Immediate(Frame::Traces(TracesFrame {
+                token,
+                traces,
+            })));
             true
         }
         // A client has no business sending server-side kinds; treat it as a
         // protocol violation and close.
-        Frame::Response(_) | Frame::Error(_) | Frame::Pong(_) => {
+        Frame::Response(_)
+        | Frame::Error(_)
+        | Frame::Pong(_)
+        | Frame::Stats(_)
+        | Frame::Traces(_) => {
             send_error(
                 wtx,
                 0,
@@ -385,8 +469,17 @@ fn handle_request(
     wtx: &Sender<WriterMsg>,
     req: RequestFrame,
     conn_id: u64,
+    decode_ns: u64,
 ) {
     let stats = shared.service.stats_handle();
+    // Admission span: everything between decode and enqueue (query lookup,
+    // quota check, queue-limit check). Decode + admission are seeded into
+    // the job's trace and reach the histograms via `finish_trace`; requests
+    // answered at ingress (errors, quota rejects, sheds) never become jobs,
+    // so their spans are intentionally not recorded — the histograms
+    // describe the served path.
+    let obs = shared.service.observer();
+    let t_admission = obs.enabled().then(Instant::now);
     let client_key = if req.client_id != 0 {
         req.client_id
     } else {
@@ -471,13 +564,19 @@ fn handle_request(
         shared.config.default_deadline
     };
     shared.inflight.fetch_add(1, Ordering::AcqRel);
-    let rx = client.submit_with_deadline(
+    let mut trace = TraceBuilder::new();
+    if let Some(t) = t_admission {
+        trace.add_ns(Stage::Decode, decode_ns);
+        trace.add(Stage::Admission, t.elapsed());
+    }
+    let rx = client.submit_traced(
         Request {
             model,
             query,
             theta: req.theta,
         },
         deadline,
+        trace,
     );
     let _ = wtx.send(WriterMsg::Pending {
         request_id: req.request_id,
@@ -500,6 +599,7 @@ fn send_error(wtx: &Sender<WriterMsg>, request_id: u64, code: ErrorCode, message
 fn writer_loop(mut stream: TcpStream, wrx: &Receiver<WriterMsg>, shared: &Arc<Shared>) {
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let stats = shared.service.stats_handle();
+    let obs = shared.service.observer();
     let mut dead = false;
     for msg in wrx.iter() {
         let frame = match msg {
@@ -531,8 +631,17 @@ fn writer_loop(mut stream: TcpStream, wrx: &Receiver<WriterMsg>, shared: &Arc<Sh
                 frame
             }
         };
-        if !dead && frame.write_to(&mut stream).is_err() {
-            dead = true;
+        if !dead {
+            // Respond-encode span: serialization only, not the socket write
+            // (a slow peer is the peer's latency, not the server's).
+            let t_encode = obs.enabled().then(Instant::now);
+            let bytes = frame.encode();
+            if let Some(t) = t_encode {
+                obs.record_stage(Stage::RespondEncode, t.elapsed());
+            }
+            if std::io::Write::write_all(&mut stream, &bytes).is_err() {
+                dead = true;
+            }
         }
     }
     let _ = stream.shutdown(Shutdown::Write);
@@ -651,6 +760,32 @@ impl NetClient {
         self.send(&Frame::Ping(token))?;
         Ok(matches!(self.recv()?, Frame::Pong(t) if t == token))
     }
+
+    /// Pulls the server's unified metrics snapshot over the wire as flat
+    /// `(name, value)` counters (see [`crate::obs_export::wire_counters`]).
+    pub fn stats(&mut self, token: u64) -> std::io::Result<StatsFrame> {
+        self.send(&Frame::StatsRequest(token))?;
+        match self.recv()? {
+            Frame::Stats(s) if s.token == token => Ok(s),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Stats({token}), got {other:?}"),
+            )),
+        }
+    }
+
+    /// Pulls up to `max` recent traces (slow-query log first, then sampled
+    /// ring); `0` asks for the server's maximum.
+    pub fn traces(&mut self, token: u64, max: u32) -> std::io::Result<TracesFrame> {
+        self.send(&Frame::TraceRequest { token, max })?;
+        match self.recv()? {
+            Frame::Traces(t) if t.token == token => Ok(t),
+            other => Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Traces({token}), got {other:?}"),
+            )),
+        }
+    }
 }
 
 fn wire_to_io(e: WireError) -> std::io::Error {
@@ -731,6 +866,23 @@ mod tests {
         // The first connection is unaffected.
         assert!(first.ping(2).expect("still live"));
         drop(first);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_and_traces_pull_over_the_wire() {
+        let server = empty_server(NetConfig::default());
+        let mut client = NetClient::connect(server.addr()).expect("connect");
+        assert!(client.ping(1).expect("pong"));
+        let stats = client.stats(42).expect("stats frame");
+        assert_eq!(stats.token, 42);
+        // The stats request itself was counted before it was answered, and
+        // the ping before it was too.
+        assert!(stats.counter("cardest_ingress_frames_total").unwrap_or(0) >= 2);
+        assert_eq!(stats.counter("cardest_requests_total"), Some(0));
+        let traces = client.traces(7, 0).expect("traces frame");
+        assert_eq!(traces.token, 7);
+        assert!(traces.traces.is_empty(), "no requests served yet");
         server.shutdown();
     }
 

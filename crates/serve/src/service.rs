@@ -23,6 +23,7 @@ use crate::registry::{ModelRegistry, RegistryReader, ServeModel};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use cardest_core::{CardinalityEstimator, Estimate, PreparedQuery};
 use cardest_data::{BitVec, Record};
+use cardest_obs::{ObsConfig, Observer, Stage, TraceBuilder};
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -71,6 +72,17 @@ pub struct ServeConfig {
     /// backend is bit-identical, so this too can never change a served
     /// estimate or a cache entry.
     pub kernel_backend: Option<cardest_core::KernelBackend>,
+    /// Per-stage tracing master switch. When off, workers skip every span
+    /// clock read; the [`Observer`] still exists (so it can be re-enabled at
+    /// runtime via [`cardest_obs::Observer::set_enabled`]) but records
+    /// nothing.
+    pub tracing: bool,
+    /// Capture every n-th finished request as a full trace (1 = all,
+    /// 0 = never; slow queries are always captured).
+    pub trace_sample: u64,
+    /// End-to-end latency at or above which a request lands in the
+    /// slow-query log with its full span breakdown.
+    pub slow_threshold: Duration,
 }
 
 impl Default for ServeConfig {
@@ -86,11 +98,24 @@ impl Default for ServeConfig {
             cache_curve_points: 0,
             kernel_threads: 1,
             kernel_backend: None,
+            tracing: true,
+            trace_sample: 16,
+            slow_threshold: Duration::from_millis(100),
         }
     }
 }
 
 impl ServeConfig {
+    /// The observer configuration implied by the tracing knobs.
+    pub fn obs_config(&self) -> ObsConfig {
+        ObsConfig {
+            enabled: self.tracing,
+            sample_every: self.trace_sample,
+            slow_threshold: self.slow_threshold,
+            ..ObsConfig::default()
+        }
+    }
+
     /// The per-micro-batch kernel budget handed to the estimator's batched
     /// paths: [`ServeConfig::kernel_threads`] workers, with
     /// [`ServeConfig::kernel_backend`] pinned when set.
@@ -185,6 +210,10 @@ struct Job {
     /// Load-shed horizon: a job still unserved past this instant is answered
     /// from the cache bracket (degraded) or refused, never computed.
     deadline: Option<Instant>,
+    /// Zero-allocation span accumulator; may arrive pre-seeded with
+    /// decode/admission spans measured by the ingress layer before the job
+    /// existed.
+    trace: TraceBuilder,
 }
 
 /// A cloneable submission handle; cheap to hand to every client thread.
@@ -212,6 +241,19 @@ impl ServiceClient {
         req: Request,
         deadline: Option<Duration>,
     ) -> Receiver<Result<Response, ServeError>> {
+        self.submit_traced(req, deadline, TraceBuilder::new())
+    }
+
+    /// [`ServiceClient::submit_with_deadline`] with a pre-seeded span
+    /// accumulator: the socket ingress passes `Decode`/`Admission` spans it
+    /// measured before the job existed, so captured traces cover the whole
+    /// wire path, not just queue-to-response.
+    pub fn submit_traced(
+        &self,
+        req: Request,
+        deadline: Option<Duration>,
+        trace: TraceBuilder,
+    ) -> Receiver<Result<Response, ServeError>> {
         self.stats.record_request();
         let (resp_tx, resp_rx) = channel();
         let now = Instant::now();
@@ -220,6 +262,7 @@ impl ServiceClient {
             resp: resp_tx,
             enqueued: now,
             deadline: deadline.map(|d| now + d),
+            trace,
         };
         if let Err(send_err) = self.tx.send(job) {
             // Queue closed: answer the caller directly instead of hanging.
@@ -251,6 +294,7 @@ pub struct Service {
     registry: Arc<ModelRegistry>,
     cache: Arc<EstimateCache>,
     stats: Arc<ServiceStats>,
+    obs: Arc<Observer>,
     client: ServiceClient,
     tx: Option<Sender<Job>>,
     /// Set on shutdown so idle workers wake and exit even while external
@@ -264,6 +308,7 @@ impl Service {
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Service {
         let cache = Arc::new(EstimateCache::new(config.cache_capacity));
         let stats = Arc::new(ServiceStats::new());
+        let obs = Arc::new(Observer::new(config.obs_config()));
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let stop = Arc::new(AtomicBool::new(false));
@@ -273,9 +318,12 @@ impl Service {
                 let reader = registry.reader();
                 let cache = Arc::clone(&cache);
                 let stats = Arc::clone(&stats);
+                let obs = Arc::clone(&obs);
                 let stop = Arc::clone(&stop);
                 let cfg = config.clone();
-                std::thread::spawn(move || worker_loop(&rx, reader, &cache, &stats, &stop, &cfg))
+                std::thread::spawn(move || {
+                    worker_loop(&rx, reader, &cache, &stats, &obs, &stop, &cfg)
+                })
             })
             .collect();
         let client = ServiceClient {
@@ -286,6 +334,7 @@ impl Service {
             registry,
             cache,
             stats,
+            obs,
             client,
             tx: Some(tx),
             stop,
@@ -327,6 +376,14 @@ impl Service {
     /// and quota events land in the same snapshot as served traffic).
     pub fn stats_handle(&self) -> &Arc<ServiceStats> {
         &self.stats
+    }
+
+    /// Per-stage tracing state: histograms, the sampled-trace ring, and the
+    /// slow-query log. The ingress layer records its `Decode`, `Admission`,
+    /// and `RespondEncode` spans here, and the introspection surfaces
+    /// (wire `Stats`/`Traces` frames, the HTTP exporter) read from it.
+    pub fn observer(&self) -> &Arc<Observer> {
+        &self.obs
     }
 
     /// Admission-control fallback: answers `query`@`theta` from the cache
@@ -433,15 +490,16 @@ fn worker_loop(
     mut reader: RegistryReader,
     cache: &EstimateCache,
     stats: &ServiceStats,
+    obs: &Observer,
     stop: &AtomicBool,
     cfg: &ServeConfig,
 ) {
     loop {
-        let batch = collect_batch(rx, stop, cfg.batch_max, cfg.batch_window);
+        let batch = collect_batch(rx, stop, cfg.batch_max, cfg.batch_window, obs.enabled());
         if batch.is_empty() {
             return; // queue disconnected or service stopped
         }
-        process_batch(batch, &mut reader, cache, stats, cfg);
+        process_batch(batch, &mut reader, cache, stats, obs, cfg);
     }
 }
 
@@ -454,6 +512,7 @@ fn collect_batch(
     stop: &AtomicBool,
     batch_max: usize,
     window: Duration,
+    traced: bool,
 ) -> Vec<Job> {
     let rx = rx.lock().expect("request queue poisoned");
     let first = loop {
@@ -471,7 +530,8 @@ fn collect_batch(
         }
     };
     let mut batch = vec![first];
-    let deadline = Instant::now() + window;
+    let t_first = Instant::now();
+    let deadline = t_first + window;
     while batch.len() < batch_max.max(1) {
         let now = Instant::now();
         if now >= deadline {
@@ -487,6 +547,27 @@ fn collect_batch(
             }
         }
     }
+    if traced {
+        // Span attribution per job: queue wait is enqueue → the worker's
+        // first recv (zero for jobs that arrived *during* the window), batch
+        // window is the remainder until the batch sealed.
+        let t_sealed = Instant::now();
+        for job in &mut batch {
+            let picked_up = if job.enqueued > t_first {
+                job.enqueued
+            } else {
+                t_first
+            };
+            job.trace.add(
+                Stage::QueueWait,
+                picked_up.saturating_duration_since(job.enqueued),
+            );
+            job.trace.add(
+                Stage::BatchWindow,
+                t_sealed.saturating_duration_since(picked_up),
+            );
+        }
+    }
     batch
 }
 
@@ -495,6 +576,7 @@ fn process_batch(
     reader: &mut RegistryReader,
     cache: &EstimateCache,
     stats: &ServiceStats,
+    obs: &Observer,
     cfg: &ServeConfig,
 ) {
     // Group by model name (almost always a single group), resolving each
@@ -508,7 +590,7 @@ fn process_batch(
     }
     for (name, jobs) in groups {
         match reader.get(&name) {
-            Some(model) => serve_group(&model, jobs, cache, stats, cfg),
+            Some(model) => serve_group(&model, jobs, cache, stats, obs, cfg),
             None => {
                 for job in jobs {
                     stats.record_error();
@@ -525,6 +607,10 @@ struct Pending {
     fp: u64,
     tau: usize,
     prepared: PreparedQuery,
+    /// When this job's own prepare/probe work finished (traced runs only);
+    /// the wait from here to the kernel launch is sibling/dedup time and is
+    /// attributed to `Stage::BatchWindow` so traces stay gap-free.
+    ready: Option<Instant>,
 }
 
 fn serve_group(
@@ -532,29 +618,53 @@ fn serve_group(
     jobs: Vec<Job>,
     cache: &EstimateCache,
     stats: &ServiceStats,
+    obs: &Observer,
     cfg: &ServeConfig,
 ) {
     let estimator = &model.estimator;
     let epoch = model.epoch;
+    let traced = obs.enabled();
     let mut pending: Vec<Pending> = Vec::with_capacity(jobs.len());
 
-    for job in jobs {
+    // ≈ the batch seal time (process_batch's grouping in between is ns
+    // scale). The group loop below is serialized, so a job late in a large
+    // batch spends real wall clock waiting on its siblings' prepare/probe
+    // work; that wait is attributed to BatchWindow — "waiting on the batch"
+    // — so per-stage sums keep covering end-to-end latency as batches grow.
+    let t_group = traced.then(Instant::now);
+    for mut job in jobs {
         // `prepare_shared` runs `h_rec` once and keeps the request's
         // `Arc<Record>` without copying the payload; the estimate depends on
         // θ only through τ = threshold_step(θ), so τ is the cache's θ-bucket.
+        let t_prep = traced.then(Instant::now);
+        if let (Some(t0), Some(t1)) = (t_group, t_prep) {
+            // For jobs answered inside this loop (cache hits, sheds) this is
+            // their whole sibling wait; pending jobs get the rest at the
+            // kernel call below.
+            job.trace
+                .add(Stage::BatchWindow, t1.saturating_duration_since(t0));
+        }
         let prepared = estimator.prepare_shared(&job.req.query);
         let fp = fingerprint(prepared.bits().expect("CardNet prepare extracts"));
         let tau = estimator.threshold_step(job.req.theta);
+        if let Some(t) = t_prep {
+            job.trace.add(Stage::Prepare, t.elapsed());
+        }
         // A job queued past its deadline is load-shed: a cache answer is
         // still free (exact hits below cost nothing), but it will not be
         // granted a model run.
         let expired = job
             .deadline
             .is_some_and(|deadline| Instant::now() > deadline);
-        match cache.lookup(epoch, fp, tau) {
+        let t_probe = traced.then(Instant::now);
+        let lookup = cache.lookup(epoch, fp, tau);
+        if let Some(t) = t_probe {
+            job.trace.add(Stage::CacheProbe, t.elapsed());
+        }
+        match lookup {
             CacheLookup::Exact(value) => {
                 stats.record_exact_hit();
-                respond(job, value, epoch, EstimateSource::CacheExact, stats);
+                respond(job, value, epoch, EstimateSource::CacheExact, stats, obs);
             }
             CacheLookup::Bounds { lo, hi } if model.monotone => {
                 // Two cached curve points bracket the miss; `Estimate` owns
@@ -575,6 +685,7 @@ fn serve_group(
                         epoch,
                         EstimateSource::CacheBounds { lo, hi },
                         stats,
+                        obs,
                     );
                 } else if expired {
                     // The deadline passed while queued, but monotonicity
@@ -589,9 +700,11 @@ fn serve_group(
                         epoch,
                         EstimateSource::ShedBracket { lo, hi },
                         stats,
+                        obs,
                     );
                 } else {
                     pending.push(Pending {
+                        ready: traced.then(Instant::now),
                         job,
                         fp,
                         tau,
@@ -608,6 +721,7 @@ fn serve_group(
                 let _ = job.resp.send(Err(ServeError::DeadlineExceeded));
             }
             _ => pending.push(Pending {
+                ready: traced.then(Instant::now),
                 job,
                 fp,
                 tau,
@@ -645,6 +759,26 @@ fn serve_group(
         Scalar(f64),
         Curve(cardest_core::CardinalityCurve),
     }
+    // Model span: the whole batched kernel call's wall clock, attributed to
+    // every job it answered (the batch is the unit of compute — each job's
+    // latency really did include the full call). The encoder/decoder
+    // sub-spans come from this thread's `ApiCounters` timing delta, which
+    // captures the kernel work exactly at `kernel_threads: 1` (the default;
+    // threaded kernels run part of the work on scoped threads this
+    // thread-local meter cannot see).
+    let meter_before = traced.then(cardest_core::metrics::ApiCounters::snapshot);
+    let t_model = traced.then(Instant::now);
+    if let Some(tm) = t_model {
+        for p in &mut pending {
+            if let Some(ready) = p.ready {
+                // Remaining siblings' prepare/probe plus coalescing between
+                // this job going pending and the kernel launch.
+                p.job
+                    .trace
+                    .add(Stage::BatchWindow, tm.saturating_duration_since(ready));
+            }
+        }
+    }
     let rows: Vec<RowResult> = if curve_mode {
         // Curve path: the batched curve kernel (one encoder pass for the
         // whole micro-batch — every decoder column comes out of it anyway)
@@ -674,8 +808,20 @@ fn serve_group(
             .map(|e| RowResult::Scalar(e.value))
             .collect()
     };
+    let (model_ns, enc_ns, dec_ns) = match (t_model, &meter_before) {
+        (Some(t), Some(before)) => {
+            let delta = cardest_core::metrics::ApiCounters::snapshot().delta_since(before);
+            (
+                t.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                delta.encoder_ns,
+                delta.decoder_ns,
+            )
+        }
+        _ => (0, 0, 0),
+    };
+    let t_distribute = traced.then(Instant::now);
     stats.record_batch(batch_size);
-    for ((i, p), row) in pending.into_iter().enumerate().zip(row_of) {
+    for ((i, mut p), row) in pending.into_iter().enumerate().zip(row_of) {
         let estimate = match &rows[row] {
             RowResult::Scalar(v) => *v,
             // Exact curve value at this request's own τ, whichever row
@@ -694,7 +840,17 @@ fn serve_group(
             stats.record_coalesced();
             EstimateSource::Coalesced
         };
-        respond(p.job, estimate, epoch, source, stats);
+        if traced {
+            p.job.trace.add_ns(Stage::Model, model_ns);
+            p.job.trace.add_ns(Stage::EncoderPass, enc_ns);
+            p.job.trace.add_ns(Stage::DecoderSweep, dec_ns);
+            if let Some(t) = t_distribute {
+                // Earlier siblings' cache insert + respond work is serialized
+                // ahead of this job; count that wait against the batch.
+                p.job.trace.add(Stage::BatchWindow, t.elapsed());
+            }
+        }
+        respond(p.job, estimate, epoch, source, stats, obs);
     }
 }
 
@@ -720,8 +876,41 @@ fn seed_curve_points(
     }
 }
 
-fn respond(job: Job, estimate: f64, epoch: u64, source: EstimateSource, stats: &ServiceStats) {
-    stats.record_latency(job.enqueued.elapsed());
+/// The [`Trace::source`] code for an answer: the wire `WireSource`
+/// discriminant, so socket clients and trace readers decode sources the
+/// same way.
+fn source_code(source: &EstimateSource) -> u8 {
+    match source {
+        EstimateSource::Computed { .. } => 0,
+        EstimateSource::Coalesced => 1,
+        EstimateSource::CacheExact => 2,
+        EstimateSource::CacheBounds { .. } => 3,
+        EstimateSource::ShedBracket { .. } => 4,
+    }
+}
+
+fn respond(
+    job: Job,
+    estimate: f64,
+    epoch: u64,
+    source: EstimateSource,
+    stats: &ServiceStats,
+    obs: &Observer,
+) {
+    let total = job.enqueued.elapsed();
+    stats.record_latency(total);
+    if obs.enabled() {
+        // A trace seeded by the ingress layer carries spans measured before
+        // the job was enqueued; fold them into the end-to-end total so
+        // stage coverage is measured against the full wire path.
+        let pre_queue_ns = job.trace.get_ns(Stage::Decode) + job.trace.get_ns(Stage::Admission);
+        obs.finish_trace(
+            &job.trace,
+            total + Duration::from_nanos(pre_queue_ns),
+            epoch,
+            source_code(&source),
+        );
+    }
     let _ = job.resp.send(Ok(Response {
         estimate,
         epoch,
@@ -745,6 +934,7 @@ mod tests {
             cache_curve_points: 0,
             kernel_threads: 1,
             kernel_backend: None,
+            ..ServeConfig::default()
         }
     }
 
@@ -856,6 +1046,7 @@ mod tests {
                 cache_curve_points: tau_max + 1,
                 kernel_threads: 1,
                 kernel_backend: None,
+                ..ServeConfig::default()
             },
         );
         let first = service
@@ -903,6 +1094,7 @@ mod tests {
                 cache_curve_points: 2,
                 kernel_threads: 1,
                 kernel_backend: None,
+                ..ServeConfig::default()
             },
         );
         // A whole θ-sweep of one query submitted before draining: every τ is
@@ -1106,6 +1298,7 @@ mod tests {
                 cache_curve_points: 0,
                 kernel_threads: 1,
                 kernel_backend: None,
+                ..ServeConfig::default()
             },
         );
         // 16 distinct queries submitted before any response is drained: the
@@ -1149,6 +1342,7 @@ mod tests {
                 cache_curve_points: 0,
                 kernel_threads: 1,
                 kernel_backend: None,
+                ..ServeConfig::default()
             },
         );
         let q = Arc::new(ds.records[2].clone());

@@ -57,6 +57,10 @@ pub struct ServiceStats {
     batch_size_sum: AtomicU64,
     batch_hist: [AtomicU64; BATCH_BUCKETS],
     latency_hist: [AtomicU64; LATENCY_BUCKETS],
+    /// Bytes consumed off sockets as complete wire frames (all connections).
+    ingress_bytes: AtomicU64,
+    /// Wire frames decoded off sockets (all connections).
+    ingress_frames: AtomicU64,
     /// Per-client accounting (requests, outstanding, shed, rejects), keyed
     /// by the wire protocol's client id. Touched only at the network edge.
     clients: Mutex<HashMap<u64, ClientStats>>,
@@ -97,7 +101,22 @@ impl ServiceStats {
             batch_size_sum: AtomicU64::new(0),
             batch_hist: std::array::from_fn(|_| AtomicU64::new(0)),
             latency_hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            ingress_bytes: AtomicU64::new(0),
+            ingress_frames: AtomicU64::new(0),
             clients: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Accumulates wire-ingress deltas from a connection reader: `bytes`
+    /// consumed as complete frames and `frames` decoded. Readers report
+    /// deltas (from [`crate::wire::Decoder`]'s counters) as they go, so the
+    /// process totals stay live while connections are open.
+    pub fn record_ingress(&self, bytes: u64, frames: u64) {
+        if bytes > 0 {
+            self.ingress_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        if frames > 0 {
+            self.ingress_frames.fetch_add(frames, Ordering::Relaxed);
         }
     }
 
@@ -252,6 +271,8 @@ impl ServiceStats {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
             latency_hist: latency,
+            ingress_bytes: self.ingress_bytes.load(Ordering::Relaxed),
+            ingress_frames: self.ingress_frames.load(Ordering::Relaxed),
         }
     }
 }
@@ -286,6 +307,10 @@ pub struct StatsSnapshot {
     pub batch_hist: Vec<u64>,
     /// Count of requests whose latency fell in `[2^b, 2^{b+1})` ns.
     pub latency_hist: Vec<u64>,
+    /// Bytes consumed off sockets as complete wire frames.
+    pub ingress_bytes: u64,
+    /// Wire frames decoded off sockets.
+    pub ingress_frames: u64,
 }
 
 impl StatsSnapshot {

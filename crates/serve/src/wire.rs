@@ -15,6 +15,11 @@
 //! response := id:u64 epoch:u64 ĉ:f64 lo:f64 hi:f64 source:u8 batch:u32
 //! error    := id:u64 code:u8 message:str16
 //! ping/pong:= token:u64
+//! statsreq := token:u64
+//! stats    := token:u64 n:u16 (name:str8 value:u64)*n
+//! tracereq := token:u64 max:u32
+//! traces   := token:u64 n:u16 trace*n
+//! trace    := id:u64 epoch:u64 total_ns:u64 source:u8 k:u8 stage_ns:[u64;k]
 //! str8/16  := len:u8|u16 utf8-bytes
 //! ```
 //!
@@ -46,6 +51,21 @@ const KIND_RESPONSE: u8 = 2;
 const KIND_ERROR: u8 = 3;
 const KIND_PING: u8 = 4;
 const KIND_PONG: u8 = 5;
+const KIND_STATS_REQUEST: u8 = 6;
+const KIND_STATS: u8 = 7;
+const KIND_TRACE_REQUEST: u8 = 8;
+const KIND_TRACES: u8 = 9;
+
+/// Most counter entries a [`StatsFrame`] encodes. Each entry is at most
+/// 264 bytes (str8 name + u64), so the cap keeps the frame well inside
+/// [`MAX_PAYLOAD`]; the encoder truncates beyond it.
+pub const MAX_STATS_ENTRIES: usize = 200;
+/// Most traces a [`TracesFrame`] encodes; with [`MAX_TRACE_STAGES`] stages a
+/// trace is ≤ 282 bytes, so 128 traces stay inside [`MAX_PAYLOAD`].
+pub const MAX_WIRE_TRACES: usize = 128;
+/// Most per-stage entries one wire trace carries (the encoder truncates the
+/// stage array beyond this).
+pub const MAX_TRACE_STAGES: usize = 32;
 
 /// The query a request carries: an index into the server's loaded dataset
 /// (the compact form optimizer sessions co-located with the data use), or an
@@ -164,6 +184,52 @@ pub struct ErrorFrame {
     pub message: String,
 }
 
+/// Server metrics pulled over the socket (server → client): a flat,
+/// order-preserving list of named counters — the wire form of the
+/// observability layer's `MetricsSnapshot` counter section. Self-describing
+/// by name so new metrics never require a protocol change.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StatsFrame {
+    /// Echo of the requesting [`Frame::StatsRequest`] token.
+    pub token: u64,
+    /// `(metric name, value)` pairs in export order (at most
+    /// [`MAX_STATS_ENTRIES`]; the encoder truncates beyond that).
+    pub counters: Vec<(String, u64)>,
+}
+
+impl StatsFrame {
+    /// Look up a counter by exact name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
+/// One captured request trace in wire form: per-stage nanoseconds indexed by
+/// the observability layer's stage order, plus end-to-end total, epoch, and
+/// answer source.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireTrace {
+    pub id: u64,
+    pub epoch: u64,
+    pub total_ns: u64,
+    /// Answer-source code (the [`WireSource`] discriminant).
+    pub source: u8,
+    /// Per-stage accumulated nanoseconds (at most [`MAX_TRACE_STAGES`]).
+    pub stages_ns: Vec<u64>,
+}
+
+/// Recent traces pulled over the socket (server → client).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TracesFrame {
+    /// Echo of the requesting [`Frame::TraceRequest`] token.
+    pub token: u64,
+    /// Oldest-first traces (at most [`MAX_WIRE_TRACES`]).
+    pub traces: Vec<WireTrace>,
+}
+
 /// Every frame the protocol knows.
 #[derive(Clone, Debug)]
 pub enum Frame {
@@ -172,6 +238,17 @@ pub enum Frame {
     Error(ErrorFrame),
     Ping(u64),
     Pong(u64),
+    /// Client → server: pull a [`Frame::Stats`] metrics snapshot. The token
+    /// is echoed in the reply so pipelined pulls can be correlated.
+    StatsRequest(u64),
+    Stats(StatsFrame),
+    /// Client → server: pull up to `max` recent traces (slow queries first
+    /// are the server's choice; `max == 0` means the server's cap).
+    TraceRequest {
+        token: u64,
+        max: u32,
+    },
+    Traces(TracesFrame),
 }
 
 // Floats compare by bit pattern: the protocol's contract is bit-exact
@@ -207,6 +284,13 @@ impl PartialEq for Frame {
             (Frame::Response(a), Frame::Response(b)) => a == b,
             (Frame::Error(a), Frame::Error(b)) => a == b,
             (Frame::Ping(a), Frame::Ping(b)) | (Frame::Pong(a), Frame::Pong(b)) => a == b,
+            (Frame::StatsRequest(a), Frame::StatsRequest(b)) => a == b,
+            (Frame::Stats(a), Frame::Stats(b)) => a == b,
+            (
+                Frame::TraceRequest { token: a, max: am },
+                Frame::TraceRequest { token: b, max: bm },
+            ) => a == b && am == bm,
+            (Frame::Traces(a), Frame::Traces(b)) => a == b,
             _ => false,
         }
     }
@@ -236,6 +320,10 @@ pub enum WireError {
     /// Inline query bits with nonzero padding in the last word — rejected
     /// so equal queries have exactly one wire form.
     NonCanonicalBits,
+    /// A stats/traces list longer than the protocol cap — rejected so
+    /// accepted payloads always re-encode byte-identically (the encoder
+    /// truncates at the cap).
+    TooManyEntries(u16),
 }
 
 impl std::fmt::Display for WireError {
@@ -255,6 +343,7 @@ impl std::fmt::Display for WireError {
             WireError::BadErrorCode(c) => write!(f, "unknown error code {c}"),
             WireError::BadFlags(b) => write!(f, "undefined header flag bits 0x{b:02X}"),
             WireError::NonCanonicalBits => write!(f, "inline query has nonzero padding bits"),
+            WireError::TooManyEntries(n) => write!(f, "list of {n} entries exceeds protocol cap"),
         }
     }
 }
@@ -303,6 +392,10 @@ impl Frame {
             Frame::Error(_) => (KIND_ERROR, 0),
             Frame::Ping(_) => (KIND_PING, 0),
             Frame::Pong(_) => (KIND_PONG, 0),
+            Frame::StatsRequest(_) => (KIND_STATS_REQUEST, 0),
+            Frame::Stats(_) => (KIND_STATS, 0),
+            Frame::TraceRequest { .. } => (KIND_TRACE_REQUEST, 0),
+            Frame::Traces(_) => (KIND_TRACES, 0),
         };
         let mut payload = vec![MAGIC, WIRE_VERSION, kind, flags];
         match self {
@@ -340,8 +433,37 @@ impl Frame {
                 payload.push(e.code as u8);
                 put_str16(&mut payload, &e.message);
             }
-            Frame::Ping(token) | Frame::Pong(token) => {
+            Frame::Ping(token) | Frame::Pong(token) | Frame::StatsRequest(token) => {
                 payload.extend_from_slice(&token.to_le_bytes());
+            }
+            Frame::Stats(s) => {
+                payload.extend_from_slice(&s.token.to_le_bytes());
+                let n = s.counters.len().min(MAX_STATS_ENTRIES);
+                payload.extend_from_slice(&(n as u16).to_le_bytes());
+                for (name, value) in s.counters.iter().take(n) {
+                    put_str8(&mut payload, name);
+                    payload.extend_from_slice(&value.to_le_bytes());
+                }
+            }
+            Frame::TraceRequest { token, max } => {
+                payload.extend_from_slice(&token.to_le_bytes());
+                payload.extend_from_slice(&max.to_le_bytes());
+            }
+            Frame::Traces(t) => {
+                payload.extend_from_slice(&t.token.to_le_bytes());
+                let n = t.traces.len().min(MAX_WIRE_TRACES);
+                payload.extend_from_slice(&(n as u16).to_le_bytes());
+                for trace in t.traces.iter().take(n) {
+                    payload.extend_from_slice(&trace.id.to_le_bytes());
+                    payload.extend_from_slice(&trace.epoch.to_le_bytes());
+                    payload.extend_from_slice(&trace.total_ns.to_le_bytes());
+                    payload.push(trace.source);
+                    let k = trace.stages_ns.len().min(MAX_TRACE_STAGES);
+                    payload.push(k as u8);
+                    for ns in trace.stages_ns.iter().take(k) {
+                        payload.extend_from_slice(&ns.to_le_bytes());
+                    }
+                }
             }
         }
         debug_assert!(
@@ -518,6 +640,55 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         }),
         KIND_PING => Frame::Ping(body.u64()?),
         KIND_PONG => Frame::Pong(body.u64()?),
+        KIND_STATS_REQUEST => Frame::StatsRequest(body.u64()?),
+        KIND_STATS => {
+            let token = body.u64()?;
+            let n = body.u16()?;
+            if n as usize > MAX_STATS_ENTRIES {
+                return Err(WireError::TooManyEntries(n));
+            }
+            let mut counters = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let name = body.str8()?;
+                let value = body.u64()?;
+                counters.push((name, value));
+            }
+            Frame::Stats(StatsFrame { token, counters })
+        }
+        KIND_TRACE_REQUEST => Frame::TraceRequest {
+            token: body.u64()?,
+            max: body.u32()?,
+        },
+        KIND_TRACES => {
+            let token = body.u64()?;
+            let n = body.u16()?;
+            if n as usize > MAX_WIRE_TRACES {
+                return Err(WireError::TooManyEntries(n));
+            }
+            let mut traces = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let id = body.u64()?;
+                let epoch = body.u64()?;
+                let total_ns = body.u64()?;
+                let source = body.u8()?;
+                let k = body.u8()?;
+                if k as usize > MAX_TRACE_STAGES {
+                    return Err(WireError::TooManyEntries(k as u16));
+                }
+                let mut stages_ns = Vec::with_capacity(k as usize);
+                for _ in 0..k {
+                    stages_ns.push(body.u64()?);
+                }
+                traces.push(WireTrace {
+                    id,
+                    epoch,
+                    total_ns,
+                    source,
+                    stages_ns,
+                });
+            }
+            Frame::Traces(TracesFrame { token, traces })
+        }
         other => return Err(WireError::BadKind(other)),
     };
     body.done()?;
@@ -531,6 +702,8 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
 #[derive(Default)]
 pub struct Decoder {
     buf: Vec<u8>,
+    bytes_consumed: u64,
+    frames_decoded: u64,
 }
 
 impl Decoder {
@@ -560,7 +733,23 @@ impl Decoder {
         // Consume the frame even on error: the caller is about to close the
         // connection, but a consistent buffer costs nothing.
         self.buf.drain(..total);
+        self.bytes_consumed += total as u64;
+        if result.is_ok() {
+            self.frames_decoded += 1;
+        }
         result.map(Some)
+    }
+
+    /// Total bytes consumed from the stream as complete frames (length
+    /// prefixes included; buffered partial input is *not* counted until its
+    /// frame completes). Feeds per-connection ingress byte-rate metrics.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.bytes_consumed
+    }
+
+    /// Total frames successfully decoded from the stream.
+    pub fn frames_decoded(&self) -> u64 {
+        self.frames_decoded
     }
 
     /// Whether a frame has started arriving but is not complete — the
@@ -628,6 +817,35 @@ mod tests {
             }),
             Frame::Ping(0xDEAD),
             Frame::Pong(0xBEEF),
+            Frame::StatsRequest(11),
+            Frame::Stats(StatsFrame {
+                token: 11,
+                counters: vec![
+                    ("cardest_requests_total".into(), 12345),
+                    ("cardest_sheds_total".into(), 0),
+                    (String::new(), u64::MAX),
+                ],
+            }),
+            Frame::TraceRequest { token: 5, max: 64 },
+            Frame::Traces(TracesFrame {
+                token: 5,
+                traces: vec![
+                    WireTrace {
+                        id: 1,
+                        epoch: 3,
+                        total_ns: 1_000_000,
+                        source: 0,
+                        stages_ns: vec![10, 20, 30, 0, 40, 0, 900_000, 800_000, 90_000, 5],
+                    },
+                    WireTrace {
+                        id: 2,
+                        epoch: 3,
+                        total_ns: 0,
+                        source: 4,
+                        stages_ns: Vec::new(),
+                    },
+                ],
+            }),
         ]
     }
 
@@ -784,6 +1002,64 @@ mod tests {
         let mut dec = Decoder::new();
         dec.extend(&bytes);
         assert_eq!(dec.next_frame(), Err(WireError::NonCanonicalBits));
+    }
+
+    #[test]
+    fn decoder_counters_reconcile_with_chunked_multi_frame_feed() {
+        // Feed a many-frame stream in awkward chunk sizes: the decoder's
+        // ingress counters must land exactly on the stream's byte and frame
+        // totals, with partial input never counted early.
+        let frames = sample_frames();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+        let mut dec = Decoder::new();
+        let mut decoded = 0u64;
+        let mut fed = 0u64;
+        for chunk in stream.chunks(7) {
+            dec.extend(chunk);
+            fed += chunk.len() as u64;
+            while let Some(_f) = dec.next_frame().expect("valid stream") {
+                decoded += 1;
+            }
+            // Every byte handed over is either consumed as a complete frame
+            // or still buffered as partial input — never dropped or
+            // double-counted.
+            assert_eq!(dec.bytes_consumed() + dec.buffered() as u64, fed);
+            assert_eq!(dec.frames_decoded(), decoded);
+        }
+        assert_eq!(decoded, frames.len() as u64);
+        assert_eq!(dec.frames_decoded(), frames.len() as u64);
+        assert_eq!(dec.bytes_consumed(), stream.len() as u64);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn stats_entry_cap_is_enforced_canonically() {
+        // An over-cap stats frame truncates on encode...
+        let big = StatsFrame {
+            token: 1,
+            counters: (0..MAX_STATS_ENTRIES + 10)
+                .map(|i| (format!("c{i}"), i as u64))
+                .collect(),
+        };
+        let bytes = Frame::Stats(big).encode();
+        let mut dec = Decoder::new();
+        dec.extend(&bytes);
+        match dec.next_frame().expect("valid").expect("complete") {
+            Frame::Stats(s) => assert_eq!(s.counters.len(), MAX_STATS_ENTRIES),
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // ...and a hand-built payload claiming more than the cap is rejected
+        // before any entry is read.
+        let mut payload = vec![MAGIC, WIRE_VERSION, KIND_STATS, 0];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&(MAX_STATS_ENTRIES as u16 + 1).to_le_bytes());
+        assert_eq!(
+            decode_payload(&payload),
+            Err(WireError::TooManyEntries(MAX_STATS_ENTRIES as u16 + 1))
+        );
     }
 
     #[test]

@@ -15,7 +15,8 @@
 use cardest_data::BitVec;
 use cardest_serve::wire::{decode_payload, MAX_PAYLOAD};
 use cardest_serve::{
-    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, WireQuery, WireSource,
+    Decoder, ErrorCode, ErrorFrame, Frame, RequestFrame, ResponseFrame, StatsFrame, TracesFrame,
+    WireQuery, WireSource, WireTrace, MAX_TRACE_STAGES,
 };
 use proptest::prelude::*;
 
@@ -123,6 +124,54 @@ proptest! {
         }
     }
 
+    /// The introspection kinds round-trip too: stats entries with arbitrary
+    /// names/values, traces with any stage count up to the wire cap.
+    #[test]
+    fn stats_and_trace_frames_round_trip(
+        token in any::<u64>(),
+        max in any::<u32>(),
+        names in prop::collection::vec("[ -~]{0,20}", 0..8),
+        values in prop::collection::vec(any::<u64>(), 0..8),
+        trace_words in prop::collection::vec(any::<u64>(), 0..64),
+        stage_counts in prop::collection::vec(any::<u8>(), 0..4),
+    ) {
+        let counters: Vec<(String, u64)> = names
+            .iter()
+            .cloned()
+            .zip(values.iter().copied())
+            .collect();
+        // Traces assembled from a flat word pool: each generated count picks
+        // `count % (cap+1)` stage values, then id/epoch/total off the pool.
+        let mut pool = trace_words.iter().copied();
+        let traces: Vec<WireTrace> = stage_counts
+            .iter()
+            .map(|&count| {
+                let k = (count as usize) % (MAX_TRACE_STAGES + 1);
+                let stages_ns: Vec<u64> = (0..k).map(|_| pool.next().unwrap_or(0)).collect();
+                WireTrace {
+                    id: pool.next().unwrap_or(1),
+                    epoch: pool.next().unwrap_or(2),
+                    total_ns: pool.next().unwrap_or(3),
+                    source: count,
+                    stages_ns,
+                }
+            })
+            .collect();
+        let frames = [
+            Frame::StatsRequest(token),
+            Frame::Stats(StatsFrame { token, counters }),
+            Frame::TraceRequest { token, max },
+            Frame::Traces(TracesFrame { token, traces }),
+        ];
+        for frame in frames {
+            let bytes = frame.encode();
+            prop_assert!(bytes.len() <= 4 + MAX_PAYLOAD);
+            let back = decode_payload(&bytes[4..]).expect("own encoding decodes");
+            prop_assert_eq!(&back, &frame);
+            prop_assert_eq!(back.encode(), bytes);
+        }
+    }
+
     /// The incremental decoder is total: arbitrary bytes, fed in arbitrary
     /// chunk sizes, produce frames or typed errors — never a panic. On the
     /// first error the stream is unrecoverable and callers close the
@@ -180,6 +229,31 @@ proptest! {
         bytes[at] ^= flip_mask;
         // A typed rejection is equally fine; only acceptance has to be
         // canonical.
+        if let Ok(decoded) = decode_payload(&bytes[4..]) {
+            prop_assert_eq!(decoded.encode(), bytes);
+        }
+    }
+
+    /// Same single-byte-corruption property for the introspection kinds
+    /// (their count fields are the interesting corruption targets: a flipped
+    /// entry count must reject, not mis-frame).
+    #[test]
+    fn bitflips_on_stats_frames_decode_canonically_or_error(
+        token in any::<u64>(),
+        names in prop::collection::vec("[a-z_]{1,16}", 1..6),
+        values in prop::collection::vec(any::<u64>(), 1..6),
+        flip_at in any::<prop::sample::Index>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let counters: Vec<(String, u64)> = names
+            .iter()
+            .cloned()
+            .zip(values.iter().copied())
+            .collect();
+        let frame = Frame::Stats(StatsFrame { token, counters });
+        let mut bytes = frame.encode();
+        let at = 4 + flip_at.index(bytes.len() - 4);
+        bytes[at] ^= flip_mask;
         if let Ok(decoded) = decode_payload(&bytes[4..]) {
             prop_assert_eq!(decoded.encode(), bytes);
         }

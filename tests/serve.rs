@@ -64,6 +64,7 @@ fn play(
             cache_curve_points: 0,
             kernel_threads: 1,
             kernel_backend: None,
+            ..ServeConfig::default()
         },
     );
     let receivers: Vec<_> = stream
@@ -152,6 +153,7 @@ fn hot_swap_mid_stream_is_atomic_and_epoch_tagged() {
             cache_curve_points: 0,
             kernel_threads: 1,
             kernel_backend: None,
+            ..ServeConfig::default()
         },
     );
 

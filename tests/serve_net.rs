@@ -332,6 +332,7 @@ fn load_shedding_answers_from_brackets_and_counters_reconcile() {
             cache_curve_points: 0,
             kernel_threads: 1,
             kernel_backend: None,
+            ..ServeConfig::default()
         },
         NetConfig {
             queue_limit: 4,
@@ -435,6 +436,201 @@ fn load_shedding_answers_from_brackets_and_counters_reconcile() {
     server.shutdown();
 }
 
+/// The acceptance loop for the introspection surface: drive a mix of
+/// served, degraded, and rejected traffic over the socket, then pull a
+/// `Stats` frame and assert the server's request/shed/degraded counters
+/// reconcile **exactly** with what the clients observed frame-by-frame —
+/// and that a `Traces` pull returns real per-stage timings for that
+/// traffic.
+#[test]
+fn stats_frame_counters_reconcile_exactly_with_client_observations() {
+    let ds = hm_imagenet(SynthConfig::new(200, 196));
+    let est = small_model(&ds, 2);
+    let tau_max = est.extractor().tau_max();
+    let theta_of = |tau: usize| ds.theta_max * (tau as f64 + 0.5) / (tau_max as f64);
+    let hot_idx = 5usize;
+
+    let window = Duration::from_millis(1500);
+    let (server, epoch) = start_server(
+        &ds,
+        est,
+        ServeConfig {
+            workers: 1,
+            batch_max: 64,
+            batch_window: window,
+            cache_capacity: 1024,
+            bound_tolerance: 0.0,
+            cache_curve_points: 0,
+            kernel_threads: 1,
+            kernel_backend: None,
+            trace_sample: 1, // capture every trace so the pull below has data
+            ..ServeConfig::default()
+        },
+        NetConfig {
+            queue_limit: 4,
+            ..NetConfig::default()
+        },
+    );
+
+    // Client-side tallies: every frame each client receives is classified
+    // here, and nothing else touches this server.
+    let mut seen_responses = 0u64;
+    let mut seen_degraded = 0u64;
+    let mut seen_rejects = 0u64;
+    let mut sent_requests = 0u64;
+
+    // Pre-warm the bracket at τ=1 and τ=7 so overflow can degrade.
+    let mut warm = NetClient::connect(server.addr()).expect("connect");
+    for (id, tau) in [(1u64, 1usize), (2, 7)] {
+        warm.send(&Frame::Request(index_request(
+            id,
+            0,
+            hot_idx,
+            theta_of(tau),
+        )))
+        .expect("send");
+        sent_requests += 1;
+    }
+    for _ in 0..2 {
+        expect_response(warm.recv().expect("warm answer"));
+        seen_responses += 1;
+    }
+
+    // Stall the single worker, fill the 4-slot queue…
+    let mut stall = NetClient::connect(server.addr()).expect("connect");
+    for i in 0..4u64 {
+        stall
+            .send(&Frame::Request(index_request(
+                10 + i,
+                0,
+                30 + i as usize,
+                theta_of(3),
+            )))
+            .expect("send");
+        sent_requests += 1;
+    }
+    assert!(
+        wait_until(Duration::from_secs(5), || {
+            server.service().stats().requests >= 6
+        }),
+        "stalled requests must reach the service queue"
+    );
+
+    // …then overflow: 5 bracketed requests answer degraded, one cold query
+    // is refused outright.
+    let mut shed = NetClient::connect(server.addr()).expect("connect");
+    for i in 0..5u64 {
+        shed.send(&Frame::Request(index_request(
+            20 + i,
+            42,
+            hot_idx,
+            theta_of(4),
+        )))
+        .expect("send");
+        sent_requests += 1;
+    }
+    shed.send(&Frame::Request(index_request(30, 42, 150, theta_of(4))))
+        .expect("send");
+    sent_requests += 1;
+    for _ in 0..6 {
+        match shed.recv().expect("shed answer") {
+            Frame::Response(r) => {
+                assert!(r.degraded);
+                seen_responses += 1;
+                seen_degraded += 1;
+            }
+            Frame::Error(e) => {
+                assert_eq!(e.code, ErrorCode::Overloaded);
+                seen_rejects += 1;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    // Let the stalled work finish so served/answered totals are settled.
+    for _ in 0..4 {
+        let r = expect_response(stall.recv().expect("computed answer"));
+        assert!(!r.degraded);
+        seen_responses += 1;
+    }
+
+    // Pull the Stats frame over the wire — a fresh connection, exactly the
+    // surface an external monitoring agent would use.
+    let mut probe = NetClient::connect(server.addr()).expect("connect");
+    let stats = probe.stats(99).expect("stats frame");
+    assert_eq!(stats.token, 99);
+    let counter = |name: &str| {
+        stats
+            .counter(name)
+            .unwrap_or_else(|| panic!("stats frame missing {name}"))
+    };
+    assert_eq!(
+        counter("cardest_requests_total"),
+        sent_requests,
+        "every request frame the clients sent must be counted, nothing more"
+    );
+    assert_eq!(
+        counter("cardest_answered_total"),
+        seen_responses,
+        "answered must equal the response frames the clients received"
+    );
+    assert_eq!(
+        counter("cardest_shed_bracket_total"),
+        seen_degraded,
+        "degraded answers must reconcile with client-observed degraded flags"
+    );
+    assert_eq!(
+        counter("cardest_shed_rejected_total"),
+        seen_rejects,
+        "hard rejects must reconcile with client-observed Overloaded errors"
+    );
+    assert_eq!(counter("cardest_quota_rejected_total"), 0);
+    // The traced request latencies flow into the same snapshot: every
+    // answered request finished exactly one trace (sheds answered at
+    // ingress never enter the pipeline, so they carry no trace).
+    assert_eq!(
+        counter("cardest_traces_finished_total"),
+        seen_responses - seen_degraded,
+        "one finished trace per pipeline-served answer"
+    );
+    assert_eq!(
+        counter("cardest_request_latency_count"),
+        seen_responses - seen_degraded
+    );
+
+    // And the trace pull returns those same requests with nonzero per-stage
+    // attribution.
+    let traces = probe.traces(7, 0).expect("traces frame");
+    assert_eq!(traces.token, 7);
+    assert_eq!(
+        traces.traces.len() as u64,
+        seen_responses - seen_degraded,
+        "sample_every=1 captures every pipeline-served request"
+    );
+    for t in &traces.traces {
+        assert_eq!(t.epoch, epoch);
+        assert!(t.total_ns > 0, "trace {} has an empty total", t.id);
+        // Top-level stages must attribute real, non-overlapping time; the
+        // encoder/decoder substages overlap the model span and are excluded
+        // from the coverage sum (the same rule as `Trace::attributed_ns`).
+        let attributed: u64 = cardest_obs::STAGES
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_substage())
+            .map(|(i, _)| t.stages_ns.get(i).copied().unwrap_or(0))
+            .sum();
+        assert!(attributed > 0, "trace {} attributes no stage time", t.id);
+        assert!(
+            attributed <= t.total_ns,
+            "trace {} attributes more time than elapsed ({} > {})",
+            t.id,
+            attributed,
+            t.total_ns
+        );
+    }
+    server.shutdown();
+}
+
 /// Per-client quotas bound *outstanding* requests: with a quota of 2 and a
 /// stalled worker, a burst of 4 yields two served answers and two typed
 /// quota rejects, tracked per client id.
@@ -455,6 +651,7 @@ fn per_client_quota_rejects_excess_outstanding_requests() {
             cache_curve_points: 0,
             kernel_threads: 1,
             kernel_backend: None,
+            ..ServeConfig::default()
         },
         NetConfig {
             client_quota: 2,
