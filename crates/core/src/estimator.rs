@@ -43,6 +43,8 @@ use std::sync::{Arc, OnceLock};
 /// construction so a prepared query can never serve another instance's cache.
 pub fn next_instance_id() -> u64 {
     static NEXT: AtomicU64 = AtomicU64::new(1);
+    // ordering: relaxed suffices for a unique-id counter — atomicity alone
+    // guarantees distinct ids and nothing else synchronizes through it.
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
@@ -147,6 +149,7 @@ impl PreparedQuery {
 /// replaces bare `f64` where the bracket matters (the serving cache answers
 /// misses between two cached τ values from exactly these bounds).
 #[derive(Clone, Debug, PartialEq)]
+#[must_use]
 pub struct Estimate {
     /// The estimate itself.
     pub value: f64,
@@ -216,6 +219,7 @@ impl Estimate {
 /// indexing contract the GPH allocator relies on. Estimators without a
 /// discretization return single-point curves (`[ĉ(θ)]`).
 #[derive(Clone, Debug, PartialEq)]
+#[must_use]
 pub struct CardinalityCurve {
     values: Vec<f64>,
 }
@@ -912,7 +916,9 @@ mod tests {
         assert_eq!(after_prepare.encoder_passes, 0, "prepare is lazy");
         for step in 0..=20 {
             let theta = ds.theta_max * f64::from(step) / 20.0;
-            est.curve(&prepared, theta);
+            // The sweep exists for its counter side effects; the curves are
+            // deliberately dropped.
+            let _ = est.curve(&prepared, theta);
         }
         let delta = ApiCounters::snapshot().delta_since(&before);
         assert_eq!(delta.extractions, 1, "one extraction for the whole sweep");

@@ -1,0 +1,24 @@
+//! Three undocumented ordering hazards: a bare SeqCst, a Relaxed RMW whose
+//! result is consumed, and a Relaxed flag-publish store.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Counters {
+    pub total: AtomicU64,
+    pub ready: AtomicBool,
+}
+
+impl Counters {
+    pub fn seqcst_read(&self) -> u64 {
+        self.total.load(Ordering::SeqCst)
+    }
+
+    pub fn next_ticket(&self) -> u64 {
+        let n = self.total.fetch_add(1, Ordering::Relaxed);
+        n + 1
+    }
+
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Relaxed);
+    }
+}

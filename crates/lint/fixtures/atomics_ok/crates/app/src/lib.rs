@@ -1,0 +1,32 @@
+//! The documented conventions: statement-position Relaxed counters need no
+//! comment; everything ordering-sensitive carries an `ordering:` note (or a
+//! Release/Acquire pair).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub struct Counters {
+    pub total: AtomicU64,
+    pub ready: AtomicBool,
+}
+
+impl Counters {
+    pub fn bump(&self) {
+        self.total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn seqcst_with_reason(&self) -> u64 {
+        // ordering: SeqCst on purpose — this fixture documents the fence so
+        // the audit accepts it.
+        self.total.load(Ordering::SeqCst)
+    }
+
+    pub fn next_ticket(&self) -> u64 {
+        // ordering: relaxed is fine, only uniqueness matters here.
+        let n = self.total.fetch_add(1, Ordering::Relaxed);
+        n + 1
+    }
+
+    pub fn publish(&self) {
+        self.ready.store(true, Ordering::Release);
+    }
+}

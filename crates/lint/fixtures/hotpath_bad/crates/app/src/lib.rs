@@ -1,0 +1,11 @@
+//! Hot-path violations: an allocating marked function and a dangling marker.
+
+// lint: hot-path
+pub fn record(values: &[u64]) -> u64 {
+    let copied = values.to_vec();
+    let label = format!("{} values", copied.len());
+    label.len() as u64
+}
+
+// lint: hot-path
+pub static NOT_A_FUNCTION: u64 = 0;

@@ -1,0 +1,30 @@
+//! Allocation-free marked functions, plus one audited waiver. The unmarked
+//! function may allocate freely.
+
+// lint: hot-path
+#[inline]
+pub fn bucket(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        (63 - ns.leading_zeros() as usize).min(47)
+    }
+}
+
+// lint: hot-path
+pub fn accumulate(acc: &mut [u64; 8], v: u64) {
+    let slot = (v % 8) as usize;
+    if let Some(s) = acc.get_mut(slot) {
+        *s = s.saturating_add(v);
+    }
+}
+
+// lint: hot-path
+pub fn waived(values: &[u64]) -> Vec<u64> {
+    // lint: allow(no-alloc-in-hot-path) one-time warmup allocation, amortized across the connection.
+    values.to_vec()
+}
+
+pub fn cold(values: &[u64]) -> String {
+    format!("{values:?}")
+}

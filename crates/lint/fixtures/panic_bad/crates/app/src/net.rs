@@ -1,0 +1,11 @@
+//! Hostile-input decode path with one panicking construct per line.
+
+pub fn decode(buf: &[u8]) -> u32 {
+    let first = buf.first().copied().unwrap();
+    let second: u8 = buf.get(1).copied().expect("second byte");
+    if first == 0xFF {
+        panic!("bad magic");
+    }
+    let third = buf[2];
+    u32::from(first) + u32::from(second) + u32::from(third)
+}

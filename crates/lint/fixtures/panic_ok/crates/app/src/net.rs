@@ -1,0 +1,33 @@
+//! Hostile-input decode path done right: typed errors, checked access, and
+//! one audited waiver. Test-module panics are exempt.
+
+#[derive(Debug)]
+pub enum DecodeError {
+    Truncated,
+    BadMagic,
+}
+
+pub fn decode(buf: &[u8]) -> Result<u32, DecodeError> {
+    let first = buf.first().copied().ok_or(DecodeError::Truncated)?;
+    if first == 0xFF {
+        return Err(DecodeError::BadMagic);
+    }
+    let rest = buf.get(1..).unwrap_or(&[]);
+    let known = [0u8; 4];
+    let sum: u32 = rest.iter().map(|&b| u32::from(b)).sum();
+    // lint: allow(no-panic-on-hostile-input) index 0 of a fixed [u8; 4] can never be out of bounds.
+    let anchor = known[0];
+    Ok(sum + u32::from(anchor))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_allowed_here() {
+        let v = decode(&[1, 2, 3]).unwrap();
+        let arr = [v, 1];
+        assert_eq!(arr[0], 5);
+    }
+}

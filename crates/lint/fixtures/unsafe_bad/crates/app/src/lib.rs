@@ -1,0 +1,9 @@
+//! Two undocumented unsafe sites: a block and a fn. Both must be flagged.
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}
+
+pub unsafe fn add_offset(p: *const u32, off: usize) -> u32 {
+    *p.add(off)
+}

@@ -1,0 +1,28 @@
+//! Every unsafe site here carries a justification in one of the accepted
+//! forms: trailing comment, comment run above, `# Safety` doc section, or an
+//! explicit suppression with a reason.
+
+pub fn trailing(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() } // SAFETY: as_ptr of a live slice is readable.
+}
+
+pub fn above(xs: &[u32]) -> u32 {
+    // The pointer comes from a live slice borrow, so the read is in
+    // bounds for len >= 1 callers.
+    // SAFETY: see above; callers guarantee a non-empty slice.
+    unsafe { *xs.as_ptr() }
+}
+
+/// Reads one element past a raw pointer.
+///
+/// # Safety
+/// `p` must be valid for reads at `p + off`.
+#[inline]
+pub unsafe fn documented(p: *const u32, off: usize) -> u32 {
+    *p.add(off)
+}
+
+pub fn waived(xs: &[u32]) -> u32 {
+    // lint: allow(unsafe-safety-comment) exercised by the fixture suite; the invariant is trivial.
+    unsafe { *xs.as_ptr() }
+}

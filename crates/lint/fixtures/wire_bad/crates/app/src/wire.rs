@@ -1,0 +1,15 @@
+//! Wire enum with a variant (`Gamma`) no test suite ever constructs.
+
+pub enum Frame {
+    Alpha,
+    Beta(u32),
+    Gamma { token: u64 },
+}
+
+pub fn kind(f: &Frame) -> u8 {
+    match f {
+        Frame::Alpha => 1,
+        Frame::Beta(_) => 2,
+        Frame::Gamma { .. } => 3,
+    }
+}

@@ -1,0 +1,8 @@
+//! Round-trip suite that forgets Frame::Gamma — and mentioning it here in a
+//! comment (Frame::Gamma) must not count as coverage.
+
+#[test]
+fn roundtrip_alpha_and_beta() {
+    let frames = [app::Frame::Alpha, app::Frame::Beta(9)];
+    assert_eq!(frames.len(), 2);
+}

@@ -1,0 +1,7 @@
+//! Wire enum fully covered by the crate's test suite.
+
+pub enum Frame {
+    Alpha,
+    Beta(u32),
+    Gamma { token: u64 },
+}

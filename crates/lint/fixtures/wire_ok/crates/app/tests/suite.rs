@@ -1,0 +1,9 @@
+#[test]
+fn roundtrip_every_kind() {
+    let frames = [
+        app::Frame::Alpha,
+        app::Frame::Beta(9),
+        app::Frame::Gamma { token: 4 },
+    ];
+    assert_eq!(frames.len(), 3);
+}

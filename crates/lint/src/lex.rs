@@ -1,0 +1,363 @@
+//! A small lexical pass over Rust source: good enough to tell code from
+//! comments and string literals, which is all the rules need.
+//!
+//! Instead of producing a token stream, [`mask`] produces two parallel views
+//! of the file with identical line structure:
+//!
+//! - `code`: the source with every comment and string-literal *body* blanked
+//!   to spaces (structural quotes are kept). Searching this view for
+//!   `unsafe` or `.unwrap(` can never match inside a comment, a doc string,
+//!   a raw string, or a char literal.
+//! - `comment`: the inverse — only comment text survives (including the
+//!   `//` / `/* */` markers), everything else is blanked.
+//!
+//! The lexer understands the constructs that defeat naive regex scans:
+//! nested block comments, raw strings (`r"…"`, `r#"…"#`, `br##"…"##`), byte
+//! strings, escape sequences, and the char-literal vs. lifetime ambiguity
+//! (`'a'` vs. `<'a>`).
+
+/// Parallel code/comment views of one source file (see module docs).
+#[derive(Debug)]
+pub struct Masked {
+    /// Per line: source with comments and literal bodies blanked.
+    pub code: Vec<String>,
+    /// Per line: comment text only (markers included), the rest blanked.
+    pub comment: Vec<String>,
+}
+
+/// True for bytes that can appear in a Rust identifier.
+pub fn is_ident_byte(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+fn prev_is_ident(b: &[u8], i: usize) -> bool {
+    i > 0 && is_ident_byte(b[i - 1])
+}
+
+/// If `b[i..]` opens a raw (byte) string (`r"`, `r#"`, `br##"` …), return
+/// `(index of the opening quote, number of hashes)`.
+fn raw_string_open(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j >= b.len() || b[j] != b'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some((j, hashes))
+    } else {
+        None
+    }
+}
+
+/// Split source into the parallel code/comment views.
+pub fn mask(src: &str) -> Masked {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut code = vec![b' '; n];
+    let mut comment = vec![b' '; n];
+    // Newlines live in both views so line numbers stay aligned.
+    for (i, &c) in b.iter().enumerate() {
+        if c == b'\n' {
+            code[i] = b'\n';
+            comment[i] = b'\n';
+        }
+    }
+
+    let mut i = 0usize;
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            i += 1;
+            continue;
+        }
+        // Line comment: runs to end of line.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                comment[i] = b[i];
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment: Rust block comments nest.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let mut depth = 0usize;
+            while i < n {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    comment[i] = b'/';
+                    comment[i + 1] = b'*';
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth = depth.saturating_sub(1);
+                    comment[i] = b'*';
+                    comment[i + 1] = b'/';
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] != b'\n' {
+                        comment[i] = b[i];
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: no escapes, terminated by `"` + matching hashes.
+        if (c == b'r' || c == b'b') && !prev_is_ident(b, i) {
+            if let Some((quote, hashes)) = raw_string_open(b, i) {
+                code[i..=quote].copy_from_slice(&b[i..=quote]);
+                i = quote + 1;
+                while i < n {
+                    if b[i] == b'"'
+                        && i + hashes < n
+                        && b[i + 1..i + 1 + hashes].iter().all(|&h| h == b'#')
+                    {
+                        code[i] = b'"';
+                        code[i + 1..i + 1 + hashes].fill(b'#');
+                        i += 1 + hashes;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain or byte string, with escapes.
+        if c == b'"' || (c == b'b' && !prev_is_ident(b, i) && i + 1 < n && b[i + 1] == b'"') {
+            if c == b'b' {
+                code[i] = b'b';
+                i += 1;
+            }
+            code[i] = b'"';
+            i += 1;
+            while i < n {
+                if b[i] == b'\\' {
+                    i += 2;
+                } else if b[i] == b'"' {
+                    code[i] = b'"';
+                    i += 1;
+                    break;
+                } else {
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs. lifetime: `'x'` / `'\n'` are chars, `'a` in
+        // `<'a>` (no closing quote within two bytes) is a lifetime.
+        if c == b'\'' {
+            let is_char = i + 1 < n
+                && (b[i + 1] == b'\\' || (i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\''));
+            if is_char {
+                code[i] = b'\'';
+                i += 1;
+                while i < n {
+                    if b[i] == b'\\' {
+                        i += 2;
+                    } else if b[i] == b'\'' {
+                        code[i] = b'\'';
+                        i += 1;
+                        break;
+                    } else {
+                        i += 1;
+                    }
+                }
+            } else {
+                code[i] = b'\'';
+                i += 1;
+            }
+            continue;
+        }
+        code[i] = c;
+        i += 1;
+    }
+
+    Masked {
+        code: to_lines(&code),
+        comment: to_lines(&comment),
+    }
+}
+
+fn to_lines(buf: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(buf)
+        .lines()
+        .map(|l| l.to_string())
+        .collect()
+}
+
+/// First occurrence of `word` in `line` at identifier boundaries.
+pub fn find_word(line: &str, word: &str) -> Option<usize> {
+    debug_assert!(word.bytes().all(|c| c.is_ascii()));
+    let b = line.as_bytes();
+    let mut start = 0usize;
+    while let Some(p) = line.get(start..).and_then(|s| s.find(word)) {
+        let at = start + p;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_ident_byte(b[at - 1]);
+        let after_ok = end >= b.len() || !is_ident_byte(b[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Does `line` contain a method call `.name(` (whitespace tolerated before
+/// the paren, but not other tokens — so `.unwrap` does not match
+/// `.unwrap_or(` and a bare field access does not match)?
+pub fn method_call(line: &str, name: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let pat = format!(".{name}");
+    let mut start = 0usize;
+    while let Some(p) = line.get(start..).and_then(|s| s.find(&pat)) {
+        let at = start + p;
+        let mut end = at + pat.len();
+        if end >= b.len() || !is_ident_byte(b[end]) {
+            while end < b.len() && (b[end] == b' ' || b[end] == b'\t') {
+                end += 1;
+            }
+            if end < b.len() && b[end] == b'(' {
+                return Some(at);
+            }
+        }
+        start = at + 1;
+    }
+    None
+}
+
+/// Does `line` invoke the macro `name!`?
+pub fn macro_call(line: &str, name: &str) -> Option<usize> {
+    let b = line.as_bytes();
+    let mut start = 0usize;
+    while let Some(p) = line.get(start..).and_then(|s| s.find(name)) {
+        let at = start + p;
+        let end = at + name.len();
+        let before_ok = at == 0 || (!is_ident_byte(b[at - 1]) && b[at - 1] != b'.');
+        if before_ok && end < b.len() && b[end] == b'!' {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> String {
+        mask(src).code.join("\n")
+    }
+
+    fn comment_of(src: &str) -> String {
+        mask(src).comment.join("\n")
+    }
+
+    #[test]
+    fn line_comments_are_masked_out_of_code() {
+        let m = mask("let x = 1; // unsafe unwrap()\nlet y = 2;");
+        assert!(!m.code[0].contains("unsafe"));
+        assert!(m.comment[0].contains("unsafe unwrap()"));
+        assert_eq!(m.code[1].trim(), "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner unsafe */ still comment */ b";
+        let c = code_of(src);
+        assert!(c.contains('a') && c.contains('b'));
+        assert!(!c.contains("unsafe"));
+        assert!(!c.contains("still"));
+        assert!(comment_of(src).contains("inner unsafe"));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_quotes_survive() {
+        let c = code_of(r#"let s = "unsafe { x.unwrap() }"; f(s);"#);
+        assert!(!c.contains("unsafe"));
+        assert!(!c.contains("unwrap"));
+        assert!(c.contains("let s = \""));
+        assert!(c.contains("f(s);"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let c = code_of(r#"let s = "a\"unsafe\"b"; g();"#);
+        assert!(!c.contains("unsafe"));
+        assert!(c.contains("g();"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = "let s = r##\"contains \"quotes\" and unsafe\"##; h();";
+        let c = code_of(src);
+        assert!(!c.contains("unsafe"));
+        assert!(!c.contains("quotes"));
+        assert!(c.contains("h();"));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let c = code_of(r#"let a = b"unsafe"; let b_ = b'x'; k();"#);
+        assert!(!c.contains("unsafe"));
+        assert!(c.contains("k();"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }";
+        // Lifetimes stay in the code view untouched.
+        assert_eq!(code_of(src), src);
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let c = code_of("let q = '\\''; let z = 'u'; m();");
+        assert!(!c.contains('u') || !c.contains("'u'"));
+        assert!(c.contains("m();"));
+    }
+
+    #[test]
+    fn multiline_string_keeps_line_count() {
+        let src = "let s = \"line one\nline two unsafe\";\nlet t = 3;";
+        let m = mask(src);
+        assert_eq!(m.code.len(), 3);
+        assert!(!m.code.join("\n").contains("unsafe"));
+        assert_eq!(m.code[2].trim(), "let t = 3;");
+    }
+
+    #[test]
+    fn find_word_respects_boundaries() {
+        assert!(find_word("unsafe { }", "unsafe").is_some());
+        assert!(find_word("unsafe_sites += 1;", "unsafe").is_none());
+        assert!(find_word("do_unsafe()", "unsafe").is_none());
+    }
+
+    #[test]
+    fn method_call_is_exact() {
+        assert!(method_call("x.unwrap()", "unwrap").is_some());
+        assert!(method_call("x.unwrap ()", "unwrap").is_some());
+        assert!(method_call("x.unwrap_or(0)", "unwrap").is_none());
+        assert!(method_call("x.expect(\"m\")", "expect").is_some());
+        assert!(method_call("map.get(k)", "unwrap").is_none());
+    }
+
+    #[test]
+    fn macro_call_is_exact() {
+        assert!(macro_call("panic!(\"boom\")", "panic").is_some());
+        assert!(macro_call("core::panic!(\"boom\")", "panic").is_some());
+        assert!(macro_call("no_panic(x)", "panic").is_none());
+        assert!(macro_call("x.panic!()", "panic").is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! `cardest-lint` CLI: lint the workspace tree and exit nonzero on any
+//! finding.
+//!
+//! ```text
+//! cargo run -p cardest-lint              # human-readable findings
+//! cargo run -p cardest-lint -- --json    # machine report + inventory
+//! cargo run -p cardest-lint -- --deny    # explicit CI gate (same exit code)
+//! cargo run -p cardest-lint -- PATH      # lint a different workspace root
+//! ```
+
+use std::env;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cardest_lint::{run, Config};
+
+const USAGE: &str = "usage: cardest-lint [--json] [--deny] [ROOT]
+
+Lints every crates/*/src file under ROOT (default: the enclosing workspace)
+against the project invariants and exits nonzero on any finding.
+
+  --json   print a machine-readable report (findings + unsafe/atomics
+           inventory) to stdout instead of rustc-style lines
+  --deny   explicit strict gate for CI; today all findings are already
+           denied, the flag reserves room for warn-level rules
+";
+
+fn find_root() -> Option<PathBuf> {
+    let mut dir = env::current_dir().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny" => {} // all findings are denying today; see USAGE
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("cardest-lint: unknown flag `{flag}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => root = Some(PathBuf::from(path)),
+        }
+    }
+    let Some(root) = root.or_else(find_root) else {
+        eprintln!("cardest-lint: could not locate a workspace root (a directory with crates/ and Cargo.toml); pass one explicitly");
+        return ExitCode::from(2);
+    };
+
+    let report = match run(&Config::workspace(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cardest-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        eprintln!(
+            "cardest-lint: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-rule fixture tests: each `fixtures/<case>` directory is a
+//! micro-workspace (`crates/app/src/...`) linted with the same canonical
+//! [`Config::workspace`] CI uses, through both the library API and the
+//! installed binary (`--deny` must exit nonzero on every seeded violation).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cardest_lint::{run, Config, Report, Rule};
+
+fn fixture_root(case: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(case)
+}
+
+fn lint_fixture(case: &str) -> Report {
+    let root = fixture_root(case);
+    assert!(root.is_dir(), "missing fixture {case}");
+    run(&Config::workspace(&root)).expect("fixture lints")
+}
+
+fn rules_of(report: &Report) -> Vec<Rule> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+#[track_caller]
+fn assert_clean(case: &str) {
+    let report = lint_fixture(case);
+    assert!(
+        report.is_clean(),
+        "expected {case} to be clean, got:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+// ── Tokenizer resilience ─────────────────────────────────────────────────
+
+#[test]
+fn tokenizer_tricky_cases_produce_no_findings() {
+    assert_clean("tokenizer");
+}
+
+// ── Rule 1: unsafe-safety-comment ────────────────────────────────────────
+
+#[test]
+fn unsafe_without_justification_is_flagged() {
+    let report = lint_fixture("unsafe_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 2, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::UnsafeSafety));
+}
+
+#[test]
+fn unsafe_justification_forms_are_accepted() {
+    assert_clean("unsafe_ok");
+}
+
+// ── Rule 2: no-panic-on-hostile-input ────────────────────────────────────
+
+#[test]
+fn panicking_constructs_on_hostile_path_are_flagged() {
+    let report = lint_fixture("panic_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 4, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::NoPanicHostile));
+    let messages: String = report
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(messages.contains("`.unwrap()`"));
+    assert!(messages.contains("`.expect()`"));
+    assert!(messages.contains("`panic!`"));
+    assert!(messages.contains("indexing"));
+}
+
+#[test]
+fn typed_errors_checked_access_and_tests_are_exempt() {
+    assert_clean("panic_ok");
+}
+
+// ── Rule 3: atomics-ordering-audit ───────────────────────────────────────
+
+#[test]
+fn undocumented_ordering_hazards_are_flagged() {
+    let report = lint_fixture("atomics_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 3, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::AtomicsOrdering));
+}
+
+#[test]
+fn documented_conventions_are_accepted() {
+    assert_clean("atomics_ok");
+}
+
+// ── Rule 4: no-alloc-in-hot-path ─────────────────────────────────────────
+
+#[test]
+fn allocations_in_marked_functions_are_flagged() {
+    let report = lint_fixture("hotpath_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 3, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::NoAllocHotPath));
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.message.contains("not attached")));
+}
+
+#[test]
+fn alloc_free_marked_functions_pass() {
+    assert_clean("hotpath_ok");
+}
+
+// ── Rule 5: wire-kind-coverage ───────────────────────────────────────────
+
+#[test]
+fn uncovered_wire_variant_is_flagged() {
+    let report = lint_fixture("wire_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 1, "{:?}", report.findings);
+    assert_eq!(rules.first().copied().unwrap(), Rule::WireKindCoverage);
+    assert!(report.findings.first().unwrap().message.contains("Gamma"));
+}
+
+#[test]
+fn fully_covered_wire_enum_passes() {
+    assert_clean("wire_ok");
+}
+
+// ── Suppression hygiene ──────────────────────────────────────────────────
+
+#[test]
+fn reasonless_or_unknown_suppressions_are_flagged() {
+    let report = lint_fixture("suppress_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 2, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::Suppression));
+    let messages: String = report
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(messages.contains("must state a reason"));
+    assert!(messages.contains("unknown rule"));
+}
+
+// ── The binary gate: `--deny` exits nonzero on every seeded violation ────
+
+#[test]
+fn deny_gate_exits_nonzero_on_each_bad_fixture() {
+    for (case, rule) in [
+        ("unsafe_bad", Rule::UnsafeSafety),
+        ("panic_bad", Rule::NoPanicHostile),
+        ("atomics_bad", Rule::AtomicsOrdering),
+        ("hotpath_bad", Rule::NoAllocHotPath),
+        ("wire_bad", Rule::WireKindCoverage),
+        ("suppress_bad", Rule::Suppression),
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
+            .arg("--deny")
+            .arg(fixture_root(case))
+            .output()
+            .expect("spawn cardest-lint");
+        assert!(
+            !out.status.success(),
+            "--deny must fail on {case}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains(&format!("[{}]", rule.name())),
+            "{case} output should cite {}: {stdout}",
+            rule.name()
+        );
+    }
+}
+
+#[test]
+fn deny_gate_passes_on_good_fixtures() {
+    for case in [
+        "tokenizer",
+        "unsafe_ok",
+        "panic_ok",
+        "atomics_ok",
+        "hotpath_ok",
+        "wire_ok",
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
+            .arg("--deny")
+            .arg(fixture_root(case))
+            .output()
+            .expect("spawn cardest-lint");
+        assert!(
+            out.status.success(),
+            "--deny must pass on {case}: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! The linter's reason to exist: the real tree must lint clean, through the
+//! library and through the CI-facing binary (including the JSON report).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cardest_lint::{run, Config};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn real_tree_lints_clean() {
+    let report = run(&Config::workspace(&workspace_root())).expect("tree lints");
+    assert!(
+        report.is_clean(),
+        "workspace has lint findings:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Sanity that the walk actually saw the tree, not an empty directory.
+    assert!(report.files_scanned > 50, "{} files", report.files_scanned);
+    // The audit inventory must surface the known surfaces: the SIMD kernels'
+    // unsafe sites and the lock-free counters' explicit orderings.
+    assert!(report
+        .inventory
+        .unsafe_sites
+        .iter()
+        .any(|s| s.file.ends_with("crates/nn/src/kernels.rs")));
+    assert!(!report.inventory.atomics.is_empty());
+}
+
+#[test]
+fn deny_gate_passes_on_real_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
+        .arg("--deny")
+        .arg(workspace_root())
+        .output()
+        .expect("spawn cardest-lint");
+    assert!(
+        out.status.success(),
+        "cardest-lint --deny failed on the tree:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+}
+
+#[test]
+fn json_report_has_findings_and_inventory() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
+        .arg("--json")
+        .arg(workspace_root())
+        .output()
+        .expect("spawn cardest-lint");
+    assert!(out.status.success());
+    let js = String::from_utf8_lossy(&out.stdout);
+    assert!(js.starts_with('{') && js.trim_end().ends_with('}'));
+    assert!(js.contains("\"findings\":[]"));
+    assert!(js.contains("\"inventory\":"));
+    assert!(js.contains("\"unsafe\":[{"));
+    assert!(js.contains("\"atomics\":[{"));
+    assert!(js.contains("\"files_scanned\":"));
+}

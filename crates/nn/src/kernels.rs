@@ -645,6 +645,7 @@ fn matmul_t_rows_scalar(
 /// partial tile. Per output element the accumulation is ascending `k` with
 /// the scalar kernel's zero-skip decision — identical op sequence, identical
 /// bits.
+// lint: hot-path
 #[inline]
 fn matmul_row_block<const M: usize>(
     a_rows: [&[f32]; M],
@@ -684,6 +685,7 @@ fn matmul_row_block<const M: usize>(
 /// The dynamic-width last column tile of a row block (columns `j0..n`,
 /// `n - j0 < NR`), shared by the blocked and SIMD kernels — register
 /// accumulators, ascending `k`, the scalar zero-skip decision per `(row, k)`.
+// lint: hot-path
 fn matmul_row_tail<const M: usize>(
     a_rows: [&[f32]; M],
     bd: &[f32],
@@ -719,6 +721,7 @@ fn matmul_row_tail<const M: usize>(
 /// The scalar kernel accumulates output row `k` as contributions in
 /// ascending sample order `r`; restricting `k` to this worker's range keeps
 /// that per-element order untouched.
+// lint: hot-path
 #[allow(clippy::too_many_arguments)] // slice+dims boundary, see matmul_rows
 fn t_matmul_rows(
     ad: &[f32],
@@ -810,12 +813,18 @@ fn matmul_rows_simd(
 ) {
     #[cfg(target_arch = "x86_64")]
     match simd_level() {
-        // SAFETY: dispatch is gated on runtime CPU feature detection.
         SimdLevel::Avx512 => {
-            return unsafe { x86::matmul_rows_avx512(ad, kk, bd, n, first_row, out, skip_zeros) }
+            // SAFETY: simd_level() observed AVX-512F via runtime detection,
+            // satisfying the target_feature precondition; the slice/dims
+            // contract (`ad` holds rows of length `kk` from `first_row`,
+            // `bd` is `kk x n` row-major, `out.len()` a multiple of `n`) is
+            // the same one the scalar kernel is called under.
+            return unsafe { x86::matmul_rows_avx512(ad, kk, bd, n, first_row, out, skip_zeros) };
         }
         SimdLevel::Avx2 => {
-            return unsafe { x86::matmul_rows_avx2(ad, kk, bd, n, first_row, out, skip_zeros) }
+            // SAFETY: simd_level() observed AVX2 via runtime detection;
+            // slice/dims contract as above.
+            return unsafe { x86::matmul_rows_avx2(ad, kk, bd, n, first_row, out, skip_zeros) };
         }
         SimdLevel::None => {}
     }
@@ -837,16 +846,22 @@ fn t_matmul_rows_simd(
 ) {
     #[cfg(target_arch = "x86_64")]
     match simd_level() {
-        // SAFETY: dispatch is gated on runtime CPU feature detection.
         SimdLevel::Avx512 => {
+            // SAFETY: simd_level() observed AVX-512F via runtime detection,
+            // satisfying the target_feature precondition; the slice/dims
+            // contract (`ad` column-major `kk x samples` from `first_row`,
+            // `bd` is `kk x n` row-major, `out.len()` a multiple of `n`) is
+            // the same one the scalar kernel is called under.
             return unsafe {
                 x86::t_matmul_rows_avx512(ad, kk, bd, n, samples, first_row, out, skip_zeros)
-            }
+            };
         }
         SimdLevel::Avx2 => {
+            // SAFETY: simd_level() observed AVX2 via runtime detection;
+            // slice/dims contract as above.
             return unsafe {
                 x86::t_matmul_rows_avx2(ad, kk, bd, n, samples, first_row, out, skip_zeros)
-            }
+            };
         }
         SimdLevel::None => {}
     }
@@ -917,6 +932,14 @@ mod x86 {
 
     /// `M` rows of `a @ b` with two `__m256` accumulators per row (one
     /// `NR = 16` column tile). Mirrors [`super::matmul_row_block`] op for op.
+    ///
+    /// # Safety
+    /// AVX2 must be available (the public entry points dispatch on runtime
+    /// detection). Bounds preconditions backing the `get_unchecked`/raw
+    /// pointer reads: every `a_rows[i]` has length `kk`, `bd` has length
+    /// `kk * n`, and `out` has length `M * n` — all established by the
+    /// callers' row slicing.
+    // lint: hot-path
     #[target_feature(enable = "avx2")]
     #[allow(clippy::needless_range_loop)] // lockstep over three register arrays
     unsafe fn row_block_avx2<const M: usize>(
@@ -998,6 +1021,13 @@ mod x86 {
         }
     }
 
+    /// # Safety
+    /// AVX-512F must be available (the public entry points dispatch on
+    /// runtime detection). Bounds preconditions backing the
+    /// `get_unchecked`/raw pointer reads: every `a_rows[i]` has length
+    /// `kk`, `bd` has length `kk * n`, and `out` has length `M * n` — all
+    /// established by the callers' row slicing.
+    // lint: hot-path
     #[target_feature(enable = "avx512f")]
     #[allow(clippy::needless_range_loop)] // lockstep over two register arrays
     unsafe fn row_block_avx512<const M: usize>(

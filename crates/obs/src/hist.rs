@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const HIST_BUCKETS: usize = 48;
 
 /// Index of the log2 bucket covering `ns` nanoseconds.
+// lint: hot-path
 #[inline]
 pub fn bucket_of(ns: u64) -> usize {
     if ns == 0 {
@@ -54,6 +55,7 @@ impl LogHistogram {
     }
 
     /// Record one observation of `ns` nanoseconds.
+    // lint: hot-path
     #[inline]
     pub fn record_ns(&self, ns: u64) {
         self.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
@@ -62,6 +64,7 @@ impl LogHistogram {
     }
 
     /// Record a [`std::time::Duration`] observation.
+    // lint: hot-path
     #[inline]
     pub fn record(&self, d: std::time::Duration) {
         self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);

@@ -13,6 +13,7 @@ use crate::hist::HistogramSnapshot;
 /// Point-in-time view of every metric a process exports. Insertion order is
 /// preserved so renderings (and wire encodings) are deterministic.
 #[derive(Debug, Clone, Default, PartialEq)]
+#[must_use]
 pub struct MetricsSnapshot {
     counters: Vec<(String, u64)>,
     gauges: Vec<(String, f64)>,

@@ -113,11 +113,13 @@ impl TraceBuilder {
 
     /// Add `d` to the accumulated time for `stage` (spans for the same
     /// stage accumulate, e.g. a retried cache probe).
+    // lint: hot-path
     #[inline]
     pub fn add(&mut self, stage: Stage, d: Duration) {
         self.add_ns(stage, d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    // lint: hot-path
     #[inline]
     pub fn add_ns(&mut self, stage: Stage, ns: u64) {
         self.stages_ns[stage as usize] = self.stages_ns[stage as usize].saturating_add(ns);
@@ -240,12 +242,16 @@ impl Observer {
     }
 
     pub fn set_enabled(&self, on: bool) {
+        // ordering: relaxed suffices — the flag publishes no data, only a
+        // hint; readers that race the toggle merely time (or skip) a few
+        // spans on either side of it, which sampling tolerates by design.
         self.enabled.store(on, Ordering::Relaxed);
     }
 
     /// Record a standalone span for a stage that is not tied to a request
     /// trace (e.g. frame decode on the reader thread, which happens before
     /// a job exists). Feeds the stage histogram only.
+    // lint: hot-path
     #[inline]
     pub fn record_stage(&self, stage: Stage, d: Duration) {
         if self.enabled() {
@@ -253,6 +259,7 @@ impl Observer {
         }
     }
 
+    // lint: hot-path
     #[inline]
     pub fn record_stage_ns(&self, stage: Stage, ns: u64) {
         if self.enabled() {
@@ -279,6 +286,9 @@ impl Observer {
         }
         self.total.record_ns(total_ns);
 
+        // ordering: relaxed suffices — the ticket only drives the 1-in-N
+        // sampling decision; atomicity gives uniqueness, and no other
+        // memory is synchronized through it.
         let n = self.seq.fetch_add(1, Ordering::Relaxed);
         let every = self.sample_every.load(Ordering::Relaxed);
         let slow = total_ns >= self.slow_threshold_ns.load(Ordering::Relaxed);

@@ -142,7 +142,9 @@ fn read_request_path(conn: &mut TcpStream) -> Option<String> {
         }
         match conn.read(&mut chunk) {
             Ok(0) => break,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            // `Read` guarantees n <= chunk.len(); treat a violation as a
+            // malformed request instead of trusting it with a panic.
+            Ok(n) => buf.extend_from_slice(chunk.get(..n)?),
             Err(_) => return None,
         }
     }
@@ -210,7 +212,9 @@ fn render_trace_list(out: &mut String, traces: &[Trace]) {
         ));
         let mut first = true;
         for &stage in STAGES.iter() {
-            let ns = t.stages_ns[stage as usize];
+            // Stage discriminants index the fixed-size span array; a missing
+            // entry renders as zero rather than panicking the HTTP thread.
+            let ns = t.stages_ns.get(stage as usize).copied().unwrap_or(0);
             if ns == 0 {
                 continue;
             }

@@ -208,7 +208,12 @@ impl NetServer {
             let _ = handle.join();
         }
         let joins: Vec<JoinHandle<()>> = {
-            let mut guard = self.conn_joins.lock().expect("conn join list poisoned");
+            // A panicked connection thread poisons the join list; shutdown
+            // must still drain it, so recover the guard instead of panicking.
+            let mut guard = self
+                .conn_joins
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
             guard.drain(..).collect()
         };
         for handle in joins {
@@ -240,13 +245,21 @@ fn accept_loop(
                     continue;
                 }
                 shared.conns.fetch_add(1, Ordering::AcqRel);
+                // ordering: relaxed is enough for a unique-id counter — the
+                // id is handed to exactly one thread and nothing else is
+                // published through this atomic.
                 let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
                 let shared = Arc::clone(shared);
                 let handle = std::thread::spawn(move || {
                     handle_connection(&shared, stream, conn_id);
                     shared.conns.fetch_sub(1, Ordering::AcqRel);
                 });
-                let mut joins = conn_joins.lock().expect("conn join list poisoned");
+                // Only this accept thread ever locks the join list while
+                // running; recover from a poison left by a panicking
+                // shutdown path rather than taking the accept loop down.
+                let mut joins = conn_joins
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
                 // Reap finished threads while we are here, so a long-running
                 // server churning short connections does not accumulate dead
                 // JoinHandles without bound.
@@ -308,7 +321,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
             Ok(0) => break, // clean EOF
             Ok(n) => {
                 last_byte = Instant::now();
-                dec.extend(&buf[..n]);
+                // `Read` guarantees n <= buf.len(); fall back to the whole
+                // buffer rather than trusting that contract with a panic.
+                dec.extend(buf.get(..n).unwrap_or(&buf));
                 loop {
                     let t_decode = obs.enabled().then(Instant::now);
                     let next = dec.next_frame();
@@ -745,7 +760,9 @@ impl NetClient {
                     "connection closed mid-stream",
                 ));
             }
-            self.dec.extend(&buf[..n]);
+            // `Read` guarantees n <= buf.len(); fall back to the whole
+            // buffer rather than trusting that contract with a panic.
+            self.dec.extend(buf.get(..n).unwrap_or(&buf));
         }
     }
 

@@ -363,7 +363,7 @@ fn utf8_prefix(s: &str, max: usize) -> &str {
     while !s.is_char_boundary(end) {
         end -= 1;
     }
-    &s[..end]
+    s.get(..end).unwrap_or(s)
 }
 
 fn put_str8(out: &mut Vec<u8>, s: &str) {
@@ -493,34 +493,32 @@ struct Body<'a> {
 impl<'a> Body<'a> {
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
-        if end > self.b.len() {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.b[self.pos..end];
+        let s = self.b.get(self.pos..end).ok_or(WireError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
 
+    /// Fixed-size read; `take` guarantees exactly `N` bytes, so the
+    /// conversion cannot fail, but the error path stays typed regardless.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        self.take(N)?.try_into().map_err(|_| WireError::Truncated)
+    }
+
     fn u8(&mut self) -> Result<u8, WireError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -700,6 +698,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
 /// corrupt length prefix desynchronizes everything after it), so callers
 /// close the connection.
 #[derive(Default)]
+#[must_use]
 pub struct Decoder {
     buf: Vec<u8>,
     bytes_consumed: u64,
@@ -717,11 +716,12 @@ impl Decoder {
     }
 
     /// Pops the next complete frame, `Ok(None)` when more bytes are needed.
+    #[must_use = "a dropped feed result may hide a decoded frame or a fatal wire error"]
     pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
-        if self.buf.len() < 4 {
+        let Some(prefix) = self.buf.first_chunk::<4>() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        };
+        let len = u32::from_le_bytes(*prefix);
         if len as usize > MAX_PAYLOAD {
             return Err(WireError::Oversized(len));
         }
@@ -729,7 +729,7 @@ impl Decoder {
         if self.buf.len() < total {
             return Ok(None);
         }
-        let result = decode_payload(&self.buf[4..total]);
+        let result = decode_payload(self.buf.get(4..total).ok_or(WireError::Truncated)?);
         // Consume the frame even on error: the caller is about to close the
         // connection, but a consistent buffer costs nothing.
         self.buf.drain(..total);
@@ -758,10 +758,10 @@ impl Decoder {
         if self.buf.is_empty() {
             return false;
         }
-        if self.buf.len() < 4 {
+        let Some(prefix) = self.buf.first_chunk::<4>() else {
             return true;
-        }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        };
+        let len = u32::from_le_bytes(*prefix);
         self.buf.len() < 4 + (len as usize).min(MAX_PAYLOAD + 1)
     }
 

@@ -153,6 +153,108 @@ fn framing_faults_poison_only_their_own_connection() {
     server.shutdown();
 }
 
+/// Regression for the decode-path hardening: no byte sequence handed to the
+/// payload decoder may panic. Before the `Body` cursor went fully checked, a
+/// frame whose *inner* length field (e.g. a model-name `str8`) overran the
+/// declared payload would slice out of bounds and take the reader thread —
+/// and its connection slot — down with it.
+#[test]
+fn no_payload_mutation_panics_the_decoder() {
+    use cardest_serve::wire::decode_payload;
+
+    let corpus: Vec<Frame> = vec![
+        Frame::Request(RequestFrame {
+            request_id: 7,
+            client_id: 3,
+            theta: 5.0,
+            deadline_us: 1_000,
+            model: "default".into(),
+            query: WireQuery::Index(12),
+        }),
+        Frame::Ping(11),
+        Frame::Pong(12),
+        Frame::StatsRequest(13),
+        Frame::TraceRequest { token: 14, max: 4 },
+    ];
+    let mut lcg = 0x2545_F491_4F6C_DD1Du64;
+    for frame in &corpus {
+        let encoded = frame.encode();
+        // Strip the length prefix: the decoder sees the payload bytes.
+        let body = &encoded[4..];
+        // Every truncation point.
+        for cut in 0..body.len() {
+            let _ = decode_payload(&body[..cut]);
+        }
+        // Every single-bit flip at every offset, plus a whole-byte flip. This
+        // sweeps the kind byte through foreign kinds, so each kind's decoder
+        // also sees the *other* kinds' bodies as garbage input.
+        for i in 0..body.len() {
+            for mask in [1u8, 2, 4, 8, 16, 32, 64, 128, 0xFF] {
+                let mut mutant = body.to_vec();
+                mutant[i] ^= mask;
+                let _ = decode_payload(&mutant);
+            }
+        }
+        // Deterministic garbage of assorted lengths.
+        for len in [0usize, 1, 3, 4, 7, 16, 64, 257] {
+            let noise: Vec<u8> = (0..len)
+                .map(|_| {
+                    lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (lcg >> 33) as u8
+                })
+                .collect();
+            let _ = decode_payload(&noise);
+        }
+    }
+}
+
+/// The same class of fault, end to end: a frame whose outer length is honest
+/// but whose inner string length points past the end of the body must get a
+/// typed `Malformed` reply — not a panicked reader — and the worker pool
+/// keeps serving bit-identical answers afterwards.
+#[test]
+fn inner_length_overrun_cannot_panic_a_reader_thread() {
+    let (server, _ds, reference) = start_server(NetConfig::default());
+    probe(&server, &reference, 0);
+
+    let valid = Frame::Request(RequestFrame {
+        request_id: 21,
+        client_id: 0,
+        theta: 5.0,
+        deadline_us: 0,
+        model: "default".into(),
+        query: WireQuery::Index(0),
+    })
+    .encode();
+    // Layout after the 4-byte length prefix: magic, version, kind, flags,
+    // request_id:u64, client_id:u32, theta:u64, deadline:u64, model-len:u8.
+    let model_len_at = 4 + 4 + 8 + 4 + 8 + 8;
+
+    // a) Inner string length claims 255 bytes the body does not contain.
+    {
+        let mut mutant = valid.clone();
+        mutant[model_len_at] = 0xFF;
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        c.stream().write_all(&mutant).expect("send overrun");
+        expect_malformed_then_close(&mut c);
+    }
+    probe(&server, &reference, 1);
+
+    // b) Honest prefix, body chopped mid-integer: redeclare the outer length
+    //    so the decoder (not the framer) sees the truncation.
+    {
+        let short = valid.len() - 6;
+        let mut mutant = ((short - 4) as u32).to_le_bytes().to_vec();
+        mutant.extend_from_slice(&valid[4..short]);
+        let mut c = NetClient::connect(server.addr()).expect("connect");
+        c.stream().write_all(&mutant).expect("send chopped");
+        expect_malformed_then_close(&mut c);
+    }
+    probe(&server, &reference, 2);
+
+    server.shutdown();
+}
+
 #[test]
 fn idle_connections_are_closed_and_release_their_slot() {
     let (server, _ds, reference) = start_server(NetConfig {
