@@ -1,0 +1,20 @@
+//! An ad-hoc `.load()` of a surfaced counter outside the sanctioned
+//! readers: the exported total and this read can silently drift.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub mod obs_export;
+
+pub struct Metrics;
+
+impl Metrics {
+    pub fn push_counter(&mut self, _name: &str, _value: u64) {}
+}
+
+pub struct Stats {
+    pub requests: AtomicU64,
+}
+
+pub fn peek(stats: &Stats) -> u64 {
+    stats.requests.load(Ordering::Relaxed)
+}

@@ -1,0 +1,8 @@
+//! The metrics export surface: `requests` is surfaced, so every read of
+//! it elsewhere must go through a sanctioned reader.
+
+use crate::{Metrics, Stats};
+
+pub fn export(m: &mut Metrics, stats: &Stats) {
+    m.push_counter("app_requests_total", stats.requests);
+}

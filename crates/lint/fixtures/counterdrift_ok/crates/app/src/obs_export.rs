@@ -1,0 +1,7 @@
+//! Same surface as the bad twin: `requests` is exported.
+
+use crate::{Metrics, Stats};
+
+pub fn export(m: &mut Metrics, stats: &Stats) {
+    m.push_counter("app_requests_total", stats.requests);
+}

@@ -1,0 +1,12 @@
+//! A bare production `Instant::now()` in an observed scope: the latency
+//! it measures escapes the per-stage span accounting.
+
+use std::time::{Duration, Instant};
+
+pub fn handle() -> Duration {
+    let t0 = Instant::now();
+    busy();
+    t0.elapsed()
+}
+
+fn busy() {}

@@ -1,0 +1,24 @@
+//! Two-lock cycle: `fwd` nests `a` then `b`, `rev` nests `b` then `a`.
+//! The lock-order pass must report exactly one cycle, citing both
+//! witness sites.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u64>,
+    pub b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn fwd(&self) -> u64 {
+        let x = self.a.lock().unwrap();
+        let y = self.b.lock().unwrap();
+        *x + *y
+    }
+
+    pub fn rev(&self) -> u64 {
+        let y = self.b.lock().unwrap();
+        let x = self.a.lock().unwrap();
+        *x + *y
+    }
+}

@@ -1,0 +1,29 @@
+//! A consistent lock order, including a nesting only visible through
+//! one level of call expansion: `outer` holds `conns` across a call to
+//! `inner`, which takes `stats` — the graph must contain the
+//! `conns -> stats` edge and still be clean (no cycle).
+
+use std::sync::Mutex;
+
+pub struct State {
+    pub conns: Mutex<u64>,
+    pub stats: Mutex<u64>,
+}
+
+impl State {
+    pub fn outer(&self) -> u64 {
+        let c = self.conns.lock().unwrap();
+        *c + self.inner()
+    }
+
+    fn inner(&self) -> u64 {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Same direct order as the expanded one: never a conflict.
+    pub fn both(&self) -> u64 {
+        let c = self.conns.lock().unwrap();
+        let s = self.stats.lock().unwrap();
+        *c + *s
+    }
+}

@@ -1,0 +1,25 @@
+//! Every `WireError` variant is mapped by a production `=>` arm and
+//! constructed in a test.
+
+pub enum WireError {
+    Truncated,
+    BadMagic,
+}
+
+pub fn render(e: &WireError) -> &'static str {
+    match e {
+        WireError::Truncated => "truncated",
+        WireError::BadMagic => "bad magic",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_renders() {
+        assert_eq!(render(&WireError::Truncated), "truncated");
+        assert_eq!(render(&WireError::BadMagic), "bad magic");
+    }
+}

@@ -3,7 +3,7 @@
 //! Mechanizes the conventions this codebase relies on but `rustc`/clippy
 //! cannot see. The checker walks every `crates/*/src/**/*.rs` file under a
 //! workspace root, lexes each file just enough to separate code from
-//! comments and string literals ([`lex`]), and enforces five rules:
+//! comments and string literals ([`lex`]), and enforces nine rules:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -12,6 +12,15 @@
 //! | `atomics-ordering-audit` | `SeqCst` always, and `Relaxed` in read-modify-write or flag-publish position, must carry an `// ordering:` justification |
 //! | `no-alloc-in-hot-path` | functions marked `// lint: hot-path` call no allocating constructors |
 //! | `wire-kind-coverage` | every variant of a `enum Frame` wire enum appears in the crate's test suites |
+//! | `lock-order` | the cross-file lock-acquisition graph ([`lockgraph`]) has no cycles |
+//! | `relaxed-counter-drift` | counters surfaced via `push_counter` are read only through sanctioned registry readers |
+//! | `instant-outside-span` | `Instant::now()` in serve/obs production code starts an observed span or carries `// timing:` |
+//! | `wire-error-exhaustiveness` | every `WireError` variant is mapped in the error path and constructed in tests |
+//!
+//! The four concurrency-aware rules share a lightweight per-crate symbol
+//! table ([`symbols`]): struct-field locks, lock-typed parameters, accessor
+//! functions, and function spans — no `syn`, no type checker, just enough
+//! resolution to be right about this workspace.
 //!
 //! Any finding can be waived in place with a suppression comment that names
 //! the rule and **must** state a reason, e.g.
@@ -24,13 +33,16 @@
 //! nonzero on any finding.
 
 pub mod lex;
+pub mod lockgraph;
 pub mod rules;
+pub mod symbols;
 
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+pub use lockgraph::{LockEdge, LockGraph, LockNode};
 pub use rules::Rule;
 
 /// What to check. [`Config::workspace`] builds the canonical configuration
@@ -46,6 +58,18 @@ pub struct Config {
     /// Name of the wire enum whose variants must be exercised by the
     /// owning crate's `tests/` suites.
     pub wire_enum: String,
+    /// Name of the wire error enum whose variants must be mapped in the
+    /// error path and constructed in tests.
+    pub wire_error_enum: String,
+    /// Path suffix of the metrics export surface whose `push_counter`
+    /// calls define the surfaced-counter set for `relaxed-counter-drift`.
+    pub counter_surface_suffix: String,
+    /// Function names allowed to `.load()` surfaced counters (the registry
+    /// readers); a getter named exactly like the counter is also allowed.
+    pub sanctioned_counter_readers: Vec<String>,
+    /// Path prefixes whose production code is subject to
+    /// `instant-outside-span`.
+    pub span_scopes: Vec<String>,
 }
 
 impl Config {
@@ -61,6 +85,18 @@ impl Config {
                 "src/http.rs".to_string(),
             ],
             wire_enum: "Frame".to_string(),
+            wire_error_enum: "WireError".to_string(),
+            counter_surface_suffix: "src/obs_export.rs".to_string(),
+            sanctioned_counter_readers: vec![
+                "snapshot".to_string(),
+                "process_totals".to_string(),
+                "delta_since".to_string(),
+                "read".to_string(),
+            ],
+            span_scopes: vec![
+                "crates/serve/src/".to_string(),
+                "crates/obs/src/".to_string(),
+            ],
         }
     }
 
@@ -110,11 +146,16 @@ pub struct Inventory {
     pub atomics: Vec<Site>,
 }
 
+/// Version of the `--json` report shape. Bumped to 2 when the inventory
+/// gained the `lock_graph` section (and the report this `schema` field).
+pub const JSON_SCHEMA: u32 = 2;
+
 /// Result of a full lint run.
 #[derive(Debug, Clone)]
 pub struct Report {
     pub findings: Vec<Finding>,
     pub inventory: Inventory,
+    pub lock_graph: LockGraph,
     pub files_scanned: usize,
 }
 
@@ -126,7 +167,7 @@ impl Report {
     /// Render the machine report. Hand-rolled JSON: this crate is std-only
     /// by design (it must not depend on anything it audits).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"findings\":[");
+        let mut out = format!("{{\"schema\":{JSON_SCHEMA},\"findings\":[");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -144,9 +185,63 @@ impl Report {
         push_sites(&mut out, &self.inventory.unsafe_sites);
         out.push_str("],\"atomics\":[");
         push_sites(&mut out, &self.inventory.atomics);
-        out.push_str("]}}");
+        out.push_str("],\"lock_graph\":");
+        push_lock_graph(&mut out, &self.lock_graph);
+        out.push_str("}}");
         out
     }
+}
+
+fn push_lock_graph(out: &mut String, g: &LockGraph) {
+    out.push_str("{\"locks\":[");
+    for (i, l) in g.locks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"kind\":{},\"file\":{},\"line\":{}}}",
+            json_str(&l.id),
+            json_str(l.kind),
+            json_str(&l.file),
+            l.line,
+        ));
+    }
+    out.push_str("],\"order\":[");
+    for (i, id) in g.order.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_str(id));
+    }
+    out.push_str("],\"edges\":[");
+    for (i, e) in g.edges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"from\":{},\"to\":{},\"file\":{},\"line\":{},\"fn\":{}}}",
+            json_str(&e.from),
+            json_str(&e.to),
+            json_str(&e.file),
+            e.line,
+            json_str(&e.func),
+        ));
+    }
+    out.push_str("],\"cycles\":[");
+    for (i, c) in g.cycles.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, id) in c.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(id));
+        }
+        out.push(']');
+    }
+    out.push_str("]}");
 }
 
 fn push_sites(out: &mut String, sites: &[Site]) {
@@ -269,6 +364,11 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
         rules::check_file(cfg, f, &mut findings, &mut inventory);
     }
     rules::check_wire_coverage(cfg, &sources, &mut findings)?;
+    rules::check_counter_drift(cfg, &sources, &mut findings);
+    rules::check_instant_spans(cfg, &sources, &mut findings);
+    rules::check_wire_error_coverage(cfg, &sources, &mut findings)?;
+    let tables = symbols::build(&sources);
+    let lock_graph = lockgraph::analyze(&tables, &sources, &mut findings);
 
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))
@@ -277,6 +377,7 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
     Ok(Report {
         findings,
         inventory,
+        lock_graph,
         files_scanned: sources.len(),
     })
 }

@@ -1,0 +1,680 @@
+//! Cross-file lock-order analysis.
+//!
+//! Using the per-crate symbol tables from [`crate::symbols`], this pass:
+//!
+//! 1. finds every acquisition of a *declared* lock (`expr.lock()` on a
+//!    `Mutex` symbol, `.read()`/`.write()` on an `RwLock` symbol) in
+//!    non-test code;
+//! 2. infers how long each guard is held by walking the statement and
+//!    block structure of the enclosing function (a `let`-bound guard lives
+//!    to the end of its block or an explicit `drop(guard)`, a temporary
+//!    guard to the end of its statement);
+//! 3. records an edge `A -> B` whenever lock `B` is acquired — directly, or
+//!    via a one-level-expanded intra-crate call (`self.f(…)`, `f(…)`,
+//!    `Type::f(…)`) — while a guard for `A` is still held;
+//! 4. reports every cycle in the resulting global acquisition graph as a
+//!    potential deadlock, with one witness site per edge of the cycle.
+//!
+//! The held-interval inference is deliberately an *over*-approximation
+//! (e.g. `let n = m.lock().unwrap().len();` binds a `usize`, not a guard,
+//! but is treated as held to end of block): a superset of held intervals
+//! can only add edges, never hide a real cycle. Receivers that do not
+//! resolve through the symbol table (`stdout().lock()`, `TcpStream::read`)
+//! are ignored — only workspace-declared locks participate.
+//!
+//! Besides findings, the pass emits the graph itself ([`LockGraph`]): the
+//! `--json` inventory serializes it, and `cardest-serve`'s runtime lock
+//! witness asserts its static rank table agrees with these edges, so the
+//! static and runtime views cannot drift apart.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::lex::is_ident_byte;
+use crate::rules::{suppressed, Rule};
+use crate::symbols::{self, CrateTable, FnSym, LockKind};
+use crate::{Finding, SourceFile};
+
+/// One node of the acquisition graph (a declared lock).
+#[derive(Debug, Clone)]
+pub struct LockNode {
+    /// Stable id, e.g. `serve::ServiceStats.clients`.
+    pub id: String,
+    /// `mutex` or `rwlock`.
+    pub kind: &'static str,
+    /// Declaration site.
+    pub file: String,
+    pub line: usize,
+}
+
+/// One edge: `to` acquired while a guard of `from` is held.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    pub from: String,
+    pub to: String,
+    /// Witness site: where `to` is acquired (or the call that acquires it).
+    pub file: String,
+    pub line: usize,
+    /// Function containing the witness site.
+    pub func: String,
+}
+
+/// The global lock-acquisition graph.
+#[derive(Debug, Clone, Default)]
+pub struct LockGraph {
+    /// All declared locks, sorted by id.
+    pub locks: Vec<LockNode>,
+    /// Deduplicated `(from, to)` edges with one witness site each.
+    pub edges: Vec<LockEdge>,
+    /// Cycles (each a list of lock ids; the first id repeats implicitly).
+    pub cycles: Vec<Vec<String>>,
+    /// Topological order of the acyclic part, lexicographic tie-break —
+    /// the canonical rank order the runtime lock witness mirrors.
+    pub order: Vec<String>,
+}
+
+/// One resolved acquisition inside a function body.
+struct Acq {
+    /// Lock index in the crate table.
+    lock: usize,
+    /// Byte offset (into the joined body text) of the `.` of the call.
+    off: usize,
+    /// End of the held interval (exclusive byte offset).
+    end: usize,
+    /// 1-based source line of the acquisition.
+    line: usize,
+}
+
+struct FnBody {
+    text: Vec<u8>,
+    /// Brace depth *before* each byte.
+    depth: Vec<u32>,
+    /// 1-based source line for each byte.
+    line: Vec<usize>,
+}
+
+fn join_body(f: &SourceFile, func: &FnSym) -> FnBody {
+    let mut text = Vec::new();
+    let mut line = Vec::new();
+    for li in func.start..=func.end.min(f.code.len().saturating_sub(1)) {
+        for &b in f.code[li].as_bytes() {
+            text.push(b);
+            line.push(li + 1);
+        }
+        text.push(b'\n');
+        line.push(li + 1);
+    }
+    let mut depth = Vec::with_capacity(text.len());
+    let mut d = 0u32;
+    for &b in &text {
+        depth.push(d);
+        match b {
+            b'{' => d += 1,
+            b'}' => d = d.saturating_sub(1),
+            _ => {}
+        }
+    }
+    FnBody { text, depth, line }
+}
+
+/// Statement start: scan back from `p` to just past the previous `;`, `{`
+/// or `}` (string/comment bodies are already blanked in the code view).
+fn stmt_start(text: &[u8], p: usize) -> usize {
+    let mut i = p;
+    while i > 0 && !matches!(text[i - 1], b';' | b'{' | b'}') {
+        i -= 1;
+    }
+    i
+}
+
+/// If the statement binds its value (`let [mut] name = …`), the guard name.
+fn let_binding(stmt: &str) -> Option<&str> {
+    let t = stmt.trim_start().strip_prefix("let ")?;
+    let t = t.trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let end = t.bytes().take_while(|&c| is_ident_byte(c)).count();
+    (end > 0).then(|| &t[..end])
+}
+
+/// End of the held interval for an acquisition at `p` with depth `d`.
+fn held_end(body: &FnBody, p: usize, d: u32, bound: Option<&str>) -> usize {
+    let n = body.text.len();
+    let mut end = n;
+    for j in p + 1..n {
+        let b = body.text[j];
+        let closes_block = b == b'}' && body.depth[j] <= d;
+        let ends_stmt = bound.is_none() && b == b';' && body.depth[j] <= d;
+        if closes_block || ends_stmt {
+            end = j;
+            break;
+        }
+    }
+    // An explicit `drop(name)` releases a bound guard early.
+    if let Some(name) = bound {
+        let hay = &body.text[p..end];
+        let pat = b"drop";
+        let mut i = 0usize;
+        while i + pat.len() < hay.len() {
+            if &hay[i..i + pat.len()] == pat
+                && (i == 0 || !is_ident_byte(hay[i - 1]))
+                && hay[i + pat.len()] == b'('
+            {
+                let inner_start = i + pat.len() + 1;
+                if let Some(close) = hay[inner_start..].iter().position(|&c| c == b')') {
+                    let inner = &hay[inner_start..inner_start + close];
+                    if std::str::from_utf8(inner).map(str::trim) == Ok(name) {
+                        return p + i;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    end
+}
+
+const ACQ_PATTERNS: &[(&str, LockKind)] = &[
+    (".lock(", LockKind::Mutex),
+    (".read(", LockKind::RwLock),
+    (".write(", LockKind::RwLock),
+];
+
+/// All resolved lock acquisitions in one function body.
+fn find_acqs(f: &SourceFile, table: &CrateTable, func: &FnSym, body: &FnBody) -> Vec<Acq> {
+    let text = std::str::from_utf8(&body.text).unwrap_or("");
+    let mut acqs = Vec::new();
+    for &(pat, want_kind) in ACQ_PATTERNS {
+        let mut start = 0usize;
+        while let Some(rel) = text.get(start..).and_then(|s| s.find(pat)) {
+            let p = start + rel;
+            start = p + 1;
+            let line = body.line[p];
+            // Skip acquisitions in `#[cfg(test)]` code; the rule targets
+            // production lock discipline.
+            if f.is_test.get(line - 1).copied().unwrap_or(false) {
+                continue;
+            }
+            let comps = symbols::parse_receiver(&body.text, p);
+            let Some(lock) = table.resolve_lock(&comps, func) else {
+                continue;
+            };
+            if table.locks[lock].kind != want_kind {
+                continue;
+            }
+            let ss = stmt_start(&body.text, p);
+            let stmt = std::str::from_utf8(&body.text[ss..p]).unwrap_or("");
+            let bound = let_binding(stmt);
+            let end = held_end(body, p, body.depth[p], bound);
+            acqs.push(Acq {
+                lock,
+                off: p,
+                end,
+                line,
+            });
+        }
+    }
+    acqs.sort_by_key(|a| a.off);
+    acqs
+}
+
+const CALL_KEYWORDS: &[&str] = &[
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "false", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move",
+    "mut", "pub", "ref", "return", "static", "struct", "super", "trait", "true", "type", "union",
+    "unsafe", "use", "where", "while",
+];
+
+/// Calls eligible for one-level expansion inside `body.text[from..to]`:
+/// `name(…)` (free), `self.name(…)` (method on self), or `Path::name(…)`.
+/// Arbitrary `expr.name(…)` receivers are *not* expanded — without types we
+/// cannot tell which impl they hit, and guessing creates false edges.
+fn find_calls(body: &FnBody, from: usize, to: usize) -> Vec<(String, usize)> {
+    let t = &body.text;
+    let mut out = Vec::new();
+    for j in from..to.min(t.len()) {
+        if t[j] != b'(' {
+            continue;
+        }
+        // Walk back over whitespace, then the identifier.
+        let mut i = j;
+        while i > 0 && (t[i - 1] as char).is_ascii_whitespace() {
+            i -= 1;
+        }
+        let end = i;
+        while i > 0 && is_ident_byte(t[i - 1]) {
+            i -= 1;
+        }
+        if i == end {
+            continue;
+        }
+        let name = match std::str::from_utf8(&t[i..end]) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if CALL_KEYWORDS.contains(&name) || name.as_bytes()[0].is_ascii_digit() {
+            continue;
+        }
+        // Classify by what precedes the identifier.
+        let ok = if i == 0 {
+            true
+        } else {
+            match t[i - 1] {
+                b'.' => {
+                    // Only `self.name(` counts; other receivers are opaque.
+                    let r = i - 1;
+                    r >= 4 && &t[r - 4..r] == b"self" && (r == 4 || !is_ident_byte(t[r - 5]))
+                }
+                b':' => i >= 2 && t[i - 2] == b':',
+                b'!' => false,
+                c => !is_ident_byte(c),
+            }
+        };
+        // `fn name(` is the definition, not a call.
+        let is_def = {
+            let mut k = i;
+            while k > 0 && (t[k - 1] as char).is_ascii_whitespace() {
+                k -= 1;
+            }
+            k >= 2 && &t[k - 2..k] == b"fn" && (k == 2 || !is_ident_byte(t[k - 3]))
+        };
+        if ok && !is_def {
+            out.push((name.to_string(), j));
+        }
+    }
+    out
+}
+
+struct RawEdge {
+    from: usize,
+    to: usize,
+    file: String,
+    line: usize,
+    func: String,
+}
+
+/// Run the pass: build the graph and report cycles as findings.
+pub fn analyze(
+    tables: &HashMap<String, CrateTable>,
+    sources: &[SourceFile],
+    findings: &mut Vec<Finding>,
+) -> LockGraph {
+    // Global node list, sorted by id for deterministic output.
+    let mut crate_names: Vec<&String> = tables.keys().collect();
+    crate_names.sort();
+    let mut locks: Vec<(&str, usize, LockNode)> = Vec::new();
+    for cname in &crate_names {
+        let table = &tables[cname.as_str()];
+        for (li, l) in table.locks.iter().enumerate() {
+            locks.push((
+                cname.as_str(),
+                li,
+                LockNode {
+                    id: l.id.clone(),
+                    kind: match l.kind {
+                        LockKind::Mutex => "mutex",
+                        LockKind::RwLock => "rwlock",
+                    },
+                    file: l.file.clone(),
+                    line: l.line,
+                },
+            ));
+        }
+    }
+    locks.sort_by(|a, b| a.2.id.cmp(&b.2.id));
+    let global: HashMap<(&str, usize), usize> = locks
+        .iter()
+        .enumerate()
+        .map(|(g, (c, li, _))| ((*c, *li), g))
+        .collect();
+
+    // Per-crate edge discovery.
+    let mut raw_edges: Vec<RawEdge> = Vec::new();
+    for cname in &crate_names {
+        let table = &tables[cname.as_str()];
+        // Pass 1: every function's own acquisitions.
+        let bodies: Vec<FnBody> = table
+            .fns
+            .iter()
+            .map(|func| join_body(&sources[func.file_idx], func))
+            .collect();
+        let acqs: Vec<Vec<Acq>> = table
+            .fns
+            .iter()
+            .zip(&bodies)
+            .map(|(func, body)| find_acqs(&sources[func.file_idx], table, func, body))
+            .collect();
+        let direct: Vec<BTreeSet<usize>> = acqs
+            .iter()
+            .map(|a| a.iter().map(|x| x.lock).collect())
+            .collect();
+
+        // Pass 2: edges from overlapping guards and expanded calls.
+        for (fi, func) in table.fns.iter().enumerate() {
+            let body = &bodies[fi];
+            let file = &sources[func.file_idx].rel;
+            for a in &acqs[fi] {
+                let gfrom = global[&(cname.as_str(), a.lock)];
+                for b in &acqs[fi] {
+                    if b.off > a.off && b.off < a.end {
+                        raw_edges.push(RawEdge {
+                            from: gfrom,
+                            to: global[&(cname.as_str(), b.lock)],
+                            file: file.clone(),
+                            line: b.line,
+                            func: func.name.clone(),
+                        });
+                    }
+                }
+                for (callee_name, call_off) in find_calls(body, a.off, a.end) {
+                    let Some(callees) = table.fn_by_name.get(&callee_name) else {
+                        continue;
+                    };
+                    for &ci in callees {
+                        for &l in &direct[ci] {
+                            raw_edges.push(RawEdge {
+                                from: gfrom,
+                                to: global[&(cname.as_str(), l)],
+                                file: file.clone(),
+                                line: body.line[call_off],
+                                func: func.name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Dedup to one witness per (from, to), keeping the first site in
+    // (file, line) order.
+    raw_edges.sort_by(|a, b| {
+        (a.from, a.to, a.file.as_str(), a.line).cmp(&(b.from, b.to, b.file.as_str(), b.line))
+    });
+    raw_edges.dedup_by(|a, b| a.from == b.from && a.to == b.to);
+
+    let mut adj: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for e in &raw_edges {
+        adj.entry(e.from).or_default().insert(e.to);
+    }
+
+    let cycles = find_cycles(locks.len(), &adj);
+
+    // Report each cycle, unless a suppression covers one of its witnesses.
+    let by_rel: HashMap<&str, &SourceFile> = sources.iter().map(|f| (f.rel.as_str(), f)).collect();
+    for cyc in &cycles {
+        let mut witnesses = Vec::new();
+        for w in 0..cyc.len() {
+            let (from, to) = (cyc[w], cyc[(w + 1) % cyc.len()]);
+            if let Some(e) = raw_edges.iter().find(|e| e.from == from && e.to == to) {
+                witnesses.push(e);
+            }
+        }
+        let waived = witnesses.iter().any(|e| {
+            by_rel
+                .get(e.file.as_str())
+                .is_some_and(|f| suppressed(f, e.line - 1, Rule::LockOrder))
+        });
+        if waived || witnesses.is_empty() {
+            continue;
+        }
+        let mut path: Vec<&str> = cyc.iter().map(|&g| locks[g].2.id.as_str()).collect();
+        path.push(locks[cyc[0]].2.id.as_str());
+        let detail = witnesses
+            .iter()
+            .map(|e| {
+                format!(
+                    "`{} -> {}` at {}:{} (in `{}`)",
+                    locks[e.from].2.id, locks[e.to].2.id, e.file, e.line, e.func
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("; witness ");
+        findings.push(Finding {
+            file: witnesses[0].file.clone(),
+            line: witnesses[0].line,
+            rule: Rule::LockOrder,
+            message: format!(
+                "potential deadlock: lock-order cycle `{}`; witness {detail}",
+                path.join(" -> ")
+            ),
+        });
+    }
+
+    let order = topo_order(&locks, &adj);
+    LockGraph {
+        edges: raw_edges
+            .iter()
+            .map(|e| LockEdge {
+                from: locks[e.from].2.id.clone(),
+                to: locks[e.to].2.id.clone(),
+                file: e.file.clone(),
+                line: e.line,
+                func: e.func.clone(),
+            })
+            .collect(),
+        cycles: cycles
+            .iter()
+            .map(|c| c.iter().map(|&g| locks[g].2.id.clone()).collect())
+            .collect(),
+        order,
+        locks: locks.into_iter().map(|(_, _, n)| n).collect(),
+    }
+}
+
+/// Elementary cycles, canonicalized so each starts at its smallest node.
+fn find_cycles(n: usize, adj: &BTreeMap<usize, BTreeSet<usize>>) -> Vec<Vec<usize>> {
+    let mut cycles = Vec::new();
+    for start in 0..n {
+        let mut path = vec![start];
+        let mut on_path: BTreeSet<usize> = [start].into();
+        dfs_cycles(start, start, adj, &mut path, &mut on_path, &mut cycles);
+        if cycles.len() >= 64 {
+            break;
+        }
+    }
+    cycles
+}
+
+fn dfs_cycles(
+    start: usize,
+    at: usize,
+    adj: &BTreeMap<usize, BTreeSet<usize>>,
+    path: &mut Vec<usize>,
+    on_path: &mut BTreeSet<usize>,
+    cycles: &mut Vec<Vec<usize>>,
+) {
+    let Some(nexts) = adj.get(&at) else {
+        return;
+    };
+    for &nx in nexts {
+        if nx == start {
+            cycles.push(path.clone());
+        } else if nx > start && !on_path.contains(&nx) && cycles.len() < 64 {
+            path.push(nx);
+            on_path.insert(nx);
+            dfs_cycles(start, nx, adj, path, on_path, cycles);
+            path.pop();
+            on_path.remove(&nx);
+        }
+    }
+}
+
+/// Kahn's algorithm with lexicographic tie-break; nodes stuck in cycles are
+/// appended at the end in id order (the order is only canonical when the
+/// graph is acyclic, which `--deny` enforces).
+fn topo_order(
+    locks: &[(&str, usize, LockNode)],
+    adj: &BTreeMap<usize, BTreeSet<usize>>,
+) -> Vec<String> {
+    let n = locks.len();
+    let mut indeg = vec![0usize; n];
+    for nexts in adj.values() {
+        for &t in nexts {
+            indeg[t] += 1;
+        }
+    }
+    let mut ready: BTreeSet<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut out = Vec::with_capacity(n);
+    let mut done = vec![false; n];
+    while let Some(&i) = ready.iter().next() {
+        ready.remove(&i);
+        done[i] = true;
+        out.push(locks[i].2.id.clone());
+        if let Some(nexts) = adj.get(&i) {
+            for &t in nexts {
+                indeg[t] -= 1;
+                if indeg[t] == 0 && !done[t] {
+                    ready.insert(t);
+                }
+            }
+        }
+    }
+    for (i, l) in locks.iter().enumerate() {
+        if !done[i] {
+            out.push(l.2.id.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbols::build;
+
+    fn graph_of(files: &[(&str, &str)]) -> (LockGraph, Vec<Finding>) {
+        let sources: Vec<SourceFile> = files
+            .iter()
+            .map(|(rel, src)| SourceFile::from_source(rel, src))
+            .collect();
+        let tables = build(&sources);
+        let mut findings = Vec::new();
+        let graph = analyze(&tables, &sources, &mut findings);
+        (graph, findings)
+    }
+
+    const CYCLIC: &str = r#"
+use std::sync::Mutex;
+pub struct Pair { a: Mutex<u64>, b: Mutex<u64> }
+impl Pair {
+    pub fn fwd(&self) -> u64 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+    pub fn rev(&self) -> u64 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga - *gb
+    }
+}
+"#;
+
+    #[test]
+    fn two_lock_cycle_is_reported_with_both_witnesses() {
+        let (graph, findings) = graph_of(&[("crates/app/src/lib.rs", CYCLIC)]);
+        assert_eq!(graph.locks.len(), 2);
+        assert_eq!(graph.edges.len(), 2);
+        assert_eq!(graph.cycles.len(), 1);
+        assert_eq!(findings.len(), 1);
+        let msg = &findings[0].message;
+        assert!(
+            msg.contains("app::Pair.a -> app::Pair.b -> app::Pair.a"),
+            "{msg}"
+        );
+        assert!(msg.contains("(in `fwd`)"), "{msg}");
+        assert!(msg.contains("(in `rev`)"), "{msg}");
+    }
+
+    #[test]
+    fn call_expansion_adds_edges_one_level_deep() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+impl S {
+    pub fn outer(&self) {
+        let g = self.a.lock().unwrap();
+        self.inner();
+        drop(g);
+    }
+    fn inner(&self) {
+        let _g = self.b.lock().unwrap();
+    }
+}
+"#;
+        let (graph, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        assert!(findings.is_empty());
+        assert_eq!(graph.edges.len(), 1);
+        assert_eq!(graph.edges[0].from, "app::S.a");
+        assert_eq!(graph.edges[0].to, "app::S.b");
+        assert_eq!(graph.order, vec!["app::S.a", "app::S.b"]);
+    }
+
+    #[test]
+    fn temporary_guards_do_not_overlap_across_statements() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+impl S {
+    pub fn seq(&self) -> u64 {
+        let x = *self.a.lock().unwrap();
+        let y = *self.b.lock().unwrap();
+        x + y
+    }
+}
+"#;
+        // Both guards are temporaries (bound values are u64 copies)… but the
+        // analysis over-approximates `let`-statements as guards held to end
+        // of block, so the edge a -> b is expected; what matters is there is
+        // no reverse edge, hence no cycle.
+        let (graph, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        assert!(findings.is_empty());
+        assert!(graph.cycles.is_empty());
+    }
+
+    #[test]
+    fn drop_releases_a_guard_before_the_next_acquisition() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { a: Mutex<u64>, b: Mutex<u64> }
+impl S {
+    pub fn handoff(&self) {
+        let g = self.a.lock().unwrap();
+        drop(g);
+        let h = self.b.lock().unwrap();
+        drop(h);
+    }
+}
+"#;
+        let (graph, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        assert!(findings.is_empty());
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn unresolved_receivers_are_ignored() {
+        let src = r#"
+pub fn print_all(lines: &[String]) {
+    let out = std::io::stdout();
+    let mut h = out.lock();
+    for l in lines {
+        let _ = h.write_all(l.as_bytes());
+    }
+}
+"#;
+        let (graph, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        assert!(findings.is_empty());
+        assert!(graph.locks.is_empty());
+        assert!(graph.edges.is_empty());
+    }
+
+    #[test]
+    fn suppression_on_a_witness_waives_the_cycle() {
+        let src = CYCLIC.replace(
+            "let gb = self.b.lock().unwrap();\n        let ga = self.a.lock().unwrap();",
+            "let gb = self.b.lock().unwrap();\n        // lint: allow(lock-order) drain order is pinned by the caller.\n        let ga = self.a.lock().unwrap();",
+        );
+        let (graph, findings) = graph_of(&[("crates/app/src/lib.rs", &src)]);
+        assert_eq!(graph.cycles.len(), 1, "graph still records the cycle");
+        assert!(findings.is_empty(), "finding waived: {findings:?}");
+    }
+}

@@ -2,27 +2,33 @@
 //! finding.
 //!
 //! ```text
-//! cargo run -p cardest-lint              # human-readable findings
-//! cargo run -p cardest-lint -- --json    # machine report + inventory
-//! cargo run -p cardest-lint -- --deny    # explicit CI gate (same exit code)
-//! cargo run -p cardest-lint -- PATH      # lint a different workspace root
+//! cargo run -p cardest-lint                    # human-readable findings
+//! cargo run -p cardest-lint -- --json          # machine report + inventory
+//! cargo run -p cardest-lint -- --deny          # explicit CI gate (same exit code)
+//! cargo run -p cardest-lint -- --rule lock-order  # findings of one rule only
+//! cargo run -p cardest-lint -- --list-rules    # print the rule registry
+//! cargo run -p cardest-lint -- PATH            # lint a different workspace root
 //! ```
 
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cardest_lint::{run, Config};
+use cardest_lint::{run, Config, Rule};
 
-const USAGE: &str = "usage: cardest-lint [--json] [--deny] [ROOT]
+const USAGE: &str = "usage: cardest-lint [--json] [--deny] [--rule NAME] [--list-rules] [ROOT]
 
 Lints every crates/*/src file under ROOT (default: the enclosing workspace)
 against the project invariants and exits nonzero on any finding.
 
-  --json   print a machine-readable report (findings + unsafe/atomics
-           inventory) to stdout instead of rustc-style lines
-  --deny   explicit strict gate for CI; today all findings are already
-           denied, the flag reserves room for warn-level rules
+  --json        print a machine-readable report (schema 2: findings +
+                unsafe/atomics inventory + lock graph) to stdout instead
+                of rustc-style lines
+  --deny        explicit strict gate for CI; today all findings are already
+                denied, the flag reserves room for warn-level rules
+  --rule NAME   report findings of a single rule only (the full analysis
+                still runs; output and the exit code are filtered)
+  --list-rules  print every rule name with a one-line description and exit
 ";
 
 fn find_root() -> Option<PathBuf> {
@@ -37,13 +43,42 @@ fn find_root() -> Option<PathBuf> {
     }
 }
 
+fn list_rules() {
+    for r in Rule::ALL {
+        println!("{:<26} {}", r.name(), r.doc());
+    }
+}
+
 fn main() -> ExitCode {
     let mut json = false;
+    let mut only: Option<Rule> = None;
     let mut root: Option<PathBuf> = None;
-    for arg in env::args().skip(1) {
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--deny" => {} // all findings are denying today; see USAGE
+            "--list-rules" => {
+                list_rules();
+                return ExitCode::SUCCESS;
+            }
+            "--rule" => {
+                let Some(name) = args.next() else {
+                    eprintln!("cardest-lint: --rule needs a rule name\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                // `suppression` is intentionally selectable here even though
+                // it cannot be suppressed, so Rule::ALL is the single
+                // source of valid names.
+                match Rule::ALL.into_iter().find(|r| r.name() == name) {
+                    Some(r) => only = Some(r),
+                    None => {
+                        eprintln!("cardest-lint: unknown rule `{name}`; valid rules are:");
+                        list_rules();
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -60,13 +95,16 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let report = match run(&Config::workspace(&root)) {
+    let mut report = match run(&Config::workspace(&root)) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cardest-lint: {e}");
             return ExitCode::from(2);
         }
     };
+    if let Some(rule) = only {
+        report.findings.retain(|f| f.rule == rule);
+    }
 
     if json {
         println!("{}", report.to_json());

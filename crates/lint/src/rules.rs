@@ -1,4 +1,4 @@
-//! The five workspace rules, plus the suppression machinery they share.
+//! The workspace rules, plus the suppression machinery they share.
 //!
 //! All rules operate on the masked code/comment views from [`crate::lex`],
 //! so string literals and comments can never produce false code matches.
@@ -25,11 +25,36 @@ pub enum Rule {
     NoAllocHotPath,
     /// Every wire enum variant is exercised by the crate's test suites.
     WireKindCoverage,
+    /// No cycle in the cross-file lock-acquisition graph.
+    LockOrder,
+    /// Counters surfaced in `MetricsSnapshot` are read only through the
+    /// registry's sanctioned readers (or a same-named getter).
+    CounterDrift,
+    /// `Instant::now()` in serve/obs production code must start an observed
+    /// span or carry a `// timing:` justification.
+    InstantSpan,
+    /// Every wire error-enum variant is mapped in the error path and
+    /// constructed in tests.
+    WireErrorExhaustive,
     /// Suppressions themselves must be well-formed and carry a reason.
     Suppression,
 }
 
 impl Rule {
+    /// Every rule, in the order `--list-rules` prints them.
+    pub const ALL: [Rule; 10] = [
+        Rule::UnsafeSafety,
+        Rule::NoPanicHostile,
+        Rule::AtomicsOrdering,
+        Rule::NoAllocHotPath,
+        Rule::WireKindCoverage,
+        Rule::LockOrder,
+        Rule::CounterDrift,
+        Rule::InstantSpan,
+        Rule::WireErrorExhaustive,
+        Rule::Suppression,
+    ];
+
     pub fn name(self) -> &'static str {
         match self {
             Rule::UnsafeSafety => "unsafe-safety-comment",
@@ -37,21 +62,50 @@ impl Rule {
             Rule::AtomicsOrdering => "atomics-ordering-audit",
             Rule::NoAllocHotPath => "no-alloc-in-hot-path",
             Rule::WireKindCoverage => "wire-kind-coverage",
+            Rule::LockOrder => "lock-order",
+            Rule::CounterDrift => "relaxed-counter-drift",
+            Rule::InstantSpan => "instant-outside-span",
+            Rule::WireErrorExhaustive => "wire-error-exhaustiveness",
             Rule::Suppression => "suppression",
+        }
+    }
+
+    /// One-line description for `--list-rules`.
+    pub fn doc(self) -> &'static str {
+        match self {
+            Rule::UnsafeSafety => "every `unsafe` block/fn carries a SAFETY justification",
+            Rule::NoPanicHostile => {
+                "no panicking constructs in non-test code of hostile-input decode files"
+            }
+            Rule::AtomicsOrdering => {
+                "SeqCst, and Relaxed in RMW/flag-publish position, need an `// ordering:` comment"
+            }
+            Rule::NoAllocHotPath => "functions marked `// lint: hot-path` must not allocate",
+            Rule::WireKindCoverage => {
+                "every wire enum variant is exercised by the owning crate's test suites"
+            }
+            Rule::LockOrder => {
+                "the cross-file lock-acquisition graph must be cycle-free (potential deadlocks)"
+            }
+            Rule::CounterDrift => {
+                "surfaced metrics counters are read via the registry, never ad-hoc `.load()`s"
+            }
+            Rule::InstantSpan => {
+                "`Instant::now()` in serve/obs code starts an observed span or has `// timing:`"
+            }
+            Rule::WireErrorExhaustive => {
+                "every wire error variant is mapped in the error path and constructed in tests"
+            }
+            Rule::Suppression => "suppression comments must be well-formed and carry a reason",
         }
     }
 
     /// Rules that may be named in a suppression comment. `suppression`
     /// findings are deliberately not waivable — that would be circular.
     pub fn from_name(name: &str) -> Option<Rule> {
-        match name {
-            "unsafe-safety-comment" => Some(Rule::UnsafeSafety),
-            "no-panic-on-hostile-input" => Some(Rule::NoPanicHostile),
-            "atomics-ordering-audit" => Some(Rule::AtomicsOrdering),
-            "no-alloc-in-hot-path" => Some(Rule::NoAllocHotPath),
-            "wire-kind-coverage" => Some(Rule::WireKindCoverage),
-            _ => None,
-        }
+        Rule::ALL
+            .into_iter()
+            .find(|r| *r != Rule::Suppression && r.name() == name)
     }
 }
 
@@ -101,7 +155,7 @@ fn parse_suppression(comment_line: &str) -> Option<(&str, &str)> {
     Some((rest[..close].trim(), rest[close + 1..].trim()))
 }
 
-fn suppressed(f: &SourceFile, line: usize, rule: Rule) -> bool {
+pub(crate) fn suppressed(f: &SourceFile, line: usize, rule: Rule) -> bool {
     context_lines(f, line).into_iter().any(|i| {
         parse_suppression(&f.comment[i])
             .and_then(|(name, _)| Rule::from_name(name))
@@ -598,7 +652,7 @@ fn find_enum(f: &SourceFile, name: &str) -> Option<(usize, Vec<String>)> {
 }
 
 /// `path::Variant` occurrence with identifier boundaries on both sides.
-fn contains_path(text: &str, pat: &str) -> bool {
+pub(crate) fn contains_path(text: &str, pat: &str) -> bool {
     let b = text.as_bytes();
     let mut start = 0usize;
     while let Some(p) = text.get(start..).and_then(|s| s.find(pat)) {
@@ -662,6 +716,280 @@ pub fn check_wire_coverage(
                     rule: Rule::WireKindCoverage,
                     message: format!(
                         "variant `{pat}` is not exercised by any test under `{crate_rel}/tests`"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Rule 6: relaxed-counter-drift (cross-file)
+// ---------------------------------------------------------------------------
+
+/// Function spans of a file: `(name, start line, end line)`, 0-based
+/// inclusive. Used to attribute a code line to its innermost function.
+pub(crate) fn fn_spans(code: &[String]) -> Vec<(String, usize, usize)> {
+    let mut spans = Vec::new();
+    for (i, line) in code.iter().enumerate() {
+        let Some(at) = find_word(line, "fn") else {
+            continue;
+        };
+        let rest = line[at + "fn".len()..].trim_start();
+        let name: String = rest
+            .bytes()
+            .take_while(|&c| is_ident_byte(c))
+            .map(char::from)
+            .collect();
+        if name.is_empty() {
+            continue;
+        }
+        if let Some(end) = item_span(code, i) {
+            spans.push((name, i, end));
+        }
+    }
+    spans
+}
+
+fn innermost_fn(spans: &[(String, usize, usize)], line: usize) -> Option<&str> {
+    spans
+        .iter()
+        .filter(|(_, s, e)| *s <= line && line <= *e)
+        .max_by_key(|(_, s, _)| *s)
+        .map(|(n, _, _)| n.as_str())
+}
+
+/// The identifiers surfaced through `push_counter(…)` calls in the metrics
+/// export surface: the trailing identifier of each value expression
+/// (`stats.requests` → `requests`, `obs.finished()` → `finished`).
+fn surfaced_counters(f: &SourceFile) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in &f.code {
+        if method_call(line, "push_counter").is_none() {
+            continue;
+        }
+        // The metric-name string body is blanked in the code view, so the
+        // first `,` is the argument separator.
+        let Some(comma) = line.find(',') else {
+            continue;
+        };
+        let expr = &line[comma + 1..];
+        let last_ident = expr
+            .split(|c: char| !is_ident_byte(c as u8) || !c.is_ascii())
+            .rfind(|s| !s.is_empty());
+        if let Some(id) = last_ident {
+            if !out.iter().any(|o| o == id) {
+                out.push(id.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Every counter surfaced in the metrics snapshot must be read through the
+/// registry's sanctioned reader functions (`snapshot`, `process_totals`,
+/// `delta_since`, `read`) or a getter named after the counter itself —
+/// never an ad-hoc `.load()` sprinkled elsewhere, which silently drifts
+/// from the unified `MetricsSnapshot` the moment someone adds a field.
+pub fn check_counter_drift(cfg: &Config, sources: &[SourceFile], findings: &mut Vec<Finding>) {
+    let mut surfaced: Vec<String> = Vec::new();
+    for f in sources {
+        if f.rel.ends_with(&cfg.counter_surface_suffix) {
+            surfaced.extend(surfaced_counters(f));
+        }
+    }
+    if surfaced.is_empty() {
+        return;
+    }
+    for f in sources {
+        let spans = fn_spans(&f.code);
+        for i in 0..f.code.len() {
+            if f.is_test[i] {
+                continue;
+            }
+            let code = &f.code[i];
+            for ident in &surfaced {
+                let pat = format!("{ident}.load");
+                if method_call(code, "load").is_none() || !contains_path(code, &pat) {
+                    continue;
+                }
+                let encl = innermost_fn(&spans, i);
+                let sanctioned = encl.is_some_and(|n| {
+                    n == ident || cfg.sanctioned_counter_readers.iter().any(|s| s == n)
+                });
+                if sanctioned || suppressed(f, i, Rule::CounterDrift) {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: f.rel.clone(),
+                    line: i + 1,
+                    rule: Rule::CounterDrift,
+                    message: format!(
+                        "counter `{ident}` is surfaced in the metrics snapshot but read with an \
+                         ad-hoc `.load()` here; read it via the registry ({}) or a `{ident}()` \
+                         getter so the exported totals cannot drift",
+                        cfg.sanctioned_counter_readers.join("/"),
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 7: instant-outside-span
+// ---------------------------------------------------------------------------
+
+/// `timing:` marker in a comment (case-insensitive), mirroring the
+/// `ordering:` convention for atomics.
+fn has_timing_marker(text: &str) -> bool {
+    let low = text.to_ascii_lowercase();
+    let mut start = 0usize;
+    while let Some(p) = low.get(start..).and_then(|s| s.find("timing:")) {
+        let after = start + p + "timing:".len();
+        if low.as_bytes().get(after) != Some(&b':') {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// In the observed scopes (serve/obs), every production `Instant::now()`
+/// must either start an observed stage span (the `enabled().then(Instant::now)`
+/// idiom) or carry a `// timing:` comment saying what clock it is and why it
+/// is not a span — otherwise latency quietly escapes the per-stage
+/// accounting that `batch_window`/trace coverage gates rely on.
+pub fn check_instant_spans(cfg: &Config, sources: &[SourceFile], findings: &mut Vec<Finding>) {
+    for f in sources {
+        if !cfg
+            .span_scopes
+            .iter()
+            .any(|p| f.rel.starts_with(p.as_str()))
+        {
+            continue;
+        }
+        for i in 0..f.code.len() {
+            if f.is_test[i] {
+                continue;
+            }
+            let code = &f.code[i];
+            let Some(at) = code.find("Instant::now") else {
+                continue;
+            };
+            if !contains_path(code, "Instant::now") {
+                continue;
+            }
+            // The span idiom: the clock only exists when observation is on.
+            if code[..at].contains("then(") {
+                continue;
+            }
+            if context_lines(f, i)
+                .into_iter()
+                .any(|k| has_timing_marker(&f.comment[k]))
+                || suppressed(f, i, Rule::InstantSpan)
+            {
+                continue;
+            }
+            findings.push(Finding {
+                file: f.rel.clone(),
+                line: i + 1,
+                rule: Rule::InstantSpan,
+                message: "`Instant::now()` outside an observed stage span; gate it with \
+                          `enabled().then(Instant::now)` or justify the clock with a \
+                          `// timing:` comment"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 8: wire-error-exhaustiveness (cross-file)
+// ---------------------------------------------------------------------------
+
+/// Every variant of the wire error enum must be (a) *mapped* somewhere in
+/// the owning crate's production code — an `=>` arm rendering or
+/// translating it, so no error is silently unreachable in the net→frame
+/// path — and (b) *constructed in tests* (inline `#[cfg(test)]` code or the
+/// crate's `tests/` suites), so decode paths that should produce it are
+/// actually exercised.
+pub fn check_wire_error_coverage(
+    cfg: &Config,
+    sources: &[SourceFile],
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    for f in sources {
+        let Some((decl_line, variants)) = find_enum(f, &cfg.wire_error_enum) else {
+            continue;
+        };
+        if suppressed(f, decl_line, Rule::WireErrorExhaustive) {
+            continue;
+        }
+        let decl_end = item_span(&f.code, decl_line).unwrap_or(decl_line);
+        let comps: Vec<&str> = f.rel.split('/').collect();
+        let Some(src_idx) = comps.iter().rposition(|c| *c == "src") else {
+            continue;
+        };
+        let crate_rel = comps[..src_idx].join("/");
+        let crate_prefix = format!("{crate_rel}/");
+
+        // Production text (mapping sites) and test text (constructions).
+        let mut prod = String::new();
+        let mut test = String::new();
+        for g in sources {
+            if !g.rel.starts_with(&crate_prefix) {
+                continue;
+            }
+            for i in 0..g.code.len() {
+                let in_decl = g.rel == f.rel && i >= decl_line && i <= decl_end;
+                if in_decl {
+                    continue;
+                }
+                if g.is_test[i] {
+                    test.push_str(&g.code[i]);
+                    test.push('\n');
+                } else {
+                    prod.push_str(&g.code[i]);
+                    prod.push('\n');
+                }
+            }
+        }
+        let tests_dir = cfg.root.join(&crate_rel).join("tests");
+        let mut suites = Vec::new();
+        if tests_dir.is_dir() {
+            crate::collect_rs(&cfg.root, &tests_dir, &mut suites)?;
+        }
+        for s in &suites {
+            test.push_str(&SourceFile::load(&cfg.root, s)?.code.join("\n"));
+            test.push('\n');
+        }
+
+        for v in &variants {
+            let pat = format!("{}::{v}", cfg.wire_error_enum);
+            let mapped = prod
+                .lines()
+                .any(|l| contains_path(l, &pat) && l.contains("=>"));
+            if !mapped {
+                findings.push(Finding {
+                    file: f.rel.clone(),
+                    line: decl_line + 1,
+                    rule: Rule::WireErrorExhaustive,
+                    message: format!(
+                        "variant `{pat}` is never mapped (no `=>` arm) in `{crate_rel}` \
+                         production code; every wire error must render or translate somewhere"
+                    ),
+                });
+            }
+            if !contains_path(&test, &pat) {
+                findings.push(Finding {
+                    file: f.rel.clone(),
+                    line: decl_line + 1,
+                    rule: Rule::WireErrorExhaustive,
+                    message: format!(
+                        "variant `{pat}` is never constructed in tests (inline `#[cfg(test)]` \
+                         or `{crate_rel}/tests`); its decode path is unexercised"
                     ),
                 });
             }

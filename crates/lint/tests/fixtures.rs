@@ -136,6 +136,102 @@ fn fully_covered_wire_enum_passes() {
     assert_clean("wire_ok");
 }
 
+// ── Rule 6: lock-order (cross-file) ──────────────────────────────────────
+
+#[test]
+fn two_lock_cycle_reports_one_finding_with_both_witnesses() {
+    let report = lint_fixture("lockorder_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 1, "{:?}", report.findings);
+    assert_eq!(rules.first().copied().unwrap(), Rule::LockOrder);
+    let message = &report.findings.first().unwrap().message;
+    assert!(
+        message.contains("(in `fwd`)") && message.contains("(in `rev`)"),
+        "a cycle must cite both witness paths: {message}"
+    );
+    assert!(
+        !report.lock_graph.cycles.is_empty(),
+        "the JSON lock graph must record the cycle"
+    );
+}
+
+#[test]
+fn consistent_order_with_call_expansion_edge_is_clean() {
+    let report = lint_fixture("lockorder_ok");
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert!(
+        report
+            .lock_graph
+            .edges
+            .iter()
+            .any(|e| e.from == "app::State.conns" && e.to == "app::State.stats"),
+        "holding `conns` across a call to `inner` (which takes `stats`) must \
+         produce the expanded edge: {:?}",
+        report.lock_graph.edges
+    );
+    assert!(report.lock_graph.cycles.is_empty());
+}
+
+// ── Rule 7: relaxed-counter-drift ────────────────────────────────────────
+
+#[test]
+fn adhoc_load_of_surfaced_counter_is_flagged() {
+    let report = lint_fixture("counterdrift_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 1, "{:?}", report.findings);
+    assert_eq!(rules.first().copied().unwrap(), Rule::CounterDrift);
+    assert!(report
+        .findings
+        .first()
+        .unwrap()
+        .message
+        .contains("`requests`"));
+}
+
+#[test]
+fn sanctioned_readers_and_eponymous_getter_pass() {
+    assert_clean("counterdrift_ok");
+}
+
+// ── Rule 8: instant-outside-span ─────────────────────────────────────────
+
+#[test]
+fn bare_instant_in_observed_scope_is_flagged() {
+    let report = lint_fixture("instant_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 1, "{:?}", report.findings);
+    assert_eq!(rules.first().copied().unwrap(), Rule::InstantSpan);
+}
+
+#[test]
+fn span_idiom_timing_comment_and_tests_pass() {
+    assert_clean("instant_ok");
+}
+
+// ── Rule 9: wire-error-exhaustiveness ────────────────────────────────────
+
+#[test]
+fn unmapped_and_untested_wire_error_variant_is_flagged_twice() {
+    let report = lint_fixture("wireerr_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 2, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::WireErrorExhaustive));
+    let messages: String = report
+        .findings
+        .iter()
+        .map(|f| f.message.as_str())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(messages.contains("never mapped"));
+    assert!(messages.contains("never constructed in tests"));
+    assert!(messages.contains("BadMagic"));
+}
+
+#[test]
+fn fully_mapped_and_tested_wire_error_enum_passes() {
+    assert_clean("wireerr_ok");
+}
+
 // ── Suppression hygiene ──────────────────────────────────────────────────
 
 #[test]
@@ -156,16 +252,37 @@ fn reasonless_or_unknown_suppressions_are_flagged() {
 
 // ── The binary gate: `--deny` exits nonzero on every seeded violation ────
 
+/// One seeded-violation fixture per rule. [`fixture_suite_covers_every_rule`]
+/// fails the build if a rule is added to [`Rule::ALL`] without a fixture
+/// riding here, so this list cannot silently fall behind the registry.
+const BAD_CASES: &[(&str, Rule)] = &[
+    ("unsafe_bad", Rule::UnsafeSafety),
+    ("panic_bad", Rule::NoPanicHostile),
+    ("atomics_bad", Rule::AtomicsOrdering),
+    ("hotpath_bad", Rule::NoAllocHotPath),
+    ("wire_bad", Rule::WireKindCoverage),
+    ("suppress_bad", Rule::Suppression),
+    ("lockorder_bad", Rule::LockOrder),
+    ("counterdrift_bad", Rule::CounterDrift),
+    ("instant_bad", Rule::InstantSpan),
+    ("wireerr_bad", Rule::WireErrorExhaustive),
+];
+
+#[test]
+fn fixture_suite_covers_every_rule() {
+    for rule in Rule::ALL {
+        assert!(
+            BAD_CASES.iter().any(|(_, r)| *r == rule),
+            "rule `{}` has no seeded-violation fixture in BAD_CASES — add a \
+             `fixtures/<case>` micro-workspace for it",
+            rule.name()
+        );
+    }
+}
+
 #[test]
 fn deny_gate_exits_nonzero_on_each_bad_fixture() {
-    for (case, rule) in [
-        ("unsafe_bad", Rule::UnsafeSafety),
-        ("panic_bad", Rule::NoPanicHostile),
-        ("atomics_bad", Rule::AtomicsOrdering),
-        ("hotpath_bad", Rule::NoAllocHotPath),
-        ("wire_bad", Rule::WireKindCoverage),
-        ("suppress_bad", Rule::Suppression),
-    ] {
+    for &(case, rule) in BAD_CASES {
         let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
             .arg("--deny")
             .arg(fixture_root(case))
@@ -194,6 +311,10 @@ fn deny_gate_passes_on_good_fixtures() {
         "atomics_ok",
         "hotpath_ok",
         "wire_ok",
+        "lockorder_ok",
+        "counterdrift_ok",
+        "instant_ok",
+        "wireerr_ok",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
             .arg("--deny")

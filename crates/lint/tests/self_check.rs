@@ -38,6 +38,23 @@ fn real_tree_lints_clean() {
         .iter()
         .any(|s| s.file.ends_with("crates/nn/src/kernels.rs")));
     assert!(!report.inventory.atomics.is_empty());
+    // The cross-file pass must discover the serving stack's locks and prove
+    // the acquisition graph acyclic.
+    let graph = &report.lock_graph;
+    assert!(
+        graph
+            .locks
+            .iter()
+            .any(|l| l.id == "serve::EstimateCache.shards"),
+        "lock graph should name the cache shards: {:?}",
+        graph.locks
+    );
+    assert!(graph.cycles.is_empty(), "{:?}", graph.cycles);
+    assert_eq!(
+        graph.order.len(),
+        graph.locks.len(),
+        "the topological order must cover every lock"
+    );
 }
 
 #[test]
@@ -64,9 +81,16 @@ fn json_report_has_findings_and_inventory() {
     assert!(out.status.success());
     let js = String::from_utf8_lossy(&out.stdout);
     assert!(js.starts_with('{') && js.trim_end().ends_with('}'));
+    assert!(js.contains("\"schema\":2"));
     assert!(js.contains("\"findings\":[]"));
     assert!(js.contains("\"inventory\":"));
     assert!(js.contains("\"unsafe\":[{"));
     assert!(js.contains("\"atomics\":[{"));
     assert!(js.contains("\"files_scanned\":"));
+    // The lock graph rides in the inventory: non-empty locks and order on
+    // the real tree, and no cycles.
+    assert!(js.contains("\"lock_graph\":"));
+    assert!(js.contains("\"locks\":[{"));
+    assert!(js.contains("\"order\":[\""));
+    assert!(js.contains("\"cycles\":[]"));
 }

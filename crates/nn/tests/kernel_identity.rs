@@ -4,7 +4,9 @@
 //! produces outputs **bit-identical** to the scalar reference kernels —
 //! across rectangular and degenerate shapes (0×n, 1×1, non-square), across
 //! backends × 1/2/4 workers, and with non-finite inputs (NaN, ±∞, ±0.0) in
-//! the mix.
+//! the mix. The one deliberate relaxation: NaN outputs match as a *class*
+//! (any NaN equals any NaN), because NaN sign/payload propagation is
+//! ISA-defined and differs across hosts.
 //!
 //! Bitwise comparison (not approximate) is the point: the serving cache,
 //! the snapshot system, and the train-serial-vs-threaded guarantee all rely
@@ -44,6 +46,13 @@ fn matrix_from_seed(rows: usize, cols: usize, seed: u64, nonfinite: bool) -> Mat
 fn assert_bits_eq(want: &Matrix, got: &Matrix, what: &str) {
     assert_eq!(want.shape(), got.shape(), "{what}: shape mismatch");
     for (i, (w, g)) in want.as_slice().iter().zip(got.as_slice()).enumerate() {
+        // NaNs compare as a class, not bit for bit: which NaN payload/sign an
+        // FMA or x87-less fallback produces is ISA-defined, so demanding one
+        // exact NaN bit pattern would tie the test to the host CPU. Every
+        // non-NaN value (including ±0.0 and ±∞) must still match exactly.
+        if w.is_nan() && g.is_nan() {
+            continue;
+        }
         assert_eq!(
             w.to_bits(),
             g.to_bits(),
@@ -124,7 +133,8 @@ proptest! {
 
     /// Same property with NaN / ±∞ mixed in: the dense fallback (the
     /// sparse skip is disabled by the finiteness pre-check) must also be
-    /// order-identical across variants — NaN for NaN, bit for bit.
+    /// order-identical across variants — NaN where the reference has NaN
+    /// (payload/sign free, see `assert_bits_eq`), exact bits elsewhere.
     #[test]
     fn kernels_bit_identical_on_nonfinite_inputs(
         m in 0usize..16,

@@ -20,6 +20,8 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Mutex;
 
+use crate::lockwitness::{self, TrackedLock};
+
 /// Outcome of a cache probe.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum CacheLookup {
@@ -233,6 +235,7 @@ impl EstimateCache {
         if !self.enabled {
             return CacheLookup::Miss;
         }
+        let _witness = lockwitness::acquire(TrackedLock::CacheShard);
         self.shard(epoch, fp)
             .lock()
             .expect("cache poisoned")
@@ -243,6 +246,7 @@ impl EstimateCache {
         if !self.enabled {
             return;
         }
+        let _witness = lockwitness::acquire(TrackedLock::CacheShard);
         self.shard(epoch, fp)
             .lock()
             .expect("cache poisoned")
@@ -253,7 +257,10 @@ impl EstimateCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache poisoned").len)
+            .map(|s| {
+                let _witness = lockwitness::acquire(TrackedLock::CacheShard);
+                s.lock().expect("cache poisoned").len
+            })
             .sum()
     }
 
@@ -269,7 +276,10 @@ impl EstimateCache {
     pub fn index_groups(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().expect("cache poisoned").index.len())
+            .map(|s| {
+                let _witness = lockwitness::acquire(TrackedLock::CacheShard);
+                s.lock().expect("cache poisoned").index.len()
+            })
             .sum()
     }
 }

@@ -49,6 +49,7 @@
 
 pub mod cache;
 pub mod http;
+pub mod lockwitness;
 pub mod net;
 pub mod obs_export;
 pub mod registry;

@@ -1,0 +1,197 @@
+//! Debug-build lock witness: runtime enforcement of the static lock order.
+//!
+//! `cardest-lint`'s cross-file lock-order pass proves the workspace's
+//! lock-acquisition graph is cycle-free *as written*; this module enforces
+//! the same discipline *as executed*, so a refactor that introduces a
+//! nesting the lint's resolver cannot see (trait objects, callbacks,
+//! channels handing guards across threads) still explodes loudly in every
+//! debug/test run instead of deadlocking in production.
+//!
+//! Every tracked lock has a static rank in [`LOCK_RANKS`]. A thread may
+//! only acquire locks in strictly increasing rank order; [`acquire`] pushes
+//! the rank onto a thread-local stack and panics in debug builds if the
+//! order is violated. In release builds the witness compiles to nothing —
+//! `acquire` returns a zero-sized guard and touches no thread-local.
+//!
+//! [`LOCK_RANKS`] is the single rank table. It deliberately names locks by
+//! the same ids the lint emits (`crate::Struct.field`), and the
+//! `lockwitness` integration test re-runs the lint's graph pass over this
+//! workspace and fails if the table is missing a lock or orders any edge
+//! backwards — so the static analysis and the runtime witness cannot
+//! drift apart.
+
+#[cfg(debug_assertions)]
+use std::cell::RefCell;
+
+/// Rank table for every lock the lint discovers in this workspace, ordered
+/// outermost-first along the request path: connection bookkeeping → job
+/// queue → model registry → estimate cache → stats → trace ring/slow log →
+/// metrics registry. Ids match the lint's `lock_graph` node ids.
+pub const LOCK_RANKS: &[(&str, u16)] = &[
+    ("serve::NetServer.conn_joins", 0),
+    ("serve::service.rx", 1),
+    ("serve::ModelRegistry.models", 2),
+    ("serve::EstimateCache.shards", 3),
+    ("serve::ServiceStats.clients", 4),
+    ("obs::Observer.ring", 5),
+    ("obs::Observer.slow", 6),
+    ("core::Registry.live", 7),
+];
+
+/// The locks this crate instruments (obs/core cannot depend on serve, so
+/// their ranks exist in the table for ordering but are uninstrumented).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrackedLock {
+    /// `NetServer.conn_joins` — rank 0.
+    ConnJoins,
+    /// The worker-shared job receiver (`service.rx`) — rank 1.
+    JobQueue,
+    /// `ModelRegistry.models` — rank 2.
+    RegistryModels,
+    /// One `EstimateCache` shard — rank 3 (shards of one cache are never
+    /// nested, so they share a rank).
+    CacheShard,
+    /// `ServiceStats.clients` — rank 4.
+    StatsClients,
+}
+
+impl TrackedLock {
+    #[cfg(debug_assertions)]
+    fn rank(self) -> u16 {
+        let id = match self {
+            TrackedLock::ConnJoins => "serve::NetServer.conn_joins",
+            TrackedLock::JobQueue => "serve::service.rx",
+            TrackedLock::RegistryModels => "serve::ModelRegistry.models",
+            TrackedLock::CacheShard => "serve::EstimateCache.shards",
+            TrackedLock::StatsClients => "serve::ServiceStats.clients",
+        };
+        // The table is tiny and const; a linear scan at debug-only call
+        // sites is cheaper than keeping a second rank column in sync.
+        match LOCK_RANKS.iter().find(|(n, _)| *n == id) {
+            Some(&(_, r)) => r,
+            None => unreachable!("every TrackedLock id is in LOCK_RANKS"),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn name(self) -> &'static str {
+        match self {
+            TrackedLock::ConnJoins => "NetServer.conn_joins",
+            TrackedLock::JobQueue => "service.rx",
+            TrackedLock::RegistryModels => "ModelRegistry.models",
+            TrackedLock::CacheShard => "EstimateCache.shards",
+            TrackedLock::StatsClients => "ServiceStats.clients",
+        }
+    }
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Ranks of tracked locks this thread currently holds, oldest first.
+    static HELD: RefCell<Vec<u16>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Witness guard: declare it on the line *before* the real `.lock()` call,
+/// so the real guard (declared later) drops first and the witness pops
+/// after the lock is actually released.
+#[must_use = "the witness must outlive the lock guard it protects"]
+pub struct HeldLock {
+    #[cfg(debug_assertions)]
+    rank: u16,
+}
+
+/// Record (debug builds) that the current thread is about to acquire
+/// `lock`; panics if a lock of equal or higher rank is already held by
+/// this thread. Release builds: a free no-op.
+#[inline]
+pub fn acquire(lock: TrackedLock) -> HeldLock {
+    #[cfg(debug_assertions)]
+    {
+        let rank = lock.rank();
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&top) = held.last() {
+                assert!(
+                    rank > top,
+                    "lock-order violation: acquiring `{}` (rank {rank}) while holding a lock \
+                     of rank {top}; see lockwitness::LOCK_RANKS for the required order",
+                    lock.name(),
+                );
+            }
+            held.push(rank);
+        });
+        HeldLock { rank }
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = lock;
+        HeldLock {}
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for HeldLock {
+    fn drop(&mut self) {
+        HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            // Pop this guard's own entry (the last occurrence of its rank):
+            // guards usually drop LIFO, but an early `drop(inner_guard)`
+            // must not corrupt the stack for outer witnesses.
+            if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_unique_and_table_is_sorted() {
+        for w in LOCK_RANKS.windows(2) {
+            assert!(w[0].1 < w[1].1, "ranks must be strictly increasing");
+        }
+    }
+
+    #[test]
+    fn ascending_acquisition_is_allowed() {
+        let _a = acquire(TrackedLock::ConnJoins);
+        let _b = acquire(TrackedLock::RegistryModels);
+        let _c = acquire(TrackedLock::StatsClients);
+    }
+
+    #[test]
+    fn reacquisition_after_release_is_allowed() {
+        {
+            let _a = acquire(TrackedLock::StatsClients);
+        }
+        let _b = acquire(TrackedLock::RegistryModels);
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_the_stack_consistent() {
+        let a = acquire(TrackedLock::RegistryModels);
+        let b = acquire(TrackedLock::CacheShard);
+        drop(a); // early release of the outer witness
+        drop(b);
+        let _c = acquire(TrackedLock::ConnJoins); // stack must be empty again
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
+    fn descending_acquisition_panics_in_debug() {
+        let _a = acquire(TrackedLock::StatsClients);
+        let _b = acquire(TrackedLock::RegistryModels);
+        // In release builds the witness is a no-op, so this test passing
+        // without a panic is exactly the claim being verified there.
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
+    fn same_rank_reacquisition_panics_in_debug() {
+        let _a = acquire(TrackedLock::CacheShard);
+        let _b = acquire(TrackedLock::CacheShard);
+    }
+}

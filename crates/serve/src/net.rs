@@ -38,6 +38,7 @@
 //! consuming, writers flush every response already in flight, then the
 //! service joins.
 
+use crate::lockwitness::{self, TrackedLock};
 use crate::obs_export;
 use crate::service::{EstimateSource, Request, Response, ServeError, Service};
 use crate::wire::{
@@ -210,6 +211,7 @@ impl NetServer {
         let joins: Vec<JoinHandle<()>> = {
             // A panicked connection thread poisons the join list; shutdown
             // must still drain it, so recover the guard instead of panicking.
+            let _witness = lockwitness::acquire(TrackedLock::ConnJoins);
             let mut guard = self
                 .conn_joins
                 .lock()
@@ -257,6 +259,7 @@ fn accept_loop(
                 // Only this accept thread ever locks the join list while
                 // running; recover from a poison left by a panicking
                 // shutdown path rather than taking the accept loop down.
+                let _witness = lockwitness::acquire(TrackedLock::ConnJoins);
                 let mut joins = conn_joins
                     .lock()
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -310,6 +313,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
     let stats = Arc::clone(shared.service.stats_handle());
     let mut dec = Decoder::new();
     let mut buf = [0u8; 4096];
+    // timing: slow-loris idle clock, not a latency measurement — it times
+    // the gap between reads to evict stalled clients, so it must tick even
+    // when observation is off.
     let mut last_byte = Instant::now();
     // Ingress accounting: the decoder counts complete frames / consumed
     // bytes; deltas since the last report flow into the shared stats after
@@ -320,6 +326,7 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
         match stream.read(&mut buf) {
             Ok(0) => break, // clean EOF
             Ok(n) => {
+                // timing: refresh of the slow-loris idle clock (see above).
                 last_byte = Instant::now();
                 // `Read` guarantees n <= buf.len(); fall back to the whole
                 // buffer rather than trusting that contract with a panic.

@@ -19,6 +19,7 @@
 //! thread to idle when traffic stops.
 
 use crate::cache::{CacheLookup, EstimateCache};
+use crate::lockwitness::{self, TrackedLock};
 use crate::registry::{ModelRegistry, RegistryReader, ServeModel};
 use crate::stats::{ServiceStats, StatsSnapshot};
 use cardest_core::{CardinalityEstimator, Estimate, PreparedQuery};
@@ -256,6 +257,9 @@ impl ServiceClient {
     ) -> Receiver<Result<Response, ServeError>> {
         self.stats.record_request();
         let (resp_tx, resp_rx) = channel();
+        // timing: enqueue stamp for deadline arithmetic and QueueWait span
+        // attribution; it must exist even for untraced jobs because the
+        // deadline check in process_batch consumes it.
         let now = Instant::now();
         let job = Job {
             req,
@@ -514,6 +518,7 @@ fn collect_batch(
     window: Duration,
     traced: bool,
 ) -> Vec<Job> {
+    let _witness = lockwitness::acquire(TrackedLock::JobQueue);
     let rx = rx.lock().expect("request queue poisoned");
     let first = loop {
         if stop.load(Ordering::Acquire) {
@@ -530,9 +535,13 @@ fn collect_batch(
         }
     };
     let mut batch = vec![first];
+    // timing: batch-window control clock — it bounds how long the worker
+    // waits for more jobs, so it runs unconditionally; the same stamp seeds
+    // QueueWait/BatchWindow span attribution below when tracing is on.
     let t_first = Instant::now();
     let deadline = t_first + window;
     while batch.len() < batch_max.max(1) {
+        // timing: remaining-window computation for the same control clock.
         let now = Instant::now();
         if now >= deadline {
             // Window closed: take only what is already queued.
@@ -551,6 +560,8 @@ fn collect_batch(
         // Span attribution per job: queue wait is enqueue → the worker's
         // first recv (zero for jobs that arrived *during* the window), batch
         // window is the remainder until the batch sealed.
+        // timing: seal stamp feeding the QueueWait/BatchWindow spans; only
+        // reached when `traced`, so it is already observation-gated.
         let t_sealed = Instant::now();
         for job in &mut batch {
             let picked_up = if job.enqueued > t_first {
@@ -653,9 +664,12 @@ fn serve_group(
         // A job queued past its deadline is load-shed: a cache answer is
         // still free (exact hits below cost nothing), but it will not be
         // granted a model run.
-        let expired = job
-            .deadline
-            .is_some_and(|deadline| Instant::now() > deadline);
+        let expired = match job.deadline {
+            // timing: admission-control check against the enqueue-relative
+            // deadline, not a latency measurement.
+            Some(deadline) => Instant::now() > deadline,
+            None => false,
+        };
         let t_probe = traced.then(Instant::now);
         let lookup = cache.lookup(epoch, fp, tau);
         if let Some(t) = t_probe {

@@ -14,6 +14,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use crate::lockwitness::{self, TrackedLock};
+
 /// Latency buckets: bucket `b` covers `[2^b, 2^{b+1})` nanoseconds. 48
 /// buckets span 1 ns – ~3.2 days, which is every latency a service can see.
 const LATENCY_BUCKETS: usize = 48;
@@ -158,6 +160,7 @@ impl ServiceStats {
     /// [`ServiceStats::client_end`]; a refusal bumps the quota-reject
     /// counters instead.
     pub fn client_begin(&self, client_id: u64, quota: usize) -> bool {
+        let _witness = lockwitness::acquire(TrackedLock::StatsClients);
         let mut table = self.clients.lock().expect("client table poisoned");
         // Bound the table before inserting a new id: random client ids must
         // not grow server memory without limit.
@@ -193,6 +196,7 @@ impl ServiceStats {
 
     /// Releases one admitted request for `client_id`.
     pub fn client_end(&self, client_id: u64) {
+        let _witness = lockwitness::acquire(TrackedLock::StatsClients);
         let mut table = self.clients.lock().expect("client table poisoned");
         if let Some(entry) = table.get_mut(&client_id) {
             entry.outstanding = entry.outstanding.saturating_sub(1);
@@ -203,6 +207,7 @@ impl ServiceStats {
     /// are credited — inserting here would let shed attribution re-grow the
     /// bounded table past [`MAX_TRACKED_CLIENTS`].
     pub fn client_shed(&self, client_id: u64) {
+        let _witness = lockwitness::acquire(TrackedLock::StatsClients);
         let mut table = self.clients.lock().expect("client table poisoned");
         if let Some(entry) = table.get_mut(&client_id) {
             entry.shed += 1;
@@ -211,6 +216,7 @@ impl ServiceStats {
 
     /// Point-in-time copy of one client's counters.
     pub fn client_stats(&self, client_id: u64) -> ClientStats {
+        let _witness = lockwitness::acquire(TrackedLock::StatsClients);
         self.clients
             .lock()
             .expect("client table poisoned")
@@ -244,6 +250,7 @@ impl ServiceStats {
             .iter()
             .map(|c| c.load(Ordering::Relaxed))
             .collect();
+        let _witness = lockwitness::acquire(TrackedLock::StatsClients);
         let mut clients: Vec<(u64, ClientStats)> = self
             .clients
             .lock()

@@ -905,6 +905,52 @@ mod tests {
     }
 
     #[test]
+    fn body_level_errors_are_typed() {
+        // Undefined flag bits: only responses define a flag, so any flag on
+        // a ping is rejected with the offending bits.
+        let mut payload = vec![MAGIC, WIRE_VERSION, KIND_PING, 0x02];
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        assert_eq!(decode_payload(&payload), Err(WireError::BadFlags(0x02)));
+
+        // Request prefix shared by the query-tag and UTF-8 probes.
+        let request_prefix = |model: &[u8]| {
+            let mut p = vec![MAGIC, WIRE_VERSION, KIND_REQUEST, 0];
+            p.extend_from_slice(&1u64.to_le_bytes()); // request_id
+            p.extend_from_slice(&0u64.to_le_bytes()); // client_id
+            p.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // theta
+            p.extend_from_slice(&0u32.to_le_bytes()); // deadline_us
+            p.push(model.len() as u8);
+            p.extend_from_slice(model);
+            p
+        };
+
+        // Invalid UTF-8 in the model-name string field.
+        let payload = request_prefix(&[0xFF, 0xFE]);
+        assert_eq!(decode_payload(&payload), Err(WireError::BadUtf8));
+
+        // Unknown query tag after a valid prefix.
+        let mut payload = request_prefix(b"m");
+        payload.push(9); // neither 0 (index) nor 1 (inline bits)
+        assert_eq!(decode_payload(&payload), Err(WireError::BadQueryTag(9)));
+
+        // Unknown response source byte.
+        let mut payload = vec![MAGIC, WIRE_VERSION, KIND_RESPONSE, 0];
+        payload.extend_from_slice(&1u64.to_le_bytes()); // request_id
+        payload.extend_from_slice(&3u64.to_le_bytes()); // epoch
+        for _ in 0..3 {
+            payload.extend_from_slice(&1.0f64.to_bits().to_le_bytes()); // estimate/lo/hi
+        }
+        payload.push(0xEE);
+        assert_eq!(decode_payload(&payload), Err(WireError::BadSource(0xEE)));
+
+        // Unknown error code byte.
+        let mut payload = vec![MAGIC, WIRE_VERSION, KIND_ERROR, 0];
+        payload.extend_from_slice(&1u64.to_le_bytes()); // request_id
+        payload.push(0x7F);
+        assert_eq!(decode_payload(&payload), Err(WireError::BadErrorCode(0x7F)));
+    }
+
+    #[test]
     fn truncated_and_padded_bodies_are_rejected() {
         let full = Frame::Ping(12345).encode();
         // Shorten the payload but fix the length prefix to match.

@@ -1,0 +1,79 @@
+//! Keeps the runtime lock witness and the static lock-order analysis from
+//! drifting apart: re-runs `cardest-lint`'s cross-file lock-graph pass over
+//! this workspace and checks the witness's rank table against it.
+//!
+//! Two invariants:
+//!
+//! 1. **Coverage** — every lock the lint discovers appears in
+//!    [`cardest_serve::lockwitness::LOCK_RANKS`], and vice versa. Adding a
+//!    mutex anywhere in the workspace without assigning it a rank fails
+//!    here, as does keeping a rank for a lock that no longer exists.
+//! 2. **Consistency** — every edge in the lint's acquisition graph goes
+//!    from a lower rank to a higher rank, so code the lint proves
+//!    acyclic can never trip the runtime witness (and the witness's
+//!    order is a valid topological order of the static graph).
+
+use cardest_lint::{run, Config};
+use cardest_serve::lockwitness::LOCK_RANKS;
+use std::collections::HashMap;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    // crates/serve -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn rank_table_matches_the_lint_lock_graph() {
+    let report = run(&Config::workspace(&workspace_root())).expect("lint runs");
+    let graph = &report.lock_graph;
+    assert!(
+        !graph.locks.is_empty(),
+        "the lint should discover the workspace's locks"
+    );
+    assert!(
+        graph.cycles.is_empty(),
+        "the static lock graph must be cycle-free: {:?}",
+        graph.cycles
+    );
+
+    let ranks: HashMap<&str, u16> = LOCK_RANKS.iter().copied().collect();
+
+    // Coverage, both directions.
+    for lock in &graph.locks {
+        assert!(
+            ranks.contains_key(lock.id.as_str()),
+            "lock `{}` ({}:{}) has no rank in lockwitness::LOCK_RANKS — \
+             assign it one so the runtime witness can track it",
+            lock.id,
+            lock.file,
+            lock.line,
+        );
+    }
+    for (id, _) in LOCK_RANKS {
+        assert!(
+            graph.locks.iter().any(|l| l.id == *id),
+            "LOCK_RANKS names `{id}` but the lint no longer finds that lock — \
+             remove the stale rank",
+        );
+    }
+
+    // Every statically observed nesting must agree with the rank order.
+    for edge in &graph.edges {
+        let from = ranks[edge.from.as_str()];
+        let to = ranks[edge.to.as_str()];
+        assert!(
+            from < to,
+            "edge `{}` -> `{}` at {}:{} (in `{}`) contradicts LOCK_RANKS \
+             ({from} !< {to}); reorder the ranks or the acquisitions",
+            edge.from,
+            edge.to,
+            edge.file,
+            edge.line,
+            edge.func,
+        );
+    }
+}
