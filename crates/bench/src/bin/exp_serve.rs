@@ -829,6 +829,9 @@ fn run_socket_client(
     writer.set_nodelay(true).ok();
     let mut reader = writer.try_clone().expect("clone socket");
     let mut writer = writer;
+    // capacity: unbounded send-stamp queue; the sender pushes one Instant
+    // per request and the reader pops one per response, so depth is bounded
+    // by the in-flight window of this closed-loop client (≤ slice.len()).
     let (sent_tx, sent_rx) = std::sync::mpsc::channel::<Instant>();
     let expected = slice.len();
 

@@ -1,0 +1,16 @@
+//! Channels created with no `// capacity:` justification — one of each
+//! boundedness class.
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+
+pub fn pipe() -> (Sender<u64>, Receiver<u64>) {
+    channel()
+}
+
+pub fn handoff() -> (SyncSender<u64>, Receiver<u64>) {
+    sync_channel(0)
+}
+
+pub fn bounded_queue() -> (SyncSender<u64>, Receiver<u64>) {
+    sync_channel(64)
+}

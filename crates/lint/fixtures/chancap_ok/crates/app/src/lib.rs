@@ -1,0 +1,28 @@
+//! Every channel says why its boundedness is right; test-code channels are
+//! inventoried but exempt from the justification requirement.
+
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+
+pub fn pipe() -> (Sender<u64>, Receiver<u64>) {
+    // capacity: unbounded; one message per admission-controlled request, so
+    // depth is bounded upstream of the channel.
+    channel()
+}
+
+pub fn handoff() -> (SyncSender<u64>, Receiver<u64>) {
+    // capacity: rendezvous — the producer must observe the consumer taking
+    // each value before proceeding, which is the backpressure we want.
+    sync_channel(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn test_channels_are_exempt() {
+        let (tx, rx) = channel::<u64>();
+        tx.send(1).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+    }
+}

@@ -1,0 +1,16 @@
+//! A guard held across a channel recv: every other worker contending for
+//! the queue lock stalls for the full duration of the blocking call.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Queue {
+    rx: Mutex<Receiver<u64>>,
+}
+
+impl Queue {
+    pub fn next(&self) -> Option<u64> {
+        let rx = self.rx.lock().ok()?;
+        rx.recv().ok()
+    }
+}

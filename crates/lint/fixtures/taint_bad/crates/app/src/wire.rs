@@ -1,0 +1,31 @@
+//! The PR 6 inline-bits bug, reduced: wire-read lengths reach
+//! length-proportional allocations with no clamp, so `len = u32::MAX`
+//! forces a ~512 MiB allocation before the payload is even validated.
+
+pub struct Body {
+    n: u32,
+}
+
+pub struct BitVec;
+
+impl BitVec {
+    pub fn zeros(_len: usize) -> BitVec {
+        BitVec
+    }
+}
+
+impl Body {
+    pub fn u32(&mut self) -> u32 {
+        self.n
+    }
+
+    pub fn decode_bits(&mut self) -> BitVec {
+        let len = self.u32() as usize;
+        BitVec::zeros(len)
+    }
+
+    pub fn decode_counters(&mut self) -> Vec<u64> {
+        let n = self.u32() as usize;
+        Vec::with_capacity(n)
+    }
+}

@@ -1,0 +1,53 @@
+//! Every wire-read length is clamped before its sink — the straight-line
+//! check-then-allocate convention the taint rule mechanizes. All three
+//! sanitizer forms appear: a derived-value `.len()` comparison, a named
+//! `MAX_*` cap, and a `.min(…)` clamp at the read itself.
+
+pub const MAX_COUNTERS: usize = 200;
+
+pub struct Body {
+    n: u32,
+    b: Vec<u8>,
+    pos: usize,
+}
+
+pub struct BitVec;
+
+impl BitVec {
+    pub fn zeros(_len: usize) -> BitVec {
+        BitVec
+    }
+}
+
+pub enum DecodeError {
+    TooLong,
+}
+
+impl Body {
+    pub fn u32(&mut self) -> u32 {
+        self.n
+    }
+
+    pub fn decode_bits(&mut self) -> Result<BitVec, DecodeError> {
+        let len = self.u32() as usize;
+        let n_words = len.div_ceil(64);
+        let promised = n_words * 8;
+        if promised > self.b.len() - self.pos {
+            return Err(DecodeError::TooLong);
+        }
+        Ok(BitVec::zeros(len))
+    }
+
+    pub fn decode_counters(&mut self) -> Result<Vec<u64>, DecodeError> {
+        let n = self.u32() as usize;
+        if n > MAX_COUNTERS {
+            return Err(DecodeError::TooLong);
+        }
+        Ok(Vec::with_capacity(n))
+    }
+
+    pub fn take_clamped(&mut self) -> Vec<u8> {
+        let n = (self.u32() as usize).min(MAX_COUNTERS);
+        Vec::with_capacity(n)
+    }
+}

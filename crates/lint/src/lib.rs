@@ -3,7 +3,7 @@
 //! Mechanizes the conventions this codebase relies on but `rustc`/clippy
 //! cannot see. The checker walks every `crates/*/src/**/*.rs` file under a
 //! workspace root, lexes each file just enough to separate code from
-//! comments and string literals ([`lex`]), and enforces nine rules:
+//! comments and string literals ([`lex`]), and enforces twelve rules:
 //!
 //! | rule | invariant |
 //! |------|-----------|
@@ -16,11 +16,18 @@
 //! | `relaxed-counter-drift` | counters surfaced via `push_counter` are read only through sanctioned registry readers |
 //! | `instant-outside-span` | `Instant::now()` in serve/obs production code starts an observed span or carries `// timing:` |
 //! | `wire-error-exhaustiveness` | every `WireError` variant is mapped in the error path and constructed in tests |
+//! | `hostile-length-taint` | wire-read lengths ([`taint`]) are clamped before reaching an allocation or indexing sink |
+//! | `guard-held-across-blocking` | no lock guard is live across `.join()`/channel ops/`Condvar::wait`/socket IO/kernel entry |
+//! | `channel-capacity-audit` | every channel creation carries a `// capacity:` justification of its boundedness |
 //!
-//! The four concurrency-aware rules share a lightweight per-crate symbol
+//! The concurrency-aware rules share a lightweight per-crate symbol
 //! table ([`symbols`]): struct-field locks, lock-typed parameters, accessor
 //! functions, and function spans — no `syn`, no type checker, just enough
-//! resolution to be right about this workspace.
+//! resolution to be right about this workspace. The dataflow rule
+//! ([`taint`]) adds intra-procedural taint tracking on the same masked
+//! token stream, and the whole rule set is self-measured by a mutation
+//! harness ([`mutate`]) that seeds one violation per rule per crate and
+//! fails unless every mutant is killed.
 //!
 //! Any finding can be waived in place with a suppression comment that names
 //! the rule and **must** state a reason, e.g.
@@ -34,8 +41,10 @@
 
 pub mod lex;
 pub mod lockgraph;
+pub mod mutate;
 pub mod rules;
 pub mod symbols;
+pub mod taint;
 
 use std::fmt;
 use std::fs;
@@ -70,6 +79,10 @@ pub struct Config {
     /// Path prefixes whose production code is subject to
     /// `instant-outside-span`.
     pub span_scopes: Vec<String>,
+    /// Function names that enter the compute-kernel layer: calling one while
+    /// a lock guard is live is flagged by `guard-held-across-blocking`, in
+    /// addition to the built-in blocking set (join/send/recv/wait/socket IO).
+    pub kernel_entry_calls: Vec<String>,
 }
 
 impl Config {
@@ -96,6 +109,11 @@ impl Config {
             span_scopes: vec![
                 "crates/serve/src/".to_string(),
                 "crates/obs/src/".to_string(),
+            ],
+            kernel_entry_calls: vec![
+                "infer_dist_batch".to_string(),
+                "estimate_batch".to_string(),
+                "estimate_batch_par".to_string(),
             ],
         }
     }
@@ -138,17 +156,55 @@ pub struct Site {
     pub excerpt: String,
 }
 
+/// One channel-creation site found by `channel-capacity-audit`: every
+/// queue in the workspace, with its boundedness class and whether a
+/// `// capacity:` comment justifies it.
+#[derive(Debug, Clone)]
+pub struct ChannelSite {
+    pub file: String,
+    pub line: usize,
+    /// `unbounded` (`channel()`), `rendezvous` (`sync_channel(0)`), or
+    /// `bounded` (`sync_channel(n)` for any other capacity expression).
+    pub kind: &'static str,
+    /// A `// capacity:` justification is present in the site's context.
+    pub justified: bool,
+    /// Channel creation is in `#[cfg(test)]` code (listed but never flagged).
+    pub test: bool,
+    pub excerpt: String,
+}
+
+/// One wire-length dataflow traced by `hostile-length-taint`: a value read
+/// off the wire that reached an allocation/indexing sink, and whether a
+/// clamp sanitized it on the way.
+#[derive(Debug, Clone)]
+pub struct TaintFlow {
+    pub file: String,
+    /// Line of the wire read that introduced the value.
+    pub source_line: usize,
+    /// Line of the allocation/indexing sink it reached.
+    pub sink_line: usize,
+    /// The tainted binding observed at the sink.
+    pub var: String,
+    /// The sink pattern hit (e.g. `Vec::with_capacity`).
+    pub sink: String,
+    /// A `MAX_*`/`.len()` comparison or `.min(…)` clamp intervened.
+    pub sanitized: bool,
+}
+
 /// Machine-readable audit inventory, emitted with `--json` so CI can
 /// archive how the tree's unsafe/atomics surface evolves over time.
 #[derive(Debug, Clone, Default)]
 pub struct Inventory {
     pub unsafe_sites: Vec<Site>,
     pub atomics: Vec<Site>,
+    pub channels: Vec<ChannelSite>,
+    pub taint_flows: Vec<TaintFlow>,
 }
 
 /// Version of the `--json` report shape. Bumped to 2 when the inventory
-/// gained the `lock_graph` section (and the report this `schema` field).
-pub const JSON_SCHEMA: u32 = 2;
+/// gained the `lock_graph` section (and the report this `schema` field);
+/// to 3 when it gained the `channels` and `taint_flows` inventories.
+pub const JSON_SCHEMA: u32 = 3;
 
 /// Result of a full lint run.
 #[derive(Debug, Clone)]
@@ -185,6 +241,36 @@ impl Report {
         push_sites(&mut out, &self.inventory.unsafe_sites);
         out.push_str("],\"atomics\":[");
         push_sites(&mut out, &self.inventory.atomics);
+        out.push_str("],\"channels\":[");
+        for (i, c) in self.inventory.channels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{},\"line\":{},\"kind\":{},\"justified\":{},\"test\":{},\"excerpt\":{}}}",
+                json_str(&c.file),
+                c.line,
+                json_str(c.kind),
+                c.justified,
+                c.test,
+                json_str(&c.excerpt),
+            ));
+        }
+        out.push_str("],\"taint_flows\":[");
+        for (i, t) in self.inventory.taint_flows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"file\":{},\"source_line\":{},\"sink_line\":{},\"var\":{},\"sink\":{},\"sanitized\":{}}}",
+                json_str(&t.file),
+                t.source_line,
+                t.sink_line,
+                json_str(&t.var),
+                json_str(&t.sink),
+                t.sanitized,
+            ));
+        }
         out.push_str("],\"lock_graph\":");
         push_lock_graph(&mut out, &self.lock_graph);
         out.push_str("}}");
@@ -278,6 +364,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// One loaded, lexed source file.
+#[derive(Debug, Clone)]
 pub struct SourceFile {
     /// Path relative to the workspace root, `/`-separated.
     pub rel: String,
@@ -357,18 +444,27 @@ pub fn run(cfg: &Config) -> io::Result<Report> {
     for rel in &rels {
         sources.push(SourceFile::load(&cfg.root, rel)?);
     }
+    run_sources(cfg, &sources)
+}
 
+/// Run every rule over an already-loaded source set. This is [`run`] minus
+/// the disk walk; the mutation harness ([`mutate`]) drives it on in-memory
+/// copies of the tree with seeded violations. `cfg.root` is still consulted
+/// for the `tests/` suites the wire-coverage rules read — mutants only
+/// rewrite `src` files, so sharing the on-disk suites is exact.
+pub fn run_sources(cfg: &Config, sources: &[SourceFile]) -> io::Result<Report> {
     let mut findings = Vec::new();
     let mut inventory = Inventory::default();
-    for f in &sources {
+    for f in sources {
         rules::check_file(cfg, f, &mut findings, &mut inventory);
     }
-    rules::check_wire_coverage(cfg, &sources, &mut findings)?;
-    rules::check_counter_drift(cfg, &sources, &mut findings);
-    rules::check_instant_spans(cfg, &sources, &mut findings);
-    rules::check_wire_error_coverage(cfg, &sources, &mut findings)?;
-    let tables = symbols::build(&sources);
-    let lock_graph = lockgraph::analyze(&tables, &sources, &mut findings);
+    rules::check_wire_coverage(cfg, sources, &mut findings)?;
+    rules::check_counter_drift(cfg, sources, &mut findings);
+    rules::check_instant_spans(cfg, sources, &mut findings);
+    rules::check_wire_error_coverage(cfg, sources, &mut findings)?;
+    taint::check_taint(cfg, sources, &mut findings, &mut inventory);
+    let tables = symbols::build(sources);
+    let lock_graph = lockgraph::analyze(cfg, &tables, sources, &mut findings);
 
     findings.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule.name()).cmp(&(b.file.as_str(), b.line, b.rule.name()))

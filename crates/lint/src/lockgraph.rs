@@ -32,7 +32,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use crate::lex::is_ident_byte;
 use crate::rules::{suppressed, Rule};
 use crate::symbols::{self, CrateTable, FnSym, LockKind};
-use crate::{Finding, SourceFile};
+use crate::{Config, Finding, SourceFile};
 
 /// One node of the acquisition graph (a declared lock).
 #[derive(Debug, Clone)]
@@ -283,6 +283,90 @@ fn find_calls(body: &FnBody, from: usize, to: usize) -> Vec<(String, usize)> {
     out
 }
 
+/// Method-call patterns that block the calling thread: thread joins,
+/// channel handoffs, condvar waits, and socket/stream IO. `.try_recv(` and
+/// `.try_send(` are deliberately absent (non-blocking), as are `.read(`/
+/// `.write(` (they collide with the RwLock acquisition patterns and the
+/// rule must not flag nested lock acquisition — that is `lock-order`'s job).
+const BLOCKING_PATTERNS: &[(&str, &str)] = &[
+    (".join(", "thread join"),
+    (".send(", "channel send"),
+    (".recv(", "channel recv"),
+    (".recv_timeout(", "channel recv"),
+    (".wait(", "condvar wait"),
+    (".wait_timeout(", "condvar wait"),
+    (".wait_while(", "condvar wait"),
+    (".write_all(", "socket/stream write"),
+    (".read_exact(", "socket/stream read"),
+    (".accept(", "socket accept"),
+    ("thread::sleep(", "sleep"),
+];
+
+/// `guard-held-across-blocking`: reusing the guard-lifetime inference, flag
+/// every blocking call (and every configured kernel-layer entry) inside a
+/// held interval. A guard held across a block stalls every other contender
+/// of that lock for the blocking call's full duration — the latency-cliff
+/// shape the micro-batching layout exists to avoid. Suppressible at either
+/// the blocking line or the acquisition line (one `// lint: allow` on the
+/// `.lock()` covers every blocking call under that guard).
+fn check_guard_blocking(
+    cfg: &Config,
+    f: &SourceFile,
+    table: &CrateTable,
+    func: &FnSym,
+    body: &FnBody,
+    acqs: &[Acq],
+    findings: &mut Vec<Finding>,
+) {
+    let text = std::str::from_utf8(&body.text).unwrap_or("");
+    let kernel: Vec<(String, String)> = cfg
+        .kernel_entry_calls
+        .iter()
+        .map(|n| (format!(".{n}("), format!("kernel entry `{n}`")))
+        .collect();
+    for a in acqs {
+        let lock_id = &table.locks[a.lock].id;
+        let window = match text.get(a.off..a.end) {
+            Some(w) => w,
+            None => continue,
+        };
+        let all_pats = BLOCKING_PATTERNS
+            .iter()
+            .map(|&(p, w)| (p, w))
+            .chain(kernel.iter().map(|(p, w)| (p.as_str(), w.as_str())));
+        for (pat, what) in all_pats {
+            let mut start = 0usize;
+            while let Some(rel) = window.get(start..).and_then(|s| s.find(pat)) {
+                let p = a.off + start + rel;
+                start += rel + 1;
+                if p == a.off {
+                    continue; // the acquisition itself (`.read(`-style overlap)
+                }
+                let line = body.line[p];
+                if suppressed(f, line - 1, Rule::GuardBlocking)
+                    || suppressed(f, a.line - 1, Rule::GuardBlocking)
+                {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: f.rel.clone(),
+                    line,
+                    rule: Rule::GuardBlocking,
+                    message: format!(
+                        "guard for `{lock_id}` (acquired at line {} in `{}`) is still held \
+                         across a {what} (`{}`); every contender of the lock stalls for the \
+                         call's full duration — release the guard first, or justify with a \
+                         `// lint: allow(guard-held-across-blocking) <reason>`",
+                        a.line,
+                        func.name,
+                        pat.trim_start_matches('.').trim_end_matches('('),
+                    ),
+                });
+            }
+        }
+    }
+}
+
 struct RawEdge {
     from: usize,
     to: usize,
@@ -291,8 +375,10 @@ struct RawEdge {
     func: String,
 }
 
-/// Run the pass: build the graph and report cycles as findings.
+/// Run the pass: build the graph, report cycles as findings, and flag
+/// guards held across blocking calls.
 pub fn analyze(
+    cfg: &Config,
     tables: &HashMap<String, CrateTable>,
     sources: &[SourceFile],
     findings: &mut Vec<Finding>,
@@ -347,10 +433,20 @@ pub fn analyze(
             .map(|a| a.iter().map(|x| x.lock).collect())
             .collect();
 
-        // Pass 2: edges from overlapping guards and expanded calls.
+        // Pass 2: edges from overlapping guards and expanded calls, plus
+        // the blocking-while-locked scan over the same held intervals.
         for (fi, func) in table.fns.iter().enumerate() {
             let body = &bodies[fi];
             let file = &sources[func.file_idx].rel;
+            check_guard_blocking(
+                cfg,
+                &sources[func.file_idx],
+                table,
+                func,
+                body,
+                &acqs[fi],
+                findings,
+            );
             for a in &acqs[fi] {
                 let gfrom = global[&(cname.as_str(), a.lock)];
                 for b in &acqs[fi] {
@@ -548,7 +644,8 @@ mod tests {
             .collect();
         let tables = build(&sources);
         let mut findings = Vec::new();
-        let graph = analyze(&tables, &sources, &mut findings);
+        let cfg = Config::workspace(std::path::Path::new("."));
+        let graph = analyze(&cfg, &tables, &sources, &mut findings);
         (graph, findings)
     }
 
@@ -676,5 +773,102 @@ pub fn print_all(lines: &[String]) {
         let (graph, findings) = graph_of(&[("crates/app/src/lib.rs", &src)]);
         assert_eq!(graph.cycles.len(), 1, "graph still records the cycle");
         assert!(findings.is_empty(), "finding waived: {findings:?}");
+    }
+
+    #[test]
+    fn guard_held_across_channel_recv_is_flagged() {
+        let src = r#"
+use std::sync::Mutex;
+use std::sync::mpsc::Receiver;
+pub struct Q { q: Mutex<u64> }
+impl Q {
+    pub fn drain(&self, rx: &Receiver<u64>) -> u64 {
+        let g = self.q.lock().unwrap();
+        let v = rx.recv().unwrap();
+        *g + v
+    }
+}
+"#;
+        let (_, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::GuardBlocking)
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        let msg = &hits[0].message;
+        assert!(msg.contains("app::Q.q"), "{msg}");
+        assert!(msg.contains("channel recv"), "{msg}");
+        assert!(msg.contains("`drain`"), "{msg}");
+    }
+
+    #[test]
+    fn guard_dropped_before_blocking_call_is_clean() {
+        let src = r#"
+use std::sync::Mutex;
+use std::sync::mpsc::Receiver;
+pub struct Q { q: Mutex<u64> }
+impl Q {
+    pub fn drain(&self, rx: &Receiver<u64>) -> u64 {
+        let v = {
+            let g = self.q.lock().unwrap();
+            *g
+        };
+        v + rx.recv().unwrap()
+    }
+}
+"#;
+        let (_, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        assert!(
+            findings.iter().all(|f| f.rule != Rule::GuardBlocking),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn guard_blocking_allow_on_the_acquisition_line_waives_the_finding() {
+        let src = r#"
+use std::sync::Mutex;
+use std::sync::mpsc::Receiver;
+pub struct Q { q: Mutex<u64> }
+impl Q {
+    pub fn drain(&self, rx: &Receiver<u64>) -> u64 {
+        // lint: allow(guard-held-across-blocking) single consumer; recv is the critical section.
+        let g = self.q.lock().unwrap();
+        let v = rx.recv().unwrap();
+        *g + v
+    }
+}
+"#;
+        let (_, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        assert!(
+            findings.iter().all(|f| f.rule != Rule::GuardBlocking),
+            "{findings:?}"
+        );
+    }
+
+    #[test]
+    fn guard_held_across_kernel_entry_call_is_flagged() {
+        let src = r#"
+use std::sync::Mutex;
+pub struct S { cache: Mutex<u64> }
+impl S {
+    pub fn answer(&self, k: &Kernel) -> u64 {
+        let g = self.cache.lock().unwrap();
+        let _ = k.estimate_batch(&[]);
+        *g
+    }
+}
+"#;
+        let (_, findings) = graph_of(&[("crates/app/src/lib.rs", src)]);
+        let hits: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == Rule::GuardBlocking)
+            .collect();
+        assert_eq!(hits.len(), 1, "{findings:?}");
+        assert!(
+            hits[0].message.contains("kernel entry"),
+            "{}",
+            hits[0].message
+        );
     }
 }

@@ -5,8 +5,9 @@
 //! cargo run -p cardest-lint                    # human-readable findings
 //! cargo run -p cardest-lint -- --json          # machine report + inventory
 //! cargo run -p cardest-lint -- --deny          # explicit CI gate (same exit code)
-//! cargo run -p cardest-lint -- --rule lock-order  # findings of one rule only
+//! cargo run -p cardest-lint -- --rule lock-order,hostile-length-taint
 //! cargo run -p cardest-lint -- --list-rules    # print the rule registry
+//! cargo run -p cardest-lint -- --mutate        # mutation self-test (kill matrix)
 //! cargo run -p cardest-lint -- PATH            # lint a different workspace root
 //! ```
 
@@ -14,21 +15,27 @@ use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cardest_lint::{run, Config, Rule};
+use cardest_lint::{mutate, run, Config, Rule};
 
-const USAGE: &str = "usage: cardest-lint [--json] [--deny] [--rule NAME] [--list-rules] [ROOT]
+const USAGE: &str =
+    "usage: cardest-lint [--json] [--deny] [--rule NAMES] [--list-rules] [--mutate] [ROOT]
 
 Lints every crates/*/src file under ROOT (default: the enclosing workspace)
 against the project invariants and exits nonzero on any finding.
 
-  --json        print a machine-readable report (schema 2: findings +
-                unsafe/atomics inventory + lock graph) to stdout instead
-                of rustc-style lines
+  --json        print a machine-readable report (schema 3: findings +
+                unsafe/atomics/channels/taint-flow inventories + lock
+                graph) to stdout instead of rustc-style lines
   --deny        explicit strict gate for CI; today all findings are already
                 denied, the flag reserves room for warn-level rules
-  --rule NAME   report findings of a single rule only (the full analysis
-                still runs; output and the exit code are filtered)
+  --rule NAMES  report findings of the named rules only, comma-separated
+                (the full analysis still runs; output and the exit code
+                are filtered); repeatable
   --list-rules  print every rule name with a one-line description and exit
+  --mutate      mutation self-test: seed one violation per rule per target
+                crate into an in-memory copy of the tree and verify every
+                mutant is killed; prints the kill matrix (JSON with --json)
+                and exits nonzero below a 100% kill rate
 ";
 
 fn find_root() -> Option<PathBuf> {
@@ -51,31 +58,39 @@ fn list_rules() {
 
 fn main() -> ExitCode {
     let mut json = false;
-    let mut only: Option<Rule> = None;
+    let mut do_mutate = false;
+    let mut only: Vec<Rule> = Vec::new();
     let mut root: Option<PathBuf> = None;
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--deny" => {} // all findings are denying today; see USAGE
+            "--mutate" => do_mutate = true,
             "--list-rules" => {
                 list_rules();
                 return ExitCode::SUCCESS;
             }
             "--rule" => {
-                let Some(name) = args.next() else {
-                    eprintln!("cardest-lint: --rule needs a rule name\n{USAGE}");
+                let Some(names) = args.next() else {
+                    eprintln!("cardest-lint: --rule needs a rule name (or a comma-separated list)\n{USAGE}");
                     return ExitCode::from(2);
                 };
-                // `suppression` is intentionally selectable here even though
-                // it cannot be suppressed, so Rule::ALL is the single
-                // source of valid names.
-                match Rule::ALL.into_iter().find(|r| r.name() == name) {
-                    Some(r) => only = Some(r),
-                    None => {
-                        eprintln!("cardest-lint: unknown rule `{name}`; valid rules are:");
-                        list_rules();
-                        return ExitCode::from(2);
+                for name in names.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                    // `suppression` is intentionally selectable here even
+                    // though it cannot be suppressed, so Rule::ALL is the
+                    // single source of valid names.
+                    match Rule::ALL.into_iter().find(|r| r.name() == name) {
+                        Some(r) => {
+                            if !only.contains(&r) {
+                                only.push(r);
+                            }
+                        }
+                        None => {
+                            eprintln!("cardest-lint: unknown rule `{name}`; valid rules are:");
+                            list_rules();
+                            return ExitCode::from(2);
+                        }
                     }
                 }
             }
@@ -94,16 +109,44 @@ fn main() -> ExitCode {
         eprintln!("cardest-lint: could not locate a workspace root (a directory with crates/ and Cargo.toml); pass one explicitly");
         return ExitCode::from(2);
     };
+    let cfg = Config::workspace(&root);
 
-    let mut report = match run(&Config::workspace(&root)) {
+    if do_mutate {
+        let matrix = match mutate::run_mutations(&cfg) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cardest-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if json {
+            println!("{}", matrix.to_json());
+        } else {
+            print!("{}", matrix.render_text());
+        }
+        for s in matrix.survivors() {
+            eprintln!(
+                "cardest-lint: mutant survived: rule `{}` did not fire on `{}`",
+                s.rule.name(),
+                s.file
+            );
+        }
+        return if matrix.all_killed() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut report = match run(&cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("cardest-lint: {e}");
             return ExitCode::from(2);
         }
     };
-    if let Some(rule) = only {
-        report.findings.retain(|f| f.rule == rule);
+    if !only.is_empty() {
+        report.findings.retain(|f| only.contains(&f.rule));
     }
 
     if json {

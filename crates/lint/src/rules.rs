@@ -36,13 +36,21 @@ pub enum Rule {
     /// Every wire error-enum variant is mapped in the error path and
     /// constructed in tests.
     WireErrorExhaustive,
+    /// Wire-read lengths must pass a clamp before reaching an allocation
+    /// or indexing sink (intra-procedural dataflow, hostile files only).
+    HostileLengthTaint,
+    /// No lock guard may be live across a blocking call (join, channel
+    /// send/recv, condvar wait, socket IO, kernel entry).
+    GuardBlocking,
+    /// Every channel creation needs a `// capacity:` justification.
+    ChannelCapacity,
     /// Suppressions themselves must be well-formed and carry a reason.
     Suppression,
 }
 
 impl Rule {
     /// Every rule, in the order `--list-rules` prints them.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 13] = [
         Rule::UnsafeSafety,
         Rule::NoPanicHostile,
         Rule::AtomicsOrdering,
@@ -52,6 +60,9 @@ impl Rule {
         Rule::CounterDrift,
         Rule::InstantSpan,
         Rule::WireErrorExhaustive,
+        Rule::HostileLengthTaint,
+        Rule::GuardBlocking,
+        Rule::ChannelCapacity,
         Rule::Suppression,
     ];
 
@@ -66,6 +77,9 @@ impl Rule {
             Rule::CounterDrift => "relaxed-counter-drift",
             Rule::InstantSpan => "instant-outside-span",
             Rule::WireErrorExhaustive => "wire-error-exhaustiveness",
+            Rule::HostileLengthTaint => "hostile-length-taint",
+            Rule::GuardBlocking => "guard-held-across-blocking",
+            Rule::ChannelCapacity => "channel-capacity-audit",
             Rule::Suppression => "suppression",
         }
     }
@@ -95,6 +109,15 @@ impl Rule {
             }
             Rule::WireErrorExhaustive => {
                 "every wire error variant is mapped in the error path and constructed in tests"
+            }
+            Rule::HostileLengthTaint => {
+                "wire-read lengths are clamped (`MAX_*`/`.len()`/`.min(…)`) before allocation/indexing"
+            }
+            Rule::GuardBlocking => {
+                "no lock guard is live across join/channel/condvar/socket IO/kernel-entry calls"
+            }
+            Rule::ChannelCapacity => {
+                "every `channel()`/`sync_channel(n)` creation carries a `// capacity:` justification"
             }
             Rule::Suppression => "suppression comments must be well-formed and carry a reason",
         }
@@ -544,6 +567,112 @@ fn check_hot_paths(f: &SourceFile, findings: &mut Vec<Finding>) {
 }
 
 // ---------------------------------------------------------------------------
+// Rule 12: channel-capacity-audit
+// ---------------------------------------------------------------------------
+
+/// `capacity:` marker in a comment (case-insensitive), mirroring the
+/// `ordering:`/`timing:` justification conventions.
+fn has_capacity_marker(text: &str) -> bool {
+    let low = text.to_ascii_lowercase();
+    let mut start = 0usize;
+    while let Some(p) = low.get(start..).and_then(|s| s.find("capacity:")) {
+        let after = start + p + "capacity:".len();
+        if low.as_bytes().get(after) != Some(&b':') {
+            return true;
+        }
+        start = after;
+    }
+    false
+}
+
+/// A channel construction on this code line: `(kind, column)`. Matches
+/// `channel(…)`, `channel::<T>(…)`, and `sync_channel(cap)` at identifier
+/// boundaries; `sync_channel(0)` is a rendezvous channel, any other
+/// capacity expression is `bounded`, plain `channel` is `unbounded`.
+fn channel_site(code: &str) -> Option<(&'static str, usize)> {
+    for word in ["sync_channel", "channel"] {
+        let Some(at) = find_word(code, word) else {
+            continue;
+        };
+        // Skip an optional turbofish (`channel::<WriterMsg>`), then require
+        // a call paren so imports (`use mpsc::channel`) never match.
+        let mut p = at + word.len();
+        let b = code.as_bytes();
+        if code[p..].starts_with("::<") {
+            let mut depth = 0i64;
+            for (i, c) in code[p..].char_indices() {
+                match c {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            p += i + 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if b.get(p) != Some(&b'(') {
+            continue;
+        }
+        if word == "channel" {
+            return Some(("unbounded", at));
+        }
+        let arg: String = code[p + 1..]
+            .chars()
+            .take_while(|&c| c != ')')
+            .collect::<String>()
+            .trim()
+            .to_string();
+        let kind = if arg == "0" { "rendezvous" } else { "bounded" };
+        return Some((kind, at));
+    }
+    None
+}
+
+/// Every channel creation must say why its boundedness is right: unbounded
+/// queues are unbounded memory under backpressure, rendezvous channels are
+/// handoff latency, and a bounded capacity is a tuning decision — all three
+/// deserve one `// capacity:` line. The audit also records every site in
+/// the `--json` inventory so the workspace's queue topology is reviewable.
+fn check_channels(f: &SourceFile, findings: &mut Vec<Finding>, inv: &mut Inventory) {
+    for i in 0..f.code.len() {
+        let Some((kind, _)) = channel_site(&f.code[i]) else {
+            continue;
+        };
+        let justified = context_lines(f, i)
+            .into_iter()
+            .any(|k| has_capacity_marker(&f.comment[k]));
+        inv.channels.push(crate::ChannelSite {
+            file: f.rel.clone(),
+            line: i + 1,
+            kind,
+            justified,
+            test: f.is_test[i],
+            excerpt: f
+                .raw
+                .get(i)
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default(),
+        });
+        if f.is_test[i] || justified || suppressed(f, i, Rule::ChannelCapacity) {
+            continue;
+        }
+        findings.push(Finding {
+            file: f.rel.clone(),
+            line: i + 1,
+            rule: Rule::ChannelCapacity,
+            message: format!(
+                "{kind} channel created without a `// capacity:` justification; say why this \
+                 boundedness cannot grow without limit (or why blocking sends are safe here)"
+            ),
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Suppression hygiene
 // ---------------------------------------------------------------------------
 
@@ -602,6 +731,7 @@ pub fn check_file(cfg: &Config, f: &SourceFile, findings: &mut Vec<Finding>, inv
         }
     }
     check_hot_paths(f, findings);
+    check_channels(f, findings, inv);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,480 @@
+//! `hostile-length-taint`: intra-procedural dataflow over the masked token
+//! stream of the hostile-input files (`src/wire.rs`, `src/net.rs`,
+//! `src/http.rs`).
+//!
+//! The model is a classic source → sanitizer → sink analysis, specialized
+//! to the one bug class this protocol layer keeps re-growing (PR 6 fixed a
+//! hostile `len = u32::MAX` forcing a ~512 MiB allocation by hand):
+//!
+//! - **Sources** — integer reads off the wire: `.u16()`/`.u32()`/`.u64()`
+//!   getter calls (the `Body` cursor), and `.parse::<uN/usize>()` of header
+//!   fields (`Content-Length` style). The bound value and everything
+//!   derived from it through `let` bindings, casts, and arithmetic within
+//!   the same function carries the taint.
+//! - **Sanitizers** — a comparison guard mentioning a tainted binding
+//!   together with a named `MAX_*`-style constant or a `.len()` call
+//!   (`if n as usize > MAX_STATS_ENTRIES`, `if promised > body.len() - pos`),
+//!   or a `.min(…)` clamp applied to a tainted binding. Sanitizing any
+//!   binding clears its whole derivation family: once `promised` (derived
+//!   from `len`) is checked against the payload length, `len` itself is
+//!   considered clamped too.
+//! - **Sinks** — length-proportional allocation or panicking access:
+//!   `Vec::with_capacity`/`with_capacity`, `vec![…; n]`, `.reserve(…)`,
+//!   `zeros(…)` (the `BitVec` constructor), `.read_exact(…)`-sized buffers,
+//!   and slice/range indexing `expr[…tainted…]`.
+//!
+//! The tracking is deliberately flow-insensitive below the statement level
+//! and line-ordered above it (no branch reasoning): a clamp anywhere
+//! *before* the sink in source order counts. That over-accepts convoluted
+//! code, but every real decode path in this workspace is written
+//! straight-line check-then-allocate, which is exactly the convention the
+//! rule mechanizes. Every source→sink flow — sanitized or not — is recorded
+//! in the `--json` inventory (`taint_flows`), so the audit shows its work.
+
+use std::collections::HashMap;
+
+use crate::lex::{is_ident_byte, method_call};
+use crate::rules::{fn_spans, suppressed, Rule};
+use crate::{Config, Finding, Inventory, SourceFile, TaintFlow};
+
+/// Integer-getter method names whose results are attacker-controlled.
+const SOURCE_METHODS: &[&str] = &["u16", "u32", "u64"];
+
+/// Sink patterns: `(pattern, human name, args_follow)`. A pattern is hit
+/// when it occurs on a line and a tainted identifier appears in the
+/// argument region that follows it.
+const SINK_CALLS: &[(&str, &str)] = &[
+    ("with_capacity(", "Vec::with_capacity"),
+    (".reserve(", ".reserve(…)"),
+    (".read_exact(", ".read_exact(…)"),
+    ("zeros(", "zeros(…) length-proportional constructor"),
+];
+
+/// One derivation family: every binding that (transitively) carries the
+/// value of one wire read.
+#[derive(Debug)]
+struct Family {
+    source_line: usize,
+    sanitized: bool,
+}
+
+/// Identifiers on a code line, with byte offsets.
+fn idents(line: &str) -> Vec<(usize, &str)> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        if is_ident_byte(b[i]) && !b[i].is_ascii_digit() {
+            let start = i;
+            while i < b.len() && is_ident_byte(b[i]) {
+                i += 1;
+            }
+            out.push((start, &line[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Is this line a taint source? Matches `.u16()`-style getter calls and
+/// `.parse::<u16/u32/u64/usize>()`.
+fn is_source_line(code: &str) -> bool {
+    for m in SOURCE_METHODS {
+        if method_call(code, m).is_some() {
+            return true;
+        }
+    }
+    if let Some(p) = method_call(code, "parse") {
+        let rest = &code[p..];
+        for ty in ["u16", "u32", "u64", "usize"] {
+            if rest.starts_with(&format!("parse::<{ty}>")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// The `let [mut] name` binding a statement line introduces, if any.
+fn let_target(code: &str) -> Option<&str> {
+    let t = code.trim_start().strip_prefix("let ")?;
+    let t = t.trim_start();
+    let t = t.strip_prefix("mut ").unwrap_or(t).trim_start();
+    let end = t.bytes().take_while(|&c| is_ident_byte(c)).count();
+    (end > 0).then(|| &t[..end])
+}
+
+/// A SCREAMING_CASE constant of at least two characters (`MAX_PAYLOAD`,
+/// `LIMIT`): the shape a named protocol cap takes in this workspace.
+fn is_const_ident(id: &str) -> bool {
+    id.len() >= 2
+        && id.bytes().next().is_some_and(|c| c.is_ascii_uppercase())
+        && id
+            .bytes()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == b'_')
+}
+
+/// Does this line clamp a tainted value? True when a tainted identifier
+/// appears together with a named constant, a `.len()` call, or a `.min(…)`
+/// clamp on a comparison/guard line.
+fn is_sanitizer_line(code: &str, tainted_on_line: bool) -> bool {
+    if !tainted_on_line {
+        return false;
+    }
+    if method_call(code, "min").is_some() {
+        return true;
+    }
+    let comparing = code.contains("if ")
+        || code.contains("while ")
+        || code.contains("assert")
+        || code.contains("debug_assert")
+        || code.contains("match ");
+    if !comparing {
+        return false;
+    }
+    code.contains(".len()") || idents(code).iter().any(|(_, id)| is_const_ident(id))
+}
+
+/// Byte span of the argument region opened by the `(` at/after `at`.
+fn arg_span(code: &str, at: usize) -> Option<(usize, usize)> {
+    let b = code.as_bytes();
+    let open = (at..b.len()).find(|&i| b[i] == b'(')?;
+    let mut depth = 0i64;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open + 1, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    Some((open + 1, b.len()))
+}
+
+/// Position of a direct index/range expression `expr[…]` whose bracket body
+/// mentions a tainted identifier; returns the bracket body span.
+fn tainted_index_span<'a>(
+    code: &'a str,
+    tainted: &HashMap<String, usize>,
+) -> Option<(usize, &'a str)> {
+    let b = code.as_bytes();
+    for (p, &c) in b.iter().enumerate() {
+        if c != b'[' {
+            continue;
+        }
+        // Only `ident[` / `)[` / `][` — an index expression, not a slice
+        // type (`&[u8]`), attribute, or array literal.
+        let mut q = p;
+        while q > 0 && (b[q - 1] == b' ' || b[q - 1] == b'\t') {
+            q -= 1;
+        }
+        if q == 0 {
+            continue;
+        }
+        let prev = b[q - 1];
+        if !(is_ident_byte(prev) || prev == b')' || prev == b']') {
+            continue;
+        }
+        let mut depth = 0i64;
+        let mut end = b.len();
+        for (i, &ch) in b.iter().enumerate().skip(p) {
+            match ch {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(body) = code.get(p + 1..end) else {
+            continue;
+        };
+        if idents(body).iter().any(|(_, id)| tainted.contains_key(*id)) {
+            return Some((p, body));
+        }
+    }
+    None
+}
+
+/// Run the taint pass over every hostile file.
+pub fn check_taint(
+    cfg: &Config,
+    sources: &[SourceFile],
+    findings: &mut Vec<Finding>,
+    inv: &mut Inventory,
+) {
+    for f in sources {
+        if !cfg
+            .hostile_suffixes
+            .iter()
+            .any(|s| f.rel.ends_with(s.as_str()))
+        {
+            continue;
+        }
+        for (_, start, end) in fn_spans(&f.code) {
+            check_fn(f, start, end, findings, inv);
+        }
+    }
+}
+
+/// Analyze one function body, line-ordered.
+fn check_fn(
+    f: &SourceFile,
+    start: usize,
+    end: usize,
+    findings: &mut Vec<Finding>,
+    inv: &mut Inventory,
+) {
+    // Binding name → family index; families carry source line + sanitized.
+    let mut families: Vec<Family> = Vec::new();
+    let mut tainted: HashMap<String, usize> = HashMap::new();
+
+    for i in start..=end.min(f.code.len().saturating_sub(1)) {
+        if f.is_test[i] {
+            continue;
+        }
+        let code = &f.code[i];
+        let line_idents = idents(code);
+        let tainted_here = line_idents.iter().any(|(_, id)| tainted.contains_key(*id));
+
+        // 1. Sanitizers first: a guard line clamps before anything after it.
+        if is_sanitizer_line(code, tainted_here) {
+            for (_, id) in &line_idents {
+                if let Some(&fam) = tainted.get(*id) {
+                    families[fam].sanitized = true;
+                }
+            }
+        }
+
+        // 2. Sinks: call-shaped sinks with a tainted argument, and tainted
+        //    index/range expressions.
+        let mut sink_hit: Option<(&str, String, usize)> = None; // (sink, var, fam)
+        for &(pat, name) in SINK_CALLS {
+            let Some(at) = code.find(pat) else {
+                continue;
+            };
+            let Some((a0, a1)) = arg_span(code, at) else {
+                continue;
+            };
+            let args = &code[a0..a1];
+            if let Some((_, id)) = idents(args)
+                .into_iter()
+                .find(|(_, id)| tainted.contains_key(*id))
+            {
+                sink_hit = Some((name, id.to_string(), tainted[id]));
+                break;
+            }
+        }
+        if sink_hit.is_none() {
+            if let Some((_, body)) = tainted_index_span(code, &tainted) {
+                if let Some((_, id)) = idents(body)
+                    .into_iter()
+                    .find(|(_, id)| tainted.contains_key(*id))
+                {
+                    sink_hit = Some(("slice/range indexing", id.to_string(), tainted[id]));
+                }
+            }
+        }
+        if let Some((sink, var, fam)) = sink_hit {
+            let sanitized = families[fam].sanitized;
+            inv.taint_flows.push(TaintFlow {
+                file: f.rel.clone(),
+                source_line: families[fam].source_line,
+                sink_line: i + 1,
+                var: var.clone(),
+                sink: sink.to_string(),
+                sanitized,
+            });
+            if !sanitized && !suppressed(f, i, Rule::HostileLengthTaint) {
+                findings.push(Finding {
+                    file: f.rel.clone(),
+                    line: i + 1,
+                    rule: Rule::HostileLengthTaint,
+                    message: format!(
+                        "wire-read length `{var}` (read at line {}) reaches {sink} without a \
+                         clamp; compare it against a `MAX_*` cap, the payload `.len()`, or \
+                         `.min(…)` first",
+                        families[fam].source_line,
+                    ),
+                });
+            }
+        }
+
+        // 3. Propagation: a `let` whose RHS mentions a source or a tainted
+        //    binding taints the new name (joining the existing family when
+        //    derived; a fresh wire read starts a new family).
+        if let Some(target) = let_target(code) {
+            // Only the right-hand side determines the new binding's taint —
+            // `let n = n.min(cap)` must see the old `n` on the RHS.
+            let rhs = code.find('=').map(|p| &code[p + 1..]).unwrap_or("");
+            let rhs_fam = idents(rhs)
+                .into_iter()
+                .find_map(|(_, id)| tainted.get(id).copied());
+            if is_source_line(code) {
+                // `let n = body.u16()?` — a fresh read, its own family.
+                // A `.min(…)` on the same line is born clamped.
+                let fam = families.len();
+                families.push(Family {
+                    source_line: i + 1,
+                    sanitized: method_call(code, "min").is_some(),
+                });
+                tainted.insert(target.to_string(), fam);
+            } else if let Some(fam) = rhs_fam {
+                // Derived value (cast/arithmetic): same family, so a later
+                // clamp of either binding clears both. A `.min(…)` in the
+                // derivation sanitizes the family outright.
+                if method_call(code, "min").is_some() {
+                    families[fam].sanitized = true;
+                }
+                tainted.insert(target.to_string(), fam);
+            } else {
+                // Rebinding a tracked name to an untainted value clears it.
+                tainted.remove(target);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Config, Inventory};
+    use std::path::Path;
+
+    fn taint_findings(src: &str) -> (Vec<Finding>, Inventory) {
+        let f = SourceFile::from_source("crates/app/src/wire.rs", src);
+        let cfg = Config::workspace(Path::new("."));
+        let mut findings = Vec::new();
+        let mut inv = Inventory::default();
+        check_taint(&cfg, std::slice::from_ref(&f), &mut findings, &mut inv);
+        (findings, inv)
+    }
+
+    #[test]
+    fn unclamped_wire_length_reaching_with_capacity_is_flagged() {
+        let src = r#"
+fn decode(body: &mut Body) -> Vec<u8> {
+    let n = body.u32() as usize;
+    Vec::with_capacity(n)
+}
+"#;
+        let (findings, inv) = taint_findings(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, Rule::HostileLengthTaint);
+        assert_eq!(inv.taint_flows.len(), 1);
+        assert!(!inv.taint_flows[0].sanitized);
+    }
+
+    #[test]
+    fn max_constant_guard_sanitizes_the_family() {
+        let src = r#"
+fn decode(body: &mut Body) -> Result<Vec<u8>, E> {
+    let n = body.u16() as usize;
+    if n > MAX_ENTRIES {
+        return Err(E::TooMany);
+    }
+    Ok(Vec::with_capacity(n))
+}
+"#;
+        let (findings, inv) = taint_findings(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(inv.taint_flows.len(), 1, "sanitized flow still recorded");
+        assert!(inv.taint_flows[0].sanitized);
+    }
+
+    #[test]
+    fn derived_binding_checked_against_len_clears_the_whole_family() {
+        // The PR 6 shape: `promised` derives from `len`; checking
+        // `promised` against the remaining payload clamps `len` too.
+        let src = r#"
+fn decode(body: &mut Body) -> Result<BitVec, E> {
+    let len = body.u32() as usize;
+    let n_words = len.div_ceil(64);
+    let promised = n_words * 8;
+    if promised > body.remaining().len() {
+        return Err(E::Truncated);
+    }
+    Ok(BitVec::zeros(len))
+}
+"#;
+        let (findings, inv) = taint_findings(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert!(inv.taint_flows.iter().all(|t| t.sanitized));
+    }
+
+    #[test]
+    fn min_clamp_in_derivation_sanitizes() {
+        let src = r#"
+fn decode(body: &mut Body) -> Vec<u8> {
+    let n = body.u32() as usize;
+    let n = n.min(MAX_TAKE);
+    Vec::with_capacity(n)
+}
+"#;
+        let (findings, _) = taint_findings(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn tainted_range_index_is_a_sink() {
+        let src = r#"
+fn slice_at(body: &mut Body, buf: &[u8]) -> u8 {
+    let n = body.u16() as usize;
+    let window = &buf[..n];
+    window.iter().sum()
+}
+"#;
+        let (findings, _) = taint_findings(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("slice/range indexing"));
+    }
+
+    #[test]
+    fn non_hostile_files_are_out_of_scope() {
+        let src =
+            "fn f(b: &mut Body) -> Vec<u8> { let n = b.u32() as usize; Vec::with_capacity(n) }";
+        let f = SourceFile::from_source("crates/app/src/cache.rs", src);
+        let cfg = Config::workspace(Path::new("."));
+        let mut findings = Vec::new();
+        let mut inv = Inventory::default();
+        check_taint(&cfg, std::slice::from_ref(&f), &mut findings, &mut inv);
+        assert!(findings.is_empty());
+        assert!(inv.taint_flows.is_empty());
+    }
+
+    #[test]
+    fn rebinding_to_an_untainted_value_clears_the_name() {
+        let src = r#"
+fn decode(body: &mut Body) -> Vec<u8> {
+    let n = body.u32() as usize;
+    let n = 16;
+    Vec::with_capacity(n)
+}
+"#;
+        let (findings, _) = taint_findings(src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn suppression_with_reason_waives_the_sink() {
+        let src = r#"
+fn decode(body: &mut Body) -> Vec<u8> {
+    let n = body.u32() as usize;
+    // lint: allow(hostile-length-taint) n is capped by the framed payload size upstream.
+    Vec::with_capacity(n)
+}
+"#;
+        let (findings, inv) = taint_findings(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(inv.taint_flows.len(), 1, "flow still inventoried");
+    }
+}

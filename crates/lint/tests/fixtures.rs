@@ -232,6 +232,74 @@ fn fully_mapped_and_tested_wire_error_enum_passes() {
     assert_clean("wireerr_ok");
 }
 
+// ── Rule 10: hostile-length-taint ────────────────────────────────────────
+
+#[test]
+fn unclamped_wire_lengths_reaching_sinks_are_flagged() {
+    let report = lint_fixture("taint_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 2, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::HostileLengthTaint));
+    // Both flows ride in the inventory, marked unsanitized.
+    assert_eq!(report.inventory.taint_flows.len(), 2);
+    assert!(report.inventory.taint_flows.iter().all(|t| !t.sanitized));
+}
+
+#[test]
+fn clamped_wire_lengths_pass_and_flows_are_still_recorded() {
+    let report = lint_fixture("taint_ok");
+    assert!(report.is_clean(), "{:?}", report.findings);
+    assert_eq!(report.inventory.taint_flows.len(), 3);
+    assert!(report.inventory.taint_flows.iter().all(|t| t.sanitized));
+}
+
+// ── Rule 11: guard-held-across-blocking ──────────────────────────────────
+
+#[test]
+fn guard_held_across_recv_is_flagged() {
+    let report = lint_fixture("guardblock_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 1, "{:?}", report.findings);
+    assert_eq!(rules.first().copied().unwrap(), Rule::GuardBlocking);
+    assert!(report
+        .findings
+        .first()
+        .unwrap()
+        .message
+        .contains("channel recv"));
+}
+
+#[test]
+fn scoped_guards_nonblocking_polls_and_justified_holds_pass() {
+    assert_clean("guardblock_ok");
+}
+
+// ── Rule 12: channel-capacity-audit ──────────────────────────────────────
+
+#[test]
+fn unjustified_channels_are_flagged_per_boundedness_class() {
+    let report = lint_fixture("chancap_bad");
+    let rules = rules_of(&report);
+    assert_eq!(rules.len(), 3, "{:?}", report.findings);
+    assert!(rules.iter().all(|r| *r == Rule::ChannelCapacity));
+    let kinds: Vec<&str> = report.inventory.channels.iter().map(|c| c.kind).collect();
+    for kind in ["unbounded", "rendezvous", "bounded"] {
+        assert!(kinds.contains(&kind), "missing {kind} in {kinds:?}");
+    }
+}
+
+#[test]
+fn justified_and_test_channels_pass_but_are_inventoried() {
+    let report = lint_fixture("chancap_ok");
+    assert!(report.is_clean(), "{:?}", report.findings);
+    let channels = &report.inventory.channels;
+    assert_eq!(channels.len(), 3, "{channels:?}");
+    assert!(
+        channels.iter().any(|c| c.test && !c.justified),
+        "the test-code channel must be listed (exempt, not hidden): {channels:?}"
+    );
+}
+
 // ── Suppression hygiene ──────────────────────────────────────────────────
 
 #[test]
@@ -266,6 +334,9 @@ const BAD_CASES: &[(&str, Rule)] = &[
     ("counterdrift_bad", Rule::CounterDrift),
     ("instant_bad", Rule::InstantSpan),
     ("wireerr_bad", Rule::WireErrorExhaustive),
+    ("taint_bad", Rule::HostileLengthTaint),
+    ("guardblock_bad", Rule::GuardBlocking),
+    ("chancap_bad", Rule::ChannelCapacity),
 ];
 
 #[test]
@@ -315,6 +386,9 @@ fn deny_gate_passes_on_good_fixtures() {
         "counterdrift_ok",
         "instant_ok",
         "wireerr_ok",
+        "taint_ok",
+        "guardblock_ok",
+        "chancap_ok",
     ] {
         let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
             .arg("--deny")

@@ -1,0 +1,74 @@
+//! Drive the mutation self-test end-to-end against the real tree: seed one
+//! violation per rule per target crate into an in-memory copy and require
+//! a 100 % kill rate, through the library and through the CI-facing binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cardest_lint::mutate::{run_mutations, MutantStatus, TARGET_CRATES};
+use cardest_lint::{Config, Rule};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn every_seeded_mutant_is_killed() {
+    let matrix = run_mutations(&Config::workspace(&workspace_root())).expect("harness runs");
+    assert!(
+        matrix.all_killed(),
+        "surviving mutants:\n{}",
+        matrix
+            .survivors()
+            .iter()
+            .map(|s| format!("  {} in {} ({})", s.rule.name(), s.krate, s.file))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The matrix is complete: one cell per rule per target crate, and every
+    // cell is either a kill or an explicit n/a (rule scope excludes the
+    // crate) — nothing silently skipped.
+    assert_eq!(matrix.outcomes.len(), Rule::ALL.len() * TARGET_CRATES.len());
+    for o in &matrix.outcomes {
+        match o.status {
+            MutantStatus::Killed => assert!(o.findings > 0, "kill with zero findings: {o:?}"),
+            MutantStatus::NotApplicable => {
+                assert_eq!(o.rule, Rule::InstantSpan, "unexpected n/a cell: {o:?}")
+            }
+            MutantStatus::Survived => unreachable!("covered by all_killed above"),
+        }
+    }
+}
+
+#[test]
+fn mutate_gate_passes_and_emits_the_matrix() {
+    let out = Command::new(env!("CARGO_BIN_EXE_cardest-lint"))
+        .arg("--mutate")
+        .arg("--json")
+        .arg(workspace_root())
+        .output()
+        .expect("spawn cardest-lint --mutate");
+    assert!(
+        out.status.success(),
+        "cardest-lint --mutate failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let js = String::from_utf8_lossy(&out.stdout);
+    assert!(js.starts_with('{') && js.trim_end().ends_with('}'));
+    assert!(js.contains("\"kill_rate\":1.0"), "{js}");
+    assert!(js.contains("\"status\":\"killed\""));
+    assert!(!js.contains("\"status\":\"survived\""));
+    for rule in Rule::ALL {
+        assert!(
+            js.contains(&format!("\"rule\":\"{}\"", rule.name())),
+            "matrix is missing rule {}",
+            rule.name()
+        );
+    }
+}

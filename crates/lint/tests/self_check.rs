@@ -55,6 +55,21 @@ fn real_tree_lints_clean() {
         graph.locks.len(),
         "the topological order must cover every lock"
     );
+    // Schema-3 inventories: the serving stack's queue topology is fully
+    // justified, and every wire-length dataflow the taint pass traced was
+    // sanitized before its sink (otherwise the tree would not lint clean).
+    let channels = &report.inventory.channels;
+    assert!(!channels.is_empty(), "no channels inventoried");
+    assert!(
+        channels.iter().all(|c| c.test || c.justified),
+        "unjustified production channel in inventory: {channels:?}"
+    );
+    let flows = &report.inventory.taint_flows;
+    assert!(!flows.is_empty(), "no taint flows traced in wire.rs");
+    assert!(
+        flows.iter().all(|t| t.sanitized),
+        "unsanitized flow: {flows:?}"
+    );
 }
 
 #[test]
@@ -81,12 +96,20 @@ fn json_report_has_findings_and_inventory() {
     assert!(out.status.success());
     let js = String::from_utf8_lossy(&out.stdout);
     assert!(js.starts_with('{') && js.trim_end().ends_with('}'));
-    assert!(js.contains("\"schema\":2"));
+    assert!(js.contains("\"schema\":3"));
     assert!(js.contains("\"findings\":[]"));
     assert!(js.contains("\"inventory\":"));
     assert!(js.contains("\"unsafe\":[{"));
     assert!(js.contains("\"atomics\":[{"));
     assert!(js.contains("\"files_scanned\":"));
+    // Schema 3: the channel topology and every traced wire-length dataflow
+    // ride in the inventory. The real tree has unbounded channels (all
+    // justified) and sanitized taint flows (the clamps the taint rule
+    // verifies), so both arrays are non-empty here.
+    assert!(js.contains("\"channels\":[{"));
+    assert!(js.contains("\"kind\":\"unbounded\""));
+    assert!(js.contains("\"taint_flows\":[{"));
+    assert!(js.contains("\"sanitized\":true"));
     // The lock graph rides in the inventory: non-empty locks and order on
     // the real tree, and no cycles.
     assert!(js.contains("\"lock_graph\":"));

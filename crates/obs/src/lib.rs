@@ -16,6 +16,10 @@
 //!   ([`MetricsSnapshot::render_prometheus`]) and JSON rendering
 //!   ([`MetricsSnapshot::render_json`]), shared by the wire `Stats` frame
 //!   and the HTTP metrics endpoint.
+//! - [`witness`] — a process-wide lock-witness callback hook: the embedding
+//!   service installs two `fn` pointers and every `Observer` internal lock
+//!   acquisition is reported to its runtime lock-rank checker, without obs
+//!   taking any dependency on the layers above it.
 //!
 //! This crate depends on nothing (std only) so every layer — core, nn,
 //! serve, bench — can feed it without dependency cycles.
@@ -23,7 +27,9 @@
 pub mod hist;
 pub mod snapshot;
 pub mod trace;
+pub mod witness;
 
 pub use hist::{bucket_midpoint_ns, bucket_of, HistogramSnapshot, LogHistogram, HIST_BUCKETS};
 pub use snapshot::{json_f64, json_str, MetricsSnapshot};
 pub use trace::{ObsConfig, Observer, Stage, Trace, TraceBuilder, STAGES, STAGE_COUNT};
+pub use witness::{install as install_witness, ObsLock, WitnessHook};

@@ -1,0 +1,86 @@
+//! Lock-witness callback hook: lets an embedding crate observe every
+//! [`Observer`](crate::Observer) internal lock acquisition without this
+//! crate depending on it.
+//!
+//! `cardest-serve` carries a debug-build runtime lock witness that panics
+//! the moment any thread acquires two tracked locks against the global rank
+//! order the lint's lock graph proves acyclic. The observer's trace ring
+//! and slow-query log are locks in that graph too — but `cardest-obs` is
+//! the bottom of the dependency stack and cannot call into serve. The
+//! classic inversion: obs exposes a process-wide hook ([`install`]), serve
+//! installs two `fn` pointers at service start, and every `Observer` lock
+//! site brackets its guard with the crate-internal `acquire` RAII pair so
+//! the witness sees obs ranks interleaved with serve ranks on the same
+//! thread-local stack.
+//!
+//! When no hook is installed (obs used standalone, or a release build where
+//! the serve witness compiles to nothing) the bracket is two branches on an
+//! uncontended `OnceLock` — no allocation, no locking, no dependency.
+
+use std::sync::OnceLock;
+
+/// The observer-internal locks the hook distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsLock {
+    /// The sampled-trace ring (`Observer.ring`).
+    Ring,
+    /// The slow-query log (`Observer.slow`).
+    Slow,
+}
+
+/// Callbacks bracketing every observer lock acquisition. `acquire` runs
+/// immediately *before* the `.lock()` call (so a rank violation panics
+/// while the thread still holds only its previous locks), `release` when
+/// the guard drops.
+#[derive(Debug, Clone, Copy)]
+pub struct WitnessHook {
+    pub acquire: fn(ObsLock),
+    pub release: fn(ObsLock),
+}
+
+static HOOK: OnceLock<WitnessHook> = OnceLock::new();
+
+/// Install the process-wide witness hook. First caller wins; returns
+/// whether this call installed it. Idempotent installs of the same hook
+/// are fine — the loser's pointers are simply dropped.
+pub fn install(hook: WitnessHook) -> bool {
+    HOOK.set(hook).is_ok()
+}
+
+/// RAII bracket around one observer lock acquisition. Constructed just
+/// before the `.lock()` call; its `Drop` mirrors the guard's.
+pub(crate) struct WitnessGuard {
+    lock: ObsLock,
+    hook: Option<WitnessHook>,
+}
+
+pub(crate) fn acquire(lock: ObsLock) -> WitnessGuard {
+    let hook = HOOK.get().copied();
+    if let Some(h) = hook {
+        (h.acquire)(lock);
+    }
+    WitnessGuard { lock, hook }
+}
+
+impl Drop for WitnessGuard {
+    fn drop(&mut self) {
+        if let Some(h) = self.hook {
+            (h.release)(self.lock);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninstalled_hook_is_a_no_op_bracket() {
+        // No install() in this process-wide state is not guaranteed (tests
+        // share the binary), so only exercise the bracket path.
+        let g = acquire(ObsLock::Ring);
+        drop(g);
+        let g = acquire(ObsLock::Slow);
+        drop(g);
+    }
+}

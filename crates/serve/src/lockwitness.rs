@@ -13,6 +13,12 @@
 //! order is violated. In release builds the witness compiles to nothing —
 //! `acquire` returns a zero-sized guard and touches no thread-local.
 //!
+//! Locks owned by `cardest-obs` (the trace ring and slow-query log) cannot
+//! call this module directly — obs sits below serve in the dependency
+//! graph — so [`install_obs_witness`] registers two `fn` pointers with
+//! obs's [`cardest_obs::witness`] hook and their acquisitions land on the
+//! same thread-local stack as everything else.
+//!
 //! [`LOCK_RANKS`] is the single rank table. It deliberately names locks by
 //! the same ids the lint emits (`crate::Struct.field`), and the
 //! `lockwitness` integration test re-runs the lint's graph pass over this
@@ -38,8 +44,12 @@ pub const LOCK_RANKS: &[(&str, u16)] = &[
     ("core::Registry.live", 7),
 ];
 
-/// The locks this crate instruments (obs/core cannot depend on serve, so
-/// their ranks exist in the table for ordering but are uninstrumented).
+/// The locks the witness tracks. The serve-owned locks are instrumented
+/// directly at their `.lock()` sites; the obs-owned locks are reported
+/// through the [`cardest_obs::witness`] callback hook installed by
+/// [`install_obs_witness`] (obs cannot depend on serve, so it calls back
+/// through two `fn` pointers instead). `core::Registry.live` remains
+/// rank-table-only: core exposes no hook and its lock is a leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrackedLock {
     /// `NetServer.conn_joins` — rank 0.
@@ -53,6 +63,10 @@ pub enum TrackedLock {
     CacheShard,
     /// `ServiceStats.clients` — rank 4.
     StatsClients,
+    /// `obs::Observer.ring` (sampled-trace ring) — rank 5, via the hook.
+    ObsRing,
+    /// `obs::Observer.slow` (slow-query log) — rank 6, via the hook.
+    ObsSlow,
 }
 
 impl TrackedLock {
@@ -64,6 +78,8 @@ impl TrackedLock {
             TrackedLock::RegistryModels => "serve::ModelRegistry.models",
             TrackedLock::CacheShard => "serve::EstimateCache.shards",
             TrackedLock::StatsClients => "serve::ServiceStats.clients",
+            TrackedLock::ObsRing => "obs::Observer.ring",
+            TrackedLock::ObsSlow => "obs::Observer.slow",
         };
         // The table is tiny and const; a linear scan at debug-only call
         // sites is cheaper than keeping a second rank column in sync.
@@ -81,7 +97,45 @@ impl TrackedLock {
             TrackedLock::RegistryModels => "ModelRegistry.models",
             TrackedLock::CacheShard => "EstimateCache.shards",
             TrackedLock::StatsClients => "ServiceStats.clients",
+            TrackedLock::ObsRing => "Observer.ring",
+            TrackedLock::ObsSlow => "Observer.slow",
         }
+    }
+}
+
+/// Bridge the `cardest-obs` witness hook onto this witness: after this call
+/// every `Observer` trace-ring / slow-log lock acquisition participates in
+/// the same thread-local rank check as the serve-owned locks. Safe to call
+/// more than once (the hook is a process-wide `OnceLock`; the first install
+/// wins and later calls are no-ops). Release builds install nothing — the
+/// bracket in obs stays two dead branches.
+pub fn install_obs_witness() {
+    #[cfg(debug_assertions)]
+    {
+        fn tracked(lock: cardest_obs::ObsLock) -> TrackedLock {
+            match lock {
+                cardest_obs::ObsLock::Ring => TrackedLock::ObsRing,
+                cardest_obs::ObsLock::Slow => TrackedLock::ObsSlow,
+            }
+        }
+        fn hook_acquire(lock: cardest_obs::ObsLock) {
+            // The obs bracket is its own RAII pair: the release callback
+            // pops, so forget the guard here rather than double-popping.
+            std::mem::forget(acquire(tracked(lock)));
+        }
+        fn hook_release(lock: cardest_obs::ObsLock) {
+            let rank = tracked(lock).rank();
+            HELD.with(|held| {
+                let mut held = held.borrow_mut();
+                if let Some(pos) = held.iter().rposition(|&r| r == rank) {
+                    held.remove(pos);
+                }
+            });
+        }
+        cardest_obs::install_witness(cardest_obs::WitnessHook {
+            acquire: hook_acquire,
+            release: hook_release,
+        });
     }
 }
 
@@ -177,6 +231,13 @@ mod tests {
         drop(a); // early release of the outer witness
         drop(b);
         let _c = acquire(TrackedLock::ConnJoins); // stack must be empty again
+    }
+
+    #[test]
+    fn obs_ranks_extend_the_serve_ranks_in_order() {
+        let _a = acquire(TrackedLock::StatsClients);
+        let _b = acquire(TrackedLock::ObsRing);
+        let _c = acquire(TrackedLock::ObsSlow);
     }
 
     #[test]

@@ -302,6 +302,10 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream, conn_id: u64) 
         let _ = stream.shutdown(Shutdown::Both);
         return;
     };
+    // capacity: unbounded per-connection writer queue; depth is bounded by
+    // this connection's admission-controlled in-flight request count (plus
+    // one shutdown marker), so a hostile peer cannot grow it — it can only
+    // stop reading, which parks the writer thread, not this queue.
     let (wtx, wrx) = channel::<WriterMsg>();
     let writer = {
         let shared = Arc::clone(shared);

@@ -256,6 +256,9 @@ impl ServiceClient {
         trace: TraceBuilder,
     ) -> Receiver<Result<Response, ServeError>> {
         self.stats.record_request();
+        // capacity: unbounded, but at most one message ever flows through it
+        // (the single response for this request), so depth is ≤ 1 by
+        // construction.
         let (resp_tx, resp_rx) = channel();
         // timing: enqueue stamp for deadline arithmetic and QueueWait span
         // attribution; it must exist even for untraced jobs because the
@@ -310,9 +313,16 @@ pub struct Service {
 
 impl Service {
     pub fn start(registry: Arc<ModelRegistry>, config: ServeConfig) -> Service {
+        // Bridge the observer's internal locks onto the debug lock witness
+        // before any worker can touch them (idempotent, no-op in release).
+        lockwitness::install_obs_witness();
         let cache = Arc::new(EstimateCache::new(config.cache_capacity));
         let stats = Arc::new(ServiceStats::new());
         let obs = Arc::new(Observer::new(config.obs_config()));
+        // capacity: unbounded job queue; admission control (shed brackets +
+        // per-source quotas) rejects producers before they enqueue, so queue
+        // depth is bounded upstream, and a blocking bounded send here would
+        // bypass the shed accounting that the stats/metrics surface reports.
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let stop = Arc::new(AtomicBool::new(false));
@@ -465,6 +475,8 @@ impl Service {
 /// A sender whose receiver is already gone — used to neuter the service's
 /// internal client on shutdown.
 fn dead_sender() -> Sender<Job> {
+    // capacity: unbounded but inert — the receiver is dropped immediately,
+    // so every send fails fast and nothing is ever queued.
     let (tx, _) = channel();
     tx
 }
@@ -519,6 +531,10 @@ fn collect_batch(
     traced: bool,
 ) -> Vec<Job> {
     let _witness = lockwitness::acquire(TrackedLock::JobQueue);
+    // lint: allow(guard-held-across-blocking) the queue lock IS the batch-
+    // collection critical section: exactly one worker assembles a batch at a
+    // time while the others sleep on the mutex, and every recv under the
+    // guard is bounded by IDLE_TICK or the remaining batch window.
     let rx = rx.lock().expect("request queue poisoned");
     let first = loop {
         if stop.load(Ordering::Acquire) {

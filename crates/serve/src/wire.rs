@@ -359,8 +359,13 @@ fn utf8_prefix(s: &str, max: usize) -> &str {
     if s.len() <= max {
         return s;
     }
+    // Single backward scan over the raw bytes: step past UTF-8 continuation
+    // bytes (0b10xxxxxx) to the nearest boundary at or below `max`, then
+    // slice exactly once. `.get(..end)` cannot fail here, but the fallback
+    // keeps the hostile-input no-panic guarantee structural.
+    let b = s.as_bytes();
     let mut end = max;
-    while !s.is_char_boundary(end) {
+    while end > 0 && b.get(end).is_some_and(|&c| c & 0xC0 == 0x80) {
         end -= 1;
     }
     s.get(..end).unwrap_or(s)
@@ -1028,6 +1033,32 @@ mod tests {
             }
             other => panic!("expected error, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn utf8_prefix_truncation_at_the_exact_cap() {
+        // The cap landing exactly on a char boundary must keep every byte:
+        // 85 three-byte chars are exactly 255 bytes of str8 budget…
+        let exact: String = "漢".repeat(85);
+        assert_eq!(exact.len(), 255);
+        assert_eq!(utf8_prefix(&exact, 255), exact);
+        // …and 86 of them still fill the cap to the last byte, because the
+        // boundary after the 85th char is exactly at byte 255.
+        let over: String = "漢".repeat(86);
+        let cut = utf8_prefix(&over, 255);
+        assert_eq!(cut.len(), 255);
+        assert_eq!(cut.chars().count(), 85);
+        // A 2-byte-char string straddling the cap must back up to the
+        // previous boundary — one byte short, never a split char.
+        let straddle: String = "é".repeat(128); // 256 bytes
+        let cut = utf8_prefix(&straddle, 255);
+        assert_eq!(cut.len(), 254);
+        assert_eq!(cut.chars().count(), 127);
+        // And the encoded str8 roundtrips byte-for-byte at the exact cap.
+        let mut out = Vec::new();
+        put_str8(&mut out, &exact);
+        assert_eq!(out[0] as usize, 255);
+        assert_eq!(&out[1..], exact.as_bytes());
     }
 
     #[test]

@@ -12,9 +12,15 @@
 //!    from a lower rank to a higher rank, so code the lint proves
 //!    acyclic can never trip the runtime witness (and the witness's
 //!    order is a valid topological order of the static graph).
+//!
+//! The witness-hook tests below additionally exercise the `cardest-obs`
+//! callback bridge: once [`lockwitness::install_obs_witness`] runs, the
+//! observer's trace-ring and slow-log locks participate in the same
+//! thread-local rank stack as the serve-owned locks.
 
 use cardest_lint::{run, Config};
-use cardest_serve::lockwitness::LOCK_RANKS;
+use cardest_obs::{ObsConfig, Observer};
+use cardest_serve::lockwitness::{self, TrackedLock, LOCK_RANKS};
 use std::collections::HashMap;
 use std::path::Path;
 
@@ -76,4 +82,31 @@ fn rank_table_matches_the_lint_lock_graph() {
             edge.func,
         );
     }
+}
+
+#[test]
+fn obs_locks_report_through_the_witness_hook() {
+    lockwitness::install_obs_witness();
+    let obs = Observer::new(ObsConfig::default());
+    // Nothing held: the ring/slow acquisitions inside these calls pass the
+    // rank check and the release callback pops them cleanly.
+    let _ = obs.recent_traces(4);
+    let _ = obs.slow_traces(4);
+    // Ascending interleave: a serve-owned rank (4) below the obs ranks (5/6).
+    let _stats = lockwitness::acquire(TrackedLock::StatsClients);
+    let _ = obs.recent_traces(4);
+    let _ = obs.slow_traces(4);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
+fn observer_lock_under_a_higher_rank_panics_in_debug() {
+    lockwitness::install_obs_witness();
+    // Pretend this thread holds the slow-query log (rank 6), then touch the
+    // trace ring (rank 5): the hook must veto the inversion before the
+    // `.lock()` happens. Release builds install no hook, so passing without
+    // a panic is exactly the claim being verified there.
+    let _slow = lockwitness::acquire(TrackedLock::ObsSlow);
+    let obs = Observer::new(ObsConfig::default());
+    let _ = obs.recent_traces(4);
 }
